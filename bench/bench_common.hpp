@@ -1,0 +1,109 @@
+#pragma once
+// Shared machinery for the figure benches.
+//
+// Every bench binary regenerates one table/figure from the paper's
+// evaluation section (see DESIGN.md's experiment index). The workload is
+// the `sugarbeet_like` preset unless a figure used a different dataset.
+// Node counts are scaled from the paper's 16–192 iDataPlex nodes to simpi
+// ranks {1..24}; times are virtual seconds on the simulated cluster
+// (measured per-rank CPU work / modeled threads + alpha-beta comm model).
+//
+// The host CPU clock ticks at 10 ms, so per-contig kernels are repeated
+// (`kernel_repeats`) to hold per-rank loop times well above the tick; this
+// also restores a realistic per-item cost — the production Chrysalis
+// kernels are far heavier than this reproduction's hash-based ones.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "inchworm/inchworm.hpp"
+#include "kmer/counter.hpp"
+#include "seq/fasta.hpp"
+#include "sim/transcriptome.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace trinity::bench {
+
+/// A prepared Chrysalis input: simulated reads, their k-mer counts, and the
+/// Inchworm contigs, plus the reads written to disk for streaming stages.
+struct Workload {
+  sim::Dataset dataset;
+  kmer::KmerCounter counter;
+  std::vector<seq::Sequence> contigs;
+  std::string work_dir;
+  std::string reads_path;
+};
+
+inline constexpr int kK = 25;  // Trinity's default k
+
+/// Builds the standard bench workload. `genes` scales the dataset.
+inline Workload make_workload(const std::string& preset_name, std::size_t genes,
+                              const std::string& tag) {
+  auto preset = sim::preset(preset_name);
+  if (genes > 0) preset.transcriptome.num_genes = genes;
+
+  Workload w{sim::simulate_dataset(preset),
+             kmer::KmerCounter([] {
+               kmer::CounterOptions c;
+               c.k = kK;
+               return c;
+             }()),
+             {},
+             "/tmp/trinity_bench_" + tag,
+             ""};
+  w.counter.add_sequences(w.dataset.reads.reads);
+
+  inchworm::InchwormOptions io;
+  io.k = kK;
+  io.min_contig_length = kK;
+  inchworm::Inchworm assembler(io);
+  assembler.load_counts(w.counter.dump());
+  w.contigs = assembler.assemble();
+
+  std::filesystem::create_directories(w.work_dir);
+  w.reads_path = w.work_dir + "/reads.fa";
+  seq::write_fasta(w.reads_path, w.dataset.reads.reads);
+  return w;
+}
+
+/// Optional CSV sink: when --csv <path> is given, figure benches also
+/// write their series as plottable CSV.
+class CsvSink {
+ public:
+  CsvSink(const util::CliArgs& args, const std::string& header) {
+    const auto path = args.get("csv");
+    if (!path) return;
+    out_.open(*path);
+    if (out_) out_ << header << '\n';
+  }
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    if (!out_.is_open()) return;
+    bool first = true;
+    ((out_ << (first ? "" : ",") << values, first = false), ...);
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Prints the bench banner: which paper artifact this regenerates.
+inline void banner(const char* figure, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==================================================================\n");
+}
+
+/// Prints the workload header line.
+inline void describe(const Workload& w) {
+  std::printf("workload: %zu reference isoforms, %zu reads, %zu Inchworm contigs (%zu bp)\n\n",
+              w.dataset.transcriptome.transcripts.size(), w.dataset.reads.reads.size(),
+              w.contigs.size(), seq::total_bases(w.contigs));
+}
+
+}  // namespace trinity::bench

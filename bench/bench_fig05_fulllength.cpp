@@ -1,0 +1,66 @@
+// Figure 5 — "Alignment of reconstructed transcripts from both versions of
+// Trinity to the reference transcripts; number of fully reconstructed
+// genes/isoforms in full-length for Schizophrenia (a, c) and Drosophila
+// (b, d) datasets among the reference transcripts."
+//
+// Paper method (§IV test 2): align each run's transcripts against a
+// reference set; count (a/b) genes with >= 1 full-length reconstructed
+// isoform and (c/d) reference isoforms recovered full-length, for repeated
+// runs of the original and hybrid versions. Expected shape: the two
+// versions' counts overlap — no significant difference.
+
+#include "bench_common.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+#include "util/stats.hpp"
+#include "validate/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 3));
+  const int nranks = static_cast<int>(args.get_int("ranks", 8));
+
+  bench::banner("Figure 5", "full-length reconstructed genes/isoforms vs reference");
+
+  for (const char* dataset : {"schizophrenia_like", "drosophila_like"}) {
+    auto preset = sim::preset(dataset);
+    preset.transcriptome.num_genes = static_cast<std::size_t>(
+        args.get_int("genes", static_cast<std::int64_t>(60)));
+    const auto data = sim::simulate_dataset(preset);
+    std::printf("\n[%s] %zu genes, %zu reference isoforms, %zu reads\n", dataset,
+                data.transcriptome.genes.size(), data.transcriptome.transcripts.size(),
+                data.reads.reads.size());
+
+    std::vector<double> orig_genes, par_genes, orig_isos, par_isos;
+    for (int r = 0; r < runs; ++r) {
+      for (const bool hybrid : {false, true}) {
+        pipeline::PipelineOptions o;
+        o.k = bench::kK;
+        o.nranks = hybrid ? nranks : 1;
+        o.run_seed = static_cast<std::uint64_t>(r + 1) + (hybrid ? 5000 : 0);
+        o.work_dir = std::string("/tmp/trinity_bench_fig05_") + dataset;
+        const auto result = pipeline::run_pipeline(data.reads.reads, o);
+        const auto cmp = validate::compare_to_reference(
+            result.transcripts, data.transcriptome.transcripts,
+            data.transcriptome.gene_of_transcript);
+        (hybrid ? par_genes : orig_genes).push_back(static_cast<double>(cmp.full_length_genes));
+        (hybrid ? par_isos : orig_isos).push_back(static_cast<double>(cmp.full_length_isoforms));
+      }
+    }
+
+    auto row = [&](const char* label, const std::vector<double>& orig,
+                   const std::vector<double>& par) {
+      const auto so = util::summarize(orig);
+      const auto sp = util::summarize(par);
+      const auto t = util::welch_t_test(orig, par);
+      std::printf("  %-22s original %6.1f [%g..%g]   parallel %6.1f [%g..%g]   p=%.3f %s\n",
+                  label, so.mean, so.min, so.max, sp.mean, sp.min, sp.max, t.p_two_sided,
+                  t.significant_at_5pct ? "(SIGNIFICANT!)" : "(no sig. diff.)");
+    };
+    row("full-length genes", orig_genes, par_genes);
+    row("full-length isoforms", orig_isos, par_isos);
+  }
+  std::printf("\npaper: for both datasets the original and MPI+OpenMP versions recover\n"
+              "statistically indistinguishable numbers of full-length genes and isoforms.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7 — "Results of parallel (MPI+OpenMP) GraphFromFasta
+// implementation showing the time taken in the loops and the total time
+// taken in GraphFromFasta with increasing number of nodes."
+//
+// Paper series: loop 1 and loop 2 times (lowest and highest rank, as a
+// measure of load imbalance) plus the total GraphFromFasta time, for
+// 16..192 nodes of 16 threads. Here: simpi ranks 1..24, 16 modeled threads
+// per rank, on the sugarbeet_like workload. Expected shape (paper §V.A):
+// both loops speed up with rank count; loop 2 suffers visible max/min
+// imbalance at high rank counts; total time speeds up less than the loops
+// because the non-parallel regions grow in share (Figure 8).
+
+#include "bench_common.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "simpi/context.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
+  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 100));
+
+  bench::banner("Figure 7", "hybrid GraphFromFasta scaling (sugarbeet workload)");
+  const auto w = bench::make_workload("sugarbeet_like", genes, "fig07");
+  bench::describe(w);
+
+  chrysalis::GraphFromFastaOptions options;
+  options.k = bench::kK;
+  options.kernel_repeats = repeats;
+  // Pure node-count scaling: one modeled thread per rank keeps the
+  // loop-to-serial time ratio consistent (the serial regions are not
+  // divided by a thread count either).
+  options.model_threads_per_rank = 1;
+
+  bench::CsvSink csv(args, "nodes,loop1_max,loop1_min,loop2_max,loop2_min,total,speedup");
+  std::printf("%6s | %11s %11s | %11s %11s | %11s | %8s\n", "nodes", "loop1_max", "loop1_min",
+              "loop2_max", "loop2_min", "total(s)", "speedup");
+  const int trials = static_cast<int>(args.get_int("trials", 2));
+  double base_total = 0.0;
+  for (const int nranks : {1, 2, 4, 8, 16, 24}) {
+    // Best of N trials: rank threads oversubscribe the 2-core host, and a
+    // descheduled thread's CPU clock picks up scheduler noise; the minimum
+    // is the least-contaminated measurement.
+    chrysalis::GffTiming timing;
+    for (int trial = 0; trial < trials; ++trial) {
+      chrysalis::GffTiming t;
+      simpi::run(nranks, [&](simpi::Context& ctx) {
+        const auto r = chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
+        if (ctx.rank() == 0) t = r.timing;
+      });
+      if (trial == 0 || t.total_seconds() < timing.total_seconds()) timing = t;
+    }
+    if (nranks == 1) base_total = timing.total_seconds();
+    std::printf("%6d | %11.3f %11.3f | %11.3f %11.3f | %11.3f | %7.2fx\n", nranks,
+                timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
+                timing.loop2.min(), timing.total_seconds(),
+                base_total / timing.total_seconds());
+    csv.row(nranks, timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
+            timing.loop2.min(), timing.total_seconds(), base_total / timing.total_seconds());
+  }
+  std::printf("\npaper: loops speed up ~8-12x over the node range; total GraphFromFasta\n"
+              "4.5x@16 -> 20.7x@192 nodes vs the 1-node OpenMP baseline; load imbalance\n"
+              "(max vs min rank) grows with node count, worst in loop 2.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 9 — "Results of parallel (MPI+OpenMP) ReadsToTranscripts
+// implementation showing the time taken in the main loop and the total
+// time taken in ReadsToTranscripts with increasing number of nodes."
+//
+// Paper shape (§V.B): the MPI loop scales almost linearly (3123 s on 4
+// nodes -> 373 s on 32, 8.37x); at 32 nodes the loop is < 20% of the total,
+// the remainder dominated by the still-OpenMP-only k-mer -> bundle
+// assignment; the per-rank file concatenation stays constant and small
+// (< 15 s in the paper); load imbalance (max vs min rank) is much lower
+// than GraphFromFasta's.
+
+#include "bench_common.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "simpi/context.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
+  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 20));
+
+  bench::banner("Figure 9", "hybrid ReadsToTranscripts scaling (sugarbeet workload)");
+  const auto w = bench::make_workload("sugarbeet_like", genes, "fig09");
+  bench::describe(w);
+
+  // Components from a single shared GraphFromFasta run.
+  chrysalis::GraphFromFastaOptions gff;
+  gff.k = bench::kK;
+  const auto components = chrysalis::run_shared(w.contigs, w.counter, gff).components;
+
+  chrysalis::ReadsToTranscriptsOptions options;
+  options.k = bench::kK;
+  options.max_mem_reads = 20000;
+  options.kernel_repeats = repeats;
+  options.model_threads_per_rank = 1;
+
+  bench::CsvSink csv(args, "nodes,loop_max,loop_min,setup,concat,total,speedup");
+  std::printf("%6s | %10s %10s | %9s %9s | %9s | %8s\n", "nodes", "loop_max", "loop_min",
+              "setup(s)", "concat(s)", "total(s)", "speedup");
+  const int trials = static_cast<int>(args.get_int("trials", 2));
+  double base_total = 0.0;
+  for (const int nranks : {1, 2, 4, 8, 16}) {
+    // Best of N trials; see bench_fig07 for the rationale.
+    chrysalis::R2TTiming timing;
+    for (int trial = 0; trial < trials; ++trial) {
+      chrysalis::R2TTiming t;
+      simpi::run(nranks, [&](simpi::Context& ctx) {
+        const auto r = chrysalis::run_hybrid(ctx, w.contigs, components, w.reads_path,
+                                             options, w.work_dir);
+        if (ctx.rank() == 0) t = r.timing;
+      });
+      if (trial == 0 || t.total_seconds() < timing.total_seconds()) timing = t;
+    }
+    if (nranks == 1) base_total = timing.total_seconds();
+    std::printf("%6d | %10.3f %10.3f | %9.3f %9.3f | %9.3f | %7.2fx\n", nranks,
+                timing.main_loop.max(), timing.main_loop.min(), timing.setup_seconds,
+                timing.concat_seconds, timing.total_seconds(),
+                base_total / timing.total_seconds());
+    csv.row(nranks, timing.main_loop.max(), timing.main_loop.min(), timing.setup_seconds,
+            timing.concat_seconds, timing.total_seconds(),
+            base_total / timing.total_seconds());
+  }
+  std::printf("\npaper: near-linear MPI-loop scaling (8.37x from 4 to 32 nodes); overall\n"
+              "19.75x at 32 nodes vs 1 node; the serial setup (k-mer -> bundle assignment)\n"
+              "dominates the high-node end; concatenation constant and negligible;\n"
+              "max/min rank imbalance much lower than in GraphFromFasta.\n");
+  return 0;
+}

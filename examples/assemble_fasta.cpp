@@ -1,0 +1,93 @@
+// assemble_fasta: the downstream-user entry point. Assembles transcripts
+// de novo from any FASTA/FASTQ read file, in the original shared-memory
+// configuration or the paper's hybrid configuration.
+//
+// Usage:
+//   assemble_fasta <reads.fa|reads.fq> [--out transcripts.fa]
+//                  [--ranks N] [--k 25] [--min-kmer-count 2]
+//                  [--work-dir DIR]
+//                  [--gff-distribution crr|block|dynamic]
+//                  [--gff-hybrid-setup] [--r2t-strategy redundant|master-slave]
+//                  [--r2t-output concat|collective] [--bowtie-split targets|reads]
+//                  [--min-node-support N] [--require-paired-support]
+//
+// With --ranks 1 (default) this is the original OpenMP-only Trinity path;
+// with --ranks N > 1 the Chrysalis stages run hybrid over N simulated
+// nodes, exactly like `Trinity.pl --nprocs N` in the paper. The strategy
+// flags select the paper's published schemes (defaults), its discarded
+// prototypes, or its future-work directions (see DESIGN.md).
+
+#include <iostream>
+
+#include "pipeline/trinity_pipeline.hpp"
+#include "seq/fasta.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: assemble_fasta <reads.fa|reads.fq> [--out transcripts.fa]\n"
+              << "                      [--ranks N] [--k 25] [--min-kmer-count 2]\n"
+              << "                      [--work-dir DIR]\n";
+    return 2;
+  }
+  const std::string reads_path = args.positional().front();
+  const std::string out_path = args.get_string("out", "transcripts.fa");
+
+  pipeline::PipelineOptions options;
+  options.k = static_cast<int>(args.get_int("k", 25));
+  options.nranks = static_cast<int>(args.get_int("ranks", 1));
+  options.min_kmer_count = static_cast<std::uint32_t>(args.get_int("min-kmer-count", 2));
+  options.work_dir = args.get_string("work-dir", "/tmp/trinity_assemble");
+
+  const std::string dist = args.get_string("gff-distribution", "crr");
+  if (dist == "block") {
+    options.gff_distribution = chrysalis::Distribution::kBlock;
+  } else if (dist == "dynamic") {
+    options.gff_distribution = chrysalis::Distribution::kDynamic;
+  } else if (dist != "crr") {
+    std::cerr << "unknown --gff-distribution '" << dist << "'\n";
+    return 2;
+  }
+  options.gff_hybrid_setup = args.get_bool("gff-hybrid-setup", false);
+  const std::string strategy = args.get_string("r2t-strategy", "redundant");
+  if (strategy == "master-slave") {
+    options.r2t_strategy = chrysalis::R2TStrategy::kMasterSlave;
+  } else if (strategy != "redundant") {
+    std::cerr << "unknown --r2t-strategy '" << strategy << "'\n";
+    return 2;
+  }
+  if (args.get_string("r2t-output", "concat") == "collective") {
+    options.r2t_output_mode = chrysalis::R2TOutputMode::kCollective;
+  }
+  if (args.get_string("bowtie-split", "targets") == "reads") {
+    options.bowtie_split = align::BowtieSplit::kReads;
+  }
+  options.butterfly_min_node_support =
+      static_cast<std::uint32_t>(args.get_int("min-node-support", 0));
+  options.butterfly_require_paired_support = args.get_bool("require-paired-support", false);
+
+  try {
+    const auto result = pipeline::run_pipeline_from_file(reads_path, options);
+
+    std::vector<std::size_t> lengths;
+    std::size_t bases = 0;
+    for (const auto& t : result.transcripts) {
+      lengths.push_back(t.bases.size());
+      bases += t.bases.size();
+    }
+    seq::write_fasta(out_path, result.transcripts, 70);
+
+    std::cout << "assembled " << result.transcripts.size() << " transcripts (" << bases
+              << " bp, N50 " << util::n50(lengths) << ") from "
+              << result.assignments.size() << " reads\n"
+              << "components: " << result.components.num_components() << '\n'
+              << "output: " << out_path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

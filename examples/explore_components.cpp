@@ -1,0 +1,117 @@
+// explore_components: QC / inspection tool for Chrysalis output.
+//
+// Runs the pipeline (on a reads file, or a simulated dataset when no file
+// is given) and prints a per-component table: contigs, bases, de Bruijn
+// graph shape, reads assigned, transcripts reconstructed, and paired-end
+// support for the longest transcript — the view a user debugging a bad
+// assembly actually wants.
+//
+// Usage:
+//   explore_components [reads.fa] [--ranks 4] [--k 25] [--top 15]
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "butterfly/butterfly.hpp"
+#include "chrysalis/debruijn.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+#include "seq/fasta.hpp"
+#include "sim/transcriptome.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const int k = static_cast<int>(args.get_int("k", 25));
+  const auto top = static_cast<std::size_t>(args.get_int("top", 15));
+
+  std::vector<seq::Sequence> reads;
+  if (!args.positional().empty()) {
+    reads = seq::read_all(args.positional().front());
+    std::cout << "loaded " << reads.size() << " reads from " << args.positional().front()
+              << "\n";
+  } else {
+    auto preset = sim::preset("tiny");
+    preset.transcriptome.num_genes = static_cast<std::size_t>(args.get_int("genes", 30));
+    reads = sim::simulate_dataset(preset).reads.reads;
+    std::cout << "no input given; simulated " << reads.size() << " reads ('tiny' preset)\n";
+  }
+
+  pipeline::PipelineOptions options;
+  options.k = k;
+  options.nranks = static_cast<int>(args.get_int("ranks", 1));
+  options.work_dir = "/tmp/trinity_explore";
+  const auto result = pipeline::run_pipeline(reads, options);
+
+  // Reads and transcripts per component.
+  std::vector<std::size_t> reads_of(result.components.num_components(), 0);
+  for (const auto& a : result.assignments) {
+    if (a.component >= 0) ++reads_of[static_cast<std::size_t>(a.component)];
+  }
+  std::vector<std::size_t> transcripts_of(result.components.num_components(), 0);
+  std::vector<std::size_t> longest_of(result.components.num_components(), 0);
+  for (const auto& t : result.transcripts) {
+    // Names follow comp<id>_seq<j>.
+    const auto us = t.name.find('_');
+    const auto comp = static_cast<std::size_t>(std::stoul(t.name.substr(4, us - 4)));
+    ++transcripts_of[comp];
+    longest_of[comp] = std::max(longest_of[comp], t.bases.size());
+  }
+
+  // Rank components by total bases.
+  std::vector<std::size_t> order(result.components.num_components());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto comp_bases = [&](std::size_t c) {
+    std::size_t bases = 0;
+    for (const auto id : result.components.components[c].contig_ids) {
+      bases += result.contigs[static_cast<std::size_t>(id)].bases.size();
+    }
+    return bases;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return comp_bases(a) > comp_bases(b); });
+
+  std::cout << "\n" << result.components.num_components() << " components from "
+            << result.contigs.size() << " contigs; " << result.transcripts.size()
+            << " transcripts total. Top " << std::min(top, order.size()) << ":\n\n";
+  std::printf("%6s %8s %9s %8s %8s %9s %7s %8s %9s\n", "comp", "contigs", "bases", "nodes",
+              "edges", "sources", "reads", "isoform", "longest");
+  for (std::size_t i = 0; i < std::min(top, order.size()); ++i) {
+    const std::size_t c = order[i];
+    const auto& comp = result.components.components[c];
+    std::vector<seq::Sequence> comp_contigs;
+    for (const auto id : comp.contig_ids) {
+      comp_contigs.push_back(result.contigs[static_cast<std::size_t>(id)]);
+    }
+    const chrysalis::DeBruijnGraph graph(comp_contigs, k);
+    std::printf("%6d %8zu %9zu %8zu %8zu %9zu %7zu %8zu %9zu\n", comp.id,
+                comp.contig_ids.size(), comp_bases(c), graph.num_nodes(), graph.num_edges(),
+                graph.source_nodes().size(), reads_of[c], transcripts_of[c], longest_of[c]);
+  }
+
+  // Paired-end support detail for the biggest component's longest transcript.
+  if (!order.empty() && !result.transcripts.empty()) {
+    const std::size_t c = order[0];
+    const seq::Sequence* longest = nullptr;
+    for (const auto& t : result.transcripts) {
+      if (t.name.rfind("comp" + std::to_string(c) + "_", 0) == 0 &&
+          (!longest || t.bases.size() > longest->bases.size())) {
+        longest = &t;
+      }
+    }
+    if (longest) {
+      std::vector<const seq::Sequence*> comp_reads;
+      for (const auto& a : result.assignments) {
+        if (a.component == static_cast<std::int32_t>(c)) {
+          comp_reads.push_back(&reads[static_cast<std::size_t>(a.read_index)]);
+        }
+      }
+      std::cout << "\nlargest component " << c << ": transcript '" << longest->name << "' ("
+                << longest->bases.size() << " bp) is spanned by "
+                << butterfly::paired_support(*longest, comp_reads)
+                << " proper read pairs\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// scaling_study: a user-configurable rank sweep over a simulated dataset,
+// printing Figure-7/9-style tables for GraphFromFasta, ReadsToTranscripts
+// and the distributed Bowtie step on the simulated cluster.
+//
+// Usage:
+//   scaling_study [--genes 150] [--coverage 15] [--k 25]
+//                 [--ranks 1,2,4,8,16] [--threads-per-rank 16]
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "align/mpi_bowtie.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "inchworm/inchworm.hpp"
+#include "kmer/counter.hpp"
+#include "seq/fasta.hpp"
+#include "sim/transcriptome.hpp"
+#include "simpi/context.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::vector<int> parse_ranks(const std::string& csv) {
+  std::vector<int> out;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) out.push_back(std::stoi(token));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const auto genes = static_cast<std::size_t>(args.get_int("genes", 150));
+  const double coverage = args.get_double("coverage", 15.0);
+  const int k = static_cast<int>(args.get_int("k", 25));
+  const int threads_per_rank = static_cast<int>(args.get_int("threads-per-rank", 16));
+  const auto ranks = parse_ranks(args.get_string("ranks", "1,2,4,8,16"));
+
+  // Workload: simulate, count k-mers, assemble contigs once; the sweep
+  // re-runs only the Chrysalis stages, as the paper's benchmarks do.
+  auto preset = sim::preset("tiny");
+  preset.name = "scaling";
+  preset.transcriptome.num_genes = genes;
+  preset.reads.coverage = coverage;
+  const auto data = sim::simulate_dataset(preset);
+
+  kmer::CounterOptions copt;
+  copt.k = k;
+  kmer::KmerCounter counter(copt);
+  counter.add_sequences(data.reads.reads);
+
+  inchworm::InchwormOptions iopt;
+  iopt.k = k;
+  inchworm::Inchworm assembler(iopt);
+  assembler.load_counts(counter.dump());
+  const auto contigs = assembler.assemble();
+
+  const std::string work_dir = "/tmp/trinity_scaling";
+  std::filesystem::create_directories(work_dir);
+  const std::string reads_path = work_dir + "/reads.fa";
+  seq::write_fasta(reads_path, data.reads.reads);
+
+  std::cout << "workload: " << data.reads.reads.size() << " reads, " << contigs.size()
+            << " Inchworm contigs; " << threads_per_rank
+            << " modeled threads per node\n\n";
+
+  std::printf("%6s | %12s %12s %12s | %12s %12s | %12s\n", "nodes", "gff_loop1(s)",
+              "gff_loop2(s)", "gff_total(s)", "r2t_loop(s)", "r2t_total(s)",
+              "bowtie(s)");
+  std::printf("%.6s-+-%.38s-+-%.25s-+-%.12s\n", "------",
+              "--------------------------------------",
+              "-------------------------", "------------");
+
+  for (const int nranks : ranks) {
+    chrysalis::GraphFromFastaOptions gff;
+    gff.k = k;
+    gff.model_threads_per_rank = threads_per_rank;
+    chrysalis::ReadsToTranscriptsOptions r2t;
+    r2t.k = k;
+    r2t.model_threads_per_rank = threads_per_rank;
+    align::AlignerOptions aopt;
+
+    chrysalis::GffTiming gff_timing;
+    chrysalis::R2TTiming r2t_timing;
+    align::DistributedBowtieTiming bowtie_timing;
+
+    simpi::run(nranks, [&](simpi::Context& ctx) {
+      const auto bowtie = align::distributed_bowtie(ctx, contigs, data.reads.reads, aopt);
+      const auto g = chrysalis::run_hybrid(ctx, contigs, counter, gff);
+      const auto r =
+          chrysalis::run_hybrid(ctx, contigs, g.components, reads_path, r2t, work_dir);
+      if (ctx.rank() == 0) {
+        gff_timing = g.timing;
+        r2t_timing = r.timing;
+        bowtie_timing = bowtie.timing;
+      }
+    });
+
+    std::printf("%6d | %12.3f %12.3f %12.3f | %12.3f %12.3f | %12.3f\n", nranks,
+                gff_timing.loop1.max(), gff_timing.loop2.max(), gff_timing.total_seconds(),
+                r2t_timing.main_loop.max(), r2t_timing.total_seconds(),
+                bowtie_timing.total_seconds());
+  }
+  std::cout << "\ntimes are virtual seconds on the simulated cluster (measured per-rank\n"
+               "CPU work / modeled threads + alpha-beta communication model).\n";
+  return 0;
+}

@@ -1,0 +1,198 @@
+// trinity_stages: run the Trinity pipeline one stage at a time, exchanging
+// data through files — exactly how Trinity's own executables compose
+// ("the files being output from one software module are then consumed by
+// the following module"). Each subcommand is restartable, so a failed or
+// tuned stage can be rerun without repeating the others.
+//
+// Usage:
+//   trinity_stages jellyfish <reads.fa>              --out kmers.bin [--k 25]
+//   trinity_stages inchworm  <kmers.bin>             --out inchworm.fa [--k 25]
+//   trinity_stages chrysalis <inchworm.fa> <reads.fa> --out-dir DIR
+//                            [--nprocs N] [--k 25] [--sam bowtie.sam]
+//   trinity_stages butterfly <inchworm.fa> <DIR> <reads.fa> --out Trinity.fa
+//                            [--k 25]
+//
+// The chrysalis stage writes <DIR>/components.txt and
+// <DIR>/readsToComponents.out.tsv; butterfly consumes both. --nprocs is
+// the paper's Trinity.pl extension: > 1 runs the hybrid Chrysalis.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "align/mpi_bowtie.hpp"
+#include "align/sam_io.hpp"
+#include "butterfly/butterfly.hpp"
+#include "chrysalis/components_io.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "chrysalis/scaffold.hpp"
+#include "inchworm/inchworm.hpp"
+#include "kmer/counter.hpp"
+#include "seq/fasta.hpp"
+#include "simpi/context.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace trinity;
+
+int usage() {
+  std::cerr << "usage: trinity_stages <jellyfish|inchworm|chrysalis|butterfly> ...\n"
+            << "  jellyfish <reads.fa> --out kmers.bin [--k 25]\n"
+            << "  inchworm  <kmers.bin> --out inchworm.fa [--k 25]\n"
+            << "  chrysalis <inchworm.fa> <reads.fa> --out-dir DIR [--nprocs N] [--k 25]\n"
+            << "  butterfly <inchworm.fa> <DIR> <reads.fa> --out Trinity.fa [--k 25]\n";
+  return 2;
+}
+
+int stage_jellyfish(const util::CliArgs& args, int k) {
+  const auto reads = seq::read_all(args.positional()[1]);
+  kmer::CounterOptions o;
+  o.k = k;
+  kmer::KmerCounter counter(o);
+  counter.add_sequences(reads);
+  const auto counts = counter.dump();
+  const std::string out = args.get_string("out", "kmers.bin");
+  kmer::write_dump_binary(out, counts, k);
+  std::cout << "jellyfish: " << reads.size() << " reads -> " << counts.size()
+            << " distinct " << k << "-mers -> " << out << '\n';
+  return 0;
+}
+
+int stage_inchworm(const util::CliArgs& args, int k) {
+  const auto counts = kmer::read_dump_binary(args.positional()[1], k);
+  inchworm::InchwormOptions o;
+  o.k = k;
+  o.min_contig_length = static_cast<std::size_t>(k);
+  inchworm::Inchworm assembler(o);
+  assembler.load_counts(counts);
+  const auto contigs = assembler.assemble();
+  const std::string out = args.get_string("out", "inchworm.fa");
+  seq::write_fasta(out, contigs);
+  std::cout << "inchworm: " << counts.size() << " k-mers -> " << contigs.size()
+            << " contigs (" << assembler.stats().bases_assembled << " bp) -> " << out << '\n';
+  return 0;
+}
+
+int stage_chrysalis(const util::CliArgs& args, int k) {
+  const auto contigs = seq::read_all(args.positional()[1]);
+  const std::string reads_path = args.positional()[2];
+  const auto reads = seq::read_all(reads_path);
+  const std::string out_dir = args.get_string("out-dir", "chrysalis_out");
+  std::filesystem::create_directories(out_dir);
+  const int nprocs = static_cast<int>(args.get_int("nprocs", 1));
+
+  kmer::CounterOptions copt;
+  copt.k = k;
+  kmer::KmerCounter counter(copt);
+  counter.add_sequences(reads);
+
+  chrysalis::GraphFromFastaOptions gff;
+  gff.k = k;
+  chrysalis::ReadsToTranscriptsOptions r2t;
+  r2t.k = k;
+
+  chrysalis::ComponentSet components;
+  std::size_t assigned = 0;
+  // An existing Bowtie SAM file can be consumed instead of realigning —
+  // the file-exchange interop Trinity's own stages rely on.
+  const std::string sam_path = args.get_string("sam", "");
+  if (nprocs == 1) {
+    std::vector<align::SamRecord> sam;
+    if (!sam_path.empty()) {
+      sam = align::read_sam(sam_path).records;
+      // read_sam's target ids index its own header; remap to our contigs.
+      for (auto& r : sam) {
+        if (!r.aligned()) continue;
+        const auto it = std::find_if(contigs.begin(), contigs.end(), [&](const auto& c) {
+          return c.name == r.target_name;
+        });
+        if (it == contigs.end()) throw std::runtime_error("--sam references unknown contig");
+        r.target_id = static_cast<std::int32_t>(it - contigs.begin());
+      }
+    } else {
+      const align::ContigIndex index(contigs, align::AlignerOptions{});
+      sam = align::SeedExtendAligner(index).align_all(reads);
+    }
+    const auto scaffold = chrysalis::scaffold_pairs(sam, contigs, {});
+    components = chrysalis::run_shared(contigs, counter, gff, scaffold).components;
+    const auto r = chrysalis::run_shared(contigs, components, reads_path, r2t, out_dir);
+    assigned = r.assignments.size();
+  } else {
+    // The paper's mechanism: the Chrysalis sub-steps run under mpirun.
+    simpi::run(nprocs, [&](simpi::Context& ctx) {
+      const auto bowtie =
+          align::distributed_bowtie(ctx, contigs, reads, align::AlignerOptions{});
+      std::vector<chrysalis::ContigPair> scaffold;
+      if (ctx.rank() == 0) {
+        scaffold = chrysalis::scaffold_pairs(bowtie.records, contigs, {});
+      }
+      // Every rank must use identical scaffold pairs.
+      std::vector<std::int32_t> wire;
+      if (ctx.rank() == 0) {
+        for (const auto& p : scaffold) {
+          wire.push_back(p.a);
+          wire.push_back(p.b);
+        }
+      }
+      ctx.bcast(wire, 0);
+      scaffold.clear();
+      for (std::size_t i = 0; i + 1 < wire.size(); i += 2) {
+        scaffold.push_back({wire[i], wire[i + 1]});
+      }
+      const auto g = chrysalis::run_hybrid(ctx, contigs, counter, gff, scaffold);
+      const auto r =
+          chrysalis::run_hybrid(ctx, contigs, g.components, reads_path, r2t, out_dir);
+      if (ctx.rank() == 0) {
+        components = g.components;
+        assigned = r.assignments.size();
+      }
+    });
+  }
+
+  chrysalis::write_components(out_dir + "/components.txt", components);
+  std::cout << "chrysalis (" << (nprocs == 1 ? "shared-memory" : "hybrid") << ", nprocs="
+            << nprocs << "): " << contigs.size() << " contigs -> "
+            << components.num_components() << " components; " << assigned
+            << " reads assigned -> " << out_dir << "/{components.txt,readsToComponents.out.tsv}\n";
+  return 0;
+}
+
+int stage_butterfly(const util::CliArgs& args, int k) {
+  const auto contigs = seq::read_all(args.positional()[1]);
+  const std::string dir = args.positional()[2];
+  const auto reads = seq::read_all(args.positional()[3]);
+  const auto components = chrysalis::read_components(dir + "/components.txt");
+  const auto assignments =
+      chrysalis::read_assignments(dir + "/readsToComponents.out.tsv");
+
+  butterfly::ButterflyOptions o;
+  o.k = k;
+  const auto transcripts =
+      butterfly::run_butterfly(contigs, components, assignments, reads, o);
+  const std::string out = args.get_string("out", "Trinity.fa");
+  seq::write_fasta(out, transcripts, 70);
+  std::cout << "butterfly: " << components.num_components() << " components -> "
+            << transcripts.size() << " transcripts -> " << out << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const int k = static_cast<int>(args.get_int("k", 25));
+  const auto& pos = args.positional();
+  try {
+    if (pos.size() >= 2 && pos[0] == "jellyfish") return stage_jellyfish(args, k);
+    if (pos.size() >= 2 && pos[0] == "inchworm") return stage_inchworm(args, k);
+    if (pos.size() >= 3 && pos[0] == "chrysalis") return stage_chrysalis(args, k);
+    if (pos.size() >= 4 && pos[0] == "butterfly") return stage_butterfly(args, k);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,174 @@
+#include "align/aligner.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "seq/dna.hpp"
+
+namespace trinity::align {
+
+ContigIndex::ContigIndex(std::vector<seq::Sequence> contigs, const AlignerOptions& options)
+    : contigs_(std::move(contigs)), options_(options) {
+  const seq::KmerCodec codec(options_.seed_length);
+  for (std::size_t c = 0; c < contigs_.size(); ++c) {
+    for (const auto& occ : codec.extract(contigs_[c].bases)) {
+      seeds_[occ.code].push_back(
+          {static_cast<std::int32_t>(c), static_cast<std::uint32_t>(occ.position)});
+    }
+  }
+  // Suppress hyper-repetitive seeds: they explode verification cost without
+  // adding placements Bowtie would report uniquely anyway.
+  for (auto& [code, hits] : seeds_) {
+    if (hits.size() > options_.max_hits_per_seed) hits.clear();
+  }
+}
+
+const std::vector<ContigIndex::SeedHit>* ContigIndex::lookup(seq::KmerCode code) const {
+  const auto it = seeds_.find(code);
+  if (it == seeds_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+namespace {
+
+/// Counts mismatches of `read` placed at `pos` on `target`, bailing out
+/// once `budget` is exceeded. Returns budget+1 on an out-of-bounds
+/// placement or early bail.
+int mismatches_at(const std::string& target, const std::string& read, std::size_t pos,
+                  int budget) {
+  if (pos + read.size() > target.size()) return budget + 1;
+  int mm = 0;
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    if (target[pos + i] != read[i]) {
+      if (++mm > budget) return mm;
+    }
+  }
+  return mm;
+}
+
+}  // namespace
+
+void SeedExtendAligner::align_strand(const std::string& bases, bool reverse,
+                                     SamRecord& best) const {
+  const auto& opts = index_.options();
+  const auto s = static_cast<std::size_t>(opts.seed_length);
+  if (bases.size() < s) return;
+  const seq::KmerCodec codec(opts.seed_length);
+
+  // Seed from three offsets (start / middle / end): with a budget of v
+  // mismatches, at least one of the three windows of a valid placement is
+  // exact whenever v <= 2, mirroring Bowtie's seed heuristics.
+  const std::size_t offsets[3] = {0, (bases.size() - s) / 2, bases.size() - s};
+  std::size_t tried_offsets[3];
+  std::size_t n_offsets = 0;
+  for (const std::size_t off : offsets) {
+    bool seen = false;
+    for (std::size_t i = 0; i < n_offsets; ++i) seen = seen || tried_offsets[i] == off;
+    if (!seen) tried_offsets[n_offsets++] = off;
+  }
+
+  for (std::size_t oi = 0; oi < n_offsets; ++oi) {
+    const std::size_t off = tried_offsets[oi];
+    const auto code = codec.encode(std::string_view(bases).substr(off, s));
+    if (!code) continue;
+    const auto* hits = index_.lookup(*code);
+    if (!hits) continue;
+    for (const auto& hit : *hits) {
+      if (hit.position < off) continue;
+      const std::size_t placement = hit.position - off;
+      const auto& target = index_.contigs()[static_cast<std::size_t>(hit.contig_id)].bases;
+      const int mm = mismatches_at(target, bases, placement, opts.max_mismatches);
+      if (mm > opts.max_mismatches) continue;
+      const bool better =
+          !best.aligned() || mm < best.mismatches ||
+          (mm == best.mismatches &&
+           std::tie(hit.contig_id, placement, reverse) <
+               std::tie(best.target_id, best.pos, best.reverse_strand));
+      if (better) {
+        best.target_id = hit.contig_id;
+        best.target_name = index_.contigs()[static_cast<std::size_t>(hit.contig_id)].name;
+        best.pos = placement;
+        best.reverse_strand = reverse;
+        best.mismatches = mm;
+      }
+    }
+  }
+}
+
+SamRecord SeedExtendAligner::align_read(const seq::Sequence& read) const {
+  SamRecord best;
+  best.read_name = read.name;
+  best.read_length = read.bases.size();
+  align_strand(read.bases, /*reverse=*/false, best);
+  const std::string rc = seq::reverse_complement(read.bases);
+  align_strand(rc, /*reverse=*/true, best);
+  return best;
+}
+
+std::vector<SamRecord> SeedExtendAligner::align_all(
+    const std::vector<seq::Sequence>& reads) const {
+  std::vector<SamRecord> out(reads.size());
+  const int requested = index_.options().num_threads;
+  const auto n = static_cast<std::int64_t>(reads.size());
+#pragma omp parallel for schedule(dynamic, 256) \
+    num_threads(requested > 0 ? requested : omp_get_max_threads())
+  for (std::int64_t i = 0; i < n; ++i) {
+    // kernel_repeats: see the options doc; extra iterations are discarded.
+    for (int rep = 1; rep < index_.options().kernel_repeats; ++rep) {
+      (void)align_read(reads[static_cast<std::size_t>(i)]);
+    }
+    out[static_cast<std::size_t>(i)] = align_read(reads[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+namespace {
+void write_sam_header(std::ofstream& out, const std::vector<seq::Sequence>& contigs) {
+  out << "@HD\tVN:1.6\tSO:unsorted\n";
+  for (const auto& c : contigs) {
+    out << "@SQ\tSN:" << c.name << "\tLN:" << c.bases.size() << '\n';
+  }
+}
+
+void write_sam_record(std::ofstream& out, const SamRecord& r) {
+  if (r.aligned()) {
+    const int flag = r.reverse_strand ? 16 : 0;
+    out << r.read_name << '\t' << flag << '\t' << r.target_name << '\t' << (r.pos + 1)
+        << "\t255\t" << r.read_length << "M\t*\t0\t0\t*\t*\tNM:i:" << r.mismatches << '\n';
+  } else {
+    out << r.read_name << "\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*\n";
+  }
+}
+}  // namespace
+
+void write_sam(const std::string& path, const std::vector<SamRecord>& records,
+               const std::vector<seq::Sequence>& contigs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_sam: cannot open '" + path + "'");
+  write_sam_header(out, contigs);
+  for (const auto& r : records) write_sam_record(out, r);
+  if (!out) throw std::runtime_error("write_sam: write failure on '" + path + "'");
+}
+
+void merge_sam_files(const std::vector<std::string>& inputs, const std::string& output,
+                     const std::vector<seq::Sequence>& contigs) {
+  std::ofstream out(output);
+  if (!out) throw std::runtime_error("merge_sam_files: cannot open '" + output + "'");
+  write_sam_header(out, contigs);
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("merge_sam_files: cannot open '" + path + "'");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '@') continue;  // drop per-part headers
+      out << line << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("merge_sam_files: write failure on '" + output + "'");
+}
+
+}  // namespace trinity::align

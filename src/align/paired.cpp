@@ -1,0 +1,84 @@
+#include "align/paired.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "chrysalis/scaffold.hpp"
+
+namespace trinity::align {
+
+PairAlignment align_pair(const SeedExtendAligner& aligner, const seq::Sequence& mate1,
+                         const seq::Sequence& mate2, const PairingOptions& options) {
+  PairAlignment out;
+  out.mate1 = aligner.align_read(mate1);
+  out.mate2 = aligner.align_read(mate2);
+  if (!out.mate1.aligned() || !out.mate2.aligned()) return out;
+  if (out.mate1.target_id != out.mate2.target_id) return out;
+  if (out.mate1.reverse_strand == out.mate2.reverse_strand) return out;
+
+  const std::size_t begin = std::min(out.mate1.pos, out.mate2.pos);
+  const std::size_t end = std::max(out.mate1.pos + out.mate1.read_length,
+                                   out.mate2.pos + out.mate2.read_length);
+  const std::size_t insert = end - begin;
+  if (insert < options.min_insert || insert > options.max_insert) return out;
+
+  // The forward mate must sit upstream of the reverse mate (FR orientation).
+  const SamRecord& fwd = out.mate1.reverse_strand ? out.mate2 : out.mate1;
+  const SamRecord& rev = out.mate1.reverse_strand ? out.mate1 : out.mate2;
+  if (fwd.pos > rev.pos) return out;
+
+  out.proper = true;
+  out.insert = insert;
+  return out;
+}
+
+std::vector<PairAlignment> align_pairs(const SeedExtendAligner& aligner,
+                                       const std::vector<seq::Sequence>& reads,
+                                       const PairingOptions& options) {
+  // Group mates by fragment name, remembering first-mate order.
+  std::unordered_map<std::string, std::pair<const seq::Sequence*, const seq::Sequence*>>
+      fragments;
+  std::vector<std::string> order;
+  std::vector<const seq::Sequence*> singles;
+  for (const auto& read : reads) {
+    int mate = 0;
+    const std::string frag = chrysalis::mate_fragment_name(read.name, &mate);
+    if (frag.empty()) {
+      singles.push_back(&read);
+      continue;
+    }
+    auto [it, inserted] = fragments.emplace(
+        frag, std::pair<const seq::Sequence*, const seq::Sequence*>{nullptr, nullptr});
+    if (inserted) order.push_back(frag);
+    (mate == 1 ? it->second.first : it->second.second) = &read;
+  }
+
+  std::vector<PairAlignment> out;
+  out.reserve(order.size() + singles.size());
+  for (const auto& frag : order) {
+    const auto& mates = fragments.at(frag);
+    if (mates.first != nullptr && mates.second != nullptr) {
+      out.push_back(align_pair(aligner, *mates.first, *mates.second, options));
+    } else {
+      const seq::Sequence* lone = mates.first ? mates.first : mates.second;
+      PairAlignment single;
+      single.mate1 = aligner.align_read(*lone);
+      out.push_back(std::move(single));
+    }
+  }
+  for (const auto* read : singles) {
+    PairAlignment single;
+    single.mate1 = aligner.align_read(*read);
+    out.push_back(std::move(single));
+  }
+  return out;
+}
+
+double proper_pair_rate(const std::vector<PairAlignment>& pairs) {
+  if (pairs.empty()) return 0.0;
+  const auto proper = static_cast<double>(
+      std::count_if(pairs.begin(), pairs.end(), [](const PairAlignment& p) { return p.proper; }));
+  return proper / static_cast<double>(pairs.size());
+}
+
+}  // namespace trinity::align

@@ -1,0 +1,46 @@
+#pragma once
+// Paired-end alignment: mates aligned jointly with insert-size and
+// orientation constraints, as Bowtie does when Trinity feeds it left/right
+// read files. Proper pairs anchor the Chrysalis scaffolding step.
+
+#include <cstddef>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::align {
+
+/// Pairing constraints.
+struct PairingOptions {
+  std::size_t min_insert = 50;    ///< outermost span lower bound
+  std::size_t max_insert = 800;   ///< outermost span upper bound
+};
+
+/// One fragment's joint alignment.
+struct PairAlignment {
+  SamRecord mate1;
+  SamRecord mate2;
+  bool proper = false;       ///< same target, opposite strands, insert in range
+  std::size_t insert = 0;    ///< outermost span when proper
+};
+
+/// Aligns a mate pair jointly: both mates are aligned independently, then
+/// the pair is flagged proper when they land on the same target on
+/// opposite strands within the insert window. Mate records always carry
+/// the individual best placements (like Bowtie's unpaired fallback).
+PairAlignment align_pair(const SeedExtendAligner& aligner, const seq::Sequence& mate1,
+                         const seq::Sequence& mate2, const PairingOptions& options = {});
+
+/// Pairs up a read vector by mate naming convention ("x/1"+"x/2" etc.) and
+/// aligns each fragment; reads without a mate are aligned singly and
+/// reported with proper == false and an empty mate2 record. Output order
+/// follows the first mate's position in `reads`.
+std::vector<PairAlignment> align_pairs(const SeedExtendAligner& aligner,
+                                       const std::vector<seq::Sequence>& reads,
+                                       const PairingOptions& options = {});
+
+/// Fraction of fragments flagged proper (a standard library-QC metric).
+double proper_pair_rate(const std::vector<PairAlignment>& pairs);
+
+}  // namespace trinity::align

@@ -1,0 +1,79 @@
+#include "align/sam_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace trinity::align {
+
+SamFile read_sam(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_sam: cannot open '" + path + "'");
+
+  SamFile out;
+  std::unordered_map<std::string, std::int32_t> ref_ids;
+  std::unordered_map<std::string, std::size_t> ref_lengths;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '@') {
+      if (line.rfind("@SQ", 0) == 0) {
+        // Tab-separated tags: SN:<name> LN:<length>.
+        std::istringstream row(line);
+        std::string field;
+        std::string name;
+        std::size_t length = 0;
+        while (std::getline(row, field, '\t')) {
+          if (field.rfind("SN:", 0) == 0) name = field.substr(3);
+          if (field.rfind("LN:", 0) == 0) length = std::stoul(field.substr(3));
+        }
+        if (name.empty()) throw std::runtime_error("read_sam: @SQ without SN in '" + path + "'");
+        ref_ids.emplace(name, static_cast<std::int32_t>(out.references.size()));
+        ref_lengths.emplace(name, length);
+        out.references.push_back({name, ""});
+      }
+      continue;
+    }
+
+    std::istringstream row(line);
+    SamRecord rec;
+    int flag = 0;
+    std::string rname;
+    std::size_t pos1 = 0;  // SAM is 1-based
+    std::string mapq, cigar;
+    if (!(row >> rec.read_name >> flag >> rname >> pos1 >> mapq >> cigar)) {
+      throw std::runtime_error("read_sam: malformed record in '" + path + "'");
+    }
+    if ((flag & 0x4) != 0 || rname == "*") {
+      out.records.push_back(std::move(rec));  // unmapped
+      continue;
+    }
+    const auto it = ref_ids.find(rname);
+    if (it == ref_ids.end()) {
+      throw std::runtime_error("read_sam: unknown reference '" + rname + "' in '" + path + "'");
+    }
+    rec.target_id = it->second;
+    rec.target_name = rname;
+    rec.pos = pos1 - 1;
+    rec.reverse_strand = (flag & 0x10) != 0;
+    // Our writer emits "<len>M" cigars; recover the read length from it.
+    if (!cigar.empty() && cigar.back() == 'M') {
+      rec.read_length = std::stoul(cigar.substr(0, cigar.size() - 1));
+    }
+    const std::size_t ref_len = ref_lengths.at(rname);
+    if (ref_len > 0 && rec.pos + rec.read_length > ref_len) {
+      throw std::runtime_error("read_sam: alignment beyond reference end in '" + path + "'");
+    }
+    // Optional NM:i:<n> tag carries the mismatch count.
+    std::string tag;
+    while (row >> tag) {
+      if (tag.rfind("NM:i:", 0) == 0) rec.mismatches = std::stoi(tag.substr(5));
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace trinity::align

@@ -1,0 +1,84 @@
+#include "chrysalis/components.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trinity::chrysalis {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::int32_t>(i);
+}
+
+std::int32_t UnionFind::find(std::int32_t x) {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];  // path halving
+    x = p;
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::int32_t a, std::int32_t b) {
+  std::int32_t ra = find(a);
+  std::int32_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[static_cast<std::size_t>(ra)] < rank_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  if (rank_[static_cast<std::size_t>(ra)] == rank_[static_cast<std::size_t>(rb)]) {
+    ++rank_[static_cast<std::size_t>(ra)];
+  }
+  --num_sets_;
+  return true;
+}
+
+ComponentSet cluster_contigs(std::size_t num_contigs, const std::vector<ContigPair>& pairs) {
+  UnionFind uf(num_contigs);
+  for (const auto& p : pairs) {
+    if (p.a < 0 || p.b < 0 || static_cast<std::size_t>(p.a) >= num_contigs ||
+        static_cast<std::size_t>(p.b) >= num_contigs) {
+      throw std::out_of_range("cluster_contigs: pair index out of range");
+    }
+    uf.unite(p.a, p.b);
+  }
+
+  // Group members by representative, then number components by their
+  // smallest contig id so the labeling is pair-order independent.
+  std::vector<std::vector<std::int32_t>> groups(num_contigs);
+  for (std::size_t i = 0; i < num_contigs; ++i) {
+    groups[static_cast<std::size_t>(uf.find(static_cast<std::int32_t>(i)))].push_back(
+        static_cast<std::int32_t>(i));
+  }
+
+  ComponentSet out;
+  out.component_of.assign(num_contigs, -1);
+  for (std::size_t rep = 0; rep < num_contigs; ++rep) {
+    auto& members = groups[rep];
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end());
+    Component comp;
+    comp.id = static_cast<std::int32_t>(out.components.size());
+    comp.contig_ids = std::move(members);
+    for (const auto c : comp.contig_ids) {
+      out.component_of[static_cast<std::size_t>(c)] = comp.id;
+    }
+    out.components.push_back(std::move(comp));
+  }
+  // groups[] is indexed by representative id, which is the smallest-rank
+  // element, not necessarily the smallest id; renumber by smallest member.
+  std::sort(out.components.begin(), out.components.end(),
+            [](const Component& a, const Component& b) {
+              return a.contig_ids.front() < b.contig_ids.front();
+            });
+  for (std::size_t i = 0; i < out.components.size(); ++i) {
+    out.components[i].id = static_cast<std::int32_t>(i);
+    for (const auto c : out.components[i].contig_ids) {
+      out.component_of[static_cast<std::size_t>(c)] = out.components[i].id;
+    }
+  }
+  return out;
+}
+
+}  // namespace trinity::chrysalis

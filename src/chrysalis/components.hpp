@@ -1,0 +1,66 @@
+#pragma once
+// Component (Inchworm bundle) data model and the union-find clustering that
+// turns weld/scaffold pairs into components.
+//
+// "GraphFromFasta clusters related Inchworm contigs into so-called
+// components ... welding pairs of contigs together if read support exists,
+// and subsequently clustering Inchworm contigs using these welds" (paper,
+// Section II.A). A Component — an "Inchworm bundle" — is the unit Butterfly
+// later turns into transcripts.
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace trinity::chrysalis {
+
+/// A pair of contig indices to be welded into one component.
+struct ContigPair {
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  friend bool operator==(const ContigPair&, const ContigPair&) = default;
+};
+
+/// One cluster of Inchworm contigs.
+struct Component {
+  std::int32_t id = 0;
+  std::vector<std::int32_t> contig_ids;  ///< sorted ascending
+};
+
+/// The clustering result: components plus the contig -> component map.
+struct ComponentSet {
+  std::vector<Component> components;
+  std::vector<std::int32_t> component_of;  ///< indexed by contig id
+
+  [[nodiscard]] std::size_t num_components() const { return components.size(); }
+};
+
+/// Union-find (weighted, path-halving) over n elements.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  std::int32_t find(std::int32_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool unite(std::int32_t a, std::int32_t b);
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> rank_;
+  std::size_t num_sets_;
+};
+
+/// Clusters `num_contigs` contigs with the given weld pairs. Component ids
+/// are assigned in order of each component's smallest contig id, making the
+/// result independent of pair order (a determinism property the tests
+/// check: the hybrid run pools pairs in a different order than the
+/// shared-memory run yet must produce the same components).
+ComponentSet cluster_contigs(std::size_t num_contigs, const std::vector<ContigPair>& pairs);
+
+}  // namespace trinity::chrysalis

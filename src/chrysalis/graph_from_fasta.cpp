@@ -1,0 +1,421 @@
+#include "chrysalis/graph_from_fasta.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "chrysalis/parallel_loop.hpp"
+#include "seq/dna.hpp"
+#include "simpi/rma.hpp"
+#include "seq/kmer.hpp"
+#include "simpi/pack.hpp"
+#include "util/timer.hpp"
+
+namespace trinity::chrysalis {
+
+double PerRankTimes::max() const {
+  double best = 0.0;
+  for (const double s : seconds) best = std::max(best, s);
+  return best;
+}
+
+double PerRankTimes::min() const {
+  if (seconds.empty()) return 0.0;
+  double best = seconds.front();
+  for (const double s : seconds) best = std::min(best, s);
+  return best;
+}
+
+double GffTiming::nonparallel_fraction() const {
+  const double total = total_seconds();
+  if (total <= 0.0) return 0.0;
+  return (setup_seconds + finalize_seconds) / total;
+}
+
+namespace detail {
+
+namespace {
+// Accumulates one contig's distinct canonical (k-1)-mers into the map.
+void accumulate_contig(const seq::Sequence& contig, const seq::KmerCodec& codec,
+                       std::unordered_map<seq::KmerCode, std::uint32_t>& multiplicity) {
+  std::unordered_set<seq::KmerCode> seen_in_contig;
+  for (const auto& occ : codec.extract_canonical(contig.bases)) {
+    if (seen_in_contig.insert(occ.code).second) ++multiplicity[occ.code];
+  }
+}
+}  // namespace
+
+std::unordered_map<seq::KmerCode, std::uint32_t> contig_kmer_multiplicity(
+    const std::vector<seq::Sequence>& contigs, int k) {
+  // (k-1)-mers: the overlap length at Inchworm branch points.
+  const seq::KmerCodec codec(k - 1);
+  std::unordered_map<seq::KmerCode, std::uint32_t> multiplicity;
+  for (const auto& contig : contigs) accumulate_contig(contig, codec, multiplicity);
+  return multiplicity;
+}
+
+std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity(
+    simpi::Context& ctx, const std::vector<seq::Sequence>& contigs, int k) {
+  // Each rank scans a contiguous block; since contigs are disjoint across
+  // ranks and per-contig dedup is contig-local, summing the pooled partial
+  // counts reproduces the serial map exactly.
+  const seq::KmerCodec codec(k - 1);
+  const BlockDistribution dist(contigs.size(), ctx.size());
+  const IndexRange mine = dist.block_for(ctx.rank());
+  std::unordered_map<seq::KmerCode, std::uint32_t> partial;
+  for (std::size_t i = mine.begin; i < mine.end; ++i) {
+    accumulate_contig(contigs[i], codec, partial);
+  }
+
+  // Pool (code, count) pairs with Allgatherv, then merge by summation.
+  std::vector<std::uint64_t> wire;
+  wire.reserve(partial.size() * 2);
+  for (const auto& [code, count] : partial) {
+    wire.push_back(code);
+    wire.push_back(count);
+  }
+  const auto pooled = ctx.allgatherv(wire);
+  std::unordered_map<seq::KmerCode, std::uint32_t> multiplicity;
+  multiplicity.reserve(pooled.size() / 2);
+  for (std::size_t i = 0; i + 1 < pooled.size(); i += 2) {
+    multiplicity[pooled[i]] += static_cast<std::uint32_t>(pooled[i + 1]);
+  }
+  return multiplicity;
+}
+
+std::string canonical_weld(const std::string& weld) {
+  std::string rc = seq::reverse_complement(weld);
+  return weld <= rc ? weld : std::move(rc);
+}
+
+void harvest_welds(const seq::Sequence& contig,
+                   const std::unordered_map<seq::KmerCode, std::uint32_t>& overlap_multiplicity,
+                   const kmer::KmerCounter& read_counter, const GraphFromFastaOptions& options,
+                   std::vector<std::string>& out) {
+  const int k = options.k;
+  const auto seed_len = static_cast<std::size_t>(k - 1);
+  const auto flank = static_cast<std::size_t>(k / 2);
+  const seq::KmerCodec seed_codec(k - 1);
+  const seq::KmerCodec kmer_codec(k);
+  if (contig.bases.size() < static_cast<std::size_t>(k)) return;
+
+  for (const auto& occ : seed_codec.extract(contig.bases)) {
+    // Seed must be a (k-1)-overlap shared with at least one other contig.
+    const auto it = overlap_multiplicity.find(seed_codec.canonical(occ.code));
+    if (it == overlap_multiplicity.end() || it->second < 2) continue;
+
+    // The weld window is the seed plus k/2 flanks on each side (~2k bases),
+    // clamped at the contig ends — branch points often sit at an end.
+    const std::size_t begin = occ.position > flank ? occ.position - flank : 0;
+    const std::size_t end =
+        std::min(contig.bases.size(), occ.position + seed_len + flank);
+    if (end - begin < static_cast<std::size_t>(k)) continue;
+    const std::string_view weld(contig.bases.data() + begin, end - begin);
+
+    // Read support: every k-mer across the weld must clear the threshold.
+    // A window count short of weld_len - k + 1 means an invalid base hid
+    // some windows from the check; treat that as unsupported too.
+    const auto windows = kmer_codec.extract(weld);
+    bool supported = windows.size() == weld.size() - static_cast<std::size_t>(k) + 1;
+    for (const auto& window : windows) {
+      if (!supported) break;
+      if (read_counter.count_of(kmer_codec.canonical(window.code)) <
+          options.min_weld_support) {
+        supported = false;
+      }
+    }
+    if (!supported) continue;
+    out.push_back(canonical_weld(std::string(weld)));
+  }
+}
+
+WeldCoreIndex index_weld_cores(const std::vector<std::string>& welds, int k) {
+  const seq::KmerCodec codec(k - 1);
+  WeldCoreIndex index;
+  for (std::size_t w = 0; w < welds.size(); ++w) {
+    std::unordered_set<seq::KmerCode> seen;
+    for (const auto& occ : codec.extract_canonical(welds[w])) {
+      if (seen.insert(occ.code).second) {
+        index[occ.code].push_back(static_cast<std::int32_t>(w));
+      }
+    }
+  }
+  return index;
+}
+
+void find_weld_matches(const seq::Sequence& contig, std::int32_t contig_id,
+                       const WeldCoreIndex& weld_cores, const GraphFromFastaOptions& options,
+                       std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
+  const seq::KmerCodec codec(options.k - 1);
+  if (contig.bases.size() < static_cast<std::size_t>(options.k - 1)) return;
+  std::unordered_set<std::int32_t> hit;  // report each weld once per contig
+  for (const auto& occ : codec.extract_canonical(contig.bases)) {
+    const auto it = weld_cores.find(occ.code);
+    if (it == weld_cores.end()) continue;
+    for (const auto weld_id : it->second) {
+      if (hit.insert(weld_id).second) out.emplace_back(weld_id, contig_id);
+    }
+  }
+}
+
+std::vector<ContigPair> pairs_from_matches(
+    std::size_t num_welds, std::vector<std::pair<std::int32_t, std::int32_t>> matches) {
+  // Anchor each weld's contigs at the smallest contig id carrying it; the
+  // result is independent of the order matches were pooled in.
+  std::vector<std::int32_t> anchor(num_welds, -1);
+  for (const auto& [weld, contig] : matches) {
+    auto& a = anchor[static_cast<std::size_t>(weld)];
+    if (a < 0 || contig < a) a = contig;
+  }
+  std::vector<ContigPair> pairs;
+  for (const auto& [weld, contig] : matches) {
+    const std::int32_t a = anchor[static_cast<std::size_t>(weld)];
+    if (contig != a) pairs.push_back({a, contig});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const ContigPair& x, const ContigPair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::size_t effective_chunk_size(const GraphFromFastaOptions& options, std::size_t num_items,
+                                 int nranks) {
+  return options.chunk_size > 0
+             ? options.chunk_size
+             : ChunkedRoundRobin::default_chunk_size(num_items, nranks,
+                                                     options.model_threads_per_rank);
+}
+
+std::vector<IndexRange> ranges_for_rank(const GraphFromFastaOptions& options,
+                                        std::size_t num_items, int rank, int nranks) {
+  if (options.distribution == Distribution::kBlock) {
+    const BlockDistribution dist(num_items, nranks);
+    return {dist.block_for(rank)};
+  }
+  const std::size_t chunk = effective_chunk_size(options, num_items, nranks);
+  return ChunkedRoundRobin(num_items, nranks, chunk).chunks_for(rank);
+}
+
+/// Dynamic self-scheduling loop: ranks claim chunks from a shared RMA
+/// counter until the chunk space is exhausted. Returns this rank's modeled
+/// loop seconds. Collective (barriers bracket the counter reset).
+template <typename Body>
+double timed_dynamic_loop(simpi::Context& ctx, int counter_id,
+                          const GraphFromFastaOptions& options, std::size_t num_items,
+                          Body&& body) {
+  const std::size_t chunk = effective_chunk_size(options, num_items, ctx.size());
+  const std::size_t num_chunks = (num_items + chunk - 1) / chunk;
+  ctx.barrier();
+  simpi::SharedCounter counter(ctx, counter_id);
+  if (ctx.rank() == 0) counter.reset(0);
+  ctx.barrier();
+
+  util::ThreadCpuTimer cpu;
+  for (;;) {
+    const std::uint64_t c = counter.fetch_add(1);
+    if (c >= num_chunks) break;
+    const std::size_t begin = static_cast<std::size_t>(c) * chunk;
+    const std::size_t end = std::min(begin + chunk, num_items);
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+  return cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
+}
+
+/// Counter ids for the dynamic loops; reset between uses under barriers.
+inline constexpr int kDynamicCounterLoop1 = 9101;
+inline constexpr int kDynamicCounterLoop2 = 9102;
+
+/// Runs `kernel` into a throwaway sink (kernel_repeats - 1) times, then
+/// into the real sink once — the cost-calibration knob documented on
+/// GraphFromFastaOptions::kernel_repeats.
+template <typename Sink, typename Kernel>
+void run_calibrated(int repeats, Sink& sink, Kernel&& kernel) {
+  for (int rep = 1; rep < repeats; ++rep) {
+    Sink scratch;
+    kernel(scratch);
+  }
+  kernel(sink);
+}
+
+std::vector<std::string> dedup_welds(std::vector<std::string> welds) {
+  std::sort(welds.begin(), welds.end());
+  welds.erase(std::unique(welds.begin(), welds.end()), welds.end());
+  return welds;
+}
+
+GffResult finalize(const std::vector<seq::Sequence>& contigs, std::vector<std::string> welds,
+                   std::vector<std::pair<std::int32_t, std::int32_t>> matches,
+                   const std::vector<ContigPair>& extra_pairs, GffTiming timing) {
+  GffResult result;
+  util::ThreadCpuTimer cpu;
+  result.pairs = detail::pairs_from_matches(welds.size(), std::move(matches));
+  std::vector<ContigPair> all_pairs = result.pairs;
+  all_pairs.insert(all_pairs.end(), extra_pairs.begin(), extra_pairs.end());
+  result.components = cluster_contigs(contigs.size(), all_pairs);
+  result.welds = std::move(welds);
+  timing.finalize_seconds += cpu.seconds();
+  result.timing = std::move(timing);
+  return result;
+}
+
+}  // namespace
+
+GffResult run_shared(const std::vector<seq::Sequence>& contigs,
+                     const kmer::KmerCounter& read_counter,
+                     const GraphFromFastaOptions& options,
+                     const std::vector<ContigPair>& extra_pairs) {
+  const int threads = resolve_omp_threads(options.omp_threads, /*hybrid=*/false);
+  GffTiming timing;
+
+  // Setup (serial in the original code): shared-k-mer multiplicity map.
+  util::ThreadCpuTimer setup_cpu;
+  const auto multiplicity = detail::contig_kmer_multiplicity(contigs, options.k);
+  timing.setup_seconds = setup_cpu.seconds();
+
+  // Loop 1 — weld harvest, OpenMP dynamic over all contigs.
+  std::vector<std::vector<std::string>> weld_parts(
+      static_cast<std::size_t>(std::max(threads, 1)));
+  const std::vector<IndexRange> all{IndexRange{0, contigs.size()}};
+  const double loop1 =
+      timed_parallel_loop(all, threads, options.model_threads_per_rank, [&](std::size_t i) {
+        auto& sink = weld_parts[static_cast<std::size_t>(omp_get_thread_num())];
+        run_calibrated(options.kernel_repeats, sink, [&](std::vector<std::string>& out) {
+          detail::harvest_welds(contigs[i], multiplicity, read_counter, options, out);
+        });
+      });
+  timing.loop1.seconds = {loop1};
+
+  util::ThreadCpuTimer mid_cpu;
+  std::vector<std::string> welds;
+  for (auto& part : weld_parts) {
+    welds.insert(welds.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+  }
+  welds = dedup_welds(std::move(welds));
+  const auto weld_cores = detail::index_weld_cores(welds, options.k);
+  timing.finalize_seconds += mid_cpu.seconds();
+
+  // Loop 2 — weld matching, OpenMP dynamic over all contigs.
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> match_parts(
+      static_cast<std::size_t>(std::max(threads, 1)));
+  const double loop2 =
+      timed_parallel_loop(all, threads, options.model_threads_per_rank, [&](std::size_t i) {
+        auto& sink = match_parts[static_cast<std::size_t>(omp_get_thread_num())];
+        run_calibrated(options.kernel_repeats, sink,
+                       [&](std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
+                         detail::find_weld_matches(contigs[i], static_cast<std::int32_t>(i),
+                                                   weld_cores, options, out);
+                       });
+      });
+  timing.loop2.seconds = {loop2};
+
+  std::vector<std::pair<std::int32_t, std::int32_t>> matches;
+  for (auto& part : match_parts) {
+    matches.insert(matches.end(), part.begin(), part.end());
+  }
+  return finalize(contigs, std::move(welds), std::move(matches), extra_pairs,
+                  std::move(timing));
+}
+
+GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& contigs,
+                     const kmer::KmerCounter& read_counter,
+                     const GraphFromFastaOptions& options,
+                     const std::vector<ContigPair>& extra_pairs) {
+  const int threads = resolve_omp_threads(options.omp_threads, /*hybrid=*/true);
+  const double comm_before = ctx.comm_seconds();
+  GffTiming timing;
+
+  // Setup: redundant per-rank scan (the paper's code), or the cooperative
+  // future-work variant that block-partitions the scan and pools partial
+  // maps with Allgatherv.
+  util::ThreadCpuTimer setup_cpu;
+  const auto multiplicity =
+      options.hybrid_setup
+          ? detail::hybrid_contig_kmer_multiplicity(ctx, contigs, options.k)
+          : detail::contig_kmer_multiplicity(contigs, options.k);
+  const double my_setup = setup_cpu.seconds();
+
+  // Loop 1 over this rank's chunks (chunked round robin or dynamic
+  // self-scheduling), OpenMP inside for the static schemes.
+  const auto my_ranges = ranges_for_rank(options, contigs.size(), ctx.rank(), ctx.size());
+  std::vector<std::vector<std::string>> weld_parts(
+      static_cast<std::size_t>(std::max(threads, 1)));
+  auto loop1_body = [&](std::size_t i) {
+    auto& sink = weld_parts[static_cast<std::size_t>(omp_get_thread_num())];
+    run_calibrated(options.kernel_repeats, sink, [&](std::vector<std::string>& out) {
+      detail::harvest_welds(contigs[i], multiplicity, read_counter, options, out);
+    });
+  };
+  const double my_loop1 =
+      options.distribution == Distribution::kDynamic
+          ? timed_dynamic_loop(ctx, kDynamicCounterLoop1, options, contigs.size(), loop1_body)
+          : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
+                                loop1_body);
+
+  // Pool welds on every rank: pack the strings into one sequence, then
+  // Allgatherv the packed bytes (paper, Section III.B).
+  std::vector<std::string> my_welds;
+  for (auto& part : weld_parts) {
+    my_welds.insert(my_welds.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  const auto packed = simpi::pack_strings(my_welds);
+  const auto pooled_bytes = ctx.allgatherv(packed);
+  auto welds = dedup_welds(simpi::unpack_string_pool(pooled_bytes));
+  const auto weld_cores = detail::index_weld_cores(welds, options.k);
+
+  // Loop 2 over the same chunk ownership.
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> match_parts(
+      static_cast<std::size_t>(std::max(threads, 1)));
+  auto loop2_body = [&](std::size_t i) {
+    auto& sink = match_parts[static_cast<std::size_t>(omp_get_thread_num())];
+    run_calibrated(options.kernel_repeats, sink,
+                   [&](std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
+                     detail::find_weld_matches(contigs[i], static_cast<std::int32_t>(i),
+                                               weld_cores, options, out);
+                   });
+  };
+  const double my_loop2 =
+      options.distribution == Distribution::kDynamic
+          ? timed_dynamic_loop(ctx, kDynamicCounterLoop2, options, contigs.size(), loop2_body)
+          : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
+                                loop2_body);
+
+  // Pool the pairing indices as a flat integer array (substantially less
+  // data than loop 1's strings, as the paper notes).
+  std::vector<std::int32_t> my_match_ints;
+  for (const auto& part : match_parts) {
+    for (const auto& [weld, contig] : part) {
+      my_match_ints.push_back(weld);
+      my_match_ints.push_back(contig);
+    }
+  }
+  const auto pooled_ints = ctx.allgatherv(my_match_ints);
+  if (pooled_ints.size() % 2 != 0) {
+    throw std::logic_error("GraphFromFasta: malformed pooled match array");
+  }
+  std::vector<std::pair<std::int32_t, std::int32_t>> matches;
+  matches.reserve(pooled_ints.size() / 2);
+  for (std::size_t i = 0; i < pooled_ints.size(); i += 2) {
+    matches.emplace_back(pooled_ints[i], pooled_ints[i + 1]);
+  }
+
+  // Per-rank loop times for the Figure 7 min/max curves.
+  timing.loop1.seconds = ctx.allgatherv(std::vector<double>{my_loop1});
+  timing.loop2.seconds = ctx.allgatherv(std::vector<double>{my_loop2});
+  timing.setup_seconds = ctx.allreduce_max(my_setup);
+  timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
+
+  return finalize(contigs, std::move(welds), std::move(matches), extra_pairs,
+                  std::move(timing));
+}
+
+}  // namespace trinity::chrysalis

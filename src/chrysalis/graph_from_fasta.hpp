@@ -1,0 +1,176 @@
+#pragma once
+// GraphFromFasta: the first compute-intensive Chrysalis sub-step and the
+// paper's main parallelization target (Sections III.B, V.A; Figures 7, 8).
+//
+// Loop 1 walks every Inchworm contig, finds k-mers shared with other
+// contigs, and harvests "welding" subsequences of length 2k (the seed k-mer
+// plus k/2 flanks on each side) that have read support. Loop 2 finds pairs
+// of contigs sharing any harvested weld. The pairs drive the union-find
+// clustering into components (Inchworm bundles).
+//
+// Two drivers share the per-contig kernels:
+//  * run_shared  — the original OpenMP-only code path (dynamic schedule);
+//  * run_hybrid  — the paper's hybrid: chunked round-robin over simpi
+//    ranks, OpenMP within a rank, weld strings pooled with Allgatherv after
+//    loop 1 (packed into a single byte sequence) and pair indices pooled as
+//    a packed integer array after loop 2.
+//
+// Virtual-time accounting: each loop measures the CPU work its OpenMP team
+// actually performed (per-thread CPU clocks summed), then divides by
+// `model_threads_per_rank` — the per-node thread count being simulated (16
+// in the paper). Intra-node dynamic scheduling divides work almost evenly
+// (the paper's own premise), so the quotient is the modeled per-rank loop
+// time; imbalance *across* ranks is preserved exactly because each rank's
+// work is measured, not modeled.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chrysalis/components.hpp"
+#include "chrysalis/distribution.hpp"
+#include "kmer/counter.hpp"
+#include "simpi/context.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::chrysalis {
+
+/// Distribution strategy for the hybrid loops (ablation knob).
+enum class Distribution {
+  kChunkedRoundRobin,  ///< the paper's final scheme
+  kBlock,              ///< pre-allocated contiguous blocks (the discarded attempt)
+  /// Self-scheduling via a shared RMA work counter — the paper's stated
+  /// future work ("in the future, we might experiment with a dynamic
+  /// partitioning strategy to reduce this load imbalance"). Each rank
+  /// claims the next chunk with an atomic fetch-and-op; chunk claims cost
+  /// one modeled RMA round trip each. In this mode the per-rank kernel
+  /// runs on the rank thread (intra-node threading is represented by
+  /// model_threads_per_rank, as everywhere else).
+  kDynamic,
+};
+
+/// GraphFromFasta parameters.
+struct GraphFromFastaOptions {
+  int k = 25;                        ///< k-mer size; weld length is 2k
+  std::uint32_t min_weld_support = 2;  ///< read count every weld k-mer needs
+  std::size_t chunk_size = 0;        ///< 0 = paper's proportional default
+  int omp_threads = 0;               ///< real OpenMP threads (0 = auto)
+  int model_threads_per_rank = 16;   ///< simulated threads per node
+  Distribution distribution = Distribution::kChunkedRoundRobin;
+  /// Future-work option ("Our future work will also involve parallelizing
+  /// other parts of GraphFromFasta"): build the shared-(k-1)-mer setup map
+  /// cooperatively — each rank scans a block of the contigs and the
+  /// partial multiplicity tables are pooled with Allgatherv — instead of
+  /// every rank redundantly scanning all contigs. Hybrid runs only.
+  bool hybrid_setup = false;
+  /// Cost-model calibration for benchmarks: repeat each per-contig kernel
+  /// this many times. The production GraphFromFasta kernel (full pairwise
+  /// contig comparison) is far heavier per contig than this reproduction's
+  /// hash-based kernel; repeating restores a realistic per-item cost above
+  /// the CPU clock's tick without changing outputs or the *relative* load
+  /// imbalance across ranks. Leave at 1 for normal use.
+  int kernel_repeats = 1;
+};
+
+/// Per-rank loop times (virtual seconds). Size 1 for shared-memory runs.
+struct PerRankTimes {
+  std::vector<double> seconds;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+};
+
+/// Timing of one GraphFromFasta run, in the units Figures 7/8 plot.
+struct GffTiming {
+  PerRankTimes loop1;
+  PerRankTimes loop2;
+  double setup_seconds = 0.0;     ///< non-parallel: shared-k-mer map build
+  double finalize_seconds = 0.0;  ///< non-parallel: dedup, pairing, clustering
+  double comm_seconds = 0.0;      ///< max modeled communication over ranks
+  /// Total modeled time: serial parts + slowest rank per loop + comm.
+  [[nodiscard]] double total_seconds() const {
+    return setup_seconds + loop1.max() + loop2.max() + finalize_seconds + comm_seconds;
+  }
+  /// Fraction of total spent outside the two parallel loops (Figure 8).
+  [[nodiscard]] double nonparallel_fraction() const;
+};
+
+/// Output of GraphFromFasta.
+struct GffResult {
+  ComponentSet components;
+  std::vector<std::string> welds;   ///< pooled, deduplicated weld sequences
+  std::vector<ContigPair> pairs;    ///< welding pairs fed to clustering
+  GffTiming timing;
+};
+
+/// Original OpenMP-only GraphFromFasta. `read_counter` supplies the read
+/// support evidence (canonical k-mer counts over the input reads, same k).
+/// `extra_pairs` lets the pipeline merge in Bowtie-derived scaffold pairs
+/// before clustering, as Chrysalis does.
+GffResult run_shared(const std::vector<seq::Sequence>& contigs,
+                     const kmer::KmerCounter& read_counter,
+                     const GraphFromFastaOptions& options,
+                     const std::vector<ContigPair>& extra_pairs = {});
+
+/// Hybrid simpi+OpenMP GraphFromFasta. Collective: every rank of the world
+/// must call it with identical inputs. All ranks return the same GffResult
+/// (the paper pools welds and pairs onto every rank).
+GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& contigs,
+                     const kmer::KmerCounter& read_counter,
+                     const GraphFromFastaOptions& options,
+                     const std::vector<ContigPair>& extra_pairs = {});
+
+namespace detail {
+
+/// Loop-1 kernel for one contig: appends this contig's supported welding
+/// sequences (canonical form) to `out`.
+///
+/// Inchworm consumes every k-mer exactly once, so two contigs never share
+/// a full k-mer — what they share at a branch point is the (k-1)-overlap
+/// (contig B's first k-1 bases equal an interior (k-1)-mer of contig A).
+/// A weld seed is therefore a (k-1)-mer present in >= 2 contigs
+/// (`overlap_multiplicity`); the harvested welding subsequence is the seed
+/// plus k/2 flanks on each side (clamped at the contig ends), ~2k long as
+/// in the paper, and it must have read support: every k-mer across the
+/// window occurs at least `min_weld_support` times in the reads.
+void harvest_welds(const seq::Sequence& contig,
+                   const std::unordered_map<seq::KmerCode, std::uint32_t>& overlap_multiplicity,
+                   const kmer::KmerCounter& read_counter, const GraphFromFastaOptions& options,
+                   std::vector<std::string>& out);
+
+/// Index over the pooled welds: canonical (k-1)-mer code -> weld ids whose
+/// window contains it. Built identically on every rank before loop 2.
+using WeldCoreIndex = std::unordered_map<seq::KmerCode, std::vector<std::int32_t>>;
+WeldCoreIndex index_weld_cores(const std::vector<std::string>& welds, int k);
+
+/// Loop-2 kernel for one contig: appends (weld_id, contig_id) matches for
+/// every weld sharing a (k-1)-mer with the contig (either strand), each
+/// weld reported once per contig.
+void find_weld_matches(const seq::Sequence& contig, std::int32_t contig_id,
+                       const WeldCoreIndex& weld_cores, const GraphFromFastaOptions& options,
+                       std::vector<std::pair<std::int32_t, std::int32_t>>& out);
+
+/// Builds the canonical-(k-1)-mer -> distinct-contig-count map (the serial
+/// setup region of Figure 8).
+std::unordered_map<seq::KmerCode, std::uint32_t> contig_kmer_multiplicity(
+    const std::vector<seq::Sequence>& contigs, int k);
+
+/// Cooperative (hybrid_setup) variant: block-partitioned scan + Allgatherv
+/// pooling. Collective; produces exactly the serial map on every rank.
+std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity(
+    simpi::Context& ctx, const std::vector<seq::Sequence>& contigs, int k);
+
+/// Canonical form of a weld: lexicographic min of the sequence and its
+/// reverse complement, so both strands hash identically.
+std::string canonical_weld(const std::string& weld);
+
+/// Deduplicates welds preserving first-seen order, then derives contig
+/// pairs from (weld, contig) matches: contigs sharing a weld are paired
+/// against the smallest contig id that carries it.
+std::vector<ContigPair> pairs_from_matches(
+    std::size_t num_welds, std::vector<std::pair<std::int32_t, std::int32_t>> matches);
+
+}  // namespace detail
+
+}  // namespace trinity::chrysalis

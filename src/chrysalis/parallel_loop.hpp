@@ -1,0 +1,58 @@
+#pragma once
+// Shared machinery for the hybrid loops: OpenMP team sizing, per-rank index
+// ranges, and the virtual-time measurement rule.
+//
+// Measurement rule: a loop's virtual duration on one simulated node is the
+// CPU work its OpenMP team actually performed (per-thread CPU clocks,
+// summed) divided by the modeled per-node thread count. Intra-node dynamic
+// scheduling divides work almost evenly — the premise the paper inherits
+// from the existing OpenMP implementation — so the quotient is the modeled
+// loop time, while imbalance ACROSS ranks is preserved exactly because each
+// rank's work is measured rather than modeled.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "chrysalis/distribution.hpp"
+#include "util/timer.hpp"
+
+namespace trinity::chrysalis {
+
+/// Real OpenMP team size: explicit request wins; hybrid ranks default to
+/// one worker each (ranks are already threads — avoid quadratic
+/// oversubscription of the host), shared runs use the whole machine.
+inline int resolve_omp_threads(int requested, bool hybrid) {
+  if (requested > 0) return requested;
+  return hybrid ? 1 : omp_get_max_threads();
+}
+
+/// Runs `body(index)` over the given ranges with an OpenMP team of
+/// `real_threads` and returns the team's summed CPU seconds divided by
+/// `model_threads` — the loop's virtual duration on one simulated node.
+template <typename Body>
+double timed_parallel_loop(const std::vector<IndexRange>& ranges, int real_threads,
+                           int model_threads, Body&& body) {
+  double work_cpu = 0.0;
+  // One parallel region for the whole loop: each thread's CPU clock is read
+  // exactly once, so the clock's coarse tick (10 ms on some kernels) is
+  // paid once per loop instead of once per chunk.
+#pragma omp parallel num_threads(real_threads) reduction(+ : work_cpu)
+  {
+    util::ThreadCpuTimer cpu;
+    for (const auto& range : ranges) {
+      const auto begin = static_cast<std::int64_t>(range.begin);
+      const auto end = static_cast<std::int64_t>(range.end);
+#pragma omp for schedule(dynamic)
+      for (std::int64_t i = begin; i < end; ++i) {
+        body(static_cast<std::size_t>(i));
+      }
+    }
+    work_cpu += cpu.seconds();
+  }
+  return work_cpu / static_cast<double>(std::max(model_threads, 1));
+}
+
+}  // namespace trinity::chrysalis

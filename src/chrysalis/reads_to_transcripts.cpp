@@ -1,0 +1,312 @@
+#include "chrysalis/reads_to_transcripts.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chrysalis/parallel_loop.hpp"
+#include "seq/fasta.hpp"
+#include "seq/kmer.hpp"
+#include "simpi/file_io.hpp"
+#include "simpi/pack.hpp"
+#include "util/timer.hpp"
+
+namespace trinity::chrysalis {
+
+std::unordered_map<seq::KmerCode, std::int32_t> build_bundle_kmer_map(
+    const std::vector<seq::Sequence>& contigs, const ComponentSet& components, int k) {
+  const seq::KmerCodec codec(k);
+  std::unordered_map<seq::KmerCode, std::int32_t> bundle_of;
+  for (const auto& comp : components.components) {
+    for (const auto contig_id : comp.contig_ids) {
+      const auto& contig = contigs.at(static_cast<std::size_t>(contig_id));
+      for (const auto& occ : codec.extract_canonical(contig.bases)) {
+        const auto [it, inserted] = bundle_of.emplace(occ.code, comp.id);
+        if (!inserted && comp.id < it->second) it->second = comp.id;
+      }
+    }
+  }
+  return bundle_of;
+}
+
+namespace detail {
+
+ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
+                           const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
+                           int k) {
+  ReadAssignment out;
+  out.read_index = read_index;
+
+  const seq::KmerCodec codec(k);
+  const auto occurrences = codec.extract_canonical(read.bases);
+  if (occurrences.empty()) return out;
+
+  // Tally shared k-mers per component; components are few per read, so a
+  // small flat vector beats a hash map here.
+  struct Tally {
+    std::int32_t component;
+    std::uint32_t count;
+    std::size_t first;
+    std::size_t last;  // last k-mer start position
+  };
+  std::vector<Tally> tallies;
+  for (const auto& occ : occurrences) {
+    const auto it = bundle_of.find(occ.code);
+    if (it == bundle_of.end()) continue;
+    bool found = false;
+    for (auto& t : tallies) {
+      if (t.component == it->second) {
+        ++t.count;
+        t.last = occ.position;
+        found = true;
+        break;
+      }
+    }
+    if (!found) tallies.push_back({it->second, 1, occ.position, occ.position});
+  }
+  if (tallies.empty()) return out;
+
+  const auto best = std::min_element(
+      tallies.begin(), tallies.end(), [](const Tally& a, const Tally& b) {
+        if (a.count != b.count) return a.count > b.count;  // most shared k-mers
+        return a.component < b.component;                  // deterministic tie
+      });
+  out.component = best->component;
+  out.shared_kmers = best->count;
+  out.region_begin = static_cast<std::uint32_t>(best->first);
+  out.region_end = static_cast<std::uint32_t>(best->last + static_cast<std::size_t>(k));
+  return out;
+}
+
+void write_assignments(const std::string& path,
+                       const std::vector<ReadAssignment>& assignments) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_assignments: cannot open '" + path + "'");
+  for (const auto& a : assignments) {
+    out << a.read_index << '\t' << a.component << '\t' << a.shared_kmers << '\t'
+        << a.region_begin << '\t' << a.region_end << '\n';
+  }
+  if (!out) throw std::runtime_error("write_assignments: write failure on '" + path + "'");
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Processes one in-memory chunk with an OpenMP team; returns the modeled
+/// loop seconds and appends to `assignments`.
+double process_chunk(const std::vector<seq::Sequence>& chunk, std::int64_t base_index,
+                     const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
+                     const ReadsToTranscriptsOptions& options, int real_threads,
+                     std::vector<ReadAssignment>& assignments) {
+  const std::size_t offset = assignments.size();
+  assignments.resize(offset + chunk.size());
+  const std::vector<IndexRange> all{IndexRange{0, chunk.size()}};
+  return timed_parallel_loop(all, real_threads, options.model_threads_per_rank,
+                             [&](std::size_t i) {
+                               // kernel_repeats: see the options doc; extra
+                               // iterations are discarded.
+                               for (int rep = 1; rep < options.kernel_repeats; ++rep) {
+                                 (void)detail::assign_read(
+                                     chunk[i], base_index + static_cast<std::int64_t>(i),
+                                     bundle_of, options.k);
+                               }
+                               assignments[offset + i] = detail::assign_read(
+                                   chunk[i], base_index + static_cast<std::int64_t>(i),
+                                   bundle_of, options.k);
+                             });
+}
+
+std::string rank_output_path(const std::string& output_dir, int rank) {
+  return output_dir + "/readsToComponents.rank" + std::to_string(rank) + ".tsv";
+}
+
+/// Concatenates per-rank files into the final output — the paper's "simple
+/// cat command" by the master process. Returns wall seconds.
+double concatenate_outputs(const std::vector<std::string>& inputs, const std::string& output) {
+  util::Timer wall;
+  std::ofstream out(output, std::ios::binary);
+  if (!out) throw std::runtime_error("ReadsToTranscripts: cannot open '" + output + "'");
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("ReadsToTranscripts: cannot open '" + path + "'");
+    // operator<<(streambuf*) sets failbit on an empty input; copy manually.
+    char buffer[1 << 16];
+    while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+      out.write(buffer, in.gcount());
+    }
+  }
+  if (!out) throw std::runtime_error("ReadsToTranscripts: write failure on '" + output + "'");
+  return wall.seconds();
+}
+
+void sort_by_read_index(std::vector<ReadAssignment>& assignments) {
+  std::sort(assignments.begin(), assignments.end(),
+            [](const ReadAssignment& a, const ReadAssignment& b) {
+              return a.read_index < b.read_index;
+            });
+}
+
+}  // namespace
+
+R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentSet& components,
+                     const std::string& reads_path, const ReadsToTranscriptsOptions& options,
+                     const std::string& output_dir) {
+  const int threads = resolve_omp_threads(options.omp_threads, /*hybrid=*/false);
+  R2TResult result;
+
+  util::ThreadCpuTimer setup_cpu;
+  const auto bundle_of = build_bundle_kmer_map(contigs, components, options.k);
+  result.timing.setup_seconds = setup_cpu.seconds();
+
+  double loop_seconds = 0.0;
+  seq::FastaReader reader(reads_path);
+  std::int64_t base_index = 0;
+  for (;;) {
+    util::ThreadCpuTimer read_cpu;
+    const auto chunk = reader.read_chunk(options.max_mem_reads);
+    loop_seconds += read_cpu.seconds();
+    if (chunk.empty()) break;
+    loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
+                                  result.assignments);
+    base_index += static_cast<std::int64_t>(chunk.size());
+  }
+  result.timing.main_loop.seconds = {loop_seconds};
+
+  if (!output_dir.empty()) {
+    result.merged_output_path = output_dir + "/readsToComponents.out.tsv";
+    detail::write_assignments(result.merged_output_path, result.assignments);
+  }
+  return result;
+}
+
+R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& contigs,
+                     const ComponentSet& components, const std::string& reads_path,
+                     const ReadsToTranscriptsOptions& options, const std::string& output_dir) {
+  const int threads = resolve_omp_threads(options.omp_threads, /*hybrid=*/true);
+  const double comm_before = ctx.comm_seconds();
+  R2TResult result;
+
+  // Setup stays OpenMP-only and runs redundantly per rank ("we have not
+  // converted this to a hybrid implementation yet" — paper, Section V.B).
+  util::ThreadCpuTimer setup_cpu;
+  const auto bundle_of = build_bundle_kmer_map(contigs, components, options.k);
+  const double my_setup = setup_cpu.seconds();
+
+  std::vector<ReadAssignment> my_assignments;
+  double my_loop = 0.0;
+  constexpr int kChunkTag = 7;
+
+  if (options.strategy == R2TStrategy::kRedundantStreaming) {
+    // Every rank streams the whole file and keeps chunks where
+    // chunk_index mod size == rank; discarded chunks still cost the read.
+    seq::FastaReader reader(reads_path);
+    std::int64_t base_index = 0;
+    std::int64_t chunk_index = 0;
+    for (;;) {
+      util::ThreadCpuTimer read_cpu;
+      const auto chunk = reader.read_chunk(options.max_mem_reads);
+      my_loop += read_cpu.seconds();
+      if (chunk.empty()) break;
+      if (chunk_index % ctx.size() == ctx.rank()) {
+        my_loop +=
+            process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+      }
+      base_index += static_cast<std::int64_t>(chunk.size());
+      ++chunk_index;
+    }
+  } else {
+    // Master/slave ablation: rank 0 reads and ships chunks round-robin;
+    // an empty payload is the end-of-stream sentinel.
+    if (ctx.rank() == 0) {
+      seq::FastaReader reader(reads_path);
+      std::int64_t base_index = 0;
+      std::int64_t chunk_index = 0;
+      for (;;) {
+        util::ThreadCpuTimer read_cpu;
+        const auto chunk = reader.read_chunk(options.max_mem_reads);
+        my_loop += read_cpu.seconds();
+        if (chunk.empty()) break;
+        const int dest = static_cast<int>(chunk_index % ctx.size());
+        if (dest == 0) {
+          my_loop +=
+              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+        } else {
+          std::vector<std::string> wire;
+          wire.reserve(chunk.size() + 1);
+          wire.push_back(std::to_string(base_index));
+          for (const auto& read : chunk) wire.push_back(read.bases);
+          ctx.send_bytes(dest, kChunkTag, simpi::pack_strings(wire));
+        }
+        base_index += static_cast<std::int64_t>(chunk.size());
+        ++chunk_index;
+      }
+      for (int r = 1; r < ctx.size(); ++r) {
+        ctx.send_bytes(r, kChunkTag, simpi::pack_strings({}));
+      }
+    } else {
+      for (;;) {
+        const auto msg = ctx.recv_bytes(0, kChunkTag);
+        const auto wire = simpi::unpack_strings(msg.payload);
+        if (wire.empty()) break;
+        const std::int64_t base_index = std::stoll(wire.front());
+        std::vector<seq::Sequence> chunk(wire.size() - 1);
+        for (std::size_t i = 1; i < wire.size(); ++i) chunk[i - 1].bases = wire[i];
+        my_loop +=
+            process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+      }
+    }
+  }
+
+  // Output: per-rank files + master concatenation (the paper's scheme) or
+  // a collective ordered write (its MPI-I/O future work).
+  double concat_seconds = 0.0;
+  if (!output_dir.empty()) {
+    sort_by_read_index(my_assignments);
+    result.merged_output_path = output_dir + "/readsToComponents.out.tsv";
+    if (options.output_mode == R2TOutputMode::kPerRankConcat) {
+      const std::string my_path = rank_output_path(output_dir, ctx.rank());
+      detail::write_assignments(my_path, my_assignments);
+      ctx.barrier();
+      if (ctx.rank() == 0) {
+        std::vector<std::string> inputs;
+        for (int r = 0; r < ctx.size(); ++r) {
+          inputs.push_back(rank_output_path(output_dir, r));
+        }
+        concat_seconds = concatenate_outputs(inputs, result.merged_output_path);
+      }
+      std::vector<double> concat_wire{concat_seconds};
+      ctx.bcast(concat_wire, 0);
+      concat_seconds = concat_wire[0];
+    } else {
+      // Collective write: serialize locally, then one shared-file write.
+      // Synchronize first so the timer measures the write itself, not the
+      // wait for slower ranks still in their loops.
+      ctx.barrier();
+      util::Timer wall;
+      std::ostringstream body;
+      for (const auto& a : my_assignments) {
+        body << a.read_index << '\t' << a.component << '\t' << a.shared_kmers << '\t'
+             << a.region_begin << '\t' << a.region_end << '\n';
+      }
+      const std::string data = body.str();
+      simpi::write_file_ordered(ctx, result.merged_output_path, data);
+      concat_seconds = ctx.allreduce_max(wall.seconds());
+    }
+  }
+
+  // Pool assignments so every rank returns the full, sorted result.
+  result.assignments = ctx.allgatherv(my_assignments);
+  sort_by_read_index(result.assignments);
+
+  result.timing.setup_seconds = ctx.allreduce_max(my_setup);
+  result.timing.main_loop.seconds = ctx.allgatherv(std::vector<double>{my_loop});
+  result.timing.concat_seconds = concat_seconds;
+  result.timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
+  return result;
+}
+
+}  // namespace trinity::chrysalis

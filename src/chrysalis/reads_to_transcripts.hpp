@@ -1,0 +1,125 @@
+#pragma once
+// ReadsToTranscripts: the second Chrysalis sub-step the paper parallelizes
+// (Sections III.C, V.B; Figure 9).
+//
+// Assigns every input read to the Inchworm bundle (component) with which it
+// shares the largest number of k-mers, and records the region of the read
+// contributing those k-mers. The reads file is streamed in chunks of
+// `max_mem_reads` — never loaded whole (the opposite of GraphFromFasta, as
+// the paper emphasizes).
+//
+// Hybrid scheme ("redundant streaming"): every rank reads the entire file,
+// keeps only chunks whose index is congruent to its rank modulo the world
+// size, and processes those with its OpenMP threads. "This approach does
+// make every process read redundant data ... but excludes the necessity of
+// MPI communication." Each rank writes its own output file; rank 0
+// concatenates them at the end (measured: the paper reports this stays
+// under 15 seconds through 32 nodes).
+//
+// The first, discarded design — a master rank reading and distributing
+// chunks to slaves — is kept as an ablation (Strategy::kMasterSlave).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chrysalis/components.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "simpi/context.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::chrysalis {
+
+/// Hybrid chunk-distribution strategy (ablation knob).
+enum class R2TStrategy {
+  kRedundantStreaming,  ///< the paper's final scheme: every rank reads all
+  kMasterSlave,         ///< the discarded attempt: rank 0 reads, sends chunks
+};
+
+/// How the hybrid run produces its merged output file.
+enum class R2TOutputMode {
+  /// The paper's scheme: one file per rank, concatenated by the master
+  /// with "a simple cat command".
+  kPerRankConcat,
+  /// The paper's future work ("exploring MPI-I/O for RNA-Seq data"):
+  /// every rank writes its slice directly into the shared output file at
+  /// its rank-order offset (MPI_File_write_at_all style), eliminating the
+  /// concatenation step entirely.
+  kCollective,
+};
+
+/// ReadsToTranscripts parameters.
+struct ReadsToTranscriptsOptions {
+  int k = 25;
+  std::size_t max_mem_reads = 10000;  ///< reads held in memory per chunk
+  int omp_threads = 0;                ///< real OpenMP threads (0 = auto)
+  int model_threads_per_rank = 16;    ///< simulated threads per node
+  R2TStrategy strategy = R2TStrategy::kRedundantStreaming;
+  /// Cost-model calibration for benchmarks; see
+  /// GraphFromFastaOptions::kernel_repeats. Leave at 1 for normal use.
+  int kernel_repeats = 1;
+  R2TOutputMode output_mode = R2TOutputMode::kPerRankConcat;
+};
+
+/// One read's bundle assignment.
+struct ReadAssignment {
+  std::int64_t read_index = -1;    ///< position in file order
+  std::int32_t component = -1;     ///< -1 when no k-mer matched any bundle
+  std::uint32_t shared_kmers = 0;  ///< k-mers shared with the component
+  std::uint32_t region_begin = 0;  ///< first base contributing a k-mer
+  std::uint32_t region_end = 0;    ///< one past the last contributing base
+};
+static_assert(std::is_trivially_copyable_v<ReadAssignment>);
+
+/// Timing in the units Figure 9 plots.
+struct R2TTiming {
+  double setup_seconds = 0.0;   ///< k-mer -> bundle map (OpenMP, not hybrid)
+  PerRankTimes main_loop;       ///< the MPI-enabled streaming+assignment loop
+  double concat_seconds = 0.0;  ///< per-rank file concatenation at rank 0
+  double comm_seconds = 0.0;    ///< max modeled communication over ranks
+  [[nodiscard]] double total_seconds() const {
+    return setup_seconds + main_loop.max() + concat_seconds + comm_seconds;
+  }
+};
+
+/// Result of a run. Assignments are sorted by read_index and identical on
+/// every rank after a hybrid run.
+struct R2TResult {
+  std::vector<ReadAssignment> assignments;
+  R2TTiming timing;
+  std::string merged_output_path;  ///< empty when no output dir was given
+};
+
+/// Builds the canonical k-mer -> component map from each component's
+/// contigs (the "assignment of k-mers to Inchworm bundles" setup region).
+/// A k-mer occurring in several components maps to the smallest component
+/// id, deterministically.
+std::unordered_map<seq::KmerCode, std::int32_t> build_bundle_kmer_map(
+    const std::vector<seq::Sequence>& contigs, const ComponentSet& components, int k);
+
+/// Original OpenMP-only ReadsToTranscripts, streaming `reads_path`.
+/// `output_dir` may be empty to skip file output.
+R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentSet& components,
+                     const std::string& reads_path, const ReadsToTranscriptsOptions& options,
+                     const std::string& output_dir = "");
+
+/// Hybrid simpi+OpenMP ReadsToTranscripts. Collective over the world;
+/// every rank must see the same file and options.
+R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& contigs,
+                     const ComponentSet& components, const std::string& reads_path,
+                     const ReadsToTranscriptsOptions& options,
+                     const std::string& output_dir = "");
+
+namespace detail {
+
+/// Assignment kernel for one read.
+ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
+                           const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
+                           int k);
+
+/// Writes assignments as TSV (read_index, component, shared, begin, end).
+void write_assignments(const std::string& path, const std::vector<ReadAssignment>& assignments);
+
+}  // namespace detail
+
+}  // namespace trinity::chrysalis

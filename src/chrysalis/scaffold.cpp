@@ -1,0 +1,68 @@
+#include "chrysalis/scaffold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace trinity::chrysalis {
+
+std::string mate_fragment_name(const std::string& read_name, int* mate_out) {
+  if (read_name.size() < 2) return "";
+  const char sep = read_name[read_name.size() - 2];
+  const char digit = read_name.back();
+  if ((sep == '/' || sep == '_' || sep == '.') && (digit == '1' || digit == '2')) {
+    if (mate_out) *mate_out = digit - '0';
+    return read_name.substr(0, read_name.size() - 2);
+  }
+  return "";
+}
+
+std::vector<ContigPair> scaffold_pairs(const std::vector<align::SamRecord>& alignments,
+                                       const std::vector<seq::Sequence>& contigs,
+                                       const ScaffoldOptions& options) {
+  // A mate counts as "end-anchored" when its placement starts within
+  // end_window of either contig end.
+  auto near_end = [&](const align::SamRecord& r) {
+    const auto& target = contigs.at(static_cast<std::size_t>(r.target_id));
+    const std::size_t len = target.bases.size();
+    const std::size_t begin = r.pos;
+    const std::size_t end = r.pos + r.read_length;
+    return begin < options.end_window ||
+           end + options.end_window > len;
+  };
+
+  // fragment name -> (mate1 contig, mate2 contig), -1 until seen.
+  std::unordered_map<std::string, std::pair<std::int32_t, std::int32_t>> fragments;
+  for (const auto& r : alignments) {
+    if (!r.aligned()) continue;
+    int mate = 0;
+    const std::string frag = mate_fragment_name(r.read_name, &mate);
+    if (frag.empty() || !near_end(r)) continue;
+    // Slots store target_id + 1 so a default-constructed 0 means "unseen".
+    auto& slot = fragments[frag];
+    if (mate == 1) {
+      slot.first = r.target_id + 1;
+    } else {
+      slot.second = r.target_id + 1;
+    }
+  }
+
+  // Count supporting fragments per unordered contig pair.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> support;
+  for (const auto& [frag, mates] : fragments) {
+    if (mates.first == 0 || mates.second == 0) continue;
+    std::int32_t a = mates.first - 1;
+    std::int32_t b = mates.second - 1;
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    ++support[{a, b}];
+  }
+
+  std::vector<ContigPair> out;
+  for (const auto& [pair, count] : support) {
+    if (count >= options.min_pair_support) out.push_back({pair.first, pair.second});
+  }
+  return out;
+}
+
+}  // namespace trinity::chrysalis

@@ -1,0 +1,44 @@
+#pragma once
+// Bowtie-based contig scaffolding (paper, Section III.A).
+//
+// "Based on the output from Bowtie alignment, the subsequent step searches
+// pairs of Inchworm contigs of which both ends are to be combined for the
+// construction of scaffold, provided that some of input reads are aligned
+// onto single end of each contigs. This output is later combined with
+// 'welding' pairs of Inchworm contigs from GraphFromFasta for full
+// construction of Inchworm bundles."
+//
+// Given the merged SAM records for paired-end reads, this step pairs
+// contigs when enough read pairs have one mate near the end of contig A
+// and the other near the end of contig B.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "chrysalis/components.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::chrysalis {
+
+/// Scaffolding parameters.
+struct ScaffoldOptions {
+  std::size_t end_window = 150;     ///< mate must align within this many
+                                    ///< bases of a contig end
+  std::uint32_t min_pair_support = 2;  ///< read pairs required per contig pair
+};
+
+/// Identifies paired mates by read name: "x/1"+"x/2", "x_1"+"x_2", or
+/// "x.1"+"x.2". Returns the shared fragment name, or an empty string for an
+/// unpaired name.
+std::string mate_fragment_name(const std::string& read_name, int* mate_out);
+
+/// Derives scaffold pairs from alignments. `alignments` must cover both
+/// mates of each fragment (any order); `contigs` are the alignment targets
+/// (indexed by SamRecord::target_id).
+std::vector<ContigPair> scaffold_pairs(const std::vector<align::SamRecord>& alignments,
+                                       const std::vector<seq::Sequence>& contigs,
+                                       const ScaffoldOptions& options);
+
+}  // namespace trinity::chrysalis

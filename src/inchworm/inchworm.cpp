@@ -1,0 +1,135 @@
+#include "inchworm/inchworm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace trinity::inchworm {
+
+Inchworm::Inchworm(InchwormOptions options) : options_(options), codec_(options.k) {}
+
+void Inchworm::load_counts(const std::vector<kmer::KmerCount>& counts) {
+  dict_.clear();
+  dict_.reserve(counts.size());
+  for (const auto& kc : counts) {
+    if (kc.count < options_.min_kmer_count) continue;  // error prune
+    dict_[kc.code].count += kc.count;
+  }
+}
+
+void Inchworm::load_reads(const std::vector<seq::Sequence>& reads) {
+  kmer::CounterOptions copt;
+  copt.k = options_.k;
+  copt.canonical = true;
+  kmer::KmerCounter counter(copt);
+  counter.add_sequences(reads);
+  load_counts(counter.dump());
+}
+
+std::uint32_t Inchworm::available_count(seq::KmerCode literal) const {
+  const auto it = dict_.find(codec_.canonical(literal));
+  if (it == dict_.end() || it->second.used) return 0;
+  return it->second.count;
+}
+
+void Inchworm::mark_used(seq::KmerCode literal) {
+  const auto it = dict_.find(codec_.canonical(literal));
+  if (it != dict_.end()) it->second.used = true;
+}
+
+namespace {
+// splitmix64-style mix used for salted tie-breaking; salt 0 never reaches
+// this path.
+std::uint64_t mix_tie(seq::KmerCode code, std::uint64_t salt) {
+  std::uint64_t z = code ^ (salt * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Inchworm::extend_right(std::string& contig) {
+  const auto k = static_cast<std::size_t>(options_.k);
+  auto tail = codec_.encode(std::string_view(contig).substr(contig.size() - k));
+  if (!tail) throw std::logic_error("Inchworm: contig tail is not a valid k-mer");
+  seq::KmerCode current = *tail;
+  const std::uint64_t salt = options_.tie_break_seed;
+  for (;;) {
+    std::uint32_t best_count = 0;
+    std::uint8_t best_base = 0;
+    seq::KmerCode best_code = 0;
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const seq::KmerCode candidate = codec_.roll_right(current, b);
+      const std::uint32_t c = available_count(candidate);
+      // Equal-abundance extension ties are where Trinity's run-to-run
+      // nondeterminism lives; a nonzero salt permutes the choice.
+      const bool wins =
+          c > best_count ||
+          (c == best_count && c > 0 && salt != 0 &&
+           mix_tie(candidate, salt) < mix_tie(best_code, salt));
+      if (wins) {
+        best_count = c;
+        best_base = b;
+        best_code = candidate;
+      }
+    }
+    if (best_count == 0) return;  // no unused supported extension
+    contig.push_back(seq::code_to_base(best_base));
+    mark_used(best_code);  // consuming immediately also breaks cycles
+    current = best_code;
+  }
+}
+
+std::vector<seq::Sequence> Inchworm::assemble() {
+  stats_ = InchwormStats{};
+  stats_.dictionary_size = dict_.size();
+
+  // Seed order: decreasing abundance, code as a deterministic tiebreak.
+  std::vector<std::pair<seq::KmerCode, std::uint32_t>> seeds;
+  seeds.reserve(dict_.size());
+  for (const auto& [code, entry] : dict_) seeds.emplace_back(code, entry.count);
+  const std::uint64_t salt = options_.tie_break_seed;
+  auto tie_key = [salt](seq::KmerCode code) {
+    if (salt == 0) return static_cast<std::uint64_t>(code);
+    // splitmix64-style mix of (code, salt): a different salt permutes the
+    // order of equally abundant seeds, modeling Trinity's run-to-run
+    // nondeterminism.
+    std::uint64_t z = code ^ (salt * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::sort(seeds.begin(), seeds.end(), [&](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return tie_key(a.first) < tie_key(b.first);
+  });
+
+  std::vector<seq::Sequence> contigs;
+  for (const auto& [code, count] : seeds) {
+    const auto it = dict_.find(code);
+    if (it == dict_.end() || it->second.used) continue;
+    it->second.used = true;
+
+    std::string contig = codec_.decode(code);
+    extend_right(contig);
+    // Left extension = right extension of the reverse complement.
+    contig = seq::reverse_complement(contig);
+    extend_right(contig);
+    contig = seq::reverse_complement(contig);
+
+    if (contig.size() < options_.min_contig_length) {
+      ++stats_.contigs_discarded;
+      continue;
+    }
+    seq::Sequence rec;
+    rec.name = "iworm_" + std::to_string(contigs.size());
+    rec.bases = std::move(contig);
+    stats_.bases_assembled += rec.bases.size();
+    contigs.push_back(std::move(rec));
+  }
+  stats_.contigs_reported = contigs.size();
+  return contigs;
+}
+
+}  // namespace trinity::inchworm

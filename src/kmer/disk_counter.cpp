@@ -1,0 +1,161 @@
+#include "kmer/disk_counter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "seq/fasta.hpp"
+#include "seq/kmer.hpp"
+
+namespace trinity::kmer {
+
+namespace {
+
+/// Buffered writer of packed k-mer codes for one partition.
+class PartitionWriter {
+ public:
+  explicit PartitionWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary) {
+    if (!out_) throw std::runtime_error("disk_count: cannot open '" + path + "'");
+    buffer_.reserve(kFlushAt);
+  }
+
+  void push(seq::KmerCode code) {
+    buffer_.push_back(code);
+    if (buffer_.size() >= kFlushAt) flush();
+  }
+
+  /// Flushes and returns total bytes written.
+  std::uint64_t finish() {
+    flush();
+    out_.flush();
+    if (!out_) throw std::runtime_error("disk_count: write failure on '" + path_ + "'");
+    return bytes_;
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static constexpr std::size_t kFlushAt = 4096;
+
+  void flush() {
+    if (buffer_.empty()) return;
+    out_.write(reinterpret_cast<const char*>(buffer_.data()),
+               static_cast<std::streamsize>(buffer_.size() * sizeof(seq::KmerCode)));
+    bytes_ += buffer_.size() * sizeof(seq::KmerCode);
+    buffer_.clear();
+  }
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<seq::KmerCode> buffer_;
+  std::uint64_t bytes_ = 0;
+};
+
+// Partition selector: mix the code so partitions stay balanced even for
+// skewed spectra (the identity hash would put all low codes together).
+std::size_t partition_of(seq::KmerCode code, int partitions) {
+  std::uint64_t z = code;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % static_cast<std::uint64_t>(partitions));
+}
+
+template <typename NextChunk>
+std::vector<KmerCount> disk_count_impl(NextChunk&& next_chunk,
+                                       const DiskCounterOptions& options,
+                                       DiskCounterStats* stats) {
+  if (options.num_partitions < 1) {
+    throw std::invalid_argument("disk_count: num_partitions must be >= 1");
+  }
+  if (options.tmp_dir.empty()) {
+    throw std::invalid_argument("disk_count: tmp_dir is required");
+  }
+  const seq::KmerCodec codec(options.k);  // validates k
+  std::filesystem::create_directories(options.tmp_dir);
+
+  DiskCounterStats local_stats;
+
+  // Pass 1 — scatter codes to partition files.
+  std::vector<PartitionWriter> writers;
+  writers.reserve(static_cast<std::size_t>(options.num_partitions));
+  for (int p = 0; p < options.num_partitions; ++p) {
+    writers.emplace_back(options.tmp_dir + "/kmer_part_" + std::to_string(p) + ".bin");
+  }
+  for (;;) {
+    const std::vector<seq::Sequence> chunk = next_chunk();
+    if (chunk.empty()) break;
+    for (const auto& read : chunk) {
+      for (const auto& occ : codec.extract(read.bases)) {
+        const seq::KmerCode code =
+            options.canonical ? codec.canonical(occ.code) : occ.code;
+        writers[partition_of(code, options.num_partitions)].push(code);
+        ++local_stats.total_kmers;
+      }
+    }
+  }
+  for (auto& w : writers) local_stats.bytes_spilled += w.finish();
+
+  // Pass 2 — count one partition at a time: load, sort, run-length encode.
+  std::vector<KmerCount> counts;
+  for (auto& w : writers) {
+    std::ifstream in(w.path(), std::ios::binary | std::ios::ate);
+    if (!in) throw std::runtime_error("disk_count: cannot reopen '" + w.path() + "'");
+    const auto bytes = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<seq::KmerCode> codes(bytes / sizeof(seq::KmerCode));
+    in.read(reinterpret_cast<char*>(codes.data()), static_cast<std::streamsize>(bytes));
+    if (!in && bytes > 0) {
+      throw std::runtime_error("disk_count: truncated partition '" + w.path() + "'");
+    }
+    local_stats.peak_partition_kmers =
+        std::max<std::uint64_t>(local_stats.peak_partition_kmers, codes.size());
+
+    std::sort(codes.begin(), codes.end());
+    for (std::size_t i = 0; i < codes.size();) {
+      std::size_t j = i;
+      while (j < codes.size() && codes[j] == codes[i]) ++j;
+      counts.push_back({codes[i], static_cast<std::uint32_t>(j - i)});
+      i = j;
+    }
+    std::error_code ec;
+    std::filesystem::remove(w.path(), ec);
+  }
+
+  // Partitions are hash-ordered; deliver globally sorted output.
+  std::sort(counts.begin(), counts.end(),
+            [](const KmerCount& a, const KmerCount& b) { return a.code < b.code; });
+  local_stats.distinct_kmers = counts.size();
+  if (stats) *stats = local_stats;
+  return counts;
+}
+
+}  // namespace
+
+std::vector<KmerCount> disk_count_file(const std::string& fasta_path,
+                                       const DiskCounterOptions& options,
+                                       DiskCounterStats* stats) {
+  seq::FastaReader reader(fasta_path);
+  return disk_count_impl([&] { return reader.read_chunk(options.chunk_records); }, options,
+                         stats);
+}
+
+std::vector<KmerCount> disk_count_reads(const std::vector<seq::Sequence>& reads,
+                                        const DiskCounterOptions& options,
+                                        DiskCounterStats* stats) {
+  std::size_t next = 0;
+  return disk_count_impl(
+      [&] {
+        std::vector<seq::Sequence> chunk;
+        while (chunk.size() < options.chunk_records && next < reads.size()) {
+          chunk.push_back(reads[next++]);
+        }
+        return chunk;
+      },
+      options, stats);
+}
+
+}  // namespace trinity::kmer

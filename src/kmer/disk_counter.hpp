@@ -1,0 +1,54 @@
+#pragma once
+// Disk-partitioned k-mer counting: the DSK substitute.
+//
+// The paper (Section II.A): "Jellyfish's output can be extremely voluminous
+// ... Another application for k-mer counting that uses less memory than
+// Jellyfish is DSK; however this is not part of the Trinity pipeline yet."
+// Section VI lists memory-footprint reduction as active work. This module
+// implements DSK's core idea: stream the reads once, scattering packed
+// k-mer codes into P partition files by hash, then count one partition at
+// a time — peak memory is bounded by the largest partition instead of the
+// whole k-mer spectrum.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kmer/counter.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::kmer {
+
+/// Disk-partitioned counting options.
+struct DiskCounterOptions {
+  int k = 25;
+  bool canonical = true;
+  int num_partitions = 16;     ///< partition files; bounds peak memory ~1/P
+  std::string tmp_dir;         ///< partition file location (required)
+  std::size_t chunk_records = 10000;  ///< reads streamed per chunk
+};
+
+/// Statistics of one disk-partitioned run.
+struct DiskCounterStats {
+  std::uint64_t total_kmers = 0;        ///< occurrences scattered to disk
+  std::uint64_t distinct_kmers = 0;     ///< after counting
+  std::uint64_t bytes_spilled = 0;      ///< partition file bytes written
+  std::uint64_t peak_partition_kmers = 0;  ///< the memory bound: max codes
+                                           ///< resident at once in pass 2
+};
+
+/// Counts k-mers of a FASTA/FASTQ file with bounded memory. Results match
+/// KmerCounter exactly (same k / canonical settings) but arrive sorted by
+/// k-mer code. Partition files are removed before returning.
+/// Throws std::runtime_error on I/O failure, std::invalid_argument on bad
+/// options (k out of range, partitions < 1, empty tmp_dir).
+std::vector<KmerCount> disk_count_file(const std::string& fasta_path,
+                                       const DiskCounterOptions& options,
+                                       DiskCounterStats* stats = nullptr);
+
+/// In-memory-source convenience: identical algorithm, reads from a vector.
+std::vector<KmerCount> disk_count_reads(const std::vector<seq::Sequence>& reads,
+                                        const DiskCounterOptions& options,
+                                        DiskCounterStats* stats = nullptr);
+
+}  // namespace trinity::kmer

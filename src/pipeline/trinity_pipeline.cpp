@@ -1,0 +1,191 @@
+#include "pipeline/trinity_pipeline.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "chrysalis/scaffold.hpp"
+#include "inchworm/inchworm.hpp"
+#include "kmer/counter.hpp"
+#include "seq/fasta.hpp"
+#include "util/timer.hpp"
+
+namespace trinity::pipeline {
+
+double PipelineResult::chrysalis_virtual_seconds() const {
+  const double bowtie =
+      bowtie_shared_seconds > 0.0 ? bowtie_shared_seconds : bowtie_timing.total_seconds();
+  return bowtie + gff_timing.total_seconds() + r2t_timing.total_seconds();
+}
+
+namespace {
+
+std::string ensure_work_dir(const PipelineOptions& options) {
+  std::string dir = options.work_dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "trinity_work").string();
+  }
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
+                            const PipelineOptions& options) {
+  if (options.nranks < 1) throw std::invalid_argument("run_pipeline: nranks must be >= 1");
+  PipelineResult result;
+  const std::string work_dir = ensure_work_dir(options);
+  const std::string reads_path = work_dir + "/reads.fa";
+
+  util::ResourceTrace trace(options.trace_sample_interval_ms);
+
+  // Stage files: Trinity modules exchange data through the filesystem.
+  trace.phase("write_input", [&] { seq::write_fasta(reads_path, reads); });
+
+  // --- Jellyfish: k-mer counting --------------------------------------------
+  kmer::CounterOptions counter_options;
+  counter_options.k = options.k;
+  counter_options.canonical = true;
+  counter_options.num_threads = options.omp_threads;
+  kmer::KmerCounter counter(counter_options);
+  std::vector<kmer::KmerCount> counts;
+  trace.phase("jellyfish", [&] {
+    counter.add_sequences(reads);
+    counts = counter.dump();
+    kmer::write_dump_binary(work_dir + "/kmers.bin", counts, options.k);
+  });
+
+  // --- Inchworm: greedy contigs ---------------------------------------------
+  trace.phase("inchworm", [&] {
+    inchworm::InchwormOptions iw;
+    iw.k = options.k;
+    iw.min_kmer_count = options.min_kmer_count;
+    // Keep isoform-junction fragments: a branch leftover is ~2k-2 bases,
+    // and Chrysalis needs it to weld the isoforms into one component.
+    iw.min_contig_length = static_cast<std::size_t>(options.k);
+    iw.tie_break_seed = options.run_seed;
+    inchworm::Inchworm assembler(iw);
+    assembler.load_counts(counts);
+    result.contigs = assembler.assemble();
+    seq::write_fasta(work_dir + "/inchworm.fa", result.contigs);
+  });
+
+  // --- Chrysalis ---------------------------------------------------------------
+  align::AlignerOptions aligner_options;
+  aligner_options.num_threads = options.omp_threads;
+  aligner_options.kernel_repeats = options.bowtie_kernel_repeats;
+  aligner_options.model_threads_per_rank = options.model_threads_per_rank;
+
+  std::vector<align::SamRecord> sam;
+  trace.phase("chrysalis.bowtie", [&] {
+    if (options.nranks == 1) {
+      util::ThreadCpuTimer cpu;
+      const align::ContigIndex index(result.contigs, aligner_options);
+      const align::SeedExtendAligner aligner(index);
+      sam = aligner.align_all(reads);
+      // One node with model_threads_per_rank threads: the aligner loop is
+      // embarrassingly parallel, so model the division directly.
+      result.bowtie_shared_seconds =
+          cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
+      align::write_sam(work_dir + "/bowtie.sam", sam, result.contigs);
+    } else {
+      simpi::run(
+          options.nranks,
+          [&](simpi::Context& ctx) {
+            auto dist = align::distributed_bowtie(ctx, result.contigs, reads, aligner_options,
+                                                  options.bowtie_split);
+            if (ctx.rank() == 0) {
+              sam = std::move(dist.records);
+              result.bowtie_timing = dist.timing;
+              align::write_sam(work_dir + "/bowtie.sam", sam, result.contigs);
+            }
+          },
+          options.comm);
+    }
+  });
+
+  std::vector<chrysalis::ContigPair> scaffold;
+  if (options.bowtie_scaffolding) {
+    scaffold = chrysalis::scaffold_pairs(sam, result.contigs, chrysalis::ScaffoldOptions{});
+  }
+
+  chrysalis::GraphFromFastaOptions gff;
+  gff.k = options.k;
+  gff.min_weld_support = options.min_weld_support;
+  gff.omp_threads = options.omp_threads;
+  gff.model_threads_per_rank = options.model_threads_per_rank;
+  gff.kernel_repeats = options.gff_kernel_repeats;
+  gff.distribution = options.gff_distribution;
+  gff.hybrid_setup = options.gff_hybrid_setup;
+
+  trace.phase("chrysalis.graph_from_fasta", [&] {
+    if (options.nranks == 1) {
+      auto r = chrysalis::run_shared(result.contigs, counter, gff, scaffold);
+      result.components = std::move(r.components);
+      result.gff_timing = r.timing;
+    } else {
+      simpi::run(
+          options.nranks,
+          [&](simpi::Context& ctx) {
+            auto r = chrysalis::run_hybrid(ctx, result.contigs, counter, gff, scaffold);
+            if (ctx.rank() == 0) {
+              result.components = std::move(r.components);
+              result.gff_timing = r.timing;
+            }
+          },
+          options.comm);
+    }
+  });
+
+  chrysalis::ReadsToTranscriptsOptions r2t;
+  r2t.k = options.k;
+  r2t.max_mem_reads = options.max_mem_reads;
+  r2t.omp_threads = options.omp_threads;
+  r2t.model_threads_per_rank = options.model_threads_per_rank;
+  r2t.kernel_repeats = options.r2t_kernel_repeats;
+  r2t.strategy = options.r2t_strategy;
+  r2t.output_mode = options.r2t_output_mode;
+
+  trace.phase("chrysalis.reads_to_transcripts", [&] {
+    if (options.nranks == 1) {
+      auto r = chrysalis::run_shared(result.contigs, result.components, reads_path, r2t,
+                                     work_dir);
+      result.assignments = std::move(r.assignments);
+      result.r2t_timing = r.timing;
+    } else {
+      simpi::run(
+          options.nranks,
+          [&](simpi::Context& ctx) {
+            auto r = chrysalis::run_hybrid(ctx, result.contigs, result.components, reads_path,
+                                           r2t, work_dir);
+            if (ctx.rank() == 0) {
+              result.assignments = std::move(r.assignments);
+              result.r2t_timing = r.timing;
+            }
+          },
+          options.comm);
+    }
+  });
+
+  // --- Butterfly (includes FastaToDebruijn + QuantifyGraph per component) ---
+  trace.phase("butterfly", [&] {
+    butterfly::ButterflyOptions bf;
+    bf.k = options.k;
+    bf.tie_break_seed = options.run_seed;
+    bf.min_node_support = options.butterfly_min_node_support;
+    bf.require_paired_support = options.butterfly_require_paired_support;
+    result.transcripts = butterfly::run_butterfly(result.contigs, result.components,
+                                                  result.assignments, reads, bf);
+    seq::write_fasta(work_dir + "/Trinity.fa", result.transcripts);
+  });
+
+  result.trace = trace.records();
+  return result;
+}
+
+PipelineResult run_pipeline_from_file(const std::string& reads_path,
+                                      const PipelineOptions& options) {
+  return run_pipeline(seq::read_all(reads_path), options);
+}
+
+}  // namespace trinity::pipeline

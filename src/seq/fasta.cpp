@@ -1,0 +1,177 @@
+#include "seq/fasta.hpp"
+
+#include <stdexcept>
+
+#include "seq/sequence.hpp"
+
+namespace trinity::seq {
+
+namespace {
+
+// Strips trailing CR (for CRLF files) and returns the id token of a header.
+std::string header_name(const std::string& line) {
+  std::string body = line.substr(1);
+  const auto ws = body.find_first_of(" \t");
+  if (ws != std::string::npos) body.resize(ws);
+  return body;
+}
+
+void chomp(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+FastaReader::FastaReader(const std::string& path) : in_(path), path_(path) {
+  if (!in_) throw std::runtime_error("FastaReader: cannot open '" + path + "'");
+}
+
+std::optional<Sequence> FastaReader::next() {
+  if (!format_known_) {
+    // Peek the first non-empty line to decide the format.
+    std::string line;
+    while (std::getline(in_, line)) {
+      chomp(line);
+      if (line.empty()) continue;
+      if (line[0] == '>') {
+        is_fastq_ = false;
+        pending_header_ = line;
+      } else if (line[0] == '@') {
+        is_fastq_ = true;
+        pending_header_ = line;
+      } else {
+        throw std::runtime_error("FastaReader: '" + path_ +
+                                 "' does not start with a FASTA/FASTQ header");
+      }
+      format_known_ = true;
+      break;
+    }
+    if (!format_known_) return std::nullopt;  // empty file
+  }
+  auto rec = is_fastq_ ? next_fastq() : next_fasta();
+  if (rec) ++records_read_;
+  return rec;
+}
+
+std::optional<Sequence> FastaReader::next_fasta() {
+  if (pending_header_.empty()) return std::nullopt;
+  Sequence rec;
+  rec.name = header_name(pending_header_);
+  pending_header_.clear();
+  std::string line;
+  while (std::getline(in_, line)) {
+    chomp(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      pending_header_ = line;
+      break;
+    }
+    rec.bases += line;
+  }
+  return rec;
+}
+
+std::optional<Sequence> FastaReader::next_fastq() {
+  if (pending_header_.empty()) return std::nullopt;
+  Sequence rec;
+  rec.name = header_name(pending_header_);
+  pending_header_.clear();
+
+  std::string seq_line;
+  std::string plus_line;
+  std::string qual_line;
+  if (!std::getline(in_, seq_line)) {
+    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  }
+  chomp(seq_line);
+  if (!std::getline(in_, plus_line)) {
+    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  }
+  chomp(plus_line);
+  if (plus_line.empty() || plus_line[0] != '+') {
+    throw std::runtime_error("FastaReader: malformed FASTQ separator in '" + path_ + "'");
+  }
+  if (!std::getline(in_, qual_line)) {
+    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  }
+  chomp(qual_line);
+  if (qual_line.size() != seq_line.size()) {
+    throw std::runtime_error("FastaReader: FASTQ quality length mismatch in '" + path_ + "'");
+  }
+  rec.bases = seq_line;
+  rec.quality = qual_line;
+
+  // Look ahead for the next record header.
+  std::string line;
+  while (std::getline(in_, line)) {
+    chomp(line);
+    if (line.empty()) continue;
+    if (line[0] != '@') {
+      throw std::runtime_error("FastaReader: expected FASTQ header in '" + path_ + "'");
+    }
+    pending_header_ = line;
+    break;
+  }
+  return rec;
+}
+
+std::vector<Sequence> FastaReader::read_chunk(std::size_t max_records) {
+  std::vector<Sequence> out;
+  out.reserve(max_records);
+  while (out.size() < max_records) {
+    auto rec = next();
+    if (!rec) break;
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+std::vector<Sequence> read_all(const std::string& path) {
+  FastaReader reader(path);
+  std::vector<Sequence> out;
+  while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  return out;
+}
+
+void write_fasta(const std::string& path, const std::vector<Sequence>& seqs, std::size_t wrap) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_fasta: cannot open '" + path + "'");
+  for (const auto& s : seqs) {
+    out << '>' << s.name << '\n';
+    if (wrap == 0) {
+      out << s.bases << '\n';
+    } else {
+      for (std::size_t i = 0; i < s.bases.size(); i += wrap) {
+        out << s.bases.substr(i, wrap) << '\n';
+      }
+      if (s.bases.empty()) out << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write_fasta: write failure on '" + path + "'");
+}
+
+void write_fastq(const std::string& path, const std::vector<Sequence>& seqs,
+                 char default_quality) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_fastq: cannot open '" + path + "'");
+  for (const auto& s : seqs) {
+    if (s.has_quality() && s.quality.size() != s.bases.size()) {
+      throw std::runtime_error("write_fastq: quality length mismatch for '" + s.name + "'");
+    }
+    out << '@' << s.name << '\n' << s.bases << "\n+\n";
+    if (s.has_quality()) {
+      out << s.quality << '\n';
+    } else {
+      out << std::string(s.bases.size(), default_quality) << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write_fastq: write failure on '" + path + "'");
+}
+
+std::size_t total_bases(const std::vector<Sequence>& seqs) {
+  std::size_t total = 0;
+  for (const auto& s : seqs) total += s.bases.size();
+  return total;
+}
+
+}  // namespace trinity::seq

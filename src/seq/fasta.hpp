@@ -1,0 +1,62 @@
+#pragma once
+// Streaming FASTA/FASTQ readers and a FASTA writer.
+//
+// ReadsToTranscripts in the paper deliberately streams the read file in
+// bounded chunks ("max_mem_reads") instead of loading it whole; the
+// FastaReader below supports exactly that access pattern (next() /
+// read_chunk()) while GraphFromFasta-style consumers can slurp with
+// read_all(). Format is auto-detected from the first record character
+// ('>' FASTA, '@' FASTQ).
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace trinity::seq {
+
+/// Streaming reader over a FASTA or FASTQ file.
+class FastaReader {
+ public:
+  /// Opens `path`; throws std::runtime_error when the file cannot be read.
+  explicit FastaReader(const std::string& path);
+
+  /// Reads the next record, or std::nullopt at end of file. Throws
+  /// std::runtime_error on malformed input (e.g. FASTQ record with
+  /// mismatched quality length, sequence data before any header).
+  std::optional<Sequence> next();
+
+  /// Reads up to `max_records` records into a vector (the paper's
+  /// max_mem_reads chunking). Returns an empty vector at end of file.
+  std::vector<Sequence> read_chunk(std::size_t max_records);
+
+  /// Number of records returned so far.
+  [[nodiscard]] std::size_t records_read() const { return records_read_; }
+
+ private:
+  std::optional<Sequence> next_fasta();
+  std::optional<Sequence> next_fastq();
+
+  std::ifstream in_;
+  std::string path_;
+  std::string pending_header_;  // lookahead header line for FASTA
+  bool is_fastq_ = false;
+  bool format_known_ = false;
+  std::size_t records_read_ = 0;
+};
+
+/// Reads every record of a FASTA/FASTQ file.
+std::vector<Sequence> read_all(const std::string& path);
+
+/// Writes sequences as FASTA with `wrap` columns per line (0 = no wrap).
+void write_fasta(const std::string& path, const std::vector<Sequence>& seqs,
+                 std::size_t wrap = 0);
+
+/// Writes sequences as FASTQ. Records without a quality string get
+/// `default_quality` (Phred+33) for every base.
+void write_fastq(const std::string& path, const std::vector<Sequence>& seqs,
+                 char default_quality = 'F');
+
+}  // namespace trinity::seq

@@ -1,0 +1,66 @@
+#include "seq/packed_sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "seq/sequence.hpp"
+
+namespace trinity::seq {
+
+std::optional<PackedSequence> PackedSequence::pack(std::string_view bases) {
+  PackedSequence out;
+  out.size_ = bases.size();
+  out.words_.assign((bases.size() + 31) / 32, 0);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const std::uint8_t code = base_to_code(bases[i]);
+    if (code == kInvalidBase) return std::nullopt;
+    out.words_[i / 32] |= static_cast<std::uint64_t>(code) << (2 * (i % 32));
+  }
+  return out;
+}
+
+PackedSequence PackedSequence::pack_or_throw(std::string_view bases) {
+  auto packed = pack(bases);
+  if (!packed) {
+    throw std::invalid_argument("PackedSequence: sequence contains a non-ACGT base");
+  }
+  return std::move(*packed);
+}
+
+std::string PackedSequence::unpack() const { return unpack_substr(0, size_); }
+
+std::string PackedSequence::unpack_substr(std::size_t pos, std::size_t len) const {
+  if (pos >= size_) return {};
+  len = std::min(len, size_ - pos);
+  std::string out(len, 'A');
+  for (std::size_t i = 0; i < len; ++i) out[i] = at(pos + i);
+  return out;
+}
+
+std::optional<KmerCode> PackedSequence::kmer_at(std::size_t pos, int k) const {
+  if (k < 1 || k > 32) throw std::invalid_argument("PackedSequence::kmer_at: bad k");
+  if (pos + static_cast<std::size_t>(k) > size_) return std::nullopt;
+  KmerCode code = 0;
+  for (int i = 0; i < k; ++i) {
+    code = (code << 2) | code_at(pos + static_cast<std::size_t>(i));
+  }
+  return code;
+}
+
+PackedStore pack_store(const std::vector<Sequence>& seqs) {
+  PackedStore store;
+  store.sequences.reserve(seqs.size());
+  store.names.reserve(seqs.size());
+  for (const auto& s : seqs) {
+    auto packed = PackedSequence::pack(s.bases);
+    if (!packed) {
+      ++store.dropped;
+      continue;
+    }
+    store.sequences.push_back(std::move(*packed));
+    store.names.push_back(s.name);
+  }
+  return store;
+}
+
+}  // namespace trinity::seq

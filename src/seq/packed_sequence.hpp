@@ -1,0 +1,90 @@
+#pragma once
+// PackedSequence: 2-bit-per-base nucleotide storage.
+//
+// The paper's conclusions name "reduction of the memory footprint of de
+// novo transcriptome assembly ... as well as the per-node memory
+// requirements of the MPI version of Chrysalis" as active work. Plain
+// std::string spends 8 bits per base (plus allocator overhead); this
+// container packs ACGT into 2 bits each — a 4x reduction on sequence
+// payloads — while still supporting random access, iteration-free k-mer
+// extraction, and round-tripping through the string world. Bases outside
+// ACGT cannot be represented; callers normalize or reject first.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/dna.hpp"
+#include "seq/kmer.hpp"
+#include "seq/sequence.hpp"
+
+namespace trinity::seq {
+
+/// An immutable-length, 2-bit packed DNA sequence.
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+
+  /// Packs `bases`; returns std::nullopt if any base is not ACGT.
+  static std::optional<PackedSequence> pack(std::string_view bases);
+
+  /// Packs `bases`, throwing std::invalid_argument on a non-ACGT base.
+  static PackedSequence pack_or_throw(std::string_view bases);
+
+  /// Number of bases.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// 2-bit code of base `i` (no bounds check).
+  [[nodiscard]] std::uint8_t code_at(std::size_t i) const {
+    return static_cast<std::uint8_t>((words_[i / 32] >> (2 * (i % 32))) & 3u);
+  }
+
+  /// Character of base `i`.
+  [[nodiscard]] char at(std::size_t i) const { return code_to_base(code_at(i)); }
+
+  /// Unpacks the whole sequence.
+  [[nodiscard]] std::string unpack() const;
+
+  /// Unpacks the substring [pos, pos + len); clamps at the end.
+  [[nodiscard]] std::string unpack_substr(std::size_t pos, std::size_t len) const;
+
+  /// Extracts the k-mer starting at `pos` directly from the packed words
+  /// (equivalent to KmerCodec::encode on the unpacked substring). Returns
+  /// std::nullopt when pos + k exceeds the sequence.
+  [[nodiscard]] std::optional<KmerCode> kmer_at(std::size_t pos, int k) const;
+
+  /// Heap bytes used by the packed payload.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+  friend bool operator==(const PackedSequence&, const PackedSequence&) = default;
+
+ private:
+  // Base i lives in words_[i/32], bits [2*(i%32), 2*(i%32)+2).
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Packs a set of sequences, normalizing (non-ACGT -> skip record) and
+/// reporting how many records were dropped.
+struct PackedStore {
+  std::vector<PackedSequence> sequences;
+  std::vector<std::string> names;
+  std::size_t dropped = 0;
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t total = 0;
+    for (const auto& s : sequences) total += s.memory_bytes();
+    return total;
+  }
+};
+
+/// Builds a PackedStore from FASTA-style records, dropping any record with
+/// a non-ACGT base (they cannot be represented in 2 bits).
+PackedStore pack_store(const std::vector<Sequence>& seqs);
+
+}  // namespace trinity::seq

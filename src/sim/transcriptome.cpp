@@ -1,0 +1,223 @@
+#include "sim/transcriptome.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace trinity::sim {
+
+namespace {
+
+std::string random_exon(std::size_t length, util::Rng& rng) {
+  std::string out(length, 'A');
+  for (auto& c : out) {
+    c = seq::code_to_base(static_cast<std::uint8_t>(rng.uniform_below(4)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Transcriptome simulate_transcriptome(const TranscriptomeOptions& options, util::Rng& rng) {
+  if (options.min_exons < 1 || options.max_exons < options.min_exons) {
+    throw std::invalid_argument("simulate_transcriptome: bad exon count range");
+  }
+  if (options.min_exon_length < 1 || options.max_exon_length < options.min_exon_length) {
+    throw std::invalid_argument("simulate_transcriptome: bad exon length range");
+  }
+
+  Transcriptome t;
+  t.genes.reserve(options.num_genes);
+
+  std::string previous_tail;  // for shared-UTR fusions
+  for (std::size_t g = 0; g < options.num_genes; ++g) {
+    Gene gene;
+    gene.name = "gene" + std::to_string(g);
+
+    const auto n_exons = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(options.min_exons),
+                        static_cast<std::int64_t>(options.max_exons)));
+    for (std::size_t e = 0; e < n_exons; ++e) {
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(options.min_exon_length),
+                          static_cast<std::int64_t>(options.max_exon_length)));
+      gene.exons.push_back(random_exon(len, rng));
+    }
+
+    // Shared UTR: this gene's first exon begins with the previous gene's
+    // tail — the overlap that makes Trinity emit fused transcripts.
+    if (!previous_tail.empty() && rng.bernoulli(options.shared_utr_probability)) {
+      gene.exons.front() = previous_tail + gene.exons.front();
+    }
+    const std::string& last_exon = gene.exons.back();
+    const std::size_t tail_len = std::min(options.shared_utr_length, last_exon.size());
+    previous_tail = last_exon.substr(last_exon.size() - tail_len);
+
+    // Isoform 0 keeps every exon; the rest skip internal exons at random.
+    std::set<std::vector<bool>> seen_masks;
+    const std::size_t n_isoforms =
+        1 + (n_exons > 2
+                 ? static_cast<std::size_t>(rng.uniform_below(options.max_isoforms_per_gene))
+                 : 0);
+    for (std::size_t iso = 0; iso < n_isoforms; ++iso) {
+      std::vector<bool> keep(n_exons, true);
+      if (iso > 0) {
+        for (std::size_t e = 1; e + 1 < n_exons; ++e) {
+          if (rng.bernoulli(options.exon_skip_probability)) keep[e] = false;
+        }
+      }
+      if (!seen_masks.insert(keep).second) continue;  // identical splicing
+
+      seq::Sequence transcript;
+      transcript.name = gene.name + "_iso" + std::to_string(gene.isoform_ids.size());
+      for (std::size_t e = 0; e < n_exons; ++e) {
+        if (keep[e]) transcript.bases += gene.exons[e];
+      }
+      gene.isoform_ids.push_back(t.transcripts.size());
+      t.gene_of_transcript.push_back(static_cast<std::int32_t>(g));
+      t.transcripts.push_back(std::move(transcript));
+    }
+    t.genes.push_back(std::move(gene));
+  }
+  return t;
+}
+
+SimulatedReads simulate_reads(const Transcriptome& transcriptome,
+                              const ReadSimOptions& options, util::Rng& rng) {
+  SimulatedReads out;
+  if (transcriptome.transcripts.empty()) return out;
+  if (options.read_length < 1) {
+    throw std::invalid_argument("simulate_reads: read_length must be >= 1");
+  }
+
+  // Expression weights: log-normal for the paper's "very large dynamic
+  // range"; fragments are apportioned by weight * length.
+  std::vector<double> weight(transcriptome.transcripts.size());
+  double weighted_bases = 0.0;
+  std::size_t total_bases = 0;
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    weight[i] = rng.lognormal(0.0, options.expression_sigma);
+    weighted_bases += weight[i] * static_cast<double>(transcriptome.transcripts[i].length());
+    total_bases += transcriptome.transcripts[i].length();
+  }
+  const double bases_per_fragment =
+      static_cast<double>(options.read_length) * (options.paired ? 2.0 : 1.0);
+  const double total_fragments =
+      options.coverage * static_cast<double>(total_bases) / bases_per_fragment;
+
+  // Substitution errors plus a Phred+33 quality string that marks them:
+  // erroneous bases get Q2 ('#'), clean bases Q37 ('F') — the error/quality
+  // correlation downstream QC tools rely on.
+  auto add_errors = [&](seq::Sequence& read) {
+    read.quality.assign(read.bases.size(), 'F');
+    for (std::size_t b = 0; b < read.bases.size(); ++b) {
+      if (!rng.bernoulli(options.error_rate)) continue;
+      const std::uint8_t original = seq::base_to_code(read.bases[b]);
+      std::uint8_t substitute = static_cast<std::uint8_t>(rng.uniform_below(3));
+      if (substitute >= original) ++substitute;  // force a real change
+      read.bases[b] = seq::code_to_base(substitute);
+      read.quality[b] = '#';
+    }
+  };
+
+  std::size_t frag_id = 0;
+  for (std::size_t i = 0; i < transcriptome.transcripts.size(); ++i) {
+    const auto& transcript = transcriptome.transcripts[i].bases;
+    if (transcript.size() < options.read_length) continue;
+    const double share =
+        weight[i] * static_cast<double>(transcript.size()) / weighted_bases;
+    const auto n_fragments =
+        static_cast<std::size_t>(std::llround(total_fragments * share));
+    for (std::size_t f = 0; f < n_fragments; ++f) {
+      std::size_t frag_len =
+          options.paired
+              ? static_cast<std::size_t>(std::max(
+                    static_cast<double>(options.read_length),
+                    static_cast<double>(options.fragment_length) +
+                        options.fragment_sigma * rng.normal()))
+              : options.read_length;
+      frag_len = std::min(frag_len, transcript.size());
+      const std::size_t start = rng.uniform_below(transcript.size() - frag_len + 1);
+      const std::string fragment = transcript.substr(start, frag_len);
+
+      if (options.paired) {
+        seq::Sequence mate1;
+        mate1.name = "frag" + std::to_string(frag_id) + "/1";
+        mate1.bases = fragment.substr(0, std::min(options.read_length, fragment.size()));
+        add_errors(mate1);
+        seq::Sequence mate2;
+        mate2.name = "frag" + std::to_string(frag_id) + "/2";
+        const std::size_t mate2_len = std::min(options.read_length, fragment.size());
+        mate2.bases = seq::reverse_complement(
+            std::string_view(fragment).substr(fragment.size() - mate2_len));
+        add_errors(mate2);
+        out.reads.push_back(std::move(mate1));
+        out.transcript_of_read.push_back(static_cast<std::int32_t>(i));
+        out.reads.push_back(std::move(mate2));
+        out.transcript_of_read.push_back(static_cast<std::int32_t>(i));
+      } else {
+        seq::Sequence read;
+        read.name = "read" + std::to_string(frag_id);
+        read.bases = fragment;
+        add_errors(read);
+        out.reads.push_back(std::move(read));
+        out.transcript_of_read.push_back(static_cast<std::int32_t>(i));
+      }
+      ++frag_id;
+    }
+  }
+  out.num_fragments = frag_id;
+  return out;
+}
+
+DatasetPreset preset(const std::string& name) {
+  DatasetPreset p;
+  p.name = name;
+  if (name == "tiny") {
+    p.transcriptome.num_genes = 12;
+    p.reads.coverage = 15.0;
+    p.seed = 7;
+  } else if (name == "sugarbeet_like") {
+    // The paper's benchmarking workload: its largest dataset (129.8 M
+    // reads). Scaled to stay tractable while keeping the contig-length
+    // variance that drives the load imbalance of Figures 7/8.
+    p.transcriptome.num_genes = 400;
+    p.transcriptome.max_exons = 9;
+    p.transcriptome.max_exon_length = 450;
+    p.reads.coverage = 20.0;
+    p.reads.expression_sigma = 1.8;
+    p.seed = 20140519;
+  } else if (name == "whitefly_like") {
+    // Figure 4's validation dataset (~420 k reads).
+    p.transcriptome.num_genes = 120;
+    p.reads.coverage = 15.0;
+    p.seed = 425;
+  } else if (name == "schizophrenia_like") {
+    // Figure 5/6 reference-comparison dataset (15.35 M reads).
+    p.transcriptome.num_genes = 160;
+    p.reads.coverage = 18.0;
+    p.seed = 1535;
+  } else if (name == "drosophila_like") {
+    // Figure 5/6 reference-comparison dataset (50 M reads).
+    p.transcriptome.num_genes = 200;
+    p.transcriptome.max_isoforms_per_gene = 4;
+    p.reads.coverage = 18.0;
+    p.seed = 5000;
+  } else {
+    throw std::invalid_argument("preset: unknown dataset '" + name + "'");
+  }
+  return p;
+}
+
+Dataset simulate_dataset(const DatasetPreset& preset) {
+  util::Rng rng(preset.seed);
+  Dataset d;
+  d.transcriptome = simulate_transcriptome(preset.transcriptome, rng);
+  d.reads = simulate_reads(d.transcriptome, preset.reads, rng);
+  return d;
+}
+
+}  // namespace trinity::sim

@@ -1,0 +1,99 @@
+#pragma once
+// Synthetic transcriptome generator: the substitute for the paper's
+// sugarbeet / whitefly / Schizophrenia / Drosophila datasets, none of which
+// are redistributable (the sugarbeet set was a private communication from
+// Rothamsted Research).
+//
+// The generator reproduces the two properties the paper calls out as what
+// makes transcriptome assembly hard (Section I): a very large dynamic range
+// of expression levels (log-normal weights), and alternative splicing
+// (genes are exon chains; isoforms skip internal exons). It also plants the
+// failure mode Section IV counts: adjacent genes can share a UTR-like
+// overlap, which induces the end-to-end "fused" transcripts of Figure 6.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace trinity::sim {
+
+/// Gene/isoform structure parameters.
+struct TranscriptomeOptions {
+  std::size_t num_genes = 100;
+  std::size_t min_exons = 3;
+  std::size_t max_exons = 7;
+  std::size_t min_exon_length = 80;
+  std::size_t max_exon_length = 350;
+  std::size_t max_isoforms_per_gene = 3;
+  double exon_skip_probability = 0.35;   ///< per internal exon, per isoform
+  double shared_utr_probability = 0.10;  ///< gene starts with prev gene's tail
+  std::size_t shared_utr_length = 60;
+};
+
+/// One simulated gene: its exons and the isoforms spliced from them.
+struct Gene {
+  std::string name;
+  std::vector<std::string> exons;
+  std::vector<std::size_t> isoform_ids;  ///< indices into Transcriptome::transcripts
+};
+
+/// A reference transcriptome: the ground truth assemblies are judged
+/// against (the paper's "reference transcripts" of Figures 5 and 6).
+struct Transcriptome {
+  std::vector<Gene> genes;
+  std::vector<seq::Sequence> transcripts;       ///< all isoforms
+  std::vector<std::int32_t> gene_of_transcript; ///< parallel to transcripts
+};
+
+/// Generates a transcriptome. Deterministic for a given rng state.
+Transcriptome simulate_transcriptome(const TranscriptomeOptions& options, util::Rng& rng);
+
+/// Read-sampling parameters.
+struct ReadSimOptions {
+  std::size_t read_length = 100;
+  double coverage = 20.0;           ///< mean fold-coverage over all bases
+  double expression_sigma = 1.5;    ///< log-normal sigma (dynamic range)
+  double error_rate = 0.005;        ///< per-base substitution probability
+  bool paired = true;
+  std::size_t fragment_length = 280;
+  double fragment_sigma = 30.0;
+};
+
+/// Simulated reads plus their provenance (for coverage assertions in tests).
+struct SimulatedReads {
+  std::vector<seq::Sequence> reads;
+  std::vector<std::int32_t> transcript_of_read;  ///< parallel to reads
+  std::size_t num_fragments = 0;
+};
+
+/// Samples RNA-seq reads from a transcriptome. Paired reads are named
+/// "frag<N>/1" and "frag<N>/2" (mate 2 reverse-complemented), single-end
+/// reads "read<N>".
+SimulatedReads simulate_reads(const Transcriptome& transcriptome,
+                              const ReadSimOptions& options, util::Rng& rng);
+
+/// A named dataset configuration standing in for one of the paper's inputs.
+struct DatasetPreset {
+  std::string name;
+  TranscriptomeOptions transcriptome;
+  ReadSimOptions reads;
+  std::uint64_t seed = 1;
+};
+
+/// Presets: "sugarbeet_like" (the benchmarking workload, largest),
+/// "whitefly_like" (Figure 4 validation), "schizophrenia_like" and
+/// "drosophila_like" (Figures 5/6 reference comparisons), and "tiny"
+/// (tests). Throws std::invalid_argument for unknown names.
+DatasetPreset preset(const std::string& name);
+
+/// Convenience: simulate a preset end to end.
+struct Dataset {
+  Transcriptome transcriptome;
+  SimulatedReads reads;
+};
+Dataset simulate_dataset(const DatasetPreset& preset);
+
+}  // namespace trinity::sim

@@ -1,0 +1,143 @@
+#include "simpi/context.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace trinity::simpi {
+
+// --- Context -----------------------------------------------------------------
+
+Context::Context(World& world, int rank) : world_(world), rank_(rank) {}
+
+int Context::size() const { return world_.size(); }
+
+const CommCostModel& Context::cost_model() const { return world_.cost_model(); }
+
+void Context::raw_send(int dest, int tag, std::span<const std::byte> bytes) {
+  world_.check_abort();
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  world_.mailbox(dest).deliver(std::move(msg));
+}
+
+Message Context::raw_recv(int source, int tag) {
+  try {
+    return world_.mailbox(rank_).receive(source, tag);
+  } catch (const MailboxAborted&) {
+    throw AbortedError();
+  }
+}
+
+void Context::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
+  if (tag < 0) throw std::invalid_argument("simpi: user tags must be >= 0");
+  if (dest < 0 || dest >= size()) throw std::out_of_range("simpi: send dest out of range");
+  raw_send(dest, tag, bytes);
+  comm_seconds_ += cost_model().p2p_cost(bytes.size());
+}
+
+Message Context::recv_bytes(int source, int tag) {
+  if (tag < 0) throw std::invalid_argument("simpi: user tags must be >= 0");
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    throw std::out_of_range("simpi: recv source out of range");
+  }
+  return raw_recv(source, tag);
+}
+
+void Context::barrier() {
+  world_.barrier_wait();
+  comm_seconds_ += cost_model().barrier_cost(size());
+}
+
+std::atomic<std::uint64_t>& Context::world_counter(int id) { return world_.counter(id); }
+
+bool Context::has_message(int source, int tag) {
+  return world_.mailbox(rank_).has_match(source, tag);
+}
+
+// --- World ---------------------------------------------------------------------
+
+World::World(int nranks, CommCostModel model) : model_(model) {
+  if (nranks < 1) throw std::invalid_argument("simpi: world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(&aborted_));
+  }
+}
+
+std::atomic<std::uint64_t>& World::counter(int id) {
+  std::scoped_lock lock(counters_mu_);
+  auto& slot = counters_[id];
+  if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return *slot;
+}
+
+void World::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb->wake_for_abort();
+  barrier_cv_.notify_all();
+}
+
+void World::barrier_wait() {
+  std::unique_lock lock(barrier_mu_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == size()) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation || aborted(); });
+  if (barrier_generation_ == my_generation && aborted()) throw AbortedError();
+}
+
+// --- run -------------------------------------------------------------------------
+
+std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
+                            CommCostModel model) {
+  World world(nranks, model);
+  std::vector<RankResult> results(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Context ctx(world, r);
+      util::ThreadCpuTimer cpu;
+      try {
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        world.abort();
+      }
+      auto& res = results[static_cast<std::size_t>(r)];
+      res.rank = r;
+      res.cpu_seconds = cpu.seconds();
+      res.comm_seconds = ctx.comm_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Prefer the root-cause exception over secondary AbortedErrors raised in
+  // ranks that were merely woken by the teardown.
+  std::exception_ptr fallback;
+  for (const auto& err : errors) {
+    if (!err) continue;
+    if (!fallback) fallback = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const AbortedError&) {
+      continue;
+    } catch (...) {
+      throw;
+    }
+  }
+  if (fallback) std::rethrow_exception(fallback);
+  return results;
+}
+
+}  // namespace trinity::simpi

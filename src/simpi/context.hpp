@@ -1,0 +1,342 @@
+#pragma once
+// simpi: a simulated MPI subset.
+//
+// The paper's hybrid Chrysalis uses MPI across nodes with OpenMP threads
+// inside each node. No MPI implementation is available in this environment,
+// so simpi provides the substitution: each rank is a thread with a private
+// logical address space (nothing is shared between ranks except through
+// simpi calls), point-to-point messages go through per-rank mailboxes with
+// MPI matching semantics, and the collectives used by the paper's code
+// (Barrier, Bcast, Gatherv, Allgatherv, Reduce/Allreduce) are implemented
+// on top of point-to-point transfers.
+//
+// Because ranks share a 2-core host, wall time cannot demonstrate scaling.
+// Instead each rank carries a virtual clock: measured thread-CPU time for
+// compute, plus modeled communication time from CommCostModel. Benchmark
+// reporters use max/min over per-rank virtual times — exactly the
+// "processes with the highest/lowest times" curves of Figures 7 and 9.
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "simpi/cost_model.hpp"
+#include "simpi/mailbox.hpp"
+
+namespace trinity::simpi {
+
+/// Thrown out of blocked simpi calls when another rank failed and the
+/// world was aborted (the simulated analogue of MPI_Abort tearing the
+/// job down).
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("simpi world aborted by another rank") {}
+};
+
+class World;
+
+/// Per-rank communication endpoint handed to the rank function.
+/// All members must be called from the rank's own thread.
+class Context {
+ public:
+  Context(World& world, int rank);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// This rank's id in [0, size()).
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Number of ranks in the world.
+  [[nodiscard]] int size() const;
+
+  // --- point-to-point -----------------------------------------------------
+
+  /// Sends `bytes` to rank `dest` with `tag` (>= 0). Buffered send: returns
+  /// immediately after the payload is copied into the destination mailbox.
+  void send_bytes(int dest, int tag, std::span<const std::byte> bytes);
+
+  /// Blocks until a message from `source` (or kAnySource) with `tag`
+  /// arrives and returns it. Throws AbortedError if the world aborts.
+  Message recv_bytes(int source, int tag);
+
+  /// Typed send of a contiguous array of trivially copyable elements.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send(dest, tag, std::span<const T>(data));
+  }
+
+  /// Typed receive; the payload size must be a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message msg = recv_bytes(source, tag);
+    if (msg.payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("simpi: typed recv size mismatch");
+    }
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    return out;
+  }
+
+  /// Sends a single value.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Receives a single value.
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    if (v.size() != 1) throw std::runtime_error("simpi: recv_value count mismatch");
+    return v[0];
+  }
+
+  // --- collectives ----------------------------------------------------------
+  // All collectives must be entered by every rank in the same program order.
+
+  /// Blocks until all ranks have entered the barrier.
+  void barrier();
+
+  /// Broadcasts `data` from `root` to all ranks (resizing at non-roots).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root);
+
+  /// Gathers each rank's local vector at `root`. Returns size()-long vector
+  /// of per-rank contributions at root, empty vector elsewhere. The
+  /// variable-length analogue of MPI_Gatherv.
+  template <typename T>
+  std::vector<std::vector<T>> gatherv(const std::vector<T>& local, int root);
+
+  /// Allgatherv: every rank receives all ranks' contributions, concatenated
+  /// in rank order. Mirrors the paper's pooling of packed weld sequences and
+  /// pair-index arrays after each GraphFromFasta loop. `counts_out`, when
+  /// non-null, receives each rank's element count.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& local,
+                            std::vector<std::size_t>* counts_out = nullptr);
+
+  /// Allgather of a single value per rank.
+  template <typename T>
+  std::vector<T> allgather(const T& v);
+
+  /// Reduction over one value per rank; result valid on every rank.
+  template <typename T>
+  T allreduce_sum(T v);
+  template <typename T>
+  T allreduce_max(T v);
+  template <typename T>
+  T allreduce_min(T v);
+
+  // --- virtual time ---------------------------------------------------------
+
+  /// Modeled communication seconds accumulated by this rank so far.
+  [[nodiscard]] double comm_seconds() const { return comm_seconds_; }
+
+  /// Adds explicitly modeled time (e.g. a charged I/O estimate) to this
+  /// rank's communication clock.
+  void charge(double seconds) { comm_seconds_ += seconds; }
+
+  /// The world's communication cost model.
+  [[nodiscard]] const CommCostModel& cost_model() const;
+
+  /// Access to a world-global atomic counter (used by simpi/rma.hpp's
+  /// SharedCounter; prefer that wrapper, which charges RMA costs).
+  std::atomic<std::uint64_t>& world_counter(int id);
+
+  /// Non-blocking probe: true when recv_bytes(source, tag) would return
+  /// immediately (the MPI_Iprobe analogue).
+  [[nodiscard]] bool has_message(int source, int tag);
+
+  /// Library-extension transfers (simpi/nonblocking.hpp collectives):
+  /// uncosted raw send/recv that may use reserved negative tags. The
+  /// extension charges its own modeled collective cost. Not for
+  /// application code.
+  void internal_send(int dest, int tag, std::span<const std::byte> bytes) {
+    raw_send(dest, tag, bytes);
+  }
+  Message internal_recv(int source, int tag) { return raw_recv(source, tag); }
+
+ private:
+  friend class World;
+
+  // Internal transfers used by collectives: no cost accrual (the collective
+  // charges its own modeled cost once).
+  void raw_send(int dest, int tag, std::span<const std::byte> bytes);
+  Message raw_recv(int source, int tag);
+
+  World& world_;
+  int rank_;
+  double comm_seconds_ = 0.0;
+};
+
+/// Outcome of one rank's execution under run().
+struct RankResult {
+  int rank = 0;
+  double cpu_seconds = 0.0;   ///< thread CPU time consumed by the rank fn
+  double comm_seconds = 0.0;  ///< modeled communication time
+  /// Virtual execution time of this rank on the simulated cluster.
+  [[nodiscard]] double virtual_seconds() const { return cpu_seconds + comm_seconds; }
+};
+
+/// The set of ranks plus the shared delivery fabric. Normally used through
+/// run(); exposed for tests that need fine-grained control.
+class World {
+ public:
+  explicit World(int nranks, CommCostModel model = {});
+
+  [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+  [[nodiscard]] const CommCostModel& cost_model() const { return model_; }
+  [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Marks the world aborted and wakes all blocked receivers/barriers.
+  void abort();
+
+ private:
+  friend class Context;
+
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  void barrier_wait();
+  void check_abort() const {
+    if (aborted()) throw AbortedError();
+  }
+
+  std::atomic<std::uint64_t>& counter(int id);
+
+  CommCostModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex counters_mu_;
+  std::map<int, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::atomic<bool> aborted_{false};
+};
+
+/// Runs `fn(ctx)` on `nranks` rank threads and returns per-rank results in
+/// rank order. If any rank throws, the world is aborted (waking blocked
+/// ranks with AbortedError) and the lowest-rank exception is rethrown after
+/// all threads join.
+std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
+                            CommCostModel model = {});
+
+// --- template implementations ------------------------------------------------
+
+namespace detail {
+/// Collective message tags live in a reserved negative range so they can
+/// never collide with user tags (which must be >= 0).
+inline constexpr int kTagBcast = -2;
+inline constexpr int kTagGather = -3;
+inline constexpr int kTagReduce = -4;
+}  // namespace detail
+
+template <typename T>
+void Context::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      raw_send(r, detail::kTagBcast, std::as_bytes(std::span<const T>(data)));
+    }
+  } else {
+    const Message msg = raw_recv(root, detail::kTagBcast);
+    data.resize(msg.payload.size() / sizeof(T));
+    std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  }
+  comm_seconds_ += cost_model().collective_cost(size(), data.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::size_t total_bytes = local.size() * sizeof(T);
+  std::vector<std::vector<T>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = local;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Message msg = raw_recv(r, detail::kTagGather);
+      auto& slot = out[static_cast<std::size_t>(r)];
+      slot.resize(msg.payload.size() / sizeof(T));
+      std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
+      total_bytes += msg.payload.size();
+    }
+  } else {
+    raw_send(root, detail::kTagGather, std::as_bytes(std::span<const T>(local)));
+  }
+  comm_seconds_ += cost_model().collective_cost(size(), total_bytes);
+  return out;
+}
+
+template <typename T>
+std::vector<T> Context::allgatherv(const std::vector<T>& local,
+                                   std::vector<std::size_t>* counts_out) {
+  // Gather at rank 0, then broadcast the concatenation and the counts.
+  // The modeled cost is charged inside gatherv/bcast.
+  auto parts = gatherv(local, 0);
+  std::vector<T> flat;
+  std::vector<std::uint64_t> counts;
+  if (rank_ == 0) {
+    counts.reserve(parts.size());
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    flat.reserve(total);
+    for (const auto& p : parts) {
+      counts.push_back(p.size());
+      flat.insert(flat.end(), p.begin(), p.end());
+    }
+  }
+  bcast(flat, 0);
+  bcast(counts, 0);
+  if (counts_out) counts_out->assign(counts.begin(), counts.end());
+  return flat;
+}
+
+template <typename T>
+std::vector<T> Context::allgather(const T& v) {
+  std::vector<T> local{v};
+  return allgatherv(local);
+}
+
+template <typename T>
+T Context::allreduce_sum(T v) {
+  const auto all = allgather(v);
+  T acc{};
+  for (const T& x : all) acc += x;
+  return acc;
+}
+
+template <typename T>
+T Context::allreduce_max(T v) {
+  const auto all = allgather(v);
+  T best = all.front();
+  for (const T& x : all) best = x > best ? x : best;
+  return best;
+}
+
+template <typename T>
+T Context::allreduce_min(T v) {
+  const auto all = allgather(v);
+  T best = all.front();
+  for (const T& x : all) best = x < best ? x : best;
+  return best;
+}
+
+}  // namespace trinity::simpi

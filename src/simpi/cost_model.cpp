@@ -1,0 +1,31 @@
+#include "simpi/cost_model.hpp"
+
+#include <cmath>
+
+namespace trinity::simpi {
+
+namespace {
+int ceil_log2(int n) {
+  int levels = 0;
+  int span = 1;
+  while (span < n) {
+    span *= 2;
+    ++levels;
+  }
+  return levels;
+}
+}  // namespace
+
+double CommCostModel::collective_cost(int nranks, std::size_t total_bytes) const {
+  if (nranks <= 1) return 0.0;
+  const int levels = ceil_log2(nranks);
+  return static_cast<double>(levels) * latency_seconds +
+         static_cast<double>(total_bytes) / bandwidth_bytes_per_second;
+}
+
+double CommCostModel::barrier_cost(int nranks) const {
+  if (nranks <= 1) return 0.0;
+  return 2.0 * static_cast<double>(ceil_log2(nranks)) * latency_seconds;
+}
+
+}  // namespace trinity::simpi

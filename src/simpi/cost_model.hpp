@@ -1,0 +1,37 @@
+#pragma once
+// Communication cost model for the simulated cluster.
+//
+// The paper ran on the "Blue Wonder" iDataPlex cluster (FDR InfiniBand era).
+// Because our ranks are threads in one process, message transfer is a
+// memcpy; to reproduce the paper's *distributed* cost shape we charge each
+// operation with a classic alpha-beta model: latency per message plus bytes
+// over bandwidth, with log2(P) latency factors for tree-style collectives.
+// The charged time accumulates on each rank's virtual clock and is reported
+// alongside measured per-rank CPU time.
+
+#include <cstddef>
+
+namespace trinity::simpi {
+
+/// Alpha–beta communication cost model.
+struct CommCostModel {
+  /// Per-message latency (alpha), seconds. Default approximates an
+  /// InfiniBand-class interconnect of the paper's vintage.
+  double latency_seconds = 2e-6;
+  /// Link bandwidth (1/beta), bytes per second.
+  double bandwidth_bytes_per_second = 4.0e9;
+
+  /// Cost of one point-to-point message of `bytes`.
+  [[nodiscard]] double p2p_cost(std::size_t bytes) const {
+    return latency_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+
+  /// Cost of a tree-structured collective over `nranks` ranks moving
+  /// `total_bytes` through each rank (e.g. allgatherv result size).
+  [[nodiscard]] double collective_cost(int nranks, std::size_t total_bytes) const;
+
+  /// Cost charged to every rank for a barrier over `nranks` ranks.
+  [[nodiscard]] double barrier_cost(int nranks) const;
+};
+
+}  // namespace trinity::simpi

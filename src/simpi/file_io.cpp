@@ -1,0 +1,57 @@
+#include "simpi/file_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace trinity::simpi {
+
+void write_file_ordered(Context& ctx, const std::string& path, std::string_view local_data) {
+  // Exchange sizes and derive this rank's offset (rank-order prefix sum).
+  const auto sizes = ctx.allgather(static_cast<std::uint64_t>(local_data.size()));
+  std::uint64_t offset = 0;
+  std::uint64_t total = 0;
+  for (int r = 0; r < ctx.size(); ++r) {
+    if (r < ctx.rank()) offset += sizes[static_cast<std::size_t>(r)];
+    total += sizes[static_cast<std::size_t>(r)];
+  }
+
+  // Rank 0 creates the file at full size, then everyone writes in place.
+  if (ctx.rank() == 0) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("write_file_ordered: cannot create '" + path +
+                               "': " + std::strerror(errno));
+    }
+    ::close(fd);
+    std::filesystem::resize_file(path, total);
+  }
+  ctx.barrier();
+
+  if (!local_data.empty()) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) {
+      throw std::runtime_error("write_file_ordered: cannot open '" + path +
+                               "': " + std::strerror(errno));
+    }
+    std::size_t written = 0;
+    while (written < local_data.size()) {
+      const ssize_t n = ::pwrite(fd, local_data.data() + written, local_data.size() - written,
+                                 static_cast<off_t>(offset + written));
+      if (n < 0) {
+        ::close(fd);
+        throw std::runtime_error("write_file_ordered: write failure on '" + path +
+                                 "': " + std::strerror(errno));
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+  ctx.barrier();
+}
+
+}  // namespace trinity::simpi

@@ -1,0 +1,24 @@
+#pragma once
+// Collective file output (the MPI-I/O analogue).
+//
+// The paper's conclusions list "exploring MPI-I/O for RNA-Seq data" as an
+// active direction; the concrete pain point is ReadsToTranscripts writing
+// one file per rank and having the master concatenate them. This helper is
+// the MPI_File_write_at_all equivalent: every rank passes its local bytes,
+// sizes are allgathered, offsets computed in rank order, and each rank
+// writes its slice directly into the shared file.
+
+#include <string>
+#include <string_view>
+
+#include "simpi/context.hpp"
+
+namespace trinity::simpi {
+
+/// Collectively writes each rank's `local_data` into `path` in rank order.
+/// Must be called by every rank. The resulting file equals the rank-order
+/// concatenation of all contributions. Throws std::runtime_error on I/O
+/// failure (which aborts the world, like an MPI-I/O error would).
+void write_file_ordered(Context& ctx, const std::string& path, std::string_view local_data);
+
+}  // namespace trinity::simpi

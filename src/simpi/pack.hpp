@@ -1,0 +1,33 @@
+#pragma once
+// Packing of variable-length data into flat buffers for communication.
+//
+// Section III.B of the paper: "the vector of the subsequences are packed
+// into a single sequence for MPI communication" (loop 1, weld strings) and
+// "the integer values for pairing indices are packed into a single integer
+// array" (loop 2). These helpers implement exactly that framing: a
+// length-prefixed concatenation for strings, and trivially copyable arrays
+// pass through Context's typed send/allgatherv directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace trinity::simpi {
+
+/// Packs strings into one byte buffer: u64 count, then per string a u64
+/// length followed by the raw characters.
+std::vector<std::byte> pack_strings(const std::vector<std::string>& strings);
+
+/// Inverse of pack_strings. Throws std::runtime_error on a malformed buffer
+/// (truncated length prefix or payload).
+std::vector<std::string> unpack_strings(const std::vector<std::byte>& buffer);
+
+/// Unpacks a buffer that is the concatenation of several pack_strings()
+/// buffers laid end to end (the shape produced by allgatherv over packed
+/// per-rank buffers), appending all strings in order.
+std::vector<std::string> unpack_string_pool(const std::vector<std::byte>& buffer);
+
+}  // namespace trinity::simpi

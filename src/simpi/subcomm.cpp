@@ -1,0 +1,51 @@
+#include "simpi/subcomm.hpp"
+
+#include <algorithm>
+
+namespace trinity::simpi {
+
+SubComm SubComm::split(Context& ctx, int color, int key) {
+  // World-collective exchange of (color, key) per rank.
+  struct Entry {
+    int color;
+    int key;
+    int world_rank;
+  };
+  static_assert(std::is_trivially_copyable_v<Entry>);
+  const auto all = ctx.allgather(Entry{color, key, ctx.rank()});
+
+  std::vector<Entry> group;
+  for (const auto& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.world_rank < b.world_rank;
+  });
+
+  std::vector<int> members;
+  members.reserve(group.size());
+  int my_rank = -1;
+  for (const auto& e : group) {
+    if (e.world_rank == ctx.rank()) my_rank = static_cast<int>(members.size());
+    members.push_back(e.world_rank);
+  }
+  return SubComm(ctx, color, std::move(members), my_rank);
+}
+
+void SubComm::barrier() {
+  // Gather a token at group rank 0, then broadcast it back.
+  std::vector<std::uint8_t> token{1};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      (void)ctx_->internal_recv(world_rank_of(r), kTag);
+    }
+  } else {
+    ctx_->internal_send(world_rank_of(0), kTag,
+                        std::as_bytes(std::span<const std::uint8_t>(token)));
+  }
+  bcast(token, 0);
+  ctx_->charge(ctx_->cost_model().barrier_cost(size()));
+}
+
+}  // namespace trinity::simpi

@@ -1,0 +1,94 @@
+#pragma once
+// Sub-communicators (the MPI_Comm_split analogue).
+//
+// Production hybrid codes split the world to localize collectives — e.g.
+// pooling welds only among the ranks holding a genome partition. SubComm
+// provides that: a collective split by color, then group-local barrier,
+// broadcast and allgatherv implemented over the parent context's
+// point-to-point layer. Like every simpi collective, group operations must
+// be entered by all group members in the same program order.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simpi/context.hpp"
+
+namespace trinity::simpi {
+
+/// A communicator over the subset of world ranks that passed the same
+/// color to split(). Sub-ranks are ordered by (key, world rank).
+class SubComm {
+ public:
+  /// Collective over the whole world: every rank must call it. Returns
+  /// this rank's group view.
+  static SubComm split(Context& ctx, int color, int key = 0);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] int color() const { return color_; }
+  /// World rank of group member `subrank`.
+  [[nodiscard]] int world_rank_of(int subrank) const {
+    return members_.at(static_cast<std::size_t>(subrank));
+  }
+
+  /// Group barrier.
+  void barrier();
+
+  /// Group broadcast from group-rank `root`.
+  template <typename T>
+  void bcast(std::vector<T>& data, int root);
+
+  /// Group allgatherv: concatenation in group-rank order on every member.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& local);
+
+ private:
+  SubComm(Context& ctx, int color, std::vector<int> members, int rank)
+      : ctx_(&ctx), color_(color), members_(std::move(members)), rank_(rank) {}
+
+  static constexpr int kTag = -7;  // reserved; ordering discipline applies
+
+  Context* ctx_;
+  int color_;
+  std::vector<int> members_;  // world ranks, group order
+  int rank_;
+};
+
+template <typename T>
+void SubComm::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      ctx_->internal_send(world_rank_of(r), kTag, std::as_bytes(std::span<const T>(data)));
+    }
+  } else {
+    const Message msg = ctx_->internal_recv(world_rank_of(root), kTag);
+    data.resize(msg.payload.size() / sizeof(T));
+    std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  }
+  ctx_->charge(ctx_->cost_model().collective_cost(size(), data.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> SubComm::allgatherv(const std::vector<T>& local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Gather at group rank 0, then group-broadcast the concatenation.
+  std::vector<T> flat;
+  if (rank_ == 0) {
+    flat = local;
+    for (int r = 1; r < size(); ++r) {
+      const Message msg = ctx_->internal_recv(world_rank_of(r), kTag);
+      const std::size_t old = flat.size();
+      flat.resize(old + msg.payload.size() / sizeof(T));
+      std::memcpy(flat.data() + old, msg.payload.data(), msg.payload.size());
+    }
+  } else {
+    ctx_->internal_send(world_rank_of(0), kTag, std::as_bytes(std::span<const T>(local)));
+  }
+  bcast(flat, 0);
+  return flat;
+}
+
+}  // namespace trinity::simpi

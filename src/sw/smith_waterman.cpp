@@ -1,0 +1,164 @@
+#include "sw/smith_waterman.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "seq/dna.hpp"
+
+namespace trinity::sw {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Traceback codes for the H matrix.
+enum : std::uint8_t {
+  kStop = 0,
+  kDiag = 1,
+  kFromE = 2,  // gap in query (came from the left)
+  kFromF = 3,  // gap in target (came from above)
+};
+
+struct Cell {
+  std::uint8_t h_src : 2;   // H source
+  std::uint8_t e_ext : 1;   // E was an extension (vs fresh open)
+  std::uint8_t f_ext : 1;   // F was an extension
+};
+
+Alignment align_impl(std::string_view query, std::string_view target, int band,
+                     const Scoring& scoring) {
+  const std::size_t n = query.size();
+  const std::size_t m = target.size();
+  Alignment best;
+  if (n == 0 || m == 0) return best;
+
+  // Row-linear DP with a full traceback matrix. H/E/F follow Gotoh's
+  // affine-gap recurrences; all are clamped at 0 for local alignment.
+  std::vector<int> h_prev(m + 1, 0);
+  std::vector<int> h_curr(m + 1, 0);
+  std::vector<int> e_row(m + 1, kNegInf);
+  std::vector<Cell> trace((n + 1) * (m + 1), Cell{kStop, 0, 0});
+
+  std::size_t best_i = 0;
+  std::size_t best_j = 0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    int f = kNegInf;
+    h_curr[0] = 0;
+    std::size_t j_lo = 1;
+    std::size_t j_hi = m;
+    if (band >= 0) {
+      const auto b = static_cast<std::size_t>(band);
+      j_lo = i > b ? i - b : 1;
+      j_hi = std::min(m, i + b);
+      if (j_lo > 1) h_curr[j_lo - 1] = 0;
+      // No E can enter the band from its left edge.
+      e_row[j_lo - 1] = kNegInf;
+    }
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      Cell& cell = trace[i * (m + 1) + j];
+
+      const int e_open = h_curr[j - 1] + scoring.gap_open;
+      const int e_extend = e_row[j - 1] + scoring.gap_extend;
+      const int e = std::max(e_open, e_extend);
+      cell.e_ext = e_extend >= e_open ? 1 : 0;
+      e_row[j] = e;
+
+      const int f_open = h_prev[j] + scoring.gap_open;
+      const int f_extend = f + scoring.gap_extend;
+      f = std::max(f_open, f_extend);
+      cell.f_ext = f_extend >= f_open ? 1 : 0;
+
+      const bool is_match = query[i - 1] == target[j - 1];
+      const int diag = h_prev[j - 1] + (is_match ? scoring.match : scoring.mismatch);
+
+      int h = 0;
+      std::uint8_t src = kStop;
+      if (diag > h) {
+        h = diag;
+        src = kDiag;
+      }
+      if (e > h) {
+        h = e;
+        src = kFromE;
+      }
+      if (f > h) {
+        h = f;
+        src = kFromF;
+      }
+      cell.h_src = src;
+      h_curr[j] = h;
+
+      if (h > best.score) {
+        best.score = h;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    if (band >= 0 && j_hi < m) h_curr[j_hi + 1] = 0;
+    std::swap(h_prev, h_curr);
+  }
+
+  if (best.score <= 0) return Alignment{};
+
+  // Traceback from the best cell. E/F runs are unwound with their
+  // extension bits; columns and matches accumulate as we go.
+  std::size_t i = best_i;
+  std::size_t j = best_j;
+  best.query_end = best_i;
+  best.target_end = best_j;
+  enum class State { H, E, F };
+  State state = State::H;
+  for (;;) {
+    const Cell cell = trace[i * (m + 1) + j];
+    if (state == State::H) {
+      if (cell.h_src == kStop) break;
+      if (cell.h_src == kDiag) {
+        ++best.alignment_columns;
+        if (query[i - 1] == target[j - 1]) ++best.matches;
+        --i;
+        --j;
+      } else if (cell.h_src == kFromE) {
+        state = State::E;
+      } else {
+        state = State::F;
+      }
+    } else if (state == State::E) {
+      ++best.alignment_columns;
+      const bool extended = cell.e_ext != 0;
+      --j;
+      state = extended ? State::E : State::H;
+    } else {
+      ++best.alignment_columns;
+      const bool extended = cell.f_ext != 0;
+      --i;
+      state = extended ? State::F : State::H;
+    }
+  }
+  best.query_begin = i;
+  best.target_begin = j;
+  return best;
+}
+
+}  // namespace
+
+Alignment align(std::string_view query, std::string_view target, const Scoring& scoring) {
+  return align_impl(query, target, -1, scoring);
+}
+
+Alignment align_banded(std::string_view query, std::string_view target, int band,
+                       const Scoring& scoring) {
+  return align_impl(query, target, band, scoring);
+}
+
+Alignment align_best_strand(std::string_view query, std::string_view target,
+                            const Scoring& scoring) {
+  const Alignment fwd = align(query, target, scoring);
+  const std::string rc = seq::reverse_complement(query);
+  const Alignment rev = align(rc, target, scoring);
+  return fwd.score >= rev.score ? fwd : rev;
+}
+
+}  // namespace trinity::sw

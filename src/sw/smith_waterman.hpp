@@ -1,0 +1,63 @@
+#pragma once
+// Smith–Waterman local alignment with affine gap penalties.
+//
+// Section IV of the paper validates the parallel pipeline by aligning every
+// reconstructed transcript against every transcript from the original run
+// "using the Smith-Waterman algorithm, as implemented in the FASTA
+// program", then bucketing pairs by identity and coverage (Figure 4). This
+// module provides that comparator: full Gotoh dynamic programming with
+// traceback statistics (identity, alignment length, query/target coverage),
+// plus a banded variant for long near-identical pairs.
+
+#include <cstdint>
+#include <string_view>
+
+namespace trinity::sw {
+
+/// Scoring scheme; defaults approximate the FASTA program's DNA defaults.
+struct Scoring {
+  int match = 5;
+  int mismatch = -4;
+  int gap_open = -12;    ///< charged for the first base of a gap
+  int gap_extend = -4;   ///< charged for each additional base
+};
+
+/// Result of a local alignment.
+struct Alignment {
+  int score = 0;
+  std::size_t query_begin = 0;   ///< [begin, end) on the query
+  std::size_t query_end = 0;
+  std::size_t target_begin = 0;  ///< [begin, end) on the target
+  std::size_t target_end = 0;
+  std::size_t matches = 0;       ///< identical aligned columns
+  std::size_t alignment_columns = 0;  ///< aligned columns incl. gaps
+
+  /// Fraction of identical columns in the local alignment (0 when empty).
+  [[nodiscard]] double identity() const {
+    return alignment_columns == 0
+               ? 0.0
+               : static_cast<double>(matches) / static_cast<double>(alignment_columns);
+  }
+  /// Fraction of the query covered by the local alignment.
+  [[nodiscard]] double query_coverage(std::size_t query_length) const {
+    return query_length == 0
+               ? 0.0
+               : static_cast<double>(query_end - query_begin) / static_cast<double>(query_length);
+  }
+};
+
+/// Full O(nm) Smith–Waterman–Gotoh alignment of `query` against `target`.
+Alignment align(std::string_view query, std::string_view target, const Scoring& scoring = {});
+
+/// Banded variant: only cells with |i - j| <= band are considered. Exact
+/// when the optimal alignment stays within the band; much faster for long,
+/// similar sequences. `band` < 0 falls back to the full algorithm.
+Alignment align_banded(std::string_view query, std::string_view target, int band,
+                       const Scoring& scoring = {});
+
+/// Strand-aware best alignment: max score over query and its reverse
+/// complement (transcripts from independent runs may differ in strand).
+Alignment align_best_strand(std::string_view query, std::string_view target,
+                            const Scoring& scoring = {});
+
+}  // namespace trinity::sw

@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace trinity::util {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' is not a valid option");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself an option.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      out.options_[body] = "";
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const { return options_.count(name) != 0; }
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& dflt) const {
+  const auto v = get(name);
+  return v ? *v : dflt;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name, bool dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("option --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+}  // namespace trinity::util

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal command-line option parser for the example programs and bench
+// harnesses. Options are "--name value" or "--name=value"; bare "--flag"
+// sets a boolean. Positional arguments are collected in order.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace trinity::util {
+
+/// Parsed command line: named options plus positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on a
+  /// malformed option such as "--" with no name.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  /// True when --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Raw string value of --name, or std::nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// String value with a default.
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& dflt) const;
+
+  /// Integer value with a default. Throws std::invalid_argument when the
+  /// supplied value does not parse as an integer.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+
+  /// Floating-point value with a default.
+  [[nodiscard]] double get_double(const std::string& name, double dflt) const;
+
+  /// Boolean flag: present without value -> true; "true"/"1" -> true.
+  [[nodiscard]] bool get_bool(const std::string& name, bool dflt) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace trinity::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+namespace trinity::util {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::Info;
+  return level;
+}
+
+namespace detail {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Debug: return "DEBUG";
+  }
+  return "?????";
+}
+}  // namespace
+
+void log_emit(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  std::cerr << "[" << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace trinity::util

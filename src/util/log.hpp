@@ -1,0 +1,58 @@
+#pragma once
+// Lightweight leveled logging for the trinity-parallel library.
+//
+// Logging is intentionally minimal: a global level, a mutex-guarded sink,
+// and printf-free iostream formatting. Benchmarks set the level to Warn to
+// keep harness output clean; tests may raise it to Debug.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace trinity::util {
+
+/// Severity levels, in increasing order of verbosity.
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Returns the process-wide mutable log level. Defaults to Info.
+LogLevel& log_level();
+
+/// Returns true when messages at `level` should be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+/// Serializes a fully formatted log line to stderr under a global mutex.
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Stream-style log statement builder. Usage:
+///   LOG_INFO() << "counted " << n << " kmers";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (log_enabled(level_)) detail::log_emit(level_, out_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (log_enabled(level_)) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace trinity::util
+
+#define LOG_ERROR() ::trinity::util::LogLine(::trinity::util::LogLevel::Error)
+#define LOG_WARN() ::trinity::util::LogLine(::trinity::util::LogLevel::Warn)
+#define LOG_INFO() ::trinity::util::LogLine(::trinity::util::LogLevel::Info)
+#define LOG_DEBUG() ::trinity::util::LogLine(::trinity::util::LogLevel::Debug)

@@ -1,0 +1,85 @@
+#include "util/resource_trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+#include "util/rss.hpp"
+
+namespace trinity::util {
+
+ResourceTrace::ResourceTrace(int sample_interval_ms) {
+  if (sample_interval_ms > 0) {
+    sampler_ = std::thread([this, sample_interval_ms] { sampler_loop(sample_interval_ms); });
+  }
+}
+
+ResourceTrace::~ResourceTrace() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void ResourceTrace::sampler_loop(int interval_ms) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (sampling_active_.load(std::memory_order_relaxed)) {
+      const std::uint64_t rss = current_rss_bytes();
+      std::uint64_t prev = sampled_peak_.load(std::memory_order_relaxed);
+      while (rss > prev &&
+             !sampled_peak_.compare_exchange_weak(prev, rss, std::memory_order_relaxed)) {
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+void ResourceTrace::begin_phase(const std::string& name) {
+  if (phase_open_) throw std::logic_error("ResourceTrace: phases may not nest");
+  phase_open_ = true;
+  open_record_ = PhaseRecord{};
+  open_record_.name = name;
+  open_record_.start_seconds = trace_clock_.seconds();
+  open_record_.rss_before = current_rss_bytes();
+  open_cpu_start_ = process_cpu_seconds();
+  sampled_peak_.store(open_record_.rss_before, std::memory_order_relaxed);
+  sampling_active_.store(true, std::memory_order_relaxed);
+  open_wall_.reset();
+}
+
+void ResourceTrace::end_phase() {
+  if (!phase_open_) throw std::logic_error("ResourceTrace: no open phase");
+  sampling_active_.store(false, std::memory_order_relaxed);
+  open_record_.wall_seconds = open_wall_.seconds();
+  open_record_.cpu_seconds = process_cpu_seconds() - open_cpu_start_;
+  open_record_.rss_after = current_rss_bytes();
+  open_record_.rss_peak = std::max({sampled_peak_.load(std::memory_order_relaxed),
+                                    open_record_.rss_before, open_record_.rss_after});
+  records_.push_back(open_record_);
+  phase_open_ = false;
+}
+
+double ResourceTrace::total_wall_seconds() const {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.wall_seconds;
+  return total;
+}
+
+void ResourceTrace::print_table(std::ostream& out) const {
+  out << std::left << std::setw(28) << "phase" << std::right << std::setw(12) << "wall(s)"
+      << std::setw(12) << "cpu(s)" << std::setw(14) << "rss_peak(MB)" << '\n';
+  for (const auto& r : records_) {
+    out << std::left << std::setw(28) << r.name << std::right << std::fixed
+        << std::setprecision(3) << std::setw(12) << r.wall_seconds << std::setw(12)
+        << r.cpu_seconds << std::setprecision(1) << std::setw(14)
+        << static_cast<double>(r.rss_peak) / (1024.0 * 1024.0) << '\n';
+  }
+}
+
+void ResourceTrace::write_csv(std::ostream& out) const {
+  out << "phase,start_s,wall_s,cpu_s,rss_before_b,rss_after_b,rss_peak_b\n";
+  for (const auto& r : records_) {
+    out << r.name << ',' << r.start_seconds << ',' << r.wall_seconds << ',' << r.cpu_seconds
+        << ',' << r.rss_before << ',' << r.rss_after << ',' << r.rss_peak << '\n';
+  }
+}
+
+}  // namespace trinity::util

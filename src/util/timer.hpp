@@ -1,0 +1,52 @@
+#pragma once
+// Wall-clock and per-thread CPU-time timers.
+//
+// The per-thread CPU clock (CLOCK_THREAD_CPUTIME_ID) is what makes the
+// cluster simulation honest on a small host: each simpi rank runs as a
+// thread, and its *compute* cost is charged from its own CPU clock, so
+// oversubscribing ranks onto few cores does not distort per-rank work
+// measurements the way wall time would.
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace trinity::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU time consumed by the *calling thread*, in seconds.
+double thread_cpu_seconds();
+
+/// CPU time consumed by the whole process, in seconds.
+double process_cpu_seconds();
+
+/// Stopwatch over the calling thread's CPU clock. Must be read from the
+/// same thread that constructed it.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(thread_cpu_seconds()) {}
+  void reset() { start_ = thread_cpu_seconds(); }
+  [[nodiscard]] double seconds() const { return thread_cpu_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace trinity::util

@@ -1,0 +1,60 @@
+#include "validate/assembly_stats.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace trinity::validate {
+
+AssemblyStats assembly_stats(const std::vector<seq::Sequence>& seqs) {
+  AssemblyStats s;
+  s.count = seqs.size();
+  if (seqs.empty()) return s;
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(seqs.size());
+  std::size_t gc = 0;
+  std::size_t acgt = 0;
+  for (const auto& rec : seqs) {
+    lengths.push_back(rec.bases.size());
+    s.total_bases += rec.bases.size();
+    for (const char c : rec.bases) {
+      switch (c) {
+        case 'G': case 'g': case 'C': case 'c':
+          ++gc;
+          ++acgt;
+          break;
+        case 'A': case 'a': case 'T': case 't':
+          ++acgt;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  s.min_length = *std::min_element(lengths.begin(), lengths.end());
+  s.max_length = *std::max_element(lengths.begin(), lengths.end());
+  s.mean_length = static_cast<double>(s.total_bases) / static_cast<double>(s.count);
+  s.n50 = util::n50(lengths);
+  s.gc_fraction = acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+  return s;
+}
+
+std::vector<std::size_t> length_histogram(const std::vector<seq::Sequence>& seqs,
+                                          std::size_t bin_width, std::size_t num_bins) {
+  std::vector<std::size_t> bins(num_bins, 0);
+  if (bin_width == 0 || num_bins == 0) return bins;
+  for (const auto& rec : seqs) {
+    const std::size_t bin = std::min(rec.bases.size() / bin_width, num_bins - 1);
+    ++bins[bin];
+  }
+  return bins;
+}
+
+void print_assembly_stats(std::ostream& out, const AssemblyStats& s) {
+  out << "sequences: " << s.count << "\ntotal bases: " << s.total_bases
+      << "\nlength min/mean/max: " << s.min_length << " / " << s.mean_length << " / "
+      << s.max_length << "\nN50: " << s.n50 << "\nGC: " << s.gc_fraction * 100.0 << "%\n";
+}
+
+}  // namespace trinity::validate

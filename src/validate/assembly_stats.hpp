@@ -1,0 +1,37 @@
+#pragma once
+// Assembly summary statistics: the numbers every assembler README reports
+// (counts, N50, GC content, length distribution). Used by the examples and
+// handy for downstream QC.
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace trinity::validate {
+
+/// Summary of a contig or transcript set.
+struct AssemblyStats {
+  std::size_t count = 0;
+  std::size_t total_bases = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  std::size_t n50 = 0;
+  double gc_fraction = 0.0;  ///< G+C over all A/C/G/T bases
+};
+
+/// Computes summary statistics over a sequence set.
+AssemblyStats assembly_stats(const std::vector<seq::Sequence>& seqs);
+
+/// Length histogram with the given bin width; the last bin is open-ended.
+/// Returns bin counts; bin i covers [i*bin_width, (i+1)*bin_width).
+std::vector<std::size_t> length_histogram(const std::vector<seq::Sequence>& seqs,
+                                          std::size_t bin_width, std::size_t num_bins);
+
+/// Prints the stats in a compact human-readable block.
+void print_assembly_stats(std::ostream& out, const AssemblyStats& stats);
+
+}  // namespace trinity::validate

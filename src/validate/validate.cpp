@@ -1,0 +1,146 @@
+#include "validate/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "seq/kmer.hpp"
+
+namespace trinity::validate {
+
+namespace {
+
+/// Shared-k-mer candidate filter: maps each query to the target indices
+/// sharing the most canonical k-mers.
+class CandidateFinder {
+ public:
+  CandidateFinder(const std::vector<seq::Sequence>& targets, const ValidationOptions& options)
+      : targets_(targets), options_(options), codec_(options.prefilter_k) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      std::unordered_set<seq::KmerCode> seen;
+      for (const auto& occ : codec_.extract_canonical(targets[t].bases)) {
+        if (seen.insert(occ.code).second) {
+          index_[occ.code].push_back(static_cast<std::int32_t>(t));
+        }
+      }
+    }
+  }
+
+  /// Target indices ordered by decreasing shared-k-mer count, truncated to
+  /// max_candidates; targets below min_shared_kmers are dropped.
+  std::vector<std::int32_t> candidates(const seq::Sequence& query) const {
+    std::unordered_map<std::int32_t, std::size_t> shared;
+    std::unordered_set<seq::KmerCode> seen;
+    for (const auto& occ : codec_.extract_canonical(query.bases)) {
+      if (!seen.insert(occ.code).second) continue;
+      const auto it = index_.find(occ.code);
+      if (it == index_.end()) continue;
+      for (const auto t : it->second) ++shared[t];
+    }
+    std::vector<std::pair<std::int32_t, std::size_t>> ranked;
+    for (const auto& [t, n] : shared) {
+      if (n >= options_.min_shared_kmers) ranked.emplace_back(t, n);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (ranked.size() > options_.max_candidates) ranked.resize(options_.max_candidates);
+    std::vector<std::int32_t> out;
+    out.reserve(ranked.size());
+    for (const auto& [t, n] : ranked) out.push_back(t);
+    return out;
+  }
+
+ private:
+  const std::vector<seq::Sequence>& targets_;
+  const ValidationOptions& options_;
+  seq::KmerCodec codec_;
+  std::unordered_map<seq::KmerCode, std::vector<std::int32_t>> index_;
+};
+
+}  // namespace
+
+CategoryCounts all_to_all_categories(const std::vector<seq::Sequence>& query_set,
+                                     const std::vector<seq::Sequence>& target_set,
+                                     const ValidationOptions& options) {
+  CategoryCounts counts;
+  const CandidateFinder finder(target_set, options);
+
+  for (const auto& query : query_set) {
+    sw::Alignment best;
+    for (const auto t : finder.candidates(query)) {
+      const auto aln = sw::align_best_strand(query.bases, target_set[static_cast<std::size_t>(t)].bases);
+      if (aln.score > best.score) best = aln;
+    }
+    if (best.score <= 0) {
+      ++counts.unmatched;
+      continue;
+    }
+    const double coverage = best.query_coverage(query.bases.size());
+    const double identity = best.identity();
+    if (coverage >= options.full_length_coverage) {
+      if (identity >= options.identical_threshold) {
+        ++counts.full_identical;
+      } else {
+        ++counts.full_diverged;
+      }
+    } else {
+      ++counts.partial;
+      counts.partial_identities.push_back(identity);
+    }
+  }
+  return counts;
+}
+
+ReferenceComparison compare_to_reference(const std::vector<seq::Sequence>& reconstructed,
+                                         const std::vector<seq::Sequence>& reference,
+                                         const std::vector<std::int32_t>& gene_of_reference,
+                                         const ValidationOptions& options) {
+  ReferenceComparison out;
+  const CandidateFinder finder(reference, options);
+
+  std::unordered_set<std::int32_t> full_length_refs;  // reference isoform ids
+  std::unordered_set<std::int32_t> full_length_gene_set;
+  std::unordered_set<std::int32_t> fused_gene_set;
+
+  for (const auto& rec : reconstructed) {
+    // All references this reconstruction contains at full (reference)
+    // length; two hits from different genes make it a fusion.
+    std::vector<std::int32_t> contained;
+    for (const auto t : finder.candidates(rec)) {
+      const auto& ref = reference[static_cast<std::size_t>(t)];
+      const auto aln = sw::align_best_strand(ref.bases, rec.bases);
+      if (aln.score <= 0) continue;
+      const double ref_coverage = aln.query_coverage(ref.bases.size());
+      if (ref_coverage >= options.full_length_coverage &&
+          aln.identity() >= options.min_fused_identity) {
+        contained.push_back(t);
+        full_length_refs.insert(t);
+      }
+    }
+    std::unordered_set<std::int32_t> genes;
+    for (const auto t : contained) {
+      genes.insert(gene_of_reference[static_cast<std::size_t>(t)]);
+    }
+    if (genes.size() >= 2) {
+      ++out.fused_isoforms;
+      fused_gene_set.insert(genes.begin(), genes.end());
+    }
+  }
+
+  for (const auto ref : full_length_refs) {
+    full_length_gene_set.insert(gene_of_reference[static_cast<std::size_t>(ref)]);
+  }
+  out.full_length_isoforms = full_length_refs.size();
+  out.full_length_genes = full_length_gene_set.size();
+  out.fused_genes = fused_gene_set.size();
+  return out;
+}
+
+util::TTestResult compare_run_metric(const std::vector<double>& original_runs,
+                                     const std::vector<double>& parallel_runs) {
+  return util::welch_t_test(original_runs, parallel_runs);
+}
+
+}  // namespace trinity::validate

@@ -1,0 +1,164 @@
+// Tests for SAM parsing and paired-end alignment.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "align/aligner.hpp"
+#include "align/paired.hpp"
+#include "align/sam_io.hpp"
+#include "seq/dna.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::align {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+std::vector<seq::Sequence> make_contigs(std::size_t n, std::size_t len, std::uint64_t seed) {
+  std::vector<seq::Sequence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({"contig" + std::to_string(i), random_dna(len, seed + i)});
+  }
+  return out;
+}
+
+// --- SAM round trip ------------------------------------------------------------------
+
+TEST(SamIoTest, RoundTripsThroughWriteSam) {
+  const TempDir dir("samio");
+  const auto contigs = make_contigs(3, 400, 50);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+
+  std::vector<seq::Sequence> reads{
+      {"hit1", contigs[0].bases.substr(10, 70)},
+      {"hit2", seq::reverse_complement(contigs[2].bases.substr(100, 70))},
+      {"miss", random_dna(70, 777)}};
+  const auto records = aligner.align_all(reads);
+  write_sam(dir.file("x.sam"), records, contigs);
+
+  const auto parsed = read_sam(dir.file("x.sam"));
+  ASSERT_EQ(parsed.references.size(), 3u);
+  EXPECT_EQ(parsed.references[1].name, "contig1");
+  ASSERT_EQ(parsed.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed.records[i].read_name, records[i].read_name);
+    EXPECT_EQ(parsed.records[i].aligned(), records[i].aligned());
+    if (!records[i].aligned()) continue;
+    EXPECT_EQ(parsed.records[i].target_name, records[i].target_name);
+    EXPECT_EQ(parsed.records[i].pos, records[i].pos);
+    EXPECT_EQ(parsed.records[i].reverse_strand, records[i].reverse_strand);
+    EXPECT_EQ(parsed.records[i].mismatches, records[i].mismatches);
+    EXPECT_EQ(parsed.records[i].read_length, records[i].read_length);
+  }
+}
+
+TEST(SamIoTest, UnknownReferenceThrows) {
+  const TempDir dir("sambad");
+  std::ofstream(dir.file("bad.sam"))
+      << "@HD\tVN:1.6\n@SQ\tSN:known\tLN:100\nr1\t0\tmystery\t1\t255\t50M\t*\t0\t0\t*\t*\n";
+  EXPECT_THROW(read_sam(dir.file("bad.sam")), std::runtime_error);
+}
+
+TEST(SamIoTest, AlignmentBeyondReferenceEndThrows) {
+  const TempDir dir("samlong");
+  std::ofstream(dir.file("bad.sam"))
+      << "@SQ\tSN:c\tLN:60\nr1\t0\tc\t40\t255\t50M\t*\t0\t0\t*\t*\n";
+  EXPECT_THROW(read_sam(dir.file("bad.sam")), std::runtime_error);
+}
+
+TEST(SamIoTest, MalformedRowThrows) {
+  const TempDir dir("samrow");
+  std::ofstream(dir.file("bad.sam")) << "@SQ\tSN:c\tLN:60\nr1\tnot_a_flag\n";
+  EXPECT_THROW(read_sam(dir.file("bad.sam")), std::runtime_error);
+}
+
+TEST(SamIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_sam("/no/such/file.sam"), std::runtime_error);
+}
+
+// --- paired alignment ------------------------------------------------------------------
+
+struct PairedFixture {
+  std::vector<seq::Sequence> contigs = make_contigs(2, 600, 90);
+  ContigIndex index{contigs, AlignerOptions{}};
+  SeedExtendAligner aligner{index};
+};
+
+TEST(PairedTest, ProperPairDetected) {
+  PairedFixture f;
+  // FR fragment of span 300 on contig 0.
+  const seq::Sequence mate1{"f/1", f.contigs[0].bases.substr(100, 70)};
+  const seq::Sequence mate2{"f/2",
+                            seq::reverse_complement(f.contigs[0].bases.substr(330, 70))};
+  const auto pair = align_pair(f.aligner, mate1, mate2);
+  EXPECT_TRUE(pair.proper);
+  EXPECT_EQ(pair.insert, 300u);
+  EXPECT_EQ(pair.mate1.target_name, "contig0");
+}
+
+TEST(PairedTest, SameStrandIsNotProper) {
+  PairedFixture f;
+  const seq::Sequence mate1{"f/1", f.contigs[0].bases.substr(100, 70)};
+  const seq::Sequence mate2{"f/2", f.contigs[0].bases.substr(330, 70)};  // forward too
+  const auto pair = align_pair(f.aligner, mate1, mate2);
+  EXPECT_FALSE(pair.proper);
+  EXPECT_TRUE(pair.mate1.aligned());
+  EXPECT_TRUE(pair.mate2.aligned());
+}
+
+TEST(PairedTest, DifferentTargetsAreNotProper) {
+  PairedFixture f;
+  const seq::Sequence mate1{"f/1", f.contigs[0].bases.substr(100, 70)};
+  const seq::Sequence mate2{"f/2",
+                            seq::reverse_complement(f.contigs[1].bases.substr(330, 70))};
+  EXPECT_FALSE(align_pair(f.aligner, mate1, mate2).proper);
+}
+
+TEST(PairedTest, InsertWindowEnforced) {
+  PairedFixture f;
+  const seq::Sequence mate1{"f/1", f.contigs[0].bases.substr(0, 70)};
+  const seq::Sequence mate2{"f/2",
+                            seq::reverse_complement(f.contigs[0].bases.substr(520, 70))};
+  PairingOptions tight;
+  tight.max_insert = 300;  // the real span is ~590
+  EXPECT_FALSE(align_pair(f.aligner, mate1, mate2, tight).proper);
+  PairingOptions loose;
+  loose.max_insert = 700;
+  EXPECT_TRUE(align_pair(f.aligner, mate1, mate2, loose).proper);
+}
+
+TEST(PairedTest, RfOrientationRejected) {
+  PairedFixture f;
+  // Reverse mate UPSTREAM of forward mate: an RF (outward-facing) pair.
+  const seq::Sequence mate1{"f/1",
+                            seq::reverse_complement(f.contigs[0].bases.substr(100, 70))};
+  const seq::Sequence mate2{"f/2", f.contigs[0].bases.substr(330, 70)};
+  EXPECT_FALSE(align_pair(f.aligner, mate1, mate2).proper);
+}
+
+TEST(PairedTest, AlignPairsGroupsByFragmentName) {
+  PairedFixture f;
+  std::vector<seq::Sequence> reads{
+      {"a/1", f.contigs[0].bases.substr(50, 70)},
+      {"a/2", seq::reverse_complement(f.contigs[0].bases.substr(300, 70))},
+      {"b/1", f.contigs[1].bases.substr(10, 70)},  // mate 2 missing
+      {"loner", f.contigs[1].bases.substr(200, 70)}};
+  const auto pairs = align_pairs(f.aligner, reads);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(pairs[0].proper);
+  EXPECT_FALSE(pairs[1].proper);  // half pair
+  EXPECT_TRUE(pairs[1].mate1.aligned());
+  EXPECT_FALSE(pairs[2].proper);  // unpaired name
+  EXPECT_TRUE(pairs[2].mate1.aligned());
+  EXPECT_NEAR(proper_pair_rate(pairs), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairedTest, ProperPairRateEmptyIsZero) {
+  EXPECT_EQ(proper_pair_rate({}), 0.0);
+}
+
+}  // namespace
+}  // namespace trinity::align

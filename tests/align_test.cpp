@@ -1,0 +1,235 @@
+// Tests for the Bowtie substitute: placement correctness, mismatch budget,
+// strand handling, SAM output, and the distributed split-targets driver
+// against the serial oracle.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "align/aligner.hpp"
+#include "align/mpi_bowtie.hpp"
+#include "seq/dna.hpp"
+#include "seq/fasta.hpp"
+#include "simpi/context.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::align {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+std::vector<seq::Sequence> make_contigs(std::size_t n, std::size_t len, std::uint64_t seed) {
+  std::vector<seq::Sequence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({"contig" + std::to_string(i), random_dna(len, seed + i)});
+  }
+  return out;
+}
+
+TEST(AlignerTest, ExactReadPlacedAtTruePosition) {
+  const auto contigs = make_contigs(5, 500, 100);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+
+  const seq::Sequence read{"r", contigs[2].bases.substr(137, 80)};
+  const auto rec = aligner.align_read(read);
+  ASSERT_TRUE(rec.aligned());
+  EXPECT_EQ(rec.target_name, "contig2");
+  EXPECT_EQ(rec.pos, 137u);
+  EXPECT_EQ(rec.mismatches, 0);
+  EXPECT_FALSE(rec.reverse_strand);
+}
+
+TEST(AlignerTest, ReverseStrandReadDetected) {
+  const auto contigs = make_contigs(3, 400, 200);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+
+  const seq::Sequence read{"r",
+                           seq::reverse_complement(contigs[1].bases.substr(50, 70))};
+  const auto rec = aligner.align_read(read);
+  ASSERT_TRUE(rec.aligned());
+  EXPECT_EQ(rec.target_name, "contig1");
+  EXPECT_EQ(rec.pos, 50u);
+  EXPECT_TRUE(rec.reverse_strand);
+  EXPECT_EQ(rec.mismatches, 0);
+}
+
+TEST(AlignerTest, MismatchesWithinBudgetCounted) {
+  const auto contigs = make_contigs(1, 300, 300);
+  AlignerOptions options;
+  options.max_mismatches = 2;
+  const ContigIndex index(contigs, options);
+  const SeedExtendAligner aligner(index);
+
+  std::string bases = contigs[0].bases.substr(100, 80);
+  bases[40] = bases[40] == 'A' ? 'C' : 'A';  // middle; seeds at ends stay exact
+  const auto rec = aligner.align_read({"r", bases});
+  ASSERT_TRUE(rec.aligned());
+  EXPECT_EQ(rec.mismatches, 1);
+  EXPECT_EQ(rec.pos, 100u);
+}
+
+TEST(AlignerTest, OverBudgetReadIsUnaligned) {
+  const auto contigs = make_contigs(1, 300, 400);
+  AlignerOptions options;
+  options.max_mismatches = 1;
+  const ContigIndex index(contigs, options);
+  const SeedExtendAligner aligner(index);
+
+  std::string bases = contigs[0].bases.substr(50, 90);
+  // Three spread-out mismatches exceed the budget.
+  for (const std::size_t p : {25u, 45u, 65u}) {
+    bases[p] = bases[p] == 'A' ? 'C' : 'A';
+  }
+  const auto rec = aligner.align_read({"r", bases});
+  EXPECT_FALSE(rec.aligned());
+}
+
+TEST(AlignerTest, ForeignReadIsUnaligned) {
+  const auto contigs = make_contigs(4, 400, 500);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+  const auto rec = aligner.align_read({"alien", random_dna(80, 999999)});
+  EXPECT_FALSE(rec.aligned());
+}
+
+TEST(AlignerTest, ReadShorterThanSeedIsUnaligned) {
+  const auto contigs = make_contigs(1, 200, 600);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+  EXPECT_FALSE(aligner.align_read({"tiny", "ACGT"}).aligned());
+}
+
+TEST(AlignerTest, AlignAllPreservesOrder) {
+  const auto contigs = make_contigs(3, 500, 700);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+
+  std::vector<seq::Sequence> reads;
+  for (int i = 0; i < 50; ++i) {
+    const auto c = static_cast<std::size_t>(i % 3);
+    reads.push_back({"r" + std::to_string(i), contigs[c].bases.substr(
+                                                  static_cast<std::size_t>(i) * 5, 60)});
+  }
+  const auto records = aligner.align_all(reads);
+  ASSERT_EQ(records.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(records[i].read_name, reads[i].name);
+    ASSERT_TRUE(records[i].aligned());
+    EXPECT_EQ(records[i].target_name, "contig" + std::to_string(i % 3));
+  }
+}
+
+TEST(AlignerTest, HyperRepetitiveSeedsSuppressed) {
+  // A poly-A contig makes one seed with hundreds of hits; the index must
+  // suppress it rather than explode.
+  std::vector<seq::Sequence> contigs{{"polyA", std::string(500, 'A')}};
+  AlignerOptions options;
+  options.max_hits_per_seed = 10;
+  const ContigIndex index(contigs, options);
+  const seq::KmerCodec codec(options.seed_length);
+  const auto code = codec.encode(std::string(16, 'A'));
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(index.lookup(*code), nullptr);
+}
+
+TEST(SamTest, WriteContainsHeaderAndRecords) {
+  const TempDir dir("sam");
+  const auto contigs = make_contigs(2, 300, 800);
+  const ContigIndex index(contigs, AlignerOptions{});
+  const SeedExtendAligner aligner(index);
+  std::vector<seq::Sequence> reads{{"good", contigs[0].bases.substr(10, 60)},
+                                   {"bad", random_dna(60, 54321)}};
+  const auto records = aligner.align_all(reads);
+  write_sam(dir.file("out.sam"), records, contigs);
+
+  std::ifstream in(dir.file("out.sam"));
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("@HD"), std::string::npos);
+  EXPECT_NE(text.find("@SQ\tSN:contig0\tLN:300"), std::string::npos);
+  EXPECT_NE(text.find("good\t0\tcontig0\t11\t"), std::string::npos);  // 1-based pos
+  EXPECT_NE(text.find("bad\t4\t*"), std::string::npos);               // unmapped flag
+}
+
+TEST(SamTest, MergeDropsPartHeaders) {
+  const TempDir dir("merge");
+  const auto contigs = make_contigs(1, 200, 900);
+  std::vector<SamRecord> recs(1);
+  recs[0].read_name = "r0";
+  recs[0].target_id = 0;
+  recs[0].target_name = "contig0";
+  recs[0].read_length = 50;
+  write_sam(dir.file("a.sam"), recs, contigs);
+  recs[0].read_name = "r1";
+  write_sam(dir.file("b.sam"), recs, contigs);
+
+  merge_sam_files({dir.file("a.sam"), dir.file("b.sam")}, dir.file("m.sam"), contigs);
+  std::ifstream in(dir.file("m.sam"));
+  std::string line;
+  int headers = 0;
+  int records = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '@') {
+      ++headers;
+    } else {
+      ++records;
+    }
+  }
+  EXPECT_EQ(headers, 2);  // @HD + one @SQ, once
+  EXPECT_EQ(records, 2);
+}
+
+// --- distributed driver ------------------------------------------------------------
+
+class DistributedBowtie : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedBowtie, MatchesSerialBestHits) {
+  const int nranks = GetParam();
+  const auto contigs = make_contigs(12, 400, 1000);
+  std::vector<seq::Sequence> reads;
+  util::Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const auto c = rng.uniform_below(contigs.size());
+    const auto pos = rng.uniform_below(contigs[c].bases.size() - 80);
+    reads.push_back({"r" + std::to_string(i), contigs[c].bases.substr(pos, 80)});
+  }
+  // A few unalignable reads exercise the unmapped path.
+  reads.push_back({"alien1", random_dna(80, 777)});
+  reads.push_back({"alien2", random_dna(80, 778)});
+
+  const AlignerOptions options;
+  const ContigIndex index(contigs, options);
+  const SeedExtendAligner serial(index);
+  const auto expected = serial.align_all(reads);
+
+  std::vector<SamRecord> distributed;
+  DistributedBowtieTiming timing;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    auto result = distributed_bowtie(ctx, contigs, reads, options);
+    if (ctx.rank() == 0) {
+      distributed = std::move(result.records);
+      timing = result.timing;
+    }
+  });
+
+  ASSERT_EQ(distributed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(distributed[i].aligned(), expected[i].aligned()) << "read " << i;
+    if (!expected[i].aligned()) continue;
+    // Placement must be at least as good as the serial best (same
+    // mismatches; position may tie-break differently only at equal cost).
+    EXPECT_EQ(distributed[i].mismatches, expected[i].mismatches) << "read " << i;
+    EXPECT_EQ(distributed[i].target_name, expected[i].target_name) << "read " << i;
+    EXPECT_EQ(distributed[i].pos, expected[i].pos) << "read " << i;
+  }
+  EXPECT_GE(timing.align_seconds_max, timing.align_seconds_min);
+  EXPECT_GE(timing.total_seconds(), timing.align_seconds_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, DistributedBowtie, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace trinity::align

@@ -1,0 +1,67 @@
+// Tests for the assembly summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "validate/assembly_stats.hpp"
+
+namespace trinity::validate {
+namespace {
+
+TEST(AssemblyStatsTest, EmptySetIsAllZeros) {
+  const auto s = assembly_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.total_bases, 0u);
+  EXPECT_EQ(s.n50, 0u);
+}
+
+TEST(AssemblyStatsTest, KnownValues) {
+  const std::vector<seq::Sequence> seqs{
+      {"a", "GGGG"},      // 4 bases, all GC
+      {"b", "AAAAAAAA"},  // 8 bases, no GC
+  };
+  const auto s = assembly_stats(seqs);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.total_bases, 12u);
+  EXPECT_EQ(s.min_length, 4u);
+  EXPECT_EQ(s.max_length, 8u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 6.0);
+  EXPECT_EQ(s.n50, 8u);
+  EXPECT_NEAR(s.gc_fraction, 4.0 / 12.0, 1e-12);
+}
+
+TEST(AssemblyStatsTest, NBasesExcludedFromGc) {
+  const auto s = assembly_stats({{"a", "GCNN"}});
+  EXPECT_DOUBLE_EQ(s.gc_fraction, 1.0);  // N does not dilute GC
+}
+
+TEST(AssemblyStatsTest, HistogramBinsAndOverflow) {
+  const std::vector<seq::Sequence> seqs{
+      {"a", std::string(50, 'A')},
+      {"b", std::string(150, 'A')},
+      {"c", std::string(10000, 'A')},  // lands in the open-ended last bin
+  };
+  const auto bins = length_histogram(seqs, 100, 3);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0], 1u);
+  EXPECT_EQ(bins[1], 1u);
+  EXPECT_EQ(bins[2], 1u);
+}
+
+TEST(AssemblyStatsTest, HistogramDegenerateArgs) {
+  EXPECT_TRUE(length_histogram({{"a", "ACGT"}}, 0, 5).size() == 5);
+  EXPECT_TRUE(length_histogram({{"a", "ACGT"}}, 10, 0).empty());
+}
+
+TEST(AssemblyStatsTest, PrintIncludesHeadlineNumbers) {
+  std::ostringstream out;
+  print_assembly_stats(out, assembly_stats({{"a", "ACGTACGT"}}));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("sequences: 1"), std::string::npos);
+  EXPECT_NE(text.find("N50: 8"), std::string::npos);
+  EXPECT_NE(text.find("GC: 50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trinity::validate

@@ -1,0 +1,121 @@
+// Tests for union-find and the contig clustering that builds Inchworm
+// bundles, including the pair-order independence the hybrid run relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "chrysalis/components.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+TEST(UnionFindTest, SingletonsAreTheirOwnRoots) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::int32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFindTest, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+}
+
+TEST(UnionFindTest, TransitivityHoldsOverChains) {
+  constexpr std::size_t kN = 200;
+  UnionFind uf(kN);
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    uf.unite(static_cast<std::int32_t>(i), static_cast<std::int32_t>(i + 1));
+  }
+  EXPECT_EQ(uf.num_sets(), 1u);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(uf.find(static_cast<std::int32_t>(i)), uf.find(0));
+  }
+}
+
+TEST(ClusterTest, NoPairsMeansSingletonComponents) {
+  const auto set = cluster_contigs(4, {});
+  EXPECT_EQ(set.num_components(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(set.component_of[i], static_cast<std::int32_t>(i));
+    EXPECT_EQ(set.components[i].contig_ids, std::vector<std::int32_t>{static_cast<std::int32_t>(i)});
+  }
+}
+
+TEST(ClusterTest, PairsMergeComponents) {
+  const auto set = cluster_contigs(6, {{0, 2}, {2, 4}, {1, 5}});
+  EXPECT_EQ(set.num_components(), 3u);  // {0,2,4}, {1,5}, {3}
+  EXPECT_EQ(set.component_of[0], set.component_of[2]);
+  EXPECT_EQ(set.component_of[0], set.component_of[4]);
+  EXPECT_EQ(set.component_of[1], set.component_of[5]);
+  EXPECT_NE(set.component_of[0], set.component_of[1]);
+  EXPECT_NE(set.component_of[3], set.component_of[0]);
+}
+
+TEST(ClusterTest, ComponentMembersSortedAndIdsByMinMember) {
+  const auto set = cluster_contigs(5, {{4, 1}, {3, 0}});
+  // Components by smallest member: {0,3} -> id 0, {1,4} -> id 1, {2} -> id 2.
+  ASSERT_EQ(set.num_components(), 3u);
+  EXPECT_EQ(set.components[0].contig_ids, (std::vector<std::int32_t>{0, 3}));
+  EXPECT_EQ(set.components[1].contig_ids, (std::vector<std::int32_t>{1, 4}));
+  EXPECT_EQ(set.components[2].contig_ids, (std::vector<std::int32_t>{2}));
+}
+
+TEST(ClusterTest, ResultIndependentOfPairOrder) {
+  // The hybrid run pools pairs in rank-concatenation order, which differs
+  // from the shared-memory order; clustering must not care.
+  std::vector<ContigPair> pairs{{0, 1}, {2, 3}, {1, 2}, {5, 6}, {8, 9}, {6, 8}};
+  const auto reference = cluster_contigs(10, pairs);
+  std::mt19937 gen(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(pairs.begin(), pairs.end(), gen);
+    const auto shuffled = cluster_contigs(10, pairs);
+    EXPECT_EQ(shuffled.component_of, reference.component_of) << "trial " << trial;
+    ASSERT_EQ(shuffled.num_components(), reference.num_components());
+    for (std::size_t c = 0; c < reference.num_components(); ++c) {
+      EXPECT_EQ(shuffled.components[c].contig_ids, reference.components[c].contig_ids);
+    }
+  }
+}
+
+TEST(ClusterTest, SelfPairIsHarmless) {
+  const auto set = cluster_contigs(3, {{1, 1}});
+  EXPECT_EQ(set.num_components(), 3u);
+}
+
+TEST(ClusterTest, DuplicatePairsAreHarmless) {
+  const auto set = cluster_contigs(3, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(set.num_components(), 2u);
+}
+
+TEST(ClusterTest, OutOfRangePairThrows) {
+  EXPECT_THROW(cluster_contigs(3, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(cluster_contigs(3, {{-1, 0}}), std::out_of_range);
+}
+
+TEST(ClusterTest, EmptyUniverse) {
+  const auto set = cluster_contigs(0, {});
+  EXPECT_EQ(set.num_components(), 0u);
+  EXPECT_TRUE(set.component_of.empty());
+}
+
+TEST(ClusterTest, ComponentOfIsConsistentWithMembership) {
+  const auto set = cluster_contigs(8, {{0, 7}, {1, 2}, {2, 3}});
+  for (const auto& comp : set.components) {
+    for (const auto id : comp.contig_ids) {
+      EXPECT_EQ(set.component_of[static_cast<std::size_t>(id)], comp.id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis

@@ -1,0 +1,266 @@
+// Tests for the future-work extensions of Chrysalis: dynamic
+// (self-scheduled) distribution, cooperative hybrid setup, collective R2T
+// output, and the read-split Bowtie mode.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "align/mpi_bowtie.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "kmer/counter.hpp"
+#include "seq/fasta.hpp"
+#include "simpi/context.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+using trinity::testing::tile_reads;
+
+constexpr int kTestK = 15;
+
+struct Scenario {
+  std::vector<seq::Sequence> contigs;
+  std::vector<seq::Sequence> reads;
+};
+
+Scenario build_scenario(std::size_t n_pairs, std::size_t n_single, std::uint64_t seed) {
+  Scenario s;
+  util::Rng rng(seed);
+  auto add_reads = [&](const std::string& source) {
+    auto reads = tile_reads(source, 50, 4, "r" + std::to_string(s.reads.size()) + "_");
+    s.reads.insert(s.reads.end(), reads.begin(), reads.end());
+  };
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    const std::string shared = random_dna(60, rng());
+    seq::Sequence a{"a" + std::to_string(p),
+                    random_dna(80, rng()) + shared + random_dna(80, rng())};
+    seq::Sequence b{"b" + std::to_string(p),
+                    random_dna(80, rng()) + shared + random_dna(80, rng())};
+    add_reads(a.bases);
+    add_reads(b.bases);
+    s.contigs.push_back(std::move(a));
+    s.contigs.push_back(std::move(b));
+  }
+  for (std::size_t i = 0; i < n_single; ++i) {
+    seq::Sequence c{"solo" + std::to_string(i), random_dna(220, rng())};
+    add_reads(c.bases);
+    s.contigs.push_back(std::move(c));
+  }
+  return s;
+}
+
+kmer::KmerCounter make_counter(const std::vector<seq::Sequence>& reads) {
+  kmer::CounterOptions o;
+  o.k = kTestK;
+  kmer::KmerCounter counter(o);
+  counter.add_sequences(reads);
+  return counter;
+}
+
+GraphFromFastaOptions gff_options() {
+  GraphFromFastaOptions o;
+  o.k = kTestK;
+  o.model_threads_per_rank = 4;
+  return o;
+}
+
+// --- dynamic distribution ----------------------------------------------------------
+
+class GffDynamic : public ::testing::TestWithParam<int> {};
+
+TEST_P(GffDynamic, MatchesSharedMemoryRun) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(3, 4, 71);
+  const auto counter = make_counter(s.reads);
+  const auto expected = run_shared(s.contigs, counter, gff_options());
+
+  auto options = gff_options();
+  options.distribution = Distribution::kDynamic;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_EQ(result.welds, expected.welds);
+    EXPECT_EQ(result.pairs, expected.pairs);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+    EXPECT_EQ(result.timing.loop1.seconds.size(), static_cast<std::size_t>(nranks));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, GffDynamic, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(GffDynamic2, RepeatedRunsInOneWorldAreConsistent) {
+  // The dynamic counters must reset correctly between run_hybrid calls in
+  // the same world.
+  const auto s = build_scenario(2, 2, 73);
+  const auto counter = make_counter(s.reads);
+  const auto expected = run_shared(s.contigs, counter, gff_options());
+  auto options = gff_options();
+  options.distribution = Distribution::kDynamic;
+  simpi::run(3, [&](simpi::Context& ctx) {
+    for (int round = 0; round < 3; ++round) {
+      const auto result = run_hybrid(ctx, s.contigs, counter, options);
+      EXPECT_EQ(result.components.component_of, expected.components.component_of)
+          << "round " << round;
+    }
+  });
+}
+
+TEST(GffDynamic2, ChargesRmaCommunication) {
+  const auto s = build_scenario(1, 2, 79);
+  const auto counter = make_counter(s.reads);
+  auto options = gff_options();
+  options.distribution = Distribution::kDynamic;
+  options.chunk_size = 1;  // many claims -> visible RMA cost
+  simpi::run(2, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_GT(result.timing.comm_seconds, 0.0);
+  });
+}
+
+// --- cooperative hybrid setup --------------------------------------------------------
+
+class GffHybridSetup : public ::testing::TestWithParam<int> {};
+
+TEST_P(GffHybridSetup, ProducesIdenticalComponents) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(3, 3, 83);
+  const auto counter = make_counter(s.reads);
+  const auto expected = run_shared(s.contigs, counter, gff_options());
+  auto options = gff_options();
+  options.hybrid_setup = true;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_EQ(result.welds, expected.welds);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, GffHybridSetup, ::testing::Values(1, 2, 4, 6));
+
+TEST(GffHybridSetupDetail, PartialMapsMergeToSerialMap) {
+  const auto s = build_scenario(2, 3, 89);
+  const auto serial = detail::contig_kmer_multiplicity(s.contigs, kTestK);
+  simpi::run(4, [&](simpi::Context& ctx) {
+    const auto merged = detail::hybrid_contig_kmer_multiplicity(ctx, s.contigs, kTestK);
+    EXPECT_EQ(merged.size(), serial.size());
+    for (const auto& [code, count] : serial) {
+      const auto it = merged.find(code);
+      ASSERT_NE(it, merged.end());
+      EXPECT_EQ(it->second, count);
+    }
+  });
+}
+
+// --- collective R2T output ------------------------------------------------------------
+
+TEST(R2TCollectiveOutput, FileMatchesConcatScheme) {
+  const TempDir dir_a("r2t_coll_a");
+  const TempDir dir_b("r2t_coll_b");
+  util::Rng rng(97);
+  std::vector<seq::Sequence> contigs;
+  std::vector<seq::Sequence> reads;
+  for (int c = 0; c < 4; ++c) {
+    contigs.push_back({"c" + std::to_string(c), random_dna(300, rng())});
+    for (int r = 0; r < 10; ++r) {
+      const auto pos = rng.uniform_below(240);
+      reads.push_back({"r" + std::to_string(c * 10 + r),
+                       contigs.back().bases.substr(pos, 60)});
+    }
+  }
+  const auto components = cluster_contigs(contigs.size(), {});
+  seq::write_fasta(dir_a.file("reads.fa"), reads);
+  seq::write_fasta(dir_b.file("reads.fa"), reads);
+
+  ReadsToTranscriptsOptions options;
+  options.k = kTestK;
+  options.max_mem_reads = 7;
+  options.model_threads_per_rank = 4;
+
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+
+  std::string concat_content;
+  std::string collective_content;
+  simpi::run(3, [&](simpi::Context& ctx) {
+    auto concat_opts = options;
+    concat_opts.output_mode = R2TOutputMode::kPerRankConcat;
+    const auto a =
+        run_hybrid(ctx, contigs, components, dir_a.file("reads.fa"), concat_opts, dir_a.str());
+    auto coll_opts = options;
+    coll_opts.output_mode = R2TOutputMode::kCollective;
+    const auto b =
+        run_hybrid(ctx, contigs, components, dir_b.file("reads.fa"), coll_opts, dir_b.str());
+    if (ctx.rank() == 0) {
+      concat_content = read_file(a.merged_output_path);
+      collective_content = read_file(b.merged_output_path);
+    }
+    // Assignments identical regardless of output mode.
+    ASSERT_EQ(a.assignments.size(), b.assignments.size());
+    for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+      EXPECT_EQ(a.assignments[i].component, b.assignments[i].component);
+    }
+  });
+  EXPECT_FALSE(concat_content.empty());
+  EXPECT_EQ(collective_content, concat_content);
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis
+
+// --- read-split Bowtie -------------------------------------------------------------------
+
+namespace trinity::align {
+namespace {
+
+using trinity::testing::random_dna;
+
+class BowtieReadSplit : public ::testing::TestWithParam<int> {};
+
+TEST_P(BowtieReadSplit, MatchesSerialAligner) {
+  const int nranks = GetParam();
+  util::Rng rng(7);
+  std::vector<seq::Sequence> contigs;
+  for (int i = 0; i < 10; ++i) {
+    contigs.push_back({"contig" + std::to_string(i), random_dna(400, rng())});
+  }
+  std::vector<seq::Sequence> reads;
+  for (int i = 0; i < 90; ++i) {
+    const auto c = rng.uniform_below(contigs.size());
+    const auto pos = rng.uniform_below(contigs[c].bases.size() - 80);
+    reads.push_back({"r" + std::to_string(i), contigs[c].bases.substr(pos, 80)});
+  }
+  reads.push_back({"alien", random_dna(80, 424242)});
+
+  const AlignerOptions options;
+  const ContigIndex index(contigs, options);
+  const SeedExtendAligner serial(index);
+  const auto expected = serial.align_all(reads);
+
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result =
+        distributed_bowtie(ctx, contigs, reads, options, BowtieSplit::kReads);
+    if (ctx.rank() != 0) return;
+    ASSERT_EQ(result.records.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.records[i].aligned(), expected[i].aligned()) << "read " << i;
+      if (!expected[i].aligned()) continue;
+      EXPECT_EQ(result.records[i].target_name, expected[i].target_name) << "read " << i;
+      EXPECT_EQ(result.records[i].pos, expected[i].pos) << "read " << i;
+      EXPECT_EQ(result.records[i].mismatches, expected[i].mismatches) << "read " << i;
+    }
+    // No serial split phase in read-split mode.
+    EXPECT_EQ(result.timing.split_seconds, 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, BowtieReadSplit, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace trinity::align

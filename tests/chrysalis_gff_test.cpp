@@ -1,0 +1,332 @@
+// Tests for GraphFromFasta: weld harvesting semantics, read-support
+// gating, pair derivation, and — the paper's central claim — equivalence
+// of the hybrid (simpi+OpenMP) run with the shared-memory run across rank
+// counts and distribution strategies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "chrysalis/graph_from_fasta.hpp"
+#include "kmer/counter.hpp"
+#include "seq/dna.hpp"
+#include "simpi/context.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::random_dna;
+using trinity::testing::tile_reads;
+
+constexpr int kTestK = 15;
+
+GraphFromFastaOptions test_options() {
+  GraphFromFastaOptions o;
+  o.k = kTestK;
+  o.min_weld_support = 2;
+  o.model_threads_per_rank = 4;
+  return o;
+}
+
+/// A scenario with `n_pairs` welded contig pairs plus `n_single` loners.
+struct Scenario {
+  std::vector<seq::Sequence> contigs;
+  std::vector<seq::Sequence> reads;
+  std::vector<std::pair<int, int>> welded;  // expected same-component pairs
+};
+
+Scenario build_scenario(std::size_t n_pairs, std::size_t n_single, std::uint64_t seed) {
+  Scenario s;
+  util::Rng rng(seed);
+  auto add_reads = [&](const std::string& source) {
+    // Dense tiling: every k-mer is covered several times, giving the weld
+    // support the threshold requires.
+    auto reads = tile_reads(source, 50, 4, "r" + std::to_string(s.reads.size()) + "_");
+    s.reads.insert(s.reads.end(), reads.begin(), reads.end());
+  };
+
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    const std::string shared = random_dna(60, rng());  // > 2k, room for flanks
+    seq::Sequence a{"a" + std::to_string(p), random_dna(80, rng()) + shared + random_dna(80, rng())};
+    seq::Sequence b{"b" + std::to_string(p), random_dna(80, rng()) + shared + random_dna(80, rng())};
+    s.welded.emplace_back(static_cast<int>(s.contigs.size()),
+                          static_cast<int>(s.contigs.size()) + 1);
+    add_reads(a.bases);
+    add_reads(b.bases);
+    s.contigs.push_back(std::move(a));
+    s.contigs.push_back(std::move(b));
+  }
+  for (std::size_t i = 0; i < n_single; ++i) {
+    seq::Sequence c{"solo" + std::to_string(i), random_dna(220, rng())};
+    add_reads(c.bases);
+    s.contigs.push_back(std::move(c));
+  }
+  return s;
+}
+
+kmer::KmerCounter make_counter(const std::vector<seq::Sequence>& reads) {
+  kmer::CounterOptions o;
+  o.k = kTestK;
+  kmer::KmerCounter counter(o);
+  counter.add_sequences(reads);
+  return counter;
+}
+
+TEST(GffShared, SharedRegionWeldsContigPair) {
+  const auto s = build_scenario(1, 1, 11);
+  const auto counter = make_counter(s.reads);
+  const auto result = run_shared(s.contigs, counter, test_options());
+
+  EXPECT_FALSE(result.welds.empty()) << "shared region must yield welding sequences";
+  // Contigs 0 and 1 share a 60-base region -> same component; contig 2 alone.
+  EXPECT_EQ(result.components.component_of[0], result.components.component_of[1]);
+  EXPECT_NE(result.components.component_of[2], result.components.component_of[0]);
+  EXPECT_EQ(result.components.num_components(), 2u);
+  // Pairs must contain (0, 1).
+  EXPECT_TRUE(std::any_of(result.pairs.begin(), result.pairs.end(), [](const ContigPair& p) {
+    return p.a == 0 && p.b == 1;
+  }));
+}
+
+TEST(GffShared, DisjointContigsStaySeparate) {
+  Scenario s;
+  util::Rng rng(13);
+  for (int i = 0; i < 4; ++i) {
+    seq::Sequence c{"c" + std::to_string(i), random_dna(200, rng())};
+    auto reads = tile_reads(c.bases, 50, 4, "r" + std::to_string(i) + "_");
+    s.reads.insert(s.reads.end(), reads.begin(), reads.end());
+    s.contigs.push_back(std::move(c));
+  }
+  const auto counter = make_counter(s.reads);
+  const auto result = run_shared(s.contigs, counter, test_options());
+  EXPECT_TRUE(result.welds.empty());
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.components.num_components(), 4u);
+}
+
+TEST(GffShared, WithoutReadSupportNoWeld) {
+  auto s = build_scenario(1, 0, 17);
+  // Starve the weld of read support: an unrelated read set.
+  const std::vector<seq::Sequence> foreign = tile_reads(random_dna(400, 999), 50, 4);
+  const auto counter = make_counter(foreign);
+  const auto result = run_shared(s.contigs, counter, test_options());
+  EXPECT_TRUE(result.welds.empty())
+      << "welds require read support (paper: 'welding ... if read support exists')";
+  EXPECT_EQ(result.components.num_components(), 2u);
+}
+
+TEST(GffShared, SupportThresholdGates) {
+  const auto s = build_scenario(1, 0, 19);
+  const auto counter = make_counter(s.reads);
+  auto options = test_options();
+  options.min_weld_support = 1000;  // unreachable
+  const auto result = run_shared(s.contigs, counter, options);
+  EXPECT_TRUE(result.welds.empty());
+}
+
+TEST(GffShared, WeldsHaveBoundedLength) {
+  const auto s = build_scenario(2, 0, 23);
+  const auto counter = make_counter(s.reads);
+  const auto result = run_shared(s.contigs, counter, test_options());
+  ASSERT_FALSE(result.welds.empty());
+  for (const auto& weld : result.welds) {
+    // Seed (k-1) plus up to k/2 flanks each side, clamped at contig ends,
+    // never below one full k-mer.
+    EXPECT_GE(weld.size(), static_cast<std::size_t>(kTestK));
+    EXPECT_LE(weld.size(), static_cast<std::size_t>(kTestK - 1 + 2 * (kTestK / 2)));
+  }
+}
+
+TEST(GffShared, WeldsAreCanonicalAndUnique) {
+  const auto s = build_scenario(2, 1, 29);
+  const auto counter = make_counter(s.reads);
+  const auto result = run_shared(s.contigs, counter, test_options());
+  auto sorted = result.welds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  for (const auto& weld : result.welds) {
+    EXPECT_LE(weld, seq::reverse_complement(weld)) << "welds must be stored canonically";
+  }
+}
+
+TEST(GffShared, ReverseComplementContigStillWelds) {
+  // Contig B carries the shared region on the opposite strand; canonical
+  // weld matching must still pair them.
+  util::Rng rng(31);
+  const std::string shared = random_dna(60, rng());
+  std::vector<seq::Sequence> contigs{
+      {"a", random_dna(80, rng()) + shared + random_dna(80, rng())},
+      {"b", random_dna(80, rng()) + seq::reverse_complement(shared) + random_dna(80, rng())}};
+  std::vector<seq::Sequence> reads;
+  for (const auto& c : contigs) {
+    const auto tiles = tile_reads(c.bases, 50, 4, c.name + "_");
+    reads.insert(reads.end(), tiles.begin(), tiles.end());
+  }
+  const auto counter = make_counter(reads);
+  const auto result = run_shared(contigs, counter, test_options());
+  EXPECT_EQ(result.components.num_components(), 1u);
+}
+
+TEST(GffShared, ExtraPairsJoinClustering) {
+  const auto s = build_scenario(0, 3, 37);
+  const auto counter = make_counter(s.reads);
+  const std::vector<ContigPair> scaffold{{0, 2}};
+  const auto result = run_shared(s.contigs, counter, test_options(), scaffold);
+  EXPECT_EQ(result.components.component_of[0], result.components.component_of[2]);
+  EXPECT_EQ(result.components.num_components(), 2u);
+}
+
+TEST(GffShared, TimingFieldsPopulated) {
+  const auto s = build_scenario(1, 1, 41);
+  const auto counter = make_counter(s.reads);
+  const auto result = run_shared(s.contigs, counter, test_options());
+  EXPECT_EQ(result.timing.loop1.seconds.size(), 1u);
+  EXPECT_EQ(result.timing.loop2.seconds.size(), 1u);
+  EXPECT_GE(result.timing.total_seconds(), 0.0);
+  EXPECT_GE(result.timing.nonparallel_fraction(), 0.0);
+  EXPECT_LE(result.timing.nonparallel_fraction(), 1.0);
+}
+
+// --- hybrid equivalence --------------------------------------------------------------
+
+class GffHybrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(GffHybrid, MatchesSharedMemoryRun) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(3, 4, 43);
+  const auto counter = make_counter(s.reads);
+  const auto options = test_options();
+  const auto expected = run_shared(s.contigs, counter, options);
+
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    // The pooled welds/pairs/components must be identical on every rank
+    // and equal to the shared-memory result.
+    EXPECT_EQ(result.welds, expected.welds);
+    EXPECT_EQ(result.pairs, expected.pairs);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+    EXPECT_EQ(result.timing.loop1.seconds.size(), static_cast<std::size_t>(nranks));
+    EXPECT_EQ(result.timing.loop2.seconds.size(), static_cast<std::size_t>(nranks));
+    EXPECT_GE(result.timing.loop1.max(), result.timing.loop1.min());
+    if (nranks > 1) {
+      EXPECT_GT(result.timing.comm_seconds, 0.0);
+    }
+  });
+}
+
+TEST_P(GffHybrid, BlockDistributionGivesSameComponents) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(2, 2, 47);
+  const auto counter = make_counter(s.reads);
+  auto options = test_options();
+  const auto expected = run_shared(s.contigs, counter, options);
+  options.distribution = Distribution::kBlock;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, GffHybrid, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(GffHybrid2, ExplicitChunkSizeRespected) {
+  const auto s = build_scenario(2, 3, 53);
+  const auto counter = make_counter(s.reads);
+  auto options = test_options();
+  options.chunk_size = 1;  // extreme: one contig per chunk
+  const auto expected = run_shared(s.contigs, counter, test_options());
+  simpi::run(3, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+  });
+}
+
+TEST(GffOracle, ComponentsMatchBruteForceOverlapClustering) {
+  // Independent oracle: two contigs belong together iff they share a
+  // canonical (k-1)-mer whose weld window has full read support. Compute
+  // that directly (no GraphFromFasta code) and compare the resulting
+  // connected components against run_shared on a randomized scenario.
+  const auto s = build_scenario(4, 5, 101);
+  const auto counter = make_counter(s.reads);
+  const auto options = test_options();
+  const auto result = run_shared(s.contigs, counter, options);
+
+  // Oracle edge test between contigs a and b.
+  const seq::KmerCodec seed_codec(kTestK - 1);
+  const seq::KmerCodec kmer_codec(kTestK);
+  auto canonical_set = [&](const std::string& bases) {
+    std::set<seq::KmerCode> out;
+    for (const auto& occ : seed_codec.extract_canonical(bases)) out.insert(occ.code);
+    return out;
+  };
+  std::vector<std::set<seq::KmerCode>> seeds;
+  for (const auto& c : s.contigs) seeds.push_back(canonical_set(c.bases));
+
+  auto weld_supported = [&](const seq::Sequence& contig, seq::KmerCode shared_seed) {
+    // Find the seed's occurrences in this contig and check the clamped
+    // window's k-mers against the read counts (same rule as the kernel).
+    for (const auto& occ : seed_codec.extract(contig.bases)) {
+      if (seed_codec.canonical(occ.code) != shared_seed) continue;
+      const std::size_t flank = kTestK / 2;
+      const std::size_t begin = occ.position > flank ? occ.position - flank : 0;
+      const std::size_t end =
+          std::min(contig.bases.size(), occ.position + (kTestK - 1) + flank);
+      if (end - begin < static_cast<std::size_t>(kTestK)) continue;
+      bool ok = true;
+      for (const auto& w :
+           kmer_codec.extract(std::string_view(contig.bases).substr(begin, end - begin))) {
+        if (counter.count_of(kmer_codec.canonical(w.code)) < options.min_weld_support) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  };
+
+  UnionFind oracle(s.contigs.size());
+  for (std::size_t a = 0; a < s.contigs.size(); ++a) {
+    for (std::size_t b = a + 1; b < s.contigs.size(); ++b) {
+      for (const auto seed : seeds[a]) {
+        if (!seeds[b].count(seed)) continue;
+        if (weld_supported(s.contigs[a], seed) || weld_supported(s.contigs[b], seed)) {
+          oracle.unite(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b));
+          break;
+        }
+      }
+    }
+  }
+
+  // Same partition: representatives agree pairwise.
+  for (std::size_t a = 0; a < s.contigs.size(); ++a) {
+    for (std::size_t b = 0; b < s.contigs.size(); ++b) {
+      const bool oracle_same = oracle.find(static_cast<std::int32_t>(a)) ==
+                               oracle.find(static_cast<std::int32_t>(b));
+      const bool gff_same = result.components.component_of[a] ==
+                            result.components.component_of[b];
+      EXPECT_EQ(gff_same, oracle_same) << "contigs " << a << " and " << b;
+    }
+  }
+}
+
+TEST(GffEdge, EmptyContigSetIsFine) {
+  const std::vector<seq::Sequence> none;
+  const auto counter = make_counter({});
+  const auto result = run_shared(none, counter, test_options());
+  EXPECT_EQ(result.components.num_components(), 0u);
+  EXPECT_TRUE(result.welds.empty());
+}
+
+TEST(GffEdge, ContigShorterThanWeldIgnored) {
+  std::vector<seq::Sequence> contigs{{"short", random_dna(kTestK - 1, 3)},
+                                     {"other", random_dna(200, 4)}};
+  const auto counter = make_counter(tile_reads(contigs[1].bases, 50, 4));
+  const auto result = run_shared(contigs, counter, test_options());
+  EXPECT_EQ(result.components.num_components(), 2u);
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis

@@ -1,0 +1,230 @@
+// Tests for ReadsToTranscripts: assignment correctness, streaming
+// chunking, per-rank output concatenation, and equivalence of the hybrid
+// run (both the redundant-streaming scheme and the master/slave ablation)
+// with the shared-memory run.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "chrysalis/components.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "seq/dna.hpp"
+#include "seq/fasta.hpp"
+#include "simpi/context.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+constexpr int kTestK = 15;
+
+struct Fixture {
+  std::vector<seq::Sequence> contigs;
+  ComponentSet components;
+  std::vector<seq::Sequence> reads;
+  std::vector<std::int32_t> true_component;  // per read
+};
+
+/// Builds `n_components` single-contig bundles and reads sampled from them,
+/// plus a few unassignable reads at the end.
+Fixture build_fixture(std::size_t n_components, std::size_t reads_per_component,
+                      std::uint64_t seed) {
+  Fixture f;
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < n_components; ++c) {
+    f.contigs.push_back({"contig" + std::to_string(c), random_dna(400, rng())});
+  }
+  f.components = cluster_contigs(f.contigs.size(), {});
+  for (std::size_t c = 0; c < n_components; ++c) {
+    for (std::size_t r = 0; r < reads_per_component; ++r) {
+      const auto pos = rng.uniform_below(400 - 60);
+      f.reads.push_back({"r_c" + std::to_string(c) + "_" + std::to_string(r),
+                         f.contigs[c].bases.substr(pos, 60)});
+      f.true_component.push_back(static_cast<std::int32_t>(c));
+    }
+  }
+  // Unassignable reads.
+  for (int i = 0; i < 3; ++i) {
+    f.reads.push_back({"noise" + std::to_string(i), random_dna(60, 90000 + i)});
+    f.true_component.push_back(-1);
+  }
+  return f;
+}
+
+ReadsToTranscriptsOptions test_options(std::size_t max_mem_reads = 7) {
+  ReadsToTranscriptsOptions o;
+  o.k = kTestK;
+  o.max_mem_reads = max_mem_reads;
+  o.model_threads_per_rank = 4;
+  return o;
+}
+
+TEST(BundleKmerMap, MapsKmersToSmallestComponent) {
+  Fixture f = build_fixture(3, 0, 5);
+  const auto map = build_bundle_kmer_map(f.contigs, f.components, kTestK);
+  const seq::KmerCodec codec(kTestK);
+  // Every k-mer of contig 1 maps to component 1 (no sharing across random
+  // contigs w.h.p.).
+  for (const auto& occ : codec.extract_canonical(f.contigs[1].bases)) {
+    const auto it = map.find(occ.code);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, 1);
+  }
+}
+
+TEST(AssignRead, PicksComponentWithMostSharedKmers) {
+  Fixture f = build_fixture(2, 0, 7);
+  const auto map = build_bundle_kmer_map(f.contigs, f.components, kTestK);
+  // A chimeric read: 40 bases of contig 0 then 20 of contig 1 -> more
+  // k-mers from contig 0.
+  seq::Sequence read{"chimera", f.contigs[0].bases.substr(0, 40) + f.contigs[1].bases.substr(0, 20)};
+  const auto a = detail::assign_read(read, 0, map, kTestK);
+  EXPECT_EQ(a.component, 0);
+  EXPECT_GT(a.shared_kmers, 0u);
+}
+
+TEST(AssignRead, RegionCoversContributingKmers) {
+  Fixture f = build_fixture(1, 0, 9);
+  const auto map = build_bundle_kmer_map(f.contigs, f.components, kTestK);
+  const seq::Sequence read{"r", f.contigs[0].bases.substr(100, 60)};
+  const auto a = detail::assign_read(read, 42, map, kTestK);
+  EXPECT_EQ(a.read_index, 42);
+  EXPECT_EQ(a.component, 0);
+  EXPECT_EQ(a.region_begin, 0u);
+  EXPECT_EQ(a.region_end, 60u);  // whole read contributes
+  EXPECT_EQ(a.shared_kmers, 60u - kTestK + 1);
+}
+
+TEST(AssignRead, UnmatchedReadGetsMinusOne) {
+  Fixture f = build_fixture(1, 0, 11);
+  const auto map = build_bundle_kmer_map(f.contigs, f.components, kTestK);
+  const auto a = detail::assign_read({"noise", random_dna(60, 4242)}, 0, map, kTestK);
+  EXPECT_EQ(a.component, -1);
+  EXPECT_EQ(a.shared_kmers, 0u);
+}
+
+TEST(R2TShared, AssignsReadsToTrueComponents) {
+  const TempDir dir("r2t_shared");
+  Fixture f = build_fixture(4, 10, 13);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+
+  const auto result =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options(), dir.str());
+  ASSERT_EQ(result.assignments.size(), f.reads.size());
+  for (std::size_t i = 0; i < f.reads.size(); ++i) {
+    EXPECT_EQ(result.assignments[i].read_index, static_cast<std::int64_t>(i));
+    EXPECT_EQ(result.assignments[i].component, f.true_component[i]) << "read " << i;
+  }
+  EXPECT_FALSE(result.merged_output_path.empty());
+  std::ifstream merged(result.merged_output_path);
+  EXPECT_TRUE(merged.good());
+}
+
+TEST(R2TShared, ChunkSizeDoesNotChangeResult) {
+  const TempDir dir("r2t_chunks");
+  Fixture f = build_fixture(3, 9, 17);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+
+  const auto a = run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options(1));
+  const auto b = run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options(1000));
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].component, b.assignments[i].component);
+    EXPECT_EQ(a.assignments[i].shared_kmers, b.assignments[i].shared_kmers);
+  }
+}
+
+struct HybridCase {
+  int nranks;
+  R2TStrategy strategy;
+};
+
+class R2THybrid : public ::testing::TestWithParam<HybridCase> {};
+
+TEST_P(R2THybrid, MatchesSharedMemoryRun) {
+  const auto [nranks, strategy] = GetParam();
+  const TempDir dir("r2t_hybrid");
+  Fixture f = build_fixture(4, 12, 19);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+
+  auto options = test_options();
+  const auto expected =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  options.strategy = strategy;
+
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result =
+        run_hybrid(ctx, f.contigs, f.components, dir.file("reads.fa"), options, dir.str());
+    ASSERT_EQ(result.assignments.size(), expected.assignments.size());
+    for (std::size_t i = 0; i < expected.assignments.size(); ++i) {
+      EXPECT_EQ(result.assignments[i].read_index, expected.assignments[i].read_index);
+      EXPECT_EQ(result.assignments[i].component, expected.assignments[i].component);
+      EXPECT_EQ(result.assignments[i].shared_kmers, expected.assignments[i].shared_kmers);
+    }
+    EXPECT_EQ(result.timing.main_loop.seconds.size(), static_cast<std::size_t>(nranks));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, R2THybrid,
+    ::testing::Values(HybridCase{1, R2TStrategy::kRedundantStreaming},
+                      HybridCase{2, R2TStrategy::kRedundantStreaming},
+                      HybridCase{3, R2TStrategy::kRedundantStreaming},
+                      HybridCase{5, R2TStrategy::kRedundantStreaming},
+                      HybridCase{2, R2TStrategy::kMasterSlave},
+                      HybridCase{4, R2TStrategy::kMasterSlave}));
+
+TEST(R2THybrid2, ConcatenatedFileHoldsAllReads) {
+  const TempDir dir("r2t_concat");
+  Fixture f = build_fixture(3, 8, 23);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+
+  simpi::run(3, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, f.contigs, f.components, dir.file("reads.fa"),
+                                   test_options(), dir.str());
+    if (ctx.rank() == 0) {
+      std::ifstream in(result.merged_output_path);
+      std::size_t lines = 0;
+      std::string line;
+      while (std::getline(in, line)) ++lines;
+      EXPECT_EQ(lines, f.reads.size());
+      EXPECT_GE(result.timing.concat_seconds, 0.0);
+    }
+  });
+}
+
+TEST(R2TEdge, EmptyReadsFile) {
+  const TempDir dir("r2t_empty");
+  Fixture f = build_fixture(2, 0, 29);
+  std::ofstream(dir.file("reads.fa")).close();
+  const auto result = run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options());
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(R2TEdge, MissingReadsFileThrows) {
+  Fixture f = build_fixture(1, 0, 31);
+  EXPECT_THROW(run_shared(f.contigs, f.components, "/no/such/file.fa", test_options()),
+               std::runtime_error);
+}
+
+TEST(R2TEdge, MultiContigComponentAttractsReadsFromBothContigs) {
+  const TempDir dir("r2t_multi");
+  util::Rng rng(37);
+  std::vector<seq::Sequence> contigs{{"a", random_dna(300, rng())},
+                                     {"b", random_dna(300, rng())}};
+  const auto components = cluster_contigs(2, {{0, 1}});  // one bundle
+  std::vector<seq::Sequence> reads{{"ra", contigs[0].bases.substr(50, 60)},
+                                   {"rb", contigs[1].bases.substr(100, 60)}};
+  seq::write_fasta(dir.file("reads.fa"), reads);
+  const auto result = run_shared(contigs, components, dir.file("reads.fa"), test_options());
+  ASSERT_EQ(result.assignments.size(), 2u);
+  EXPECT_EQ(result.assignments[0].component, 0);
+  EXPECT_EQ(result.assignments[1].component, 0);
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis

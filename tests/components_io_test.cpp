@@ -1,0 +1,115 @@
+// Tests for the Chrysalis file-interchange formats (components and read
+// assignments), the glue that lets the stages run as separate processes.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "chrysalis/components_io.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::TempDir;
+
+TEST(ComponentsIoTest, RoundTripsClusters) {
+  const TempDir dir("cio1");
+  const auto original = cluster_contigs(9, {{0, 3}, {3, 7}, {1, 2}, {5, 8}});
+  write_components(dir.file("c.txt"), original);
+  const auto loaded = read_components(dir.file("c.txt"));
+
+  EXPECT_EQ(loaded.component_of, original.component_of);
+  ASSERT_EQ(loaded.num_components(), original.num_components());
+  for (std::size_t i = 0; i < original.num_components(); ++i) {
+    EXPECT_EQ(loaded.components[i].id, original.components[i].id);
+    EXPECT_EQ(loaded.components[i].contig_ids, original.components[i].contig_ids);
+  }
+}
+
+TEST(ComponentsIoTest, RoundTripsSingletonsOnly) {
+  const TempDir dir("cio2");
+  const auto original = cluster_contigs(5, {});
+  write_components(dir.file("c.txt"), original);
+  const auto loaded = read_components(dir.file("c.txt"));
+  EXPECT_EQ(loaded.component_of, original.component_of);
+}
+
+TEST(ComponentsIoTest, RoundTripsEmptySet) {
+  const TempDir dir("cio3");
+  write_components(dir.file("c.txt"), cluster_contigs(0, {}));
+  const auto loaded = read_components(dir.file("c.txt"));
+  EXPECT_EQ(loaded.num_components(), 0u);
+  EXPECT_TRUE(loaded.component_of.empty());
+}
+
+TEST(ComponentsIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_components("/no/such/components.txt"), std::runtime_error);
+}
+
+TEST(ComponentsIoTest, BadHeaderThrows) {
+  const TempDir dir("cio4");
+  std::ofstream(dir.file("c.txt")) << "#something-else 1 1\n0: 0\n";
+  EXPECT_THROW(read_components(dir.file("c.txt")), std::runtime_error);
+}
+
+TEST(ComponentsIoTest, OutOfRangeContigThrows) {
+  const TempDir dir("cio5");
+  std::ofstream(dir.file("c.txt")) << "#trinity-components 1 2\n0: 0 5\n";
+  EXPECT_THROW(read_components(dir.file("c.txt")), std::runtime_error);
+}
+
+TEST(ComponentsIoTest, DuplicateMembershipThrows) {
+  const TempDir dir("cio6");
+  std::ofstream(dir.file("c.txt")) << "#trinity-components 2 2\n0: 0 1\n1: 1\n";
+  EXPECT_THROW(read_components(dir.file("c.txt")), std::runtime_error);
+}
+
+TEST(ComponentsIoTest, UnassignedContigThrows) {
+  const TempDir dir("cio7");
+  std::ofstream(dir.file("c.txt")) << "#trinity-components 1 3\n0: 0 1\n";
+  EXPECT_THROW(read_components(dir.file("c.txt")), std::runtime_error);
+}
+
+TEST(ComponentsIoTest, CountMismatchThrows) {
+  const TempDir dir("cio8");
+  std::ofstream(dir.file("c.txt")) << "#trinity-components 2 1\n0: 0\n";
+  EXPECT_THROW(read_components(dir.file("c.txt")), std::runtime_error);
+}
+
+TEST(AssignmentsIoTest, RoundTripsThroughTsv) {
+  const TempDir dir("aio1");
+  std::vector<ReadAssignment> original(4);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i].read_index = static_cast<std::int64_t>(i);
+    original[i].component = static_cast<std::int32_t>(i % 2 == 0 ? i : -1);
+    original[i].shared_kmers = static_cast<std::uint32_t>(10 * i);
+    original[i].region_begin = static_cast<std::uint32_t>(i);
+    original[i].region_end = static_cast<std::uint32_t>(i + 60);
+  }
+  detail::write_assignments(dir.file("a.tsv"), original);
+  const auto loaded = read_assignments(dir.file("a.tsv"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].read_index, original[i].read_index);
+    EXPECT_EQ(loaded[i].component, original[i].component);
+    EXPECT_EQ(loaded[i].shared_kmers, original[i].shared_kmers);
+    EXPECT_EQ(loaded[i].region_begin, original[i].region_begin);
+    EXPECT_EQ(loaded[i].region_end, original[i].region_end);
+  }
+}
+
+TEST(AssignmentsIoTest, MalformedRowThrows) {
+  const TempDir dir("aio2");
+  std::ofstream(dir.file("a.tsv")) << "0\t1\tnot_a_number\t0\t60\n";
+  EXPECT_THROW(read_assignments(dir.file("a.tsv")), std::runtime_error);
+}
+
+TEST(AssignmentsIoTest, EmptyFileYieldsEmptyVector) {
+  const TempDir dir("aio3");
+  std::ofstream(dir.file("a.tsv")).close();
+  EXPECT_TRUE(read_assignments(dir.file("a.tsv")).empty());
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis

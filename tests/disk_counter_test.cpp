@@ -1,0 +1,154 @@
+// Tests for the DSK-style disk-partitioned k-mer counter: exact agreement
+// with the in-memory counter, memory-bound behaviour, and cleanup.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "kmer/counter.hpp"
+#include "kmer/disk_counter.hpp"
+#include "seq/fasta.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::kmer {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+std::vector<seq::Sequence> make_reads(std::size_t n, std::uint64_t seed) {
+  std::vector<seq::Sequence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({"r" + std::to_string(i), random_dna(120, seed + i)});
+  }
+  return out;
+}
+
+std::map<seq::KmerCode, std::uint32_t> as_map(const std::vector<KmerCount>& counts) {
+  std::map<seq::KmerCode, std::uint32_t> out;
+  for (const auto& kc : counts) out[kc.code] += kc.count;
+  return out;
+}
+
+DiskCounterOptions opts(const TempDir& dir, int k = 21, int partitions = 8) {
+  DiskCounterOptions o;
+  o.k = k;
+  o.num_partitions = partitions;
+  o.tmp_dir = dir.file("parts");
+  o.chunk_records = 13;  // deliberately awkward chunking
+  return o;
+}
+
+TEST(DiskCounterTest, MatchesInMemoryCounter) {
+  const TempDir dir("dsk1");
+  const auto reads = make_reads(60, 3);
+  for (const int k : {5, 21, 31}) {
+    CounterOptions copt;
+    copt.k = k;
+    KmerCounter mem(copt);
+    mem.add_sequences(reads);
+
+    const auto disk = disk_count_reads(reads, opts(dir, k));
+    EXPECT_EQ(as_map(disk), as_map(mem.dump())) << "k=" << k;
+  }
+}
+
+class DiskCounterPartitions : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiskCounterPartitions, PartitionCountDoesNotChangeResults) {
+  const TempDir dir("dskp");
+  const auto reads = make_reads(40, 7);
+  const auto reference = disk_count_reads(reads, opts(dir, 21, 1));
+  const auto variant = disk_count_reads(reads, opts(dir, 21, GetParam()));
+  EXPECT_EQ(as_map(variant), as_map(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, DiskCounterPartitions, ::testing::Values(1, 2, 4, 7, 32));
+
+TEST(DiskCounterTest, OutputIsSortedByCode) {
+  const TempDir dir("dsk2");
+  const auto counts = disk_count_reads(make_reads(30, 11), opts(dir));
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LT(counts[i - 1].code, counts[i].code);
+  }
+}
+
+TEST(DiskCounterTest, StatsAreConsistent) {
+  const TempDir dir("dsk3");
+  DiskCounterStats stats;
+  const auto reads = make_reads(50, 13);
+  const auto counts = disk_count_reads(reads, opts(dir), &stats);
+
+  std::uint64_t total = 0;
+  for (const auto& kc : counts) total += kc.count;
+  EXPECT_EQ(stats.total_kmers, total);
+  EXPECT_EQ(stats.distinct_kmers, counts.size());
+  EXPECT_EQ(stats.bytes_spilled, stats.total_kmers * sizeof(seq::KmerCode));
+  // The memory bound: the largest partition is far smaller than the whole
+  // spectrum (within hashing fluctuation).
+  EXPECT_LT(stats.peak_partition_kmers, stats.total_kmers / 4);
+  EXPECT_GT(stats.peak_partition_kmers, 0u);
+}
+
+TEST(DiskCounterTest, PartitionFilesAreRemoved) {
+  const TempDir dir("dsk4");
+  const auto o = opts(dir);
+  (void)disk_count_reads(make_reads(10, 17), o);
+  std::size_t leftover = 0;
+  if (std::filesystem::exists(o.tmp_dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(o.tmp_dir)) {
+      (void)entry;
+      ++leftover;
+    }
+  }
+  EXPECT_EQ(leftover, 0u);
+}
+
+TEST(DiskCounterTest, CountsFromFileMatchesInMemorySource) {
+  const TempDir dir("dsk5");
+  const auto reads = make_reads(35, 19);
+  seq::write_fasta(dir.file("reads.fa"), reads);
+  const auto from_file = disk_count_file(dir.file("reads.fa"), opts(dir));
+  const auto from_memory = disk_count_reads(reads, opts(dir));
+  EXPECT_EQ(as_map(from_file), as_map(from_memory));
+}
+
+TEST(DiskCounterTest, NonCanonicalModeSupported) {
+  const TempDir dir("dsk6");
+  auto o = opts(dir, 4);
+  o.canonical = false;
+  const auto counts = disk_count_reads({{"s", "AAAA"}}, o);
+  ASSERT_EQ(counts.size(), 1u);
+  const seq::KmerCodec codec(4);
+  EXPECT_EQ(counts[0].code, *codec.encode("AAAA"));
+  EXPECT_EQ(counts[0].count, 1u);
+}
+
+TEST(DiskCounterTest, EmptyInputYieldsNothing) {
+  const TempDir dir("dsk7");
+  DiskCounterStats stats;
+  EXPECT_TRUE(disk_count_reads({}, opts(dir), &stats).empty());
+  EXPECT_EQ(stats.total_kmers, 0u);
+}
+
+TEST(DiskCounterTest, BadOptionsThrow) {
+  const TempDir dir("dsk8");
+  auto o = opts(dir);
+  o.num_partitions = 0;
+  EXPECT_THROW(disk_count_reads({}, o), std::invalid_argument);
+  o = opts(dir);
+  o.tmp_dir.clear();
+  EXPECT_THROW(disk_count_reads({}, o), std::invalid_argument);
+  o = opts(dir);
+  o.k = 33;
+  EXPECT_THROW(disk_count_reads({}, o), std::invalid_argument);
+}
+
+TEST(DiskCounterTest, MissingInputFileThrows) {
+  const TempDir dir("dsk9");
+  EXPECT_THROW(disk_count_file("/no/such/reads.fa", opts(dir)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace trinity::kmer

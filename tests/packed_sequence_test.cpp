@@ -1,0 +1,104 @@
+// Tests for the 2-bit PackedSequence (the memory-footprint future work).
+
+#include <gtest/gtest.h>
+
+#include "seq/dna.hpp"
+#include "seq/packed_sequence.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::seq {
+namespace {
+
+using trinity::testing::random_dna;
+
+TEST(PackedSequenceTest, RoundTripsRandomSequences) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string s = random_dna(1 + (seed * 37) % 300, seed);
+    const auto packed = PackedSequence::pack(s);
+    ASSERT_TRUE(packed.has_value());
+    EXPECT_EQ(packed->unpack(), s);
+    EXPECT_EQ(packed->size(), s.size());
+  }
+}
+
+TEST(PackedSequenceTest, EmptySequence) {
+  const auto packed = PackedSequence::pack("");
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_TRUE(packed->empty());
+  EXPECT_EQ(packed->unpack(), "");
+  EXPECT_EQ(packed->memory_bytes(), 0u);
+}
+
+TEST(PackedSequenceTest, RejectsNonAcgt) {
+  EXPECT_FALSE(PackedSequence::pack("ACGNT").has_value());
+  EXPECT_THROW(PackedSequence::pack_or_throw("ACGXT"), std::invalid_argument);
+}
+
+TEST(PackedSequenceTest, RandomAccessMatchesString) {
+  const std::string s = random_dna(100, 9);
+  const auto packed = PackedSequence::pack_or_throw(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(packed.at(i), s[i]) << "position " << i;
+    EXPECT_EQ(packed.code_at(i), base_to_code(s[i]));
+  }
+}
+
+TEST(PackedSequenceTest, WordBoundariesHandled) {
+  // Lengths straddling the 32-base word boundary.
+  for (const std::size_t len : {31u, 32u, 33u, 63u, 64u, 65u}) {
+    const std::string s = random_dna(len, len);
+    const auto packed = PackedSequence::pack_or_throw(s);
+    EXPECT_EQ(packed.unpack(), s) << "length " << len;
+  }
+}
+
+TEST(PackedSequenceTest, SubstrClampsAtEnd) {
+  const std::string s = random_dna(50, 11);
+  const auto packed = PackedSequence::pack_or_throw(s);
+  EXPECT_EQ(packed.unpack_substr(40, 100), s.substr(40));
+  EXPECT_EQ(packed.unpack_substr(10, 5), s.substr(10, 5));
+  EXPECT_EQ(packed.unpack_substr(99, 5), "");
+}
+
+TEST(PackedSequenceTest, KmerAtMatchesCodec) {
+  const std::string s = random_dna(80, 13);
+  const auto packed = PackedSequence::pack_or_throw(s);
+  for (const int k : {1, 15, 25, 32}) {
+    const KmerCodec codec(k);
+    for (std::size_t pos = 0; pos + static_cast<std::size_t>(k) <= s.size(); pos += 7) {
+      const auto expected = codec.encode(std::string_view(s).substr(pos));
+      const auto got = packed.kmer_at(pos, k);
+      ASSERT_TRUE(expected && got);
+      EXPECT_EQ(*got, *expected) << "k=" << k << " pos=" << pos;
+    }
+    EXPECT_FALSE(packed.kmer_at(s.size() - static_cast<std::size_t>(k) + 1, k).has_value());
+  }
+}
+
+TEST(PackedSequenceTest, MemoryIsQuarterOfString) {
+  const std::string s = random_dna(4096, 17);
+  const auto packed = PackedSequence::pack_or_throw(s);
+  EXPECT_LE(packed.memory_bytes(), s.size() / 4 + 8);
+}
+
+TEST(PackedSequenceTest, EqualityComparesContent) {
+  const std::string s = random_dna(60, 19);
+  EXPECT_EQ(PackedSequence::pack_or_throw(s), PackedSequence::pack_or_throw(s));
+  std::string other = s;
+  other[30] = other[30] == 'A' ? 'C' : 'A';
+  EXPECT_NE(PackedSequence::pack_or_throw(s), PackedSequence::pack_or_throw(other));
+}
+
+TEST(PackedStoreTest, DropsUnpackableRecords) {
+  std::vector<Sequence> seqs{{"good1", "ACGT"}, {"bad", "ACNGT"}, {"good2", "TTTT"}};
+  const auto store = pack_store(seqs);
+  EXPECT_EQ(store.sequences.size(), 2u);
+  EXPECT_EQ(store.dropped, 1u);
+  EXPECT_EQ(store.names[0], "good1");
+  EXPECT_EQ(store.names[1], "good2");
+  EXPECT_EQ(store.sequences[1].unpack(), "TTTT");
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace trinity::seq

@@ -1,0 +1,126 @@
+// Tests for the Bowtie-based scaffolding step: mate-name parsing and
+// end-anchored pair derivation.
+
+#include <gtest/gtest.h>
+
+#include "chrysalis/scaffold.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::random_dna;
+
+TEST(MateNames, RecognizesCommonConventions) {
+  int mate = 0;
+  EXPECT_EQ(mate_fragment_name("frag7/1", &mate), "frag7");
+  EXPECT_EQ(mate, 1);
+  EXPECT_EQ(mate_fragment_name("frag7/2", &mate), "frag7");
+  EXPECT_EQ(mate, 2);
+  EXPECT_EQ(mate_fragment_name("x_1", &mate), "x");
+  EXPECT_EQ(mate_fragment_name("y.2", &mate), "y");
+}
+
+TEST(MateNames, RejectsUnpairedNames) {
+  EXPECT_EQ(mate_fragment_name("read42", nullptr), "");
+  EXPECT_EQ(mate_fragment_name("r/3", nullptr), "");
+  EXPECT_EQ(mate_fragment_name("a", nullptr), "");
+  EXPECT_EQ(mate_fragment_name("", nullptr), "");
+}
+
+align::SamRecord rec(const std::string& name, std::int32_t target, std::size_t pos,
+                     std::size_t read_len = 50) {
+  align::SamRecord r;
+  r.read_name = name;
+  r.target_id = target;
+  r.target_name = "contig" + std::to_string(target);
+  r.pos = pos;
+  r.read_length = read_len;
+  return r;
+}
+
+std::vector<seq::Sequence> contigs3() {
+  return {{"contig0", random_dna(1000, 1)},
+          {"contig1", random_dna(1000, 2)},
+          {"contig2", random_dna(1000, 3)}};
+}
+
+TEST(ScaffoldTest, EndAnchoredMatePairsWeld) {
+  ScaffoldOptions options;
+  options.min_pair_support = 2;
+  // Two fragments bridging contig0's tail and contig1's head.
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 0, 940), rec("f1/2", 1, 20),
+      rec("f2/1", 0, 930), rec("f2/2", 1, 10),
+  };
+  const auto pairs = scaffold_pairs(alignments, contigs3(), options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0);
+  EXPECT_EQ(pairs[0].b, 1);
+}
+
+TEST(ScaffoldTest, SupportThresholdGatesPairs) {
+  ScaffoldOptions options;
+  options.min_pair_support = 3;
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 0, 940), rec("f1/2", 1, 20),
+      rec("f2/1", 0, 930), rec("f2/2", 1, 10),
+  };
+  EXPECT_TRUE(scaffold_pairs(alignments, contigs3(), options).empty());
+}
+
+TEST(ScaffoldTest, MidContigMatesDoNotWeld) {
+  ScaffoldOptions options;
+  options.min_pair_support = 1;
+  options.end_window = 100;
+  // Both mates land in the middle of their contigs.
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 0, 500), rec("f1/2", 1, 480),
+  };
+  EXPECT_TRUE(scaffold_pairs(alignments, contigs3(), options).empty());
+}
+
+TEST(ScaffoldTest, SameContigPairIgnored) {
+  ScaffoldOptions options;
+  options.min_pair_support = 1;
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 0, 10), rec("f1/2", 0, 940),
+  };
+  EXPECT_TRUE(scaffold_pairs(alignments, contigs3(), options).empty());
+}
+
+TEST(ScaffoldTest, UnalignedMatesIgnored) {
+  ScaffoldOptions options;
+  options.min_pair_support = 1;
+  align::SamRecord unaligned;
+  unaligned.read_name = "f1/2";
+  std::vector<align::SamRecord> alignments{rec("f1/1", 0, 10), unaligned};
+  EXPECT_TRUE(scaffold_pairs(alignments, contigs3(), options).empty());
+}
+
+TEST(ScaffoldTest, PairOrderIsNormalized) {
+  ScaffoldOptions options;
+  options.min_pair_support = 1;
+  // Mate 1 on the higher contig id: the emitted pair is still (low, high).
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 2, 10), rec("f1/2", 0, 950),
+  };
+  const auto pairs = scaffold_pairs(alignments, contigs3(), options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0);
+  EXPECT_EQ(pairs[0].b, 2);
+}
+
+TEST(ScaffoldTest, MultipleDistinctPairsReported) {
+  ScaffoldOptions options;
+  options.min_pair_support = 1;
+  std::vector<align::SamRecord> alignments{
+      rec("f1/1", 0, 950), rec("f1/2", 1, 10),
+      rec("f2/1", 1, 960), rec("f2/2", 2, 5),
+  };
+  const auto pairs = scaffold_pairs(alignments, contigs3(), options);
+  ASSERT_EQ(pairs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis

@@ -1,0 +1,337 @@
+// Tests for trinity::seq — DNA primitives, packed k-mers (parameterized
+// over k), and FASTA/FASTQ I/O including malformed-input handling.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "seq/dna.hpp"
+#include "seq/fasta.hpp"
+#include "seq/kmer.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::seq {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+// --- dna ---------------------------------------------------------------------------
+
+TEST(DnaTest, BaseCodesRoundTrip) {
+  for (const char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(code_to_base(base_to_code(c)), c);
+  }
+}
+
+TEST(DnaTest, LowercaseAccepted) {
+  EXPECT_EQ(base_to_code('a'), base_to_code('A'));
+  EXPECT_EQ(base_to_code('t'), base_to_code('T'));
+}
+
+TEST(DnaTest, InvalidBasesFlagged) {
+  EXPECT_EQ(base_to_code('N'), kInvalidBase);
+  EXPECT_EQ(base_to_code('x'), kInvalidBase);
+  EXPECT_EQ(base_to_code(' '), kInvalidBase);
+}
+
+TEST(DnaTest, ReverseComplementKnownValue) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AACC"), "GGTT");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(DnaTest, ReverseComplementIsInvolution) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string s = random_dna(137, seed);
+    EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+  }
+}
+
+TEST(DnaTest, IsAcgtDetectsContamination) {
+  EXPECT_TRUE(is_acgt("ACGTacgt"));
+  EXPECT_FALSE(is_acgt("ACGNT"));
+  EXPECT_TRUE(is_acgt(""));
+}
+
+TEST(DnaTest, NormalizeUppercasesAndMasks) {
+  std::string s = "acgtNx";
+  normalize_sequence(s);
+  EXPECT_EQ(s, "ACGTNN");
+}
+
+// --- kmer codec, parameterized over k --------------------------------------------------
+
+class KmerCodecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmerCodecTest, EncodeDecodeRoundTrip) {
+  const int k = GetParam();
+  const KmerCodec codec(k);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::string s = random_dna(static_cast<std::size_t>(k), seed * 31);
+    const auto code = codec.encode(s);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(codec.decode(*code), s);
+  }
+}
+
+TEST_P(KmerCodecTest, ReverseComplementMatchesStringForm) {
+  const int k = GetParam();
+  const KmerCodec codec(k);
+  const std::string s = random_dna(static_cast<std::size_t>(k), 99);
+  const auto code = codec.encode(s);
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(codec.decode(codec.reverse_complement(*code)), reverse_complement(s));
+}
+
+TEST_P(KmerCodecTest, CanonicalIsStrandNeutral) {
+  const int k = GetParam();
+  const KmerCodec codec(k);
+  const std::string s = random_dna(static_cast<std::size_t>(k), 7);
+  const auto fwd = codec.encode(s);
+  const auto rev = codec.encode(reverse_complement(s));
+  ASSERT_TRUE(fwd && rev);
+  EXPECT_EQ(codec.canonical(*fwd), codec.canonical(*rev));
+}
+
+TEST_P(KmerCodecTest, RollRightMatchesReencoding) {
+  const int k = GetParam();
+  const KmerCodec codec(k);
+  const std::string s = random_dna(static_cast<std::size_t>(k) + 1, 55);
+  const auto first = codec.encode(s);
+  const auto second = codec.encode(std::string_view(s).substr(1));
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(codec.roll_right(*first, base_to_code(s.back())), *second);
+}
+
+TEST_P(KmerCodecTest, ExtractCountsAllWindows) {
+  const int k = GetParam();
+  const KmerCodec codec(k);
+  const std::string s = random_dna(200, 3);
+  const auto occ = codec.extract(s);
+  ASSERT_EQ(occ.size(), s.size() - static_cast<std::size_t>(k) + 1);
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    EXPECT_EQ(occ[i].position, i);
+    EXPECT_EQ(codec.decode(occ[i].code), s.substr(i, static_cast<std::size_t>(k)));
+  }
+}
+
+TEST_P(KmerCodecTest, PrefixSuffixOverlapInvariant) {
+  const int k = GetParam();
+  if (k < 2) return;
+  const KmerCodec codec(k);
+  const std::string s = random_dna(static_cast<std::size_t>(k) + 1, 77);
+  const auto a = codec.encode(s);
+  const auto b = codec.encode(std::string_view(s).substr(1));
+  ASSERT_TRUE(a && b);
+  // Consecutive k-mers overlap by k-1: suffix(a) == prefix(b).
+  EXPECT_EQ(codec.suffix(*a), codec.prefix(*b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, KmerCodecTest, ::testing::Values(1, 2, 5, 15, 16, 25, 31, 32));
+
+TEST(KmerCodecEdge, RejectsBadK) {
+  EXPECT_THROW(KmerCodec(0), std::invalid_argument);
+  EXPECT_THROW(KmerCodec(33), std::invalid_argument);
+  EXPECT_THROW(KmerCodec(-1), std::invalid_argument);
+}
+
+TEST(KmerCodecEdge, EncodeRejectsInvalidBase) {
+  const KmerCodec codec(4);
+  EXPECT_FALSE(codec.encode("ACNT").has_value());
+  EXPECT_FALSE(codec.encode("ACG").has_value());  // too short
+}
+
+TEST(KmerCodecEdge, ExtractSkipsWindowsWithN) {
+  const KmerCodec codec(3);
+  // ACGTNACG: windows touching the N (start positions 2, 3, 4) are skipped.
+  const auto occ = codec.extract("ACGTNACG");
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_EQ(occ[0].position, 0u);
+  EXPECT_EQ(occ[1].position, 1u);
+  EXPECT_EQ(occ[2].position, 5u);
+}
+
+TEST(KmerCodecEdge, ExtractOnShortStringEmpty) {
+  const KmerCodec codec(10);
+  EXPECT_TRUE(codec.extract("ACGT").empty());
+}
+
+TEST(KmerCodecEdge, K32UsesFullWidth) {
+  const KmerCodec codec(32);
+  const std::string all_t(32, 'T');
+  const auto code = codec.encode(all_t);
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, ~KmerCode{0});
+  EXPECT_EQ(codec.decode(*code), all_t);
+}
+
+// --- FASTA / FASTQ I/O ------------------------------------------------------------------
+
+TEST(FastaIO, WriteReadRoundTrip) {
+  const TempDir dir("fasta");
+  std::vector<Sequence> seqs{{"s1", "ACGTACGT"}, {"s2", "TTTT"}, {"s3", ""}};
+  write_fasta(dir.file("x.fa"), seqs);
+  const auto got = read_all(dir.file("x.fa"));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].name, "s1");
+  EXPECT_EQ(got[0].bases, "ACGTACGT");
+  EXPECT_EQ(got[2].bases, "");
+}
+
+TEST(FastaIO, WrappedOutputReadsBack) {
+  const TempDir dir("wrap");
+  std::vector<Sequence> seqs{{"long", random_dna(250, 5)}};
+  write_fasta(dir.file("w.fa"), seqs, 60);
+  const auto got = read_all(dir.file("w.fa"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].bases, seqs[0].bases);
+}
+
+TEST(FastaIO, HeaderNameStopsAtWhitespace) {
+  const TempDir dir("hdr");
+  std::ofstream out(dir.file("h.fa"));
+  out << ">read42 length=100 extra\nACGT\n";
+  out.close();
+  const auto got = read_all(dir.file("h.fa"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].name, "read42");
+}
+
+TEST(FastaIO, MultiLineRecordsConcatenate) {
+  const TempDir dir("ml");
+  std::ofstream out(dir.file("m.fa"));
+  out << ">a\nACGT\nTTTT\n\n>b\nGG\n";
+  out.close();
+  const auto got = read_all(dir.file("m.fa"));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].bases, "ACGTTTTT");
+  EXPECT_EQ(got[1].bases, "GG");
+}
+
+TEST(FastaIO, FastqParses) {
+  const TempDir dir("fq");
+  std::ofstream out(dir.file("r.fq"));
+  out << "@r1\nACGT\n+\nIIII\n@r2\nTT\n+r2\nII\n";
+  out.close();
+  const auto got = read_all(dir.file("r.fq"));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].name, "r1");
+  EXPECT_EQ(got[0].bases, "ACGT");
+  EXPECT_EQ(got[1].bases, "TT");
+}
+
+TEST(FastaIO, FastqQualityLengthMismatchThrows) {
+  const TempDir dir("fqbad");
+  std::ofstream out(dir.file("bad.fq"));
+  out << "@r1\nACGT\n+\nII\n";
+  out.close();
+  FastaReader reader(dir.file("bad.fq"));
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(FastaIO, TruncatedFastqThrows) {
+  const TempDir dir("fqtrunc");
+  std::ofstream out(dir.file("t.fq"));
+  out << "@r1\nACGT\n";
+  out.close();
+  FastaReader reader(dir.file("t.fq"));
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(FastaIO, GarbageLeadingContentThrows) {
+  const TempDir dir("garbage");
+  std::ofstream out(dir.file("g.fa"));
+  out << "not a fasta file\n";
+  out.close();
+  FastaReader reader(dir.file("g.fa"));
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(FastaIO, MissingFileThrowsOnOpen) {
+  EXPECT_THROW(FastaReader("/nonexistent/path/reads.fa"), std::runtime_error);
+}
+
+TEST(FastaIO, EmptyFileYieldsNoRecords) {
+  const TempDir dir("empty");
+  std::ofstream(dir.file("e.fa")).close();
+  FastaReader reader(dir.file("e.fa"));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FastaIO, ChunkedReadingMatchesWholeFile) {
+  const TempDir dir("chunk");
+  std::vector<Sequence> seqs;
+  for (int i = 0; i < 25; ++i) {
+    seqs.push_back({"r" + std::to_string(i), random_dna(50, static_cast<std::uint64_t>(i + 1))});
+  }
+  write_fasta(dir.file("c.fa"), seqs);
+
+  FastaReader reader(dir.file("c.fa"));
+  std::vector<Sequence> streamed;
+  for (;;) {
+    auto chunk = reader.read_chunk(7);  // deliberately not a divisor of 25
+    if (chunk.empty()) break;
+    EXPECT_LE(chunk.size(), 7u);
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(streamed.size(), seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(streamed[i].name, seqs[i].name);
+    EXPECT_EQ(streamed[i].bases, seqs[i].bases);
+  }
+  EXPECT_EQ(reader.records_read(), 25u);
+}
+
+TEST(FastaIO, CrlfLineEndingsHandled) {
+  const TempDir dir("crlf");
+  std::ofstream out(dir.file("c.fa"), std::ios::binary);
+  out << ">a\r\nACGT\r\n";
+  out.close();
+  const auto got = read_all(dir.file("c.fa"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].bases, "ACGT");
+}
+
+TEST(FastqIO, QualityRoundTrips) {
+  const TempDir dir("fqq");
+  std::vector<Sequence> seqs{{"r1", "ACGT", "FF#F"}, {"r2", "TT", "##"}};
+  write_fastq(dir.file("q.fq"), seqs);
+  const auto got = read_all(dir.file("q.fq"));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].bases, "ACGT");
+  EXPECT_EQ(got[0].quality, "FF#F");
+  EXPECT_EQ(got[1].quality, "##");
+  EXPECT_TRUE(got[0].has_quality());
+}
+
+TEST(FastqIO, DefaultQualityFillsMissing) {
+  const TempDir dir("fqd");
+  std::vector<Sequence> seqs{{"r1", "ACGT"}};  // no quality
+  write_fastq(dir.file("d.fq"), seqs, 'I');
+  const auto got = read_all(dir.file("d.fq"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].quality, "IIII");
+}
+
+TEST(FastqIO, MismatchedQualityLengthThrows) {
+  const TempDir dir("fqm");
+  std::vector<Sequence> seqs{{"r1", "ACGT", "FF"}};
+  EXPECT_THROW(write_fastq(dir.file("m.fq"), seqs), std::runtime_error);
+}
+
+TEST(FastaIO, FastaRecordsHaveNoQuality) {
+  const TempDir dir("noq");
+  write_fasta(dir.file("f.fa"), {{"a", "ACGT"}});
+  const auto got = read_all(dir.file("f.fa"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_FALSE(got[0].has_quality());
+}
+
+TEST(FastaIO, TotalBasesSums) {
+  const std::vector<Sequence> seqs{{"a", "ACGT"}, {"b", "GG"}};
+  EXPECT_EQ(total_bases(seqs), 6u);
+}
+
+}  // namespace
+}  // namespace trinity::seq

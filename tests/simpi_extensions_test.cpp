@@ -1,0 +1,365 @@
+// Tests for the simpi extensions: one-sided shared counters (the
+// MPI_Fetch_and_op analogue) and collective ordered file output (the
+// MPI-I/O analogue).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "simpi/context.hpp"
+#include "simpi/file_io.hpp"
+#include "simpi/nonblocking.hpp"
+#include "simpi/rma.hpp"
+#include "simpi/subcomm.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::simpi {
+namespace {
+
+using trinity::testing::TempDir;
+
+// --- SharedCounter --------------------------------------------------------------
+
+TEST(SharedCounterTest, StartsAtZero) {
+  run(2, [](Context& ctx) {
+    SharedCounter counter(ctx, 1);
+    ctx.barrier();
+    // Neither rank has incremented yet.
+    EXPECT_EQ(counter.load(), 0u);
+    ctx.barrier();
+  });
+}
+
+TEST(SharedCounterTest, FetchAddReturnsPreviousValue) {
+  run(1, [](Context& ctx) {
+    SharedCounter counter(ctx, 2);
+    EXPECT_EQ(counter.fetch_add(1), 0u);
+    EXPECT_EQ(counter.fetch_add(5), 1u);
+    EXPECT_EQ(counter.load(), 6u);
+  });
+}
+
+class SharedCounterWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedCounterWorlds, ClaimsArePairwiseDistinctAndComplete) {
+  const int nranks = GetParam();
+  constexpr std::uint64_t kClaimsPerRank = 200;
+  std::vector<std::vector<std::uint64_t>> claims(static_cast<std::size_t>(nranks));
+  run(nranks, [&](Context& ctx) {
+    SharedCounter counter(ctx, 3);
+    auto& mine = claims[static_cast<std::size_t>(ctx.rank())];
+    for (std::uint64_t i = 0; i < kClaimsPerRank; ++i) {
+      mine.push_back(counter.fetch_add(1));
+    }
+  });
+  std::set<std::uint64_t> all;
+  for (const auto& per_rank : claims) {
+    for (const auto v : per_rank) {
+      EXPECT_TRUE(all.insert(v).second) << "value " << v << " claimed twice";
+    }
+  }
+  // Exactly [0, nranks * kClaimsPerRank) claimed.
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(nranks) * kClaimsPerRank);
+  EXPECT_EQ(*all.rbegin(), static_cast<std::uint64_t>(nranks) * kClaimsPerRank - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SharedCounterWorlds, ::testing::Values(1, 2, 4, 8));
+
+TEST(SharedCounterTest, DistinctIdsAreIndependent) {
+  run(1, [](Context& ctx) {
+    SharedCounter a(ctx, 10);
+    SharedCounter b(ctx, 11);
+    a.fetch_add(7);
+    EXPECT_EQ(a.load(), 7u);
+    EXPECT_EQ(b.load(), 0u);
+  });
+}
+
+TEST(SharedCounterTest, ResetRestartsTheSequence) {
+  run(1, [](Context& ctx) {
+    SharedCounter counter(ctx, 12);
+    counter.fetch_add(100);
+    counter.reset(3);
+    EXPECT_EQ(counter.fetch_add(1), 3u);
+  });
+}
+
+TEST(SharedCounterTest, OperationsChargeCommTime) {
+  run(2, [](Context& ctx) {
+    const double before = ctx.comm_seconds();
+    SharedCounter counter(ctx, 13);
+    counter.fetch_add(1);
+    EXPECT_GT(ctx.comm_seconds(), before);
+  });
+}
+
+// --- write_file_ordered -----------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+class CollectiveWrite : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWrite, ConcatenatesInRankOrder) {
+  const int nranks = GetParam();
+  const TempDir dir("cwrite");
+  const std::string path = dir.file("out.bin");
+  run(nranks, [&](Context& ctx) {
+    const std::string mine = "rank" + std::to_string(ctx.rank()) + ";";
+    write_file_ordered(ctx, path, mine);
+  });
+  std::string expected;
+  for (int r = 0; r < nranks; ++r) expected += "rank" + std::to_string(r) + ";";
+  EXPECT_EQ(read_file(path), expected);
+}
+
+TEST_P(CollectiveWrite, HandlesUnequalAndEmptyContributions) {
+  const int nranks = GetParam();
+  const TempDir dir("cwrite2");
+  const std::string path = dir.file("out.bin");
+  run(nranks, [&](Context& ctx) {
+    // Odd ranks contribute nothing; even ranks contribute rank+1 bytes.
+    std::string mine;
+    if (ctx.rank() % 2 == 0) {
+      mine.assign(static_cast<std::size_t>(ctx.rank()) + 1, 'a' + static_cast<char>(ctx.rank()));
+    }
+    write_file_ordered(ctx, path, mine);
+  });
+  std::string expected;
+  for (int r = 0; r < nranks; r += 2) {
+    expected.append(static_cast<std::size_t>(r) + 1, 'a' + static_cast<char>(r));
+  }
+  EXPECT_EQ(read_file(path), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveWrite, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(CollectiveWriteEdge, OverwritesExistingFile) {
+  const TempDir dir("cwrite3");
+  const std::string path = dir.file("out.bin");
+  {
+    std::ofstream out(path);
+    out << "previous content that is much longer than the new content";
+  }
+  run(2, [&](Context& ctx) {
+    write_file_ordered(ctx, path, ctx.rank() == 0 ? "ab" : "cd");
+  });
+  EXPECT_EQ(read_file(path), "abcd");
+}
+
+TEST(CollectiveWriteEdge, UnwritableDirectoryThrows) {
+  EXPECT_THROW(run(2,
+                   [&](Context& ctx) {
+                     write_file_ordered(ctx, "/nonexistent_dir_xyz/file.bin", "data");
+                   }),
+               std::runtime_error);
+}
+
+// --- nonblocking p2p ---------------------------------------------------------------
+
+TEST(NonblockingTest, IrecvTestReflectsArrival) {
+  run(2, [](Context& ctx) {
+    if (ctx.rank() == 1) {
+      auto req = irecv(ctx, 0, 5);
+      // Nothing sent yet (sender waits for our go signal).
+      EXPECT_FALSE(req.test());
+      ctx.send_value<int>(0, 6, 1);  // go
+      const Message msg = req.wait();
+      EXPECT_EQ(msg.source, 0);
+      ASSERT_EQ(msg.payload.size(), sizeof(int));
+    } else {
+      ctx.recv_value<int>(1, 6);
+      ctx.send_value<int>(1, 5, 99);
+    }
+  });
+}
+
+TEST(NonblockingTest, TestTurnsTrueAfterDelivery) {
+  run(2, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send_value<int>(1, 7, 42);
+      ctx.barrier();
+    } else {
+      ctx.barrier();  // after this, the message has definitely arrived
+      auto req = irecv(ctx, 0, 7);
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(req.wait().payload.size(), sizeof(int));
+    }
+  });
+}
+
+TEST(NonblockingTest, WaitTwiceThrows) {
+  run(1, [](Context& ctx) {
+    ctx.send_value<int>(0, 8, 1);  // self-send
+    auto req = irecv(ctx, 0, 8);
+    (void)req.wait();
+    EXPECT_THROW((void)req.wait(), std::logic_error);
+  });
+}
+
+TEST(NonblockingTest, OverlappedRequestsCompleteIndependently) {
+  run(3, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      auto from1 = irecv(ctx, 1, 9);
+      auto from2 = irecv(ctx, 2, 9);
+      const Message m2 = from2.wait();
+      const Message m1 = from1.wait();
+      EXPECT_EQ(m1.source, 1);
+      EXPECT_EQ(m2.source, 2);
+    } else {
+      ctx.send_value<int>(0, 9, ctx.rank());
+    }
+  });
+}
+
+// --- scatterv / alltoallv --------------------------------------------------------------
+
+class ScattervWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScattervWorlds, EachRankGetsItsPart) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    std::vector<std::vector<int>> parts;
+    if (ctx.rank() == 0) {
+      for (int r = 0; r < nranks; ++r) {
+        parts.push_back(std::vector<int>(static_cast<std::size_t>(r) + 1, r * 11));
+      }
+    }
+    const auto mine = scatterv(ctx, parts, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(ctx.rank()) + 1);
+    for (const int v : mine) EXPECT_EQ(v, ctx.rank() * 11);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ScattervWorlds, ::testing::Values(1, 2, 4, 6));
+
+TEST(ScattervTest, RootWithWrongPartCountThrows) {
+  EXPECT_THROW(run(2,
+                   [](Context& ctx) {
+                     std::vector<std::vector<int>> parts(1);  // wrong: need 2
+                     (void)scatterv(ctx, parts, 0);
+                   }),
+               std::invalid_argument);
+}
+
+class AlltoallvWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlltoallvWorlds, TransposesThePartMatrix) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    // send_parts[d][0] encodes (source, dest).
+    std::vector<std::vector<int>> send_parts;
+    for (int d = 0; d < nranks; ++d) {
+      send_parts.push_back({ctx.rank() * 100 + d});
+    }
+    const auto received = alltoallv(ctx, send_parts);
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(nranks));
+    for (int src = 0; src < nranks; ++src) {
+      ASSERT_EQ(received[static_cast<std::size_t>(src)].size(), 1u);
+      EXPECT_EQ(received[static_cast<std::size_t>(src)][0], src * 100 + ctx.rank());
+    }
+  });
+}
+
+TEST_P(AlltoallvWorlds, EmptyPartsAreFine) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    std::vector<std::vector<double>> send_parts(static_cast<std::size_t>(nranks));
+    const auto received = alltoallv(ctx, send_parts);
+    for (const auto& part : received) EXPECT_TRUE(part.empty());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AlltoallvWorlds, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(AlltoallvTest, ChargesCommunication) {
+  run(2, [](Context& ctx) {
+    const double before = ctx.comm_seconds();
+    std::vector<std::vector<int>> parts{{1, 2, 3}, {4, 5, 6}};
+    (void)alltoallv(ctx, parts);
+    EXPECT_GT(ctx.comm_seconds(), before);
+  });
+}
+
+// --- SubComm (MPI_Comm_split) -------------------------------------------------------
+
+class SubCommWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubCommWorlds, SplitByParityPartitionsTheWorld) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    const auto sub = SubComm::split(ctx, ctx.rank() % 2);
+    const int expected_size = nranks / 2 + (ctx.rank() % 2 == 0 ? nranks % 2 : 0);
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.color(), ctx.rank() % 2);
+    // Group order by world rank: this rank's position among same-parity ranks.
+    EXPECT_EQ(sub.world_rank_of(sub.rank()), ctx.rank());
+    EXPECT_EQ(sub.rank(), ctx.rank() / 2);
+  });
+}
+
+TEST_P(SubCommWorlds, GroupAllgathervStaysWithinTheGroup) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    auto sub = SubComm::split(ctx, ctx.rank() % 2);
+    const auto all = sub.allgatherv(std::vector<int>{ctx.rank()});
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(sub.size()));
+    for (const int r : all) {
+      EXPECT_EQ(r % 2, ctx.rank() % 2) << "value leaked across groups";
+    }
+    // Values appear in group order.
+    for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+  });
+}
+
+TEST_P(SubCommWorlds, GroupBcastReachesAllMembers) {
+  const int nranks = GetParam();
+  run(nranks, [&](Context& ctx) {
+    auto sub = SubComm::split(ctx, ctx.rank() % 2);
+    std::vector<int> data;
+    if (sub.rank() == 0) data = {sub.color() * 100};
+    sub.bcast(data, 0);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0], (ctx.rank() % 2) * 100);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SubCommWorlds, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(SubCommTest, KeyReordersGroupRanks) {
+  run(4, [](Context& ctx) {
+    // All ranks in one group; key = -world_rank reverses the order.
+    auto sub = SubComm::split(ctx, 0, -ctx.rank());
+    EXPECT_EQ(sub.rank(), 3 - ctx.rank());
+    EXPECT_EQ(sub.world_rank_of(0), 3);
+  });
+}
+
+TEST(SubCommTest, SingletonGroupsWork) {
+  run(3, [](Context& ctx) {
+    auto sub = SubComm::split(ctx, ctx.rank());  // every rank its own group
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    sub.barrier();  // must not deadlock
+    const auto all = sub.allgatherv(std::vector<int>{ctx.rank()});
+    EXPECT_EQ(all, std::vector<int>{ctx.rank()});
+  });
+}
+
+TEST(SubCommTest, GroupBarrierSynchronizesMembers) {
+  run(4, [](Context& ctx) {
+    auto sub = SubComm::split(ctx, ctx.rank() % 2);
+    for (int round = 0; round < 5; ++round) {
+      sub.barrier();
+      const auto all = sub.allgatherv(std::vector<int>{round});
+      for (const int v : all) EXPECT_EQ(v, round);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace trinity::simpi

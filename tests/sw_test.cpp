@@ -1,0 +1,182 @@
+// Tests for the Smith–Waterman validator kernel: known alignments, affine
+// gap behaviour, coverage/identity statistics, banded consistency, and
+// strand selection.
+
+#include <gtest/gtest.h>
+
+#include "seq/dna.hpp"
+#include "sw/smith_waterman.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::sw {
+namespace {
+
+using trinity::testing::random_dna;
+
+TEST(SwTest, IdenticalSequencesScorePerfect) {
+  const std::string s = random_dna(120, 1);
+  const auto aln = align(s, s);
+  EXPECT_EQ(aln.score, static_cast<int>(s.size()) * Scoring{}.match);
+  EXPECT_EQ(aln.matches, s.size());
+  EXPECT_EQ(aln.alignment_columns, s.size());
+  EXPECT_DOUBLE_EQ(aln.identity(), 1.0);
+  EXPECT_DOUBLE_EQ(aln.query_coverage(s.size()), 1.0);
+  EXPECT_EQ(aln.query_begin, 0u);
+  EXPECT_EQ(aln.query_end, s.size());
+}
+
+TEST(SwTest, EmptyInputsYieldEmptyAlignment) {
+  EXPECT_EQ(align("", "ACGT").score, 0);
+  EXPECT_EQ(align("ACGT", "").score, 0);
+  EXPECT_EQ(align("", "").score, 0);
+}
+
+TEST(SwTest, DisjointAlphabetsDoNotAlign) {
+  const auto aln = align("AAAAAAAA", "TTTTTTTT");
+  // Local alignment of all-mismatch pairs is empty (score clamped at 0).
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_EQ(aln.alignment_columns, 0u);
+}
+
+TEST(SwTest, SubstringIsFoundExactly) {
+  const std::string target = random_dna(200, 2);
+  const std::string query = target.substr(50, 40);
+  const auto aln = align(query, target);
+  EXPECT_EQ(aln.matches, 40u);
+  EXPECT_EQ(aln.target_begin, 50u);
+  EXPECT_EQ(aln.target_end, 90u);
+  EXPECT_DOUBLE_EQ(aln.query_coverage(query.size()), 1.0);
+}
+
+TEST(SwTest, SingleMismatchCounted) {
+  std::string a = random_dna(60, 3);
+  std::string b = a;
+  b[30] = b[30] == 'A' ? 'C' : 'A';
+  const auto aln = align(a, b);
+  EXPECT_EQ(aln.alignment_columns, 60u);
+  EXPECT_EQ(aln.matches, 59u);
+  EXPECT_NEAR(aln.identity(), 59.0 / 60.0, 1e-12);
+}
+
+TEST(SwTest, GapAlignmentBeatsTruncationForLongFlanks) {
+  // Query = target with a 3-base deletion in the middle; the affine model
+  // should bridge the gap rather than truncate the alignment.
+  const std::string target = random_dna(100, 4);
+  std::string query = target;
+  query.erase(50, 3);
+  const auto aln = align(query, target);
+  EXPECT_EQ(aln.matches, query.size());
+  EXPECT_EQ(aln.alignment_columns, query.size() + 3);  // 3 gap columns
+  EXPECT_DOUBLE_EQ(aln.query_coverage(query.size()), 1.0);
+}
+
+TEST(SwTest, AffineGapPrefersOneLongGapOverManyShort) {
+  // One 4-gap scores open + 3*extend = -24, better than four 1-gaps at
+  // 4*open = -48.
+  const Scoring s;
+  EXPECT_GT(s.gap_open + 3 * s.gap_extend, 4 * s.gap_open);
+  const std::string target = random_dna(80, 5);
+  std::string query = target;
+  query.erase(40, 4);
+  const auto aln = align(query, target);
+  // Full-length match with exactly 4 gap columns proves a single gap run.
+  EXPECT_EQ(aln.matches, query.size());
+  EXPECT_EQ(aln.alignment_columns, query.size() + 4);
+}
+
+TEST(SwTest, ScoreSymmetricUnderSwap) {
+  const std::string a = random_dna(70, 6);
+  const std::string b = random_dna(90, 7);
+  EXPECT_EQ(align(a, b).score, align(b, a).score);
+}
+
+TEST(SwTest, ScoreNeverExceedsPerfect) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::string a = random_dna(50, seed);
+    const std::string b = random_dna(60, seed + 100);
+    const auto aln = align(a, b);
+    EXPECT_LE(aln.score, static_cast<int>(std::min(a.size(), b.size())) * Scoring{}.match);
+    EXPECT_GE(aln.score, 0);
+    EXPECT_LE(aln.matches, aln.alignment_columns);
+  }
+}
+
+TEST(SwTest, TracebackBoundsAreConsistent) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::string a = random_dna(80, seed);
+    std::string b = a;
+    // sprinkle mutations
+    b[10] = 'A';
+    b[55] = 'T';
+    b.erase(30, 2);
+    const auto aln = align(a, b);
+    EXPECT_LE(aln.query_begin, aln.query_end);
+    EXPECT_LE(aln.target_begin, aln.target_end);
+    EXPECT_LE(aln.query_end, a.size());
+    EXPECT_LE(aln.target_end, b.size());
+    // Columns cover at least the longer of the two spans.
+    EXPECT_GE(aln.alignment_columns,
+              std::max(aln.query_end - aln.query_begin, aln.target_end - aln.target_begin));
+  }
+}
+
+class SwBandTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwBandTest, BandedMatchesFullWhenBandCoversAlignment) {
+  const int band = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string a = random_dna(120, seed);
+    std::string b = a;
+    b[40] = 'C';
+    b[90] = 'G';  // mutations only: optimal path stays on the diagonal
+    const auto full = align(a, b);
+    const auto banded = align_banded(a, b, band);
+    EXPECT_EQ(banded.score, full.score) << "band=" << band << " seed=" << seed;
+    EXPECT_EQ(banded.matches, full.matches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, SwBandTest, ::testing::Values(4, 16, 64));
+
+TEST(SwBandTest2, NegativeBandFallsBackToFull) {
+  const std::string a = random_dna(50, 8);
+  const std::string b = random_dna(70, 9);
+  EXPECT_EQ(align_banded(a, b, -1).score, align(a, b).score);
+}
+
+TEST(SwTest, BestStrandPicksReverseComplement) {
+  const std::string target = random_dna(100, 10);
+  const std::string query = seq::reverse_complement(target);
+  const auto fwd_only = align(query, target);
+  const auto best = align_best_strand(query, target);
+  EXPECT_GT(best.score, fwd_only.score);
+  EXPECT_EQ(best.matches, target.size());
+}
+
+TEST(SwTest, BestStrandPrefersForwardOnTies) {
+  // A strand-symmetric palindrome scores equally both ways; forward wins.
+  const std::string target = random_dna(60, 11);
+  const auto best = align_best_strand(target, target);
+  EXPECT_EQ(best.matches, target.size());
+}
+
+TEST(SwTest, EmptyAlignmentStatisticsAreZero) {
+  const Alignment empty;
+  EXPECT_DOUBLE_EQ(empty.identity(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.query_coverage(100), 0.0);
+  EXPECT_DOUBLE_EQ(empty.query_coverage(0), 0.0);
+}
+
+TEST(SwTest, CustomScoringRespected) {
+  Scoring s;
+  s.match = 1;
+  s.mismatch = -10;
+  s.gap_open = -10;
+  s.gap_extend = -10;
+  const std::string a = "ACGTACGT";
+  const auto aln = align(a, a, s);
+  EXPECT_EQ(aln.score, 8);
+}
+
+}  // namespace
+}  // namespace trinity::sw

@@ -1,0 +1,162 @@
+// Tests for the Section-IV validation harness: category bucketing against
+// known perturbations and reference full-length / fused counting.
+
+#include <gtest/gtest.h>
+
+#include "seq/dna.hpp"
+#include "validate/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::validate {
+namespace {
+
+using trinity::testing::random_dna;
+
+std::vector<seq::Sequence> make_set(std::size_t n, std::size_t len, std::uint64_t seed) {
+  std::vector<seq::Sequence> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({"t" + std::to_string(i), random_dna(len, seed + i)});
+  }
+  return out;
+}
+
+TEST(AllToAllTest, IdenticalSetsAreAllFullIdentical) {
+  const auto set = make_set(10, 300, 1);
+  const auto counts = all_to_all_categories(set, set);
+  EXPECT_EQ(counts.full_identical, 10u);
+  EXPECT_EQ(counts.full_diverged, 0u);
+  EXPECT_EQ(counts.partial, 0u);
+  EXPECT_EQ(counts.unmatched, 0u);
+}
+
+TEST(AllToAllTest, ReverseComplementStillFullIdentical) {
+  const auto set = make_set(5, 300, 2);
+  auto flipped = set;
+  for (auto& s : flipped) s.bases = seq::reverse_complement(s.bases);
+  const auto counts = all_to_all_categories(flipped, set);
+  EXPECT_EQ(counts.full_identical, 5u);
+}
+
+TEST(AllToAllTest, PointMutationsMakeFullDiverged) {
+  const auto set = make_set(6, 300, 3);
+  auto mutated = set;
+  for (auto& s : mutated) {
+    s.bases[100] = s.bases[100] == 'A' ? 'C' : 'A';
+    s.bases[200] = s.bases[200] == 'G' ? 'T' : 'G';
+  }
+  const auto counts = all_to_all_categories(mutated, set);
+  EXPECT_EQ(counts.full_identical, 0u);
+  EXPECT_EQ(counts.full_diverged, 6u);
+}
+
+TEST(AllToAllTest, TruncatedQueriesWithExtensionArePartial) {
+  const auto set = make_set(4, 400, 4);
+  std::vector<seq::Sequence> chimeras;
+  for (const auto& s : set) {
+    // Half of a real transcript glued to random sequence: only the real
+    // half aligns -> partial-length category.
+    chimeras.push_back({s.name + "_chimera", s.bases.substr(0, 200) + random_dna(200, 777)});
+  }
+  const auto counts = all_to_all_categories(chimeras, set);
+  EXPECT_EQ(counts.partial, 4u);
+  ASSERT_EQ(counts.partial_identities.size(), 4u);
+  for (const double ident : counts.partial_identities) {
+    // The aligned core is exact, but the local alignment may pick up noisy
+    // net-positive extensions into the random half, diluting identity.
+    EXPECT_GT(ident, 0.7);
+  }
+}
+
+TEST(AllToAllTest, ForeignQueriesAreUnmatched) {
+  const auto set = make_set(5, 300, 5);
+  const auto foreign = make_set(3, 300, 500);
+  const auto counts = all_to_all_categories(foreign, set);
+  EXPECT_EQ(counts.unmatched, 3u);
+  EXPECT_EQ(counts.total(), 3u);
+}
+
+TEST(AllToAllTest, EmptyQuerySet) {
+  const auto set = make_set(3, 300, 6);
+  const auto counts = all_to_all_categories({}, set);
+  EXPECT_EQ(counts.total(), 0u);
+}
+
+// --- reference comparison -------------------------------------------------------------
+
+TEST(ReferenceTest, ExactReconstructionCountsFullLength) {
+  const auto reference = make_set(8, 350, 7);
+  // Two isoforms per gene: gene g has refs 2g, 2g+1.
+  std::vector<std::int32_t> gene_of;
+  for (std::int32_t i = 0; i < 8; ++i) gene_of.push_back(i / 2);
+
+  // Reconstruct isoform 0 of genes 0 and 1 exactly.
+  const std::vector<seq::Sequence> reconstructed{reference[0], reference[2]};
+  const auto cmp = compare_to_reference(reconstructed, reference, gene_of);
+  EXPECT_EQ(cmp.full_length_isoforms, 2u);
+  EXPECT_EQ(cmp.full_length_genes, 2u);
+  EXPECT_EQ(cmp.fused_isoforms, 0u);
+  EXPECT_EQ(cmp.fused_genes, 0u);
+}
+
+TEST(ReferenceTest, PartialReconstructionDoesNotCount) {
+  const auto reference = make_set(4, 400, 8);
+  const std::vector<std::int32_t> gene_of{0, 1, 2, 3};
+  // Only half of reference 0.
+  const std::vector<seq::Sequence> reconstructed{{"half", reference[0].bases.substr(0, 200)}};
+  const auto cmp = compare_to_reference(reconstructed, reference, gene_of);
+  EXPECT_EQ(cmp.full_length_isoforms, 0u);
+  EXPECT_EQ(cmp.full_length_genes, 0u);
+}
+
+TEST(ReferenceTest, FusedTranscriptDetected) {
+  const auto reference = make_set(4, 300, 9);
+  const std::vector<std::int32_t> gene_of{0, 1, 2, 3};
+  // An end-to-end fusion of references 1 and 2 (different genes).
+  const std::vector<seq::Sequence> reconstructed{
+      {"fusion", reference[1].bases + reference[2].bases}};
+  const auto cmp = compare_to_reference(reconstructed, reference, gene_of);
+  EXPECT_EQ(cmp.fused_isoforms, 1u);
+  EXPECT_EQ(cmp.fused_genes, 2u);
+  // Both constituents were recovered at full reference length.
+  EXPECT_EQ(cmp.full_length_isoforms, 2u);
+}
+
+TEST(ReferenceTest, TwoIsoformsOfSameGeneAreNotAFusion) {
+  const auto reference = make_set(2, 300, 10);
+  const std::vector<std::int32_t> gene_of{0, 0};  // same gene
+  const std::vector<seq::Sequence> reconstructed{
+      {"join", reference[0].bases + reference[1].bases}};
+  const auto cmp = compare_to_reference(reconstructed, reference, gene_of);
+  EXPECT_EQ(cmp.fused_isoforms, 0u);
+  EXPECT_EQ(cmp.fused_genes, 0u);
+}
+
+TEST(ReferenceTest, NearIdenticalReconstructionStillFullLength) {
+  const auto reference = make_set(1, 400, 11);
+  auto copy = reference[0];
+  copy.bases[200] = copy.bases[200] == 'A' ? 'C' : 'A';  // one mismatch
+  const auto cmp =
+      compare_to_reference({copy}, reference, std::vector<std::int32_t>{0});
+  EXPECT_EQ(cmp.full_length_isoforms, 1u);
+}
+
+TEST(AllToAllTest, EmptyTargetSetLeavesQueriesUnmatched) {
+  const auto queries = make_set(3, 200, 42);
+  const auto counts = all_to_all_categories(queries, {});
+  EXPECT_EQ(counts.unmatched, 3u);
+}
+
+TEST(ReferenceTest, EmptyInputsYieldZeroCounts) {
+  const auto cmp = compare_to_reference({}, {}, {});
+  EXPECT_EQ(cmp.full_length_genes, 0u);
+  EXPECT_EQ(cmp.fused_isoforms, 0u);
+}
+
+TEST(TTestBridge, ForwardsToWelch) {
+  const std::vector<double> a{10, 11, 9, 10.5, 9.5};
+  const std::vector<double> b{10.2, 10.8, 9.1, 10.4, 9.6};
+  EXPECT_FALSE(compare_run_metric(a, b).significant_at_5pct);
+}
+
+}  // namespace
+}  // namespace trinity::validate
