@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_validation_sw.dir/bench_fig04_validation_sw.cpp.o"
+  "CMakeFiles/bench_fig04_validation_sw.dir/bench_fig04_validation_sw.cpp.o.d"
+  "bench_fig04_validation_sw"
+  "bench_fig04_validation_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_validation_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o"
+  "CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o.d"
+  "bench_fig05_fulllength"
+  "bench_fig05_fulllength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fulllength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_fused.dir/bench_fig06_fused.cpp.o"
+  "CMakeFiles/bench_fig06_fused.dir/bench_fig06_fused.cpp.o.d"
+  "bench_fig06_fused"
+  "bench_fig06_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

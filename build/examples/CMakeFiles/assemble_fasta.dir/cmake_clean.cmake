@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assemble_fasta.dir/assemble_fasta.cpp.o"
+  "CMakeFiles/assemble_fasta.dir/assemble_fasta.cpp.o.d"
+  "assemble_fasta"
+  "assemble_fasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assemble_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

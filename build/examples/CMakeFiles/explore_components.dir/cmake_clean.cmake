@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_components.dir/explore_components.cpp.o"
+  "CMakeFiles/explore_components.dir/explore_components.cpp.o.d"
+  "explore_components"
+  "explore_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

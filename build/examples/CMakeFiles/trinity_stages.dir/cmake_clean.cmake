@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o"
+  "CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o.d"
+  "trinity_stages"
+  "trinity_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

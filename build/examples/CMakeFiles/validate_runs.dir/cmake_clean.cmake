@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_runs.dir/validate_runs.cpp.o"
+  "CMakeFiles/validate_runs.dir/validate_runs.cpp.o.d"
+  "validate_runs"
+  "validate_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_smoke "/root/repo/build/examples/quickstart" "--genes" "8" "--ranks" "2")
+set_tests_properties(example_quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scaling_smoke "/root/repo/build/examples/scaling_study" "--genes" "10" "--coverage" "8" "--ranks" "1,2")
+set_tests_properties(example_scaling_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_validate_smoke "/root/repo/build/examples/validate_runs" "--runs" "2" "--genes" "8" "--ranks" "2")
+set_tests_properties(example_validate_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_smoke "/root/repo/build/examples/explore_components" "--genes" "8" "--top" "5")
+set_tests_properties(example_explore_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stages_smoke "sh" "-c" "cd /tmp &&            /root/repo/build/examples/trinity_stages jellyfish /tmp/trinity_quickstart/reads.fa --out /tmp/ts_kmers.bin --k 15 &&            /root/repo/build/examples/trinity_stages inchworm /tmp/ts_kmers.bin --out /tmp/ts_inchworm.fa --k 15 &&            /root/repo/build/examples/trinity_stages chrysalis /tmp/ts_inchworm.fa /tmp/trinity_quickstart/reads.fa --out-dir /tmp/ts_chrysalis --nprocs 2 --k 15 &&            /root/repo/build/examples/trinity_stages butterfly /tmp/ts_inchworm.fa /tmp/ts_chrysalis /tmp/trinity_quickstart/reads.fa --out /tmp/ts_Trinity.fa --k 15 &&            test -s /tmp/ts_Trinity.fa")
+set_tests_properties(example_stages_smoke PROPERTIES  DEPENDS "example_quickstart_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_assemble_smoke "sh" "-c" "/root/repo/build/examples/assemble_fasta /tmp/trinity_quickstart/reads.fa                         --out /tmp/trinity_assemble_smoke.fa --ranks 2                         --gff-distribution dynamic --r2t-output collective")
+set_tests_properties(example_assemble_smoke PROPERTIES  DEPENDS "example_quickstart_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

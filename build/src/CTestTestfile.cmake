@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("simpi")
+subdirs("seq")
+subdirs("kmer")
+subdirs("inchworm")
+subdirs("fasplit")
+subdirs("sw")
+subdirs("align")
+subdirs("chrysalis")
+subdirs("butterfly")
+subdirs("sim")
+subdirs("validate")
+subdirs("pipeline")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_align.dir/aligner.cpp.o"
+  "CMakeFiles/trinity_align.dir/aligner.cpp.o.d"
+  "CMakeFiles/trinity_align.dir/mpi_bowtie.cpp.o"
+  "CMakeFiles/trinity_align.dir/mpi_bowtie.cpp.o.d"
+  "CMakeFiles/trinity_align.dir/paired.cpp.o"
+  "CMakeFiles/trinity_align.dir/paired.cpp.o.d"
+  "CMakeFiles/trinity_align.dir/sam_io.cpp.o"
+  "CMakeFiles/trinity_align.dir/sam_io.cpp.o.d"
+  "libtrinity_align.a"
+  "libtrinity_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_butterfly.dir/butterfly.cpp.o"
+  "CMakeFiles/trinity_butterfly.dir/butterfly.cpp.o.d"
+  "libtrinity_butterfly.a"
+  "libtrinity_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chrysalis/components.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/components.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/components.cpp.o.d"
+  "/root/repo/src/chrysalis/components_io.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/components_io.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/components_io.cpp.o.d"
+  "/root/repo/src/chrysalis/debruijn.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/debruijn.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/debruijn.cpp.o.d"
+  "/root/repo/src/chrysalis/distribution.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/distribution.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/distribution.cpp.o.d"
+  "/root/repo/src/chrysalis/graph_from_fasta.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/graph_from_fasta.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/graph_from_fasta.cpp.o.d"
+  "/root/repo/src/chrysalis/reads_to_transcripts.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/reads_to_transcripts.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/reads_to_transcripts.cpp.o.d"
+  "/root/repo/src/chrysalis/scaffold.cpp" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/scaffold.cpp.o" "gcc" "src/chrysalis/CMakeFiles/trinity_chrysalis.dir/scaffold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/trinity_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/trinity_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_chrysalis.dir/components.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/components.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/components_io.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/components_io.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/debruijn.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/debruijn.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/distribution.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/distribution.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/graph_from_fasta.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/graph_from_fasta.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/reads_to_transcripts.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/reads_to_transcripts.cpp.o.d"
+  "CMakeFiles/trinity_chrysalis.dir/scaffold.cpp.o"
+  "CMakeFiles/trinity_chrysalis.dir/scaffold.cpp.o.d"
+  "libtrinity_chrysalis.a"
+  "libtrinity_chrysalis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_chrysalis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_fasplit.dir/fasplit.cpp.o"
+  "CMakeFiles/trinity_fasplit.dir/fasplit.cpp.o.d"
+  "libtrinity_fasplit.a"
+  "libtrinity_fasplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_fasplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_inchworm.dir/inchworm.cpp.o"
+  "CMakeFiles/trinity_inchworm.dir/inchworm.cpp.o.d"
+  "libtrinity_inchworm.a"
+  "libtrinity_inchworm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_inchworm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmer/counter.cpp" "src/kmer/CMakeFiles/trinity_kmer.dir/counter.cpp.o" "gcc" "src/kmer/CMakeFiles/trinity_kmer.dir/counter.cpp.o.d"
+  "/root/repo/src/kmer/disk_counter.cpp" "src/kmer/CMakeFiles/trinity_kmer.dir/disk_counter.cpp.o" "gcc" "src/kmer/CMakeFiles/trinity_kmer.dir/disk_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_kmer.dir/counter.cpp.o"
+  "CMakeFiles/trinity_kmer.dir/counter.cpp.o.d"
+  "CMakeFiles/trinity_kmer.dir/disk_counter.cpp.o"
+  "CMakeFiles/trinity_kmer.dir/disk_counter.cpp.o.d"
+  "libtrinity_kmer.a"
+  "libtrinity_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

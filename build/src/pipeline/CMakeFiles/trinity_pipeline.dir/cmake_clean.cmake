@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_pipeline.dir/trinity_pipeline.cpp.o"
+  "CMakeFiles/trinity_pipeline.dir/trinity_pipeline.cpp.o.d"
+  "libtrinity_pipeline.a"
+  "libtrinity_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

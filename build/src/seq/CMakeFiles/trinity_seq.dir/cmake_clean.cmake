@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_seq.dir/dna.cpp.o"
+  "CMakeFiles/trinity_seq.dir/dna.cpp.o.d"
+  "CMakeFiles/trinity_seq.dir/fasta.cpp.o"
+  "CMakeFiles/trinity_seq.dir/fasta.cpp.o.d"
+  "CMakeFiles/trinity_seq.dir/kmer.cpp.o"
+  "CMakeFiles/trinity_seq.dir/kmer.cpp.o.d"
+  "CMakeFiles/trinity_seq.dir/packed_sequence.cpp.o"
+  "CMakeFiles/trinity_seq.dir/packed_sequence.cpp.o.d"
+  "libtrinity_seq.a"
+  "libtrinity_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

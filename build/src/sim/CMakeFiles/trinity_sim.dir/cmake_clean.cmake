@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_sim.dir/transcriptome.cpp.o"
+  "CMakeFiles/trinity_sim.dir/transcriptome.cpp.o.d"
+  "libtrinity_sim.a"
+  "libtrinity_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpi/context.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/context.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/context.cpp.o.d"
+  "/root/repo/src/simpi/cost_model.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/cost_model.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simpi/file_io.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/file_io.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/file_io.cpp.o.d"
+  "/root/repo/src/simpi/mailbox.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/mailbox.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/simpi/nonblocking.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o.d"
+  "/root/repo/src/simpi/pack.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/pack.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/pack.cpp.o.d"
+  "/root/repo/src/simpi/rma.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/rma.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/rma.cpp.o.d"
+  "/root/repo/src/simpi/subcomm.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/subcomm.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/subcomm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_simpi.dir/context.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/context.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/cost_model.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/cost_model.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/file_io.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/file_io.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/mailbox.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/pack.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/pack.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/rma.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/rma.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/subcomm.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/subcomm.cpp.o.d"
+  "libtrinity_simpi.a"
+  "libtrinity_simpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_simpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

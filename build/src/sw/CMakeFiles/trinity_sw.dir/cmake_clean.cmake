@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_sw.dir/smith_waterman.cpp.o"
+  "CMakeFiles/trinity_sw.dir/smith_waterman.cpp.o.d"
+  "libtrinity_sw.a"
+  "libtrinity_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_util.dir/cli.cpp.o"
+  "CMakeFiles/trinity_util.dir/cli.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/log.cpp.o"
+  "CMakeFiles/trinity_util.dir/log.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/resource_trace.cpp.o"
+  "CMakeFiles/trinity_util.dir/resource_trace.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/rng.cpp.o"
+  "CMakeFiles/trinity_util.dir/rng.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/rss.cpp.o"
+  "CMakeFiles/trinity_util.dir/rss.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/stats.cpp.o"
+  "CMakeFiles/trinity_util.dir/stats.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/timer.cpp.o"
+  "CMakeFiles/trinity_util.dir/timer.cpp.o.d"
+  "libtrinity_util.a"
+  "libtrinity_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validate/assembly_stats.cpp" "src/validate/CMakeFiles/trinity_validate.dir/assembly_stats.cpp.o" "gcc" "src/validate/CMakeFiles/trinity_validate.dir/assembly_stats.cpp.o.d"
+  "/root/repo/src/validate/report.cpp" "src/validate/CMakeFiles/trinity_validate.dir/report.cpp.o" "gcc" "src/validate/CMakeFiles/trinity_validate.dir/report.cpp.o.d"
+  "/root/repo/src/validate/validate.cpp" "src/validate/CMakeFiles/trinity_validate.dir/validate.cpp.o" "gcc" "src/validate/CMakeFiles/trinity_validate.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/trinity_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

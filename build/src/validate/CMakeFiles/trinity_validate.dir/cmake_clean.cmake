@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_validate.dir/assembly_stats.cpp.o"
+  "CMakeFiles/trinity_validate.dir/assembly_stats.cpp.o.d"
+  "CMakeFiles/trinity_validate.dir/report.cpp.o"
+  "CMakeFiles/trinity_validate.dir/report.cpp.o.d"
+  "CMakeFiles/trinity_validate.dir/validate.cpp.o"
+  "CMakeFiles/trinity_validate.dir/validate.cpp.o.d"
+  "libtrinity_validate.a"
+  "libtrinity_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

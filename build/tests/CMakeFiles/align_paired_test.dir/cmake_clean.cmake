@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_paired_test.dir/align_paired_test.cpp.o"
+  "CMakeFiles/align_paired_test.dir/align_paired_test.cpp.o.d"
+  "align_paired_test"
+  "align_paired_test.pdb"
+  "align_paired_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_paired_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

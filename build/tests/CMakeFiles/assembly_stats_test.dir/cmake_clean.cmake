@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_stats_test.dir/assembly_stats_test.cpp.o"
+  "CMakeFiles/assembly_stats_test.dir/assembly_stats_test.cpp.o.d"
+  "assembly_stats_test"
+  "assembly_stats_test.pdb"
+  "assembly_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_components_test.dir/chrysalis_components_test.cpp.o"
+  "CMakeFiles/chrysalis_components_test.dir/chrysalis_components_test.cpp.o.d"
+  "chrysalis_components_test"
+  "chrysalis_components_test.pdb"
+  "chrysalis_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

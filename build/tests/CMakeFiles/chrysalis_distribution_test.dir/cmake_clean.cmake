@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_distribution_test.dir/chrysalis_distribution_test.cpp.o"
+  "CMakeFiles/chrysalis_distribution_test.dir/chrysalis_distribution_test.cpp.o.d"
+  "chrysalis_distribution_test"
+  "chrysalis_distribution_test.pdb"
+  "chrysalis_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

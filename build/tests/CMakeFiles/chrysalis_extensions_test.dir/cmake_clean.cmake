@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_extensions_test.dir/chrysalis_extensions_test.cpp.o"
+  "CMakeFiles/chrysalis_extensions_test.dir/chrysalis_extensions_test.cpp.o.d"
+  "chrysalis_extensions_test"
+  "chrysalis_extensions_test.pdb"
+  "chrysalis_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

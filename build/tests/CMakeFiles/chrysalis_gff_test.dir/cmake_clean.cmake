@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_gff_test.dir/chrysalis_gff_test.cpp.o"
+  "CMakeFiles/chrysalis_gff_test.dir/chrysalis_gff_test.cpp.o.d"
+  "chrysalis_gff_test"
+  "chrysalis_gff_test.pdb"
+  "chrysalis_gff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_gff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

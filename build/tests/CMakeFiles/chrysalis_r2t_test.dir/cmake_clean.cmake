@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_r2t_test.dir/chrysalis_r2t_test.cpp.o"
+  "CMakeFiles/chrysalis_r2t_test.dir/chrysalis_r2t_test.cpp.o.d"
+  "chrysalis_r2t_test"
+  "chrysalis_r2t_test.pdb"
+  "chrysalis_r2t_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_r2t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_io_test.dir/components_io_test.cpp.o"
+  "CMakeFiles/components_io_test.dir/components_io_test.cpp.o.d"
+  "components_io_test"
+  "components_io_test.pdb"
+  "components_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

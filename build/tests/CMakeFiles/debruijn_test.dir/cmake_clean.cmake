@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debruijn_test.dir/debruijn_test.cpp.o"
+  "CMakeFiles/debruijn_test.dir/debruijn_test.cpp.o.d"
+  "debruijn_test"
+  "debruijn_test.pdb"
+  "debruijn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debruijn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasplit_test.dir/fasplit_test.cpp.o"
+  "CMakeFiles/fasplit_test.dir/fasplit_test.cpp.o.d"
+  "fasplit_test"
+  "fasplit_test.pdb"
+  "fasplit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasplit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

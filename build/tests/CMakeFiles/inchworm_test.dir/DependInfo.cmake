@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inchworm_test.cpp" "tests/CMakeFiles/inchworm_test.dir/inchworm_test.cpp.o" "gcc" "tests/CMakeFiles/inchworm_test.dir/inchworm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inchworm/CMakeFiles/trinity_inchworm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/trinity_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

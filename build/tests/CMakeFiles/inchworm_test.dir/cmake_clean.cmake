@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inchworm_test.dir/inchworm_test.cpp.o"
+  "CMakeFiles/inchworm_test.dir/inchworm_test.cpp.o.d"
+  "inchworm_test"
+  "inchworm_test.pdb"
+  "inchworm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inchworm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_sequence_test.dir/packed_sequence_test.cpp.o"
+  "CMakeFiles/packed_sequence_test.dir/packed_sequence_test.cpp.o.d"
+  "packed_sequence_test"
+  "packed_sequence_test.pdb"
+  "packed_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

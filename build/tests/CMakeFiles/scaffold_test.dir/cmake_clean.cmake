@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffold_test.dir/scaffold_test.cpp.o"
+  "CMakeFiles/scaffold_test.dir/scaffold_test.cpp.o.d"
+  "scaffold_test"
+  "scaffold_test.pdb"
+  "scaffold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpi_extensions_test.dir/simpi_extensions_test.cpp.o"
+  "CMakeFiles/simpi_extensions_test.dir/simpi_extensions_test.cpp.o.d"
+  "simpi_extensions_test"
+  "simpi_extensions_test.pdb"
+  "simpi_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpi_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

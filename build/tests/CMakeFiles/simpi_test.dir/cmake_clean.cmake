@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpi_test.dir/simpi_test.cpp.o"
+  "CMakeFiles/simpi_test.dir/simpi_test.cpp.o.d"
+  "simpi_test"
+  "simpi_test.pdb"
+  "simpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/simpi_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_test[1]_include.cmake")
+include("/root/repo/build/tests/kmer_test[1]_include.cmake")
+include("/root/repo/build/tests/inchworm_test[1]_include.cmake")
+include("/root/repo/build/tests/fasplit_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_test[1]_include.cmake")
+include("/root/repo/build/tests/align_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis_components_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis_gff_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis_r2t_test[1]_include.cmake")
+include("/root/repo/build/tests/debruijn_test[1]_include.cmake")
+include("/root/repo/build/tests/scaffold_test[1]_include.cmake")
+include("/root/repo/build/tests/butterfly_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/simpi_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/packed_sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/components_io_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/align_paired_test[1]_include.cmake")
+include("/root/repo/build/tests/assembly_stats_test[1]_include.cmake")
