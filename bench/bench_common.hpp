@@ -92,6 +92,64 @@ class CsvSink {
   std::ofstream out_;
 };
 
+/// Optional JSON sink: when --json <path> is given, a bench also writes its
+/// results as one machine-readable document,
+///   {"bench": "<name>", "series": [{...}, ...]}
+/// — one series entry per measured configuration, scalar fields only. The
+/// CSV sink stays the plotting format; JSON is for the driver scripts that
+/// compare runs (scripts/check.sh and CI-style regression diffing).
+class JsonSink {
+ public:
+  JsonSink(const util::CliArgs& args, std::string bench) : bench_(std::move(bench)) {
+    const auto path = args.get("json");
+    if (path) out_.open(*path);
+  }
+
+  ~JsonSink() {
+    if (!out_.is_open()) return;
+    out_ << "{\"bench\":\"" << escape(bench_) << "\",\"series\":[";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out_ << (i ? "," : "") << '{' << entries_[i] << '}';
+    }
+    out_ << "]}\n";
+  }
+
+  void begin_entry() { entries_.emplace_back(); }
+  void field(const char* name, const std::string& value) {
+    append(name, '"' + escape(value) + '"');
+  }
+  void field(const char* name, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    append(name, buf);
+  }
+  void field(const char* name, std::int64_t value) { append(name, std::to_string(value)); }
+  void field(const char* name, bool value) { append(name, value ? "true" : "false"); }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  void append(const char* name, const std::string& rendered) {
+    if (entries_.empty()) entries_.emplace_back();
+    auto& entry = entries_.back();
+    if (!entry.empty()) entry += ',';
+    entry += '"';
+    entry += name;
+    entry += "\":";
+    entry += rendered;
+  }
+
+  std::string bench_;
+  std::vector<std::string> entries_;
+  std::ofstream out_;
+};
+
 /// Prints the bench banner: which paper artifact this regenerates.
 inline void banner(const char* figure, const char* description) {
   std::printf("==================================================================\n");

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_checkpoint_overhead.cpp" "bench/CMakeFiles/bench_checkpoint_overhead.dir/bench_checkpoint_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_checkpoint_overhead.dir/bench_checkpoint_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/trinity_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/trinity_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/trinity_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/trinity_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/inchworm/CMakeFiles/trinity_inchworm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/trinity_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trinity_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fasplit/CMakeFiles/trinity_fasplit.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpi/CMakeFiles/trinity_simpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/butterfly/CMakeFiles/trinity_butterfly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

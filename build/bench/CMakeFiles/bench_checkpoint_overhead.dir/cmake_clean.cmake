@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_overhead.dir/bench_checkpoint_overhead.cpp.o"
+  "CMakeFiles/bench_checkpoint_overhead.dir/bench_checkpoint_overhead.cpp.o.d"
+  "bench_checkpoint_overhead"
+  "bench_checkpoint_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

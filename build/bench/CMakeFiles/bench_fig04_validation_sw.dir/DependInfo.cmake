@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
   "/root/repo/build/src/butterfly/CMakeFiles/trinity_butterfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/trinity_checkpoint.dir/DependInfo.cmake"
   "/root/repo/build/src/sw/CMakeFiles/trinity_sw.dir/DependInfo.cmake"
   )
 

@@ -202,8 +202,8 @@ bench/CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o: \
  /usr/include/c++/12/iostream \
  /root/repo/src/pipeline/trinity_pipeline.hpp \
  /root/repo/src/align/mpi_bowtie.hpp /root/repo/src/align/aligner.hpp \
- /root/repo/src/simpi/context.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/src/simpi/context.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -227,7 +227,7 @@ bench/CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/syscall.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -240,15 +240,21 @@ bench/CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/mailbox.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/fault.hpp \
+ /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/checkpoint/manifest.hpp \
+ /root/repo/src/checkpoint/retry.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/chrysalis/graph_from_fasta.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/chrysalis/components.hpp \
@@ -257,6 +263,5 @@ bench/CMakeFiles/bench_fig05_fulllength.dir/bench_fig05_fulllength.cpp.o: \
  /root/repo/src/butterfly/butterfly.hpp \
  /root/repo/src/chrysalis/debruijn.hpp \
  /root/repo/src/util/resource_trace.hpp /usr/include/c++/12/thread \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/util/stats.hpp /root/repo/src/validate/validate.hpp \
  /root/repo/src/sw/smith_waterman.hpp

@@ -139,7 +139,8 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/seq/kmer.hpp \
  /root/repo/src/seq/dna.hpp /root/repo/src/seq/sequence.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/simpi/context.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
@@ -180,7 +181,7 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /usr/include/c++/12/stdexcept /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -217,10 +218,11 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/mailbox.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/fault.hpp \
+ /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -229,7 +231,10 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/bench/bench_common.hpp \
+ /usr/include/c++/12/mutex /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_common.hpp \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
@@ -238,9 +243,7 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
  /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
- /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
@@ -250,5 +253,4 @@ bench/CMakeFiles/bench_fig10_bowtie_scaling.dir/bench_fig10_bowtie_scaling.cpp.o
  /root/repo/src/seq/fasta.hpp /root/repo/src/sim/transcriptome.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/util/cli.hpp \
  /root/repo/src/util/log.hpp /usr/include/c++/12/iostream \
- /root/repo/src/fasplit/fasplit.hpp /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono
+ /root/repo/src/fasplit/fasplit.hpp

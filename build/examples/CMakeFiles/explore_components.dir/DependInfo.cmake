@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/inchworm/CMakeFiles/trinity_inchworm.dir/DependInfo.cmake"
   "/root/repo/build/src/kmer/CMakeFiles/trinity_kmer.dir/DependInfo.cmake"
   "/root/repo/build/src/seq/CMakeFiles/trinity_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/trinity_checkpoint.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -199,7 +199,8 @@ examples/CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/seq/kmer.hpp \
  /root/repo/src/seq/dna.hpp /root/repo/src/seq/sequence.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/simpi/context.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -224,8 +225,8 @@ examples/CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
@@ -233,8 +234,8 @@ examples/CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
- /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/mailbox.hpp \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/fault.hpp \
+ /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -243,7 +244,8 @@ examples/CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/align/sam_io.hpp \
+ /usr/include/c++/12/mutex /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/align/sam_io.hpp \
  /root/repo/src/butterfly/butterfly.hpp \
  /root/repo/src/chrysalis/components.hpp \
  /root/repo/src/chrysalis/debruijn.hpp \
@@ -252,6 +254,8 @@ examples/CMakeFiles/trinity_stages.dir/trinity_stages.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/chrysalis/distribution.hpp \
  /root/repo/src/kmer/counter.hpp \
+ /root/repo/src/checkpoint/fingerprint.hpp /root/repo/src/util/hash.hpp \
+ /root/repo/src/checkpoint/manifest.hpp \
  /root/repo/src/chrysalis/components_io.hpp \
  /root/repo/src/chrysalis/scaffold.hpp \
  /root/repo/src/inchworm/inchworm.hpp /root/repo/src/seq/fasta.hpp \

@@ -16,3 +16,9 @@ add_test(example_stages_smoke "sh" "-c" "cd /tmp &&            /root/repo/build/
 set_tests_properties(example_stages_smoke PROPERTIES  DEPENDS "example_quickstart_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_assemble_smoke "sh" "-c" "/root/repo/build/examples/assemble_fasta /tmp/trinity_quickstart/reads.fa                         --out /tmp/trinity_assemble_smoke.fa --ranks 2                         --gff-distribution dynamic --r2t-output collective")
 set_tests_properties(example_assemble_smoke PROPERTIES  DEPENDS "example_quickstart_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_fault_smoke "/root/repo/build/examples/quickstart" "--genes" "8" "--ranks" "2" "--work-dir" "/tmp/trinity_quickstart_fault" "--fault-rank" "1" "--fault-stage" "chrysalis.graph_from_fasta" "--max-attempts" "3")
+set_tests_properties(example_quickstart_fault_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_resume_smoke "sh" "-c" "/root/repo/build/examples/quickstart --genes 8 --ranks 2 --resume                         | grep -q 'resumed from checkpoint'")
+set_tests_properties(example_quickstart_resume_smoke PROPERTIES  DEPENDS "example_quickstart_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stages_fault_smoke "sh" "-c" "/root/repo/build/examples/trinity_stages chrysalis /tmp/ts_inchworm.fa            /tmp/trinity_quickstart/reads.fa --out-dir /tmp/ts_chrysalis_fault --nprocs 2 --k 15            --fault-rank 1 --max-attempts 3 &&            /root/repo/build/examples/trinity_stages chrysalis /tmp/ts_inchworm.fa            /tmp/trinity_quickstart/reads.fa --out-dir /tmp/ts_chrysalis_fault --nprocs 2 --k 15            --resume | grep -q 'checkpoint valid'")
+set_tests_properties(example_stages_fault_smoke PROPERTIES  DEPENDS "example_stages_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/fingerprint.cpp" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/fingerprint.cpp.o" "gcc" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/checkpoint/manifest.cpp" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/manifest.cpp.o" "gcc" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/manifest.cpp.o.d"
+  "/root/repo/src/checkpoint/retry.cpp" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/retry.cpp.o" "gcc" "src/checkpoint/CMakeFiles/trinity_checkpoint.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/trinity_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

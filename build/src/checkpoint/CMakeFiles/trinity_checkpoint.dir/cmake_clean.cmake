@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_checkpoint.dir/fingerprint.cpp.o"
+  "CMakeFiles/trinity_checkpoint.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/trinity_checkpoint.dir/manifest.cpp.o"
+  "CMakeFiles/trinity_checkpoint.dir/manifest.cpp.o.d"
+  "CMakeFiles/trinity_checkpoint.dir/retry.cpp.o"
+  "CMakeFiles/trinity_checkpoint.dir/retry.cpp.o.d"
+  "libtrinity_checkpoint.a"
+  "libtrinity_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

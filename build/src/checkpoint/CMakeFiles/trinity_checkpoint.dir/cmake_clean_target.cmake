@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrinity_checkpoint.a"
+)

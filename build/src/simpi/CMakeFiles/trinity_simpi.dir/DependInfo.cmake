@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/simpi/context.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/context.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/context.cpp.o.d"
   "/root/repo/src/simpi/cost_model.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/cost_model.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simpi/fault.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/fault.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/fault.cpp.o.d"
   "/root/repo/src/simpi/file_io.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/file_io.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/file_io.cpp.o.d"
   "/root/repo/src/simpi/mailbox.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/mailbox.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/mailbox.cpp.o.d"
   "/root/repo/src/simpi/nonblocking.cpp" "src/simpi/CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o" "gcc" "src/simpi/CMakeFiles/trinity_simpi.dir/nonblocking.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/trinity_simpi.dir/context.cpp.o.d"
   "CMakeFiles/trinity_simpi.dir/cost_model.cpp.o"
   "CMakeFiles/trinity_simpi.dir/cost_model.cpp.o.d"
+  "CMakeFiles/trinity_simpi.dir/fault.cpp.o"
+  "CMakeFiles/trinity_simpi.dir/fault.cpp.o.d"
   "CMakeFiles/trinity_simpi.dir/file_io.cpp.o"
   "CMakeFiles/trinity_simpi.dir/file_io.cpp.o.d"
   "CMakeFiles/trinity_simpi.dir/mailbox.cpp.o"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/trinity_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/trinity_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/trinity_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/trinity_util.dir/hash.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/trinity_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/trinity_util.dir/log.cpp.o.d"
   "/root/repo/src/util/resource_trace.cpp" "src/util/CMakeFiles/trinity_util.dir/resource_trace.cpp.o" "gcc" "src/util/CMakeFiles/trinity_util.dir/resource_trace.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/trinity_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/trinity_util.dir/rng.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/trinity_util.dir/cli.cpp.o"
   "CMakeFiles/trinity_util.dir/cli.cpp.o.d"
+  "CMakeFiles/trinity_util.dir/hash.cpp.o"
+  "CMakeFiles/trinity_util.dir/hash.cpp.o.d"
   "CMakeFiles/trinity_util.dir/log.cpp.o"
   "CMakeFiles/trinity_util.dir/log.cpp.o.d"
   "CMakeFiles/trinity_util.dir/resource_trace.cpp.o"

@@ -302,17 +302,18 @@ tests/CMakeFiles/chrysalis_extensions_test.dir/chrysalis_extensions_test.cpp.o: 
  /root/repo/src/seq/dna.hpp /root/repo/src/seq/sequence.hpp \
  /root/repo/src/simpi/context.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/simpi/cost_model.hpp \
- /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/simpi/fault.hpp /root/repo/src/simpi/mailbox.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/chrysalis/graph_from_fasta.hpp \
+ /usr/include/c++/12/mutex /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/chrysalis/graph_from_fasta.hpp \
  /root/repo/src/chrysalis/components.hpp \
  /root/repo/src/chrysalis/distribution.hpp \
  /root/repo/src/kmer/counter.hpp \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_checkpoint_test.dir/pipeline_checkpoint_test.cpp.o"
+  "CMakeFiles/pipeline_checkpoint_test.dir/pipeline_checkpoint_test.cpp.o.d"
+  "pipeline_checkpoint_test"
+  "pipeline_checkpoint_test.pdb"
+  "pipeline_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

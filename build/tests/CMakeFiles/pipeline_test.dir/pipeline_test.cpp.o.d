@@ -302,8 +302,8 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o: \
  /root/repo/src/seq/kmer.hpp /root/repo/src/seq/dna.hpp \
  /root/repo/src/seq/sequence.hpp /root/repo/src/simpi/context.hpp \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/mailbox.hpp \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/simpi/cost_model.hpp /root/repo/src/simpi/fault.hpp \
+ /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -312,7 +312,13 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/chrysalis/graph_from_fasta.hpp \
+ /usr/include/c++/12/mutex /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/checkpoint/manifest.hpp \
+ /root/repo/src/checkpoint/retry.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/chrysalis/graph_from_fasta.hpp \
  /root/repo/src/chrysalis/components.hpp \
  /root/repo/src/chrysalis/distribution.hpp \
  /root/repo/src/kmer/counter.hpp \
@@ -320,7 +326,6 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o: \
  /root/repo/src/butterfly/butterfly.hpp \
  /root/repo/src/chrysalis/debruijn.hpp \
  /root/repo/src/util/resource_trace.hpp /usr/include/c++/12/thread \
- /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/seq/fasta.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \

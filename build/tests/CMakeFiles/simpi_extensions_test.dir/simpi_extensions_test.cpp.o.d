@@ -301,17 +301,18 @@ tests/CMakeFiles/simpi_extensions_test.dir/simpi_extensions_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/simpi/context.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/simpi/cost_model.hpp \
- /root/repo/src/simpi/mailbox.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/simpi/fault.hpp /root/repo/src/simpi/mailbox.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/simpi/file_io.hpp \
+ /usr/include/c++/12/mutex /root/repo/src/util/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simpi/file_io.hpp \
  /root/repo/src/simpi/nonblocking.hpp /root/repo/src/simpi/rma.hpp \
  /root/repo/src/simpi/subcomm.hpp /root/repo/tests/test_helpers.hpp \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \

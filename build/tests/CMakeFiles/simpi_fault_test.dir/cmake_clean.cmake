@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpi_fault_test.dir/simpi_fault_test.cpp.o"
+  "CMakeFiles/simpi_fault_test.dir/simpi_fault_test.cpp.o.d"
+  "simpi_fault_test"
+  "simpi_fault_test.pdb"
+  "simpi_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpi_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

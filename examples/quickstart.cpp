@@ -5,6 +5,14 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--ranks 4] [--genes 40] [--k 25]
+//
+// Checkpoint/restart (each completed stage is recorded in
+// <work-dir>/run_manifest.jsonl unless --no-checkpoint):
+//   quickstart --resume                  # skip stages a previous run finished
+//   quickstart --fault-rank 1 --fault-stage chrysalis.graph_from_fasta
+//              [--fault-op allgatherv --fault-at 1] [--max-attempts 3]
+// The fault flags kill the given rank mid-stage (by default at its first
+// communication); the pipeline's retry driver then re-launches the stage.
 
 #include <cstdio>
 #include <iostream>
@@ -36,8 +44,29 @@ int main(int argc, char** argv) {
   pipeline::PipelineOptions options;
   options.k = k;
   options.nranks = ranks;
-  options.work_dir = "/tmp/trinity_quickstart";
+  options.work_dir = args.get_string("work-dir", "/tmp/trinity_quickstart");
+  options.checkpoint = !args.get_bool("no-checkpoint", false);
+  options.resume = args.get_bool("resume", false);
+  options.fault.rank = static_cast<int>(args.get_int("fault-rank", -1));
+  if (const auto op = args.get("fault-op")) {
+    options.fault.op = simpi::fault_op_from_string(*op);
+    options.fault.at_entry = static_cast<int>(args.get_int("fault-at", 1));
+  } else if (options.fault.rank >= 0) {
+    options.fault.after_virtual_seconds = 0.0;  // first communication
+  }
+  options.fault_stage = args.get_string("fault-stage", "chrysalis.graph_from_fasta");
+  options.retry.max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
   const auto result = pipeline::run_pipeline(data.reads.reads, options);
+
+  if (!result.stages_resumed.empty()) {
+    std::cout << "\nresumed from checkpoint, skipped:";
+    for (const auto& s : result.stages_resumed) std::cout << ' ' << s;
+    std::cout << '\n';
+  }
+  if (result.stage_retries > 0) {
+    std::cout << "recovered from " << result.stage_retries
+              << " injected rank failure(s) by re-launching the stage\n";
+  }
 
   std::vector<std::size_t> contig_lengths;
   for (const auto& c : result.contigs) contig_lengths.push_back(c.bases.size());

@@ -9,12 +9,20 @@
 //   trinity_stages inchworm  <kmers.bin>             --out inchworm.fa [--k 25]
 //   trinity_stages chrysalis <inchworm.fa> <reads.fa> --out-dir DIR
 //                            [--nprocs N] [--k 25] [--sam bowtie.sam]
+//                            [--resume] [--fault-rank R [--fault-op OP
+//                            --fault-at N]] [--max-attempts M]
 //   trinity_stages butterfly <inchworm.fa> <DIR> <reads.fa> --out Trinity.fa
 //                            [--k 25]
 //
 // The chrysalis stage writes <DIR>/components.txt and
 // <DIR>/readsToComponents.out.tsv; butterfly consumes both. --nprocs is
 // the paper's Trinity.pl extension: > 1 runs the hybrid Chrysalis.
+//
+// Chrysalis also records a checkpoint manifest in DIR: --resume skips the
+// whole stage when the recorded inputs/outputs still validate, and the
+// fault flags kill rank R mid-run (at its first communication unless
+// --fault-op/--fault-at pick a specific collective entry), after which the
+// stage is re-launched up to --max-attempts times.
 
 #include <algorithm>
 #include <filesystem>
@@ -23,6 +31,8 @@
 #include "align/mpi_bowtie.hpp"
 #include "align/sam_io.hpp"
 #include "butterfly/butterfly.hpp"
+#include "checkpoint/fingerprint.hpp"
+#include "checkpoint/manifest.hpp"
 #include "chrysalis/components_io.hpp"
 #include "chrysalis/graph_from_fasta.hpp"
 #include "chrysalis/reads_to_transcripts.hpp"
@@ -32,6 +42,7 @@
 #include "seq/fasta.hpp"
 #include "simpi/context.hpp"
 #include "util/cli.hpp"
+#include "util/hash.hpp"
 
 namespace {
 
@@ -42,6 +53,8 @@ int usage() {
             << "  jellyfish <reads.fa> --out kmers.bin [--k 25]\n"
             << "  inchworm  <kmers.bin> --out inchworm.fa [--k 25]\n"
             << "  chrysalis <inchworm.fa> <reads.fa> --out-dir DIR [--nprocs N] [--k 25]\n"
+            << "            [--resume] [--fault-rank R [--fault-op OP --fault-at N]]\n"
+            << "            [--max-attempts M]\n"
             << "  butterfly <inchworm.fa> <DIR> <reads.fa> --out Trinity.fa [--k 25]\n";
   return 2;
 }
@@ -93,8 +106,41 @@ int stage_chrysalis(const util::CliArgs& args, int k) {
   chrysalis::ReadsToTranscriptsOptions r2t;
   r2t.k = k;
 
+  // Checkpoint: the stage's outputs in out_dir, fingerprinted by its
+  // options and the content of both inputs (which live outside out_dir, so
+  // they fold into the fingerprint instead of the artifact list).
+  const std::uint64_t fp = checkpoint::FingerprintBuilder()
+                               .add("stage", std::string_view("chrysalis"))
+                               .add("k", static_cast<std::int64_t>(k))
+                               .add("inchworm", util::fnv1a_file(args.positional()[1]))
+                               .add("reads", util::fnv1a_file(reads_path))
+                               .digest();
+  const std::string manifest_path = out_dir + "/run_manifest.jsonl";
+  auto manifest = checkpoint::RunManifest::load(manifest_path);
+  if (args.get_bool("resume", false)) {
+    const auto* rec = manifest.find("chrysalis");
+    if (rec != nullptr &&
+        checkpoint::validate_stage(*rec, out_dir, fp) == checkpoint::StageCheck::kValid) {
+      std::cout << "chrysalis: checkpoint valid; skipping (outputs in " << out_dir << ")\n";
+      return 0;
+    }
+    std::cout << "chrysalis: checkpoint invalid or absent; running\n";
+  }
+
+  simpi::FaultPlan fault;
+  fault.rank = static_cast<int>(args.get_int("fault-rank", -1));
+  if (const auto op = args.get("fault-op")) {
+    fault.op = simpi::fault_op_from_string(*op);
+    fault.at_entry = static_cast<int>(args.get_int("fault-at", 1));
+  } else if (fault.rank >= 0) {
+    fault.after_virtual_seconds = 0.0;  // first communication
+  }
+  if (fault.enabled()) fault.arm();  // one fire across every re-launch below
+  const int max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
+
   chrysalis::ComponentSet components;
   std::size_t assigned = 0;
+  int attempts = 1;
   // An existing Bowtie SAM file can be consumed instead of realigning —
   // the file-exchange interop Trinity's own stages rely on.
   const std::string sam_path = args.get_string("sam", "");
@@ -120,42 +166,77 @@ int stage_chrysalis(const util::CliArgs& args, int k) {
     const auto r = chrysalis::run_shared(contigs, components, reads_path, r2t, out_dir);
     assigned = r.assignments.size();
   } else {
-    // The paper's mechanism: the Chrysalis sub-steps run under mpirun.
-    simpi::run(nprocs, [&](simpi::Context& ctx) {
-      const auto bowtie =
-          align::distributed_bowtie(ctx, contigs, reads, align::AlignerOptions{});
-      std::vector<chrysalis::ContigPair> scaffold;
-      if (ctx.rank() == 0) {
-        scaffold = chrysalis::scaffold_pairs(bowtie.records, contigs, {});
+    // The paper's mechanism: the Chrysalis sub-steps run under mpirun —
+    // here re-launched on a rank failure, like the pipeline's retry driver.
+    const auto run_world = [&] {
+      simpi::run(
+          nprocs,
+          [&](simpi::Context& ctx) {
+            const auto bowtie =
+                align::distributed_bowtie(ctx, contigs, reads, align::AlignerOptions{});
+            std::vector<chrysalis::ContigPair> scaffold;
+            if (ctx.rank() == 0) {
+              scaffold = chrysalis::scaffold_pairs(bowtie.records, contigs, {});
+            }
+            // Every rank must use identical scaffold pairs.
+            std::vector<std::int32_t> wire;
+            if (ctx.rank() == 0) {
+              for (const auto& p : scaffold) {
+                wire.push_back(p.a);
+                wire.push_back(p.b);
+              }
+            }
+            ctx.bcast(wire, 0);
+            scaffold.clear();
+            for (std::size_t i = 0; i + 1 < wire.size(); i += 2) {
+              scaffold.push_back({wire[i], wire[i + 1]});
+            }
+            const auto g = chrysalis::run_hybrid(ctx, contigs, counter, gff, scaffold);
+            const auto r =
+                chrysalis::run_hybrid(ctx, contigs, g.components, reads_path, r2t, out_dir);
+            if (ctx.rank() == 0) {
+              components = g.components;
+              assigned = r.assignments.size();
+            }
+          },
+          {}, fault);
+    };
+    for (;; ++attempts) {
+      try {
+        run_world();
+        break;
+      } catch (const simpi::RankFaultError& e) {
+        if (attempts >= max_attempts) throw;
+        std::cout << "chrysalis: world aborted (" << e.what() << "); re-launching "
+                  << attempts + 1 << "/" << max_attempts << '\n';
+      } catch (const simpi::AbortedError& e) {
+        if (attempts >= max_attempts) throw;
+        std::cout << "chrysalis: world aborted (" << e.what() << "); re-launching "
+                  << attempts + 1 << "/" << max_attempts << '\n';
       }
-      // Every rank must use identical scaffold pairs.
-      std::vector<std::int32_t> wire;
-      if (ctx.rank() == 0) {
-        for (const auto& p : scaffold) {
-          wire.push_back(p.a);
-          wire.push_back(p.b);
-        }
-      }
-      ctx.bcast(wire, 0);
-      scaffold.clear();
-      for (std::size_t i = 0; i + 1 < wire.size(); i += 2) {
-        scaffold.push_back({wire[i], wire[i + 1]});
-      }
-      const auto g = chrysalis::run_hybrid(ctx, contigs, counter, gff, scaffold);
-      const auto r =
-          chrysalis::run_hybrid(ctx, contigs, g.components, reads_path, r2t, out_dir);
-      if (ctx.rank() == 0) {
-        components = g.components;
-        assigned = r.assignments.size();
-      }
-    });
+    }
   }
 
   chrysalis::write_components(out_dir + "/components.txt", components);
+
+  checkpoint::StageRecord rec;
+  rec.stage = "chrysalis";
+  rec.fingerprint = fp;
+  rec.complete = true;
+  rec.attempt = attempts;
+  rec.outputs.push_back(checkpoint::capture_artifact(out_dir, "components.txt"));
+  rec.outputs.push_back(checkpoint::capture_artifact(out_dir, "readsToComponents.out.tsv"));
+  manifest.upsert(std::move(rec));
+  manifest.commit();
+
   std::cout << "chrysalis (" << (nprocs == 1 ? "shared-memory" : "hybrid") << ", nprocs="
             << nprocs << "): " << contigs.size() << " contigs -> "
             << components.num_components() << " components; " << assigned
             << " reads assigned -> " << out_dir << "/{components.txt,readsToComponents.out.tsv}\n";
+  if (attempts > 1) {
+    std::cout << "chrysalis: recovered from " << attempts - 1
+              << " injected rank failure(s)\n";
+  }
   return 0;
 }
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# check.sh — the repo's verification gate.
+#
+#   1. Tier-1 verify (ROADMAP.md): full build + complete ctest suite.
+#   2. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint and
+#      simpi test binaries — the subsystems that throw across thread and
+#      collective boundaries, where sanitizers earn their keep.
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [ "${1:-}" = "--skip-sanitize" ]; then
+    echo "== sanitizer pass skipped =="
+    exit 0
+fi
+
+echo "== ASan+UBSan: checkpoint + simpi tests =="
+cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$jobs" --target \
+    checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
+    pipeline_checkpoint_test
+for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
+         pipeline_checkpoint_test; do
+    echo "-- $t (ASan+UBSan)"
+    ./build-asan/tests/"$t"
+done
+
+echo "== all checks passed =="

@@ -1,0 +1,338 @@
+#include "checkpoint/manifest.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace trinity::checkpoint {
+
+namespace {
+
+// --- JSON writing ------------------------------------------------------------
+// The manifest schema is flat (strings, bools, numbers, and arrays of
+// artifact objects), so a hand-rolled writer/parser keeps the library
+// dependency-free. Hashes are emitted as hex strings: JSON numbers are
+// doubles and cannot carry a full 64-bit hash.
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_artifacts(std::string& out, const std::vector<ArtifactRecord>& artifacts) {
+  out += '[';
+  bool first = true;
+  for (const auto& a : artifacts) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":";
+    append_escaped(out, a.path);
+    out += ",\"bytes\":" + std::to_string(a.bytes);
+    out += ",\"hash\":\"" + hex64(a.hash) + "\"}";
+  }
+  out += ']';
+}
+
+// --- JSON parsing ------------------------------------------------------------
+
+/// Recursive-descent parser over the manifest's JSON subset. Any deviation
+/// raises std::runtime_error, which parse_json_line maps to std::nullopt.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StageRecord parse_record() {
+    StageRecord record;
+    bool saw_stage = false, saw_fingerprint = false;
+    skip_ws();
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; break; }
+      if (!first) { expect(','); skip_ws(); }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "stage") { record.stage = parse_string(); saw_stage = true; }
+      else if (key == "fingerprint") { record.fingerprint = parse_hex64(); saw_fingerprint = true; }
+      else if (key == "complete") record.complete = parse_bool();
+      else if (key == "attempt") record.attempt = static_cast<int>(parse_number());
+      else if (key == "wall_seconds") record.wall_seconds = parse_number();
+      else if (key == "checkpoint_seconds") record.checkpoint_seconds = parse_number();
+      else if (key == "inputs") record.inputs = parse_artifacts();
+      else if (key == "outputs") record.outputs = parse_artifacts();
+      else fail("unknown key " + key);
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    if (!saw_stage || !saw_fingerprint) fail("missing required field");
+    return record;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("manifest line: " + why);
+  }
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + '\'');
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out += static_cast<char>(std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  bool parse_bool() {
+    if (text_.compare(pos_, 4, "true") == 0) { pos_ += 4; return true; }
+    if (text_.compare(pos_, 5, "false") == 0) { pos_ += 5; return false; }
+    fail("expected bool");
+  }
+
+  double parse_number() {
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) fail("expected number");
+    const double v = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  std::uint64_t parse_hex64() {
+    const std::string s = parse_string();
+    if (s.empty() || s.size() > 16) fail("bad hash");
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used, 16);
+    if (used != s.size()) fail("bad hash");
+    return v;
+  }
+
+  std::vector<ArtifactRecord> parse_artifacts() {
+    std::vector<ArtifactRecord> out;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return out; }
+    while (true) {
+      skip_ws();
+      expect('{');
+      ArtifactRecord a;
+      bool first = true;
+      while (true) {
+        skip_ws();
+        if (peek() == '}') { ++pos_; break; }
+        if (!first) { expect(','); skip_ws(); }
+        first = false;
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        if (key == "path") a.path = parse_string();
+        else if (key == "bytes") a.bytes = static_cast<std::uint64_t>(parse_number());
+        else if (key == "hash") a.hash = parse_hex64();
+        else fail("unknown artifact key " + key);
+      }
+      out.push_back(std::move(a));
+      skip_ws();
+      if (peek() == ']') { ++pos_; return out; }
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json_line(const StageRecord& record) {
+  std::string out = "{\"stage\":";
+  append_escaped(out, record.stage);
+  out += ",\"fingerprint\":\"" + hex64(record.fingerprint) + '"';
+  out += ",\"complete\":";
+  out += record.complete ? "true" : "false";
+  out += ",\"attempt\":" + std::to_string(record.attempt);
+  std::ostringstream num;
+  num << ",\"wall_seconds\":" << record.wall_seconds
+      << ",\"checkpoint_seconds\":" << record.checkpoint_seconds;
+  out += num.str();
+  out += ",\"inputs\":";
+  append_artifacts(out, record.inputs);
+  out += ",\"outputs\":";
+  append_artifacts(out, record.outputs);
+  out += '}';
+  return out;
+}
+
+std::optional<StageRecord> parse_json_line(const std::string& line) {
+  try {
+    return Parser(line).parse_record();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+RunManifest RunManifest::load(const std::string& path) {
+  RunManifest manifest(path);
+  std::ifstream in(path);
+  if (!in) return manifest;  // no manifest yet: nothing to resume
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto record = parse_json_line(line)) {
+      manifest.upsert(std::move(*record));
+    } else {
+      ++manifest.dropped_lines_;
+    }
+  }
+  return manifest;
+}
+
+const StageRecord* RunManifest::find(const std::string& stage) const {
+  for (const auto& r : records_) {
+    if (r.stage == stage) return &r;
+  }
+  return nullptr;
+}
+
+void RunManifest::upsert(StageRecord record) {
+  for (auto& r : records_) {
+    if (r.stage == record.stage) {
+      r = std::move(record);
+      return;
+    }
+  }
+  records_.push_back(std::move(record));
+}
+
+void RunManifest::commit() const {
+  if (path_.empty()) throw std::runtime_error("RunManifest::commit: no path set");
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("RunManifest::commit: cannot write " + tmp);
+    for (const auto& r : records_) out << to_json_line(r) << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error("RunManifest::commit: write failed for " + tmp);
+  }
+  std::filesystem::rename(tmp, path_);  // atomic on POSIX
+}
+
+const char* to_string(StageCheck check) {
+  switch (check) {
+    case StageCheck::kValid: return "valid";
+    case StageCheck::kNoRecord: return "no record";
+    case StageCheck::kIncomplete: return "incomplete";
+    case StageCheck::kFingerprintMismatch: return "options fingerprint mismatch";
+    case StageCheck::kArtifactMissing: return "artifact missing";
+    case StageCheck::kArtifactModified: return "artifact modified";
+  }
+  return "unknown";
+}
+
+ArtifactRecord capture_artifact(const std::string& work_dir, const std::string& rel_path) {
+  const std::string full = work_dir + "/" + rel_path;
+  ArtifactRecord a;
+  a.path = rel_path;
+  a.bytes = static_cast<std::uint64_t>(std::filesystem::file_size(full));
+  a.hash = util::fnv1a_file(full);
+  return a;
+}
+
+namespace {
+
+StageCheck check_artifacts(const std::vector<ArtifactRecord>& artifacts,
+                           const std::string& work_dir) {
+  for (const auto& a : artifacts) {
+    const std::string full = work_dir + "/" + a.path;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(full, ec);
+    if (ec) return StageCheck::kArtifactMissing;
+    if (size != a.bytes) return StageCheck::kArtifactModified;
+    try {
+      if (util::fnv1a_file(full) != a.hash) return StageCheck::kArtifactModified;
+    } catch (const std::exception&) {
+      return StageCheck::kArtifactMissing;
+    }
+  }
+  return StageCheck::kValid;
+}
+
+}  // namespace
+
+StageCheck validate_stage(const StageRecord& record, const std::string& work_dir,
+                          std::uint64_t fingerprint) {
+  if (!record.complete) return StageCheck::kIncomplete;
+  if (record.fingerprint != fingerprint) return StageCheck::kFingerprintMismatch;
+  const StageCheck inputs = check_artifacts(record.inputs, work_dir);
+  if (inputs != StageCheck::kValid) return inputs;
+  return check_artifacts(record.outputs, work_dir);
+}
+
+}  // namespace trinity::checkpoint

@@ -30,6 +30,14 @@ void KmerCounter::add_sequence(const seq::Sequence& s) {
   }
 }
 
+void KmerCounter::add_counts(const std::vector<KmerCount>& counts) {
+  for (const auto& kc : counts) {
+    Shard& shard = shard_for(kc.code);
+    std::scoped_lock lock(shard.mu);
+    shard.map[kc.code] += kc.count;
+  }
+}
+
 void KmerCounter::add_sequences(const std::vector<seq::Sequence>& seqs) {
   const int requested = options_.num_threads;
   const auto n = static_cast<std::int64_t>(seqs.size());

@@ -46,6 +46,12 @@ class KmerCounter {
   /// Adds every k-mer of one sequence (single-threaded helper).
   void add_sequence(const seq::Sequence& s);
 
+  /// Merges pre-counted (k-mer, count) records — rebuilding a counter from
+  /// a dump file, e.g. when a checkpointed pipeline resumes past its
+  /// counting stage. Codes are taken as stored (a canonical counter's dump
+  /// already holds canonical codes).
+  void add_counts(const std::vector<KmerCount>& counts);
+
   /// Count of a specific k-mer (canonicalized when the counter is
   /// canonical); 0 when absent.
   ///

@@ -1,12 +1,20 @@
 #include "pipeline/trinity_pipeline.hpp"
 
+#include <exception>
 #include <filesystem>
+#include <functional>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "align/sam_io.hpp"
+#include "checkpoint/fingerprint.hpp"
+#include "chrysalis/components_io.hpp"
 #include "chrysalis/scaffold.hpp"
 #include "inchworm/inchworm.hpp"
 #include "kmer/counter.hpp"
 #include "seq/fasta.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace trinity::pipeline {
@@ -15,6 +23,29 @@ double PipelineResult::chrysalis_virtual_seconds() const {
   const double bowtie =
       bowtie_shared_seconds > 0.0 ? bowtie_shared_seconds : bowtie_timing.total_seconds();
   return bowtie + gff_timing.total_seconds() + r2t_timing.total_seconds();
+}
+
+std::uint64_t options_fingerprint(const PipelineOptions& options,
+                                  const std::vector<seq::Sequence>& reads) {
+  std::uint64_t reads_digest = util::kFnvOffsetBasis;
+  for (const auto& r : reads) {
+    reads_digest = util::fnv1a_append(reads_digest, r.name.data(), r.name.size());
+    reads_digest = util::fnv1a_append(reads_digest, "\n", 1);
+    reads_digest = util::fnv1a_append(reads_digest, r.bases.data(), r.bases.size());
+    reads_digest = util::fnv1a_append(reads_digest, "\n", 1);
+  }
+  return checkpoint::FingerprintBuilder()
+      .add("k", static_cast<std::int64_t>(options.k))
+      .add("min_kmer_count", static_cast<std::uint64_t>(options.min_kmer_count))
+      .add("min_weld_support", static_cast<std::uint64_t>(options.min_weld_support))
+      .add("max_mem_reads", static_cast<std::uint64_t>(options.max_mem_reads))
+      .add("bowtie_scaffolding", options.bowtie_scaffolding)
+      .add("run_seed", options.run_seed)
+      .add("butterfly_min_node_support",
+           static_cast<std::uint64_t>(options.butterfly_min_node_support))
+      .add("butterfly_require_paired_support", options.butterfly_require_paired_support)
+      .add("reads", reads_digest)
+      .digest();
 }
 
 namespace {
@@ -28,19 +59,178 @@ std::string ensure_work_dir(const PipelineOptions& options) {
   return dir;
 }
 
+// Stage artifact filenames (work-dir relative). components.txt follows the
+// trinity_stages convention so the staged CLI and the pipeline interoperate.
+constexpr const char* kReadsFile = "reads.fa";
+constexpr const char* kKmersFile = "kmers.bin";
+constexpr const char* kContigsFile = "inchworm.fa";
+constexpr const char* kSamFile = "bowtie.sam";
+constexpr const char* kComponentsFile = "components.txt";
+constexpr const char* kAssignmentsFile = "readsToComponents.out.tsv";
+constexpr const char* kTranscriptsFile = "Trinity.fa";
+
+/// Orchestrates one pipeline run as a sequence of checkpointed stages.
+///
+/// Each stage declares its input/output artifacts and two bodies: compute
+/// (run the stage, writing its outputs) and load (rebuild the in-memory
+/// products from the outputs of a previous run). The driver decides per
+/// stage whether to resume or execute, retries aborted simpi worlds, and
+/// commits a manifest record after each completed stage.
+class StageDriver {
+ public:
+  StageDriver(const PipelineOptions& options, std::string work_dir,
+              util::ResourceTrace& trace, PipelineResult& result)
+      : options_(options),
+        work_dir_(std::move(work_dir)),
+        manifest_path_(work_dir_ + "/" + kManifestFileName),
+        trace_(trace),
+        result_(result) {
+    if (options_.checkpoint || options_.resume) {
+      manifest_ = checkpoint::RunManifest::load(manifest_path_);
+      if (manifest_.dropped_lines() > 0) {
+        LOG_WARN() << "pipeline: dropped " << manifest_.dropped_lines()
+                   << " corrupt manifest line(s) in " << manifest_path_;
+      }
+    } else {
+      manifest_ = checkpoint::RunManifest(manifest_path_);
+    }
+    // One-shot budget across all stages and attempts of this run: a
+    // transient injected fault fires once even when the stage is retried.
+    fault_ = options_.fault;
+    if (fault_.enabled()) fault_.arm();
+  }
+
+  void stage(const std::string& name, const std::vector<std::string>& inputs,
+             const std::vector<std::string>& outputs,
+             const std::function<void()>& compute, const std::function<void()>& load) {
+    if (can_resume(name)) {
+      trace_.phase(name + ".resumed", load);
+      result_.stages_resumed.push_back(name);
+      return;
+    }
+    chain_valid_ = false;  // everything downstream recomputes too
+    const Execution exec = execute_with_retry(name, compute);
+    result_.stages_executed.push_back(name);
+    if (options_.checkpoint) record(name, inputs, outputs, exec);
+  }
+
+  [[nodiscard]] simpi::FaultPlan fault_for(const std::string& name) const {
+    return options_.fault_stage == name ? fault_ : simpi::FaultPlan{};
+  }
+
+ private:
+  bool can_resume(const std::string& name) {
+    if (!options_.resume || !chain_valid_) return false;
+    const checkpoint::StageRecord* record = manifest_.find(name);
+    if (record == nullptr) return false;
+    const auto check =
+        checkpoint::validate_stage(*record, work_dir_, result_.options_fingerprint);
+    if (check == checkpoint::StageCheck::kValid) return true;
+    LOG_INFO() << "pipeline: stage " << name << " not resumable (" << to_string(check)
+               << "); re-running from here";
+    return false;
+  }
+
+  struct Execution {
+    double wall_seconds = 0.0;
+    int attempts = 1;  ///< 1 when the stage succeeded first try
+  };
+
+  Execution execute_with_retry(const std::string& name, const std::function<void()>& compute) {
+    const checkpoint::RetryPolicy& policy = options_.retry;
+    for (int attempt = 1;; ++attempt) {
+      util::Timer wall;
+      std::exception_ptr error;
+      const std::string label = attempt == 1 ? name : name + ".retry" + std::to_string(attempt);
+      // The phase must close even when the stage throws, so the aborted
+      // attempt still shows up in the trace; the exception is re-examined
+      // outside.
+      trace_.phase(label, [&] {
+        try {
+          compute();
+        } catch (...) {
+          error = std::current_exception();
+        }
+      });
+      if (!error) return {wall.seconds(), attempt};
+      try {
+        std::rethrow_exception(error);
+      } catch (const simpi::RankFaultError& e) {
+        handle_abort(name, e.what(), attempt, policy);
+      } catch (const simpi::AbortedError& e) {
+        handle_abort(name, e.what(), attempt, policy);
+      }
+      // Retrying: another writer may share the work dir (a re-launched
+      // driver), so reread the manifest before the next attempt.
+      manifest_ = checkpoint::RunManifest::load(manifest_path_);
+      checkpoint::sleep_seconds(policy.backoff_for(attempt));
+    }
+  }
+
+  /// Rethrows when the retry budget is exhausted; otherwise logs and counts.
+  void handle_abort(const std::string& name, const char* what, int attempt,
+                    const checkpoint::RetryPolicy& policy) {
+    if (attempt >= policy.max_attempts) throw;
+    ++result_.stage_retries;
+    LOG_WARN() << "pipeline: stage " << name << " aborted (" << what << "); retry "
+               << attempt + 1 << "/" << policy.max_attempts;
+  }
+
+  void record(const std::string& name, const std::vector<std::string>& inputs,
+              const std::vector<std::string>& outputs, const Execution& exec) {
+    // Hashing the artifacts and committing the manifest is the checkpoint
+    // overhead; it gets its own trace phase so Fig-2/11-style traces (and
+    // bench_checkpoint_overhead) can show it per stage.
+    trace_.phase(name + ".checkpoint", [&] {
+      util::Timer timer;
+      checkpoint::StageRecord record;
+      record.stage = name;
+      record.fingerprint = result_.options_fingerprint;
+      record.complete = true;
+      record.attempt = exec.attempts;
+      record.wall_seconds = exec.wall_seconds;
+      for (const auto& p : inputs) record.inputs.push_back(checkpoint::capture_artifact(work_dir_, p));
+      for (const auto& p : outputs) {
+        record.outputs.push_back(checkpoint::capture_artifact(work_dir_, p));
+      }
+      record.checkpoint_seconds = timer.seconds();
+      manifest_.upsert(std::move(record));
+      manifest_.commit();
+    });
+  }
+
+  const PipelineOptions& options_;
+  std::string work_dir_;
+  std::string manifest_path_;
+  util::ResourceTrace& trace_;
+  PipelineResult& result_;
+  checkpoint::RunManifest manifest_;
+  simpi::FaultPlan fault_;
+  bool chain_valid_ = true;  ///< false after the first recomputed stage
+};
+
 }  // namespace
 
 PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                             const PipelineOptions& options) {
   if (options.nranks < 1) throw std::invalid_argument("run_pipeline: nranks must be >= 1");
+  if (options.retry.max_attempts < 1) {
+    throw std::invalid_argument("run_pipeline: retry.max_attempts must be >= 1");
+  }
   PipelineResult result;
   const std::string work_dir = ensure_work_dir(options);
-  const std::string reads_path = work_dir + "/reads.fa";
+  const std::string reads_path = work_dir + "/" + kReadsFile;
+  result.options_fingerprint = options_fingerprint(options, reads);
 
   util::ResourceTrace trace(options.trace_sample_interval_ms);
+  StageDriver driver(options, work_dir, trace, result);
 
-  // Stage files: Trinity modules exchange data through the filesystem.
-  trace.phase("write_input", [&] { seq::write_fasta(reads_path, reads); });
+  // Stage files: Trinity modules exchange data through the filesystem —
+  // which is exactly what makes them checkpoints.
+  driver.stage(
+      "write_input", {}, {kReadsFile},
+      [&] { seq::write_fasta(reads_path, reads); },  //
+      [&] {});  // reads are already in memory; the file validated on disk
 
   // --- Jellyfish: k-mer counting --------------------------------------------
   kmer::CounterOptions counter_options;
@@ -49,26 +239,35 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   counter_options.num_threads = options.omp_threads;
   kmer::KmerCounter counter(counter_options);
   std::vector<kmer::KmerCount> counts;
-  trace.phase("jellyfish", [&] {
-    counter.add_sequences(reads);
-    counts = counter.dump();
-    kmer::write_dump_binary(work_dir + "/kmers.bin", counts, options.k);
-  });
+  driver.stage(
+      "jellyfish", {kReadsFile}, {kKmersFile},
+      [&] {
+        counter.add_sequences(reads);
+        counts = counter.dump();
+        kmer::write_dump_binary(work_dir + "/" + kKmersFile, counts, options.k);
+      },
+      [&] {
+        counts = kmer::read_dump_binary(work_dir + "/" + kKmersFile, options.k);
+        counter.add_counts(counts);
+      });
 
   // --- Inchworm: greedy contigs ---------------------------------------------
-  trace.phase("inchworm", [&] {
-    inchworm::InchwormOptions iw;
-    iw.k = options.k;
-    iw.min_kmer_count = options.min_kmer_count;
-    // Keep isoform-junction fragments: a branch leftover is ~2k-2 bases,
-    // and Chrysalis needs it to weld the isoforms into one component.
-    iw.min_contig_length = static_cast<std::size_t>(options.k);
-    iw.tie_break_seed = options.run_seed;
-    inchworm::Inchworm assembler(iw);
-    assembler.load_counts(counts);
-    result.contigs = assembler.assemble();
-    seq::write_fasta(work_dir + "/inchworm.fa", result.contigs);
-  });
+  driver.stage(
+      "inchworm", {kKmersFile}, {kContigsFile},
+      [&] {
+        inchworm::InchwormOptions iw;
+        iw.k = options.k;
+        iw.min_kmer_count = options.min_kmer_count;
+        // Keep isoform-junction fragments: a branch leftover is ~2k-2 bases,
+        // and Chrysalis needs it to weld the isoforms into one component.
+        iw.min_contig_length = static_cast<std::size_t>(options.k);
+        iw.tie_break_seed = options.run_seed;
+        inchworm::Inchworm assembler(iw);
+        assembler.load_counts(counts);
+        result.contigs = assembler.assemble();
+        seq::write_fasta(work_dir + "/" + kContigsFile, result.contigs);
+      },
+      [&] { result.contigs = seq::read_all(work_dir + "/" + kContigsFile); });
 
   // --- Chrysalis ---------------------------------------------------------------
   align::AlignerOptions aligner_options;
@@ -77,32 +276,55 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   aligner_options.model_threads_per_rank = options.model_threads_per_rank;
 
   std::vector<align::SamRecord> sam;
-  trace.phase("chrysalis.bowtie", [&] {
-    if (options.nranks == 1) {
-      util::ThreadCpuTimer cpu;
-      const align::ContigIndex index(result.contigs, aligner_options);
-      const align::SeedExtendAligner aligner(index);
-      sam = aligner.align_all(reads);
-      // One node with model_threads_per_rank threads: the aligner loop is
-      // embarrassingly parallel, so model the division directly.
-      result.bowtie_shared_seconds =
-          cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
-      align::write_sam(work_dir + "/bowtie.sam", sam, result.contigs);
-    } else {
-      simpi::run(
-          options.nranks,
-          [&](simpi::Context& ctx) {
-            auto dist = align::distributed_bowtie(ctx, result.contigs, reads, aligner_options,
-                                                  options.bowtie_split);
-            if (ctx.rank() == 0) {
-              sam = std::move(dist.records);
-              result.bowtie_timing = dist.timing;
-              align::write_sam(work_dir + "/bowtie.sam", sam, result.contigs);
-            }
-          },
-          options.comm);
-    }
-  });
+  driver.stage(
+      "chrysalis.bowtie", {kContigsFile, kReadsFile}, {kSamFile},
+      [&] {
+        if (options.nranks == 1) {
+          util::ThreadCpuTimer cpu;
+          const align::ContigIndex index(result.contigs, aligner_options);
+          const align::SeedExtendAligner aligner(index);
+          sam = aligner.align_all(reads);
+          // One node with model_threads_per_rank threads: the aligner loop is
+          // embarrassingly parallel, so model the division directly.
+          result.bowtie_shared_seconds =
+              cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
+          align::write_sam(work_dir + "/" + kSamFile, sam, result.contigs);
+        } else {
+          simpi::run(
+              options.nranks,
+              [&](simpi::Context& ctx) {
+                auto dist = align::distributed_bowtie(ctx, result.contigs, reads,
+                                                      aligner_options, options.bowtie_split);
+                if (ctx.rank() == 0) {
+                  sam = std::move(dist.records);
+                  result.bowtie_timing = dist.timing;
+                  align::write_sam(work_dir + "/" + kSamFile, sam, result.contigs);
+                }
+              },
+              options.comm, driver.fault_for("chrysalis.bowtie"));
+        }
+      },
+      [&] {
+        // write_sam's @SQ header lists the contigs in index order, so the
+        // parsed target ids already match; the name map guards against a
+        // hand-edited file that still hashes clean (impossible) or future
+        // format drift.
+        auto sam_file = align::read_sam(work_dir + "/" + kSamFile);
+        std::unordered_map<std::string, std::int32_t> id_of;
+        for (std::size_t i = 0; i < result.contigs.size(); ++i) {
+          id_of.emplace(result.contigs[i].name, static_cast<std::int32_t>(i));
+        }
+        for (auto& r : sam_file.records) {
+          if (!r.aligned()) continue;
+          const auto it = id_of.find(r.target_name);
+          if (it == id_of.end()) {
+            throw std::runtime_error("resume: bowtie.sam references unknown contig " +
+                                     r.target_name);
+          }
+          r.target_id = it->second;
+        }
+        sam = std::move(sam_file.records);
+      });
 
   std::vector<chrysalis::ContigPair> scaffold;
   if (options.bowtie_scaffolding) {
@@ -118,24 +340,30 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   gff.distribution = options.gff_distribution;
   gff.hybrid_setup = options.gff_hybrid_setup;
 
-  trace.phase("chrysalis.graph_from_fasta", [&] {
-    if (options.nranks == 1) {
-      auto r = chrysalis::run_shared(result.contigs, counter, gff, scaffold);
-      result.components = std::move(r.components);
-      result.gff_timing = r.timing;
-    } else {
-      simpi::run(
-          options.nranks,
-          [&](simpi::Context& ctx) {
-            auto r = chrysalis::run_hybrid(ctx, result.contigs, counter, gff, scaffold);
-            if (ctx.rank() == 0) {
-              result.components = std::move(r.components);
-              result.gff_timing = r.timing;
-            }
-          },
-          options.comm);
-    }
-  });
+  driver.stage(
+      "chrysalis.graph_from_fasta", {kContigsFile, kKmersFile, kSamFile}, {kComponentsFile},
+      [&] {
+        if (options.nranks == 1) {
+          auto r = chrysalis::run_shared(result.contigs, counter, gff, scaffold);
+          result.components = std::move(r.components);
+          result.gff_timing = r.timing;
+        } else {
+          simpi::run(
+              options.nranks,
+              [&](simpi::Context& ctx) {
+                auto r = chrysalis::run_hybrid(ctx, result.contigs, counter, gff, scaffold);
+                if (ctx.rank() == 0) {
+                  result.components = std::move(r.components);
+                  result.gff_timing = r.timing;
+                }
+              },
+              options.comm, driver.fault_for("chrysalis.graph_from_fasta"));
+        }
+        chrysalis::write_components(work_dir + "/" + kComponentsFile, result.components);
+      },
+      [&] {
+        result.components = chrysalis::read_components(work_dir + "/" + kComponentsFile);
+      });
 
   chrysalis::ReadsToTranscriptsOptions r2t;
   r2t.k = options.k;
@@ -146,38 +374,49 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   r2t.strategy = options.r2t_strategy;
   r2t.output_mode = options.r2t_output_mode;
 
-  trace.phase("chrysalis.reads_to_transcripts", [&] {
-    if (options.nranks == 1) {
-      auto r = chrysalis::run_shared(result.contigs, result.components, reads_path, r2t,
-                                     work_dir);
-      result.assignments = std::move(r.assignments);
-      result.r2t_timing = r.timing;
-    } else {
-      simpi::run(
-          options.nranks,
-          [&](simpi::Context& ctx) {
-            auto r = chrysalis::run_hybrid(ctx, result.contigs, result.components, reads_path,
-                                           r2t, work_dir);
-            if (ctx.rank() == 0) {
-              result.assignments = std::move(r.assignments);
-              result.r2t_timing = r.timing;
-            }
-          },
-          options.comm);
-    }
-  });
+  driver.stage(
+      "chrysalis.reads_to_transcripts", {kContigsFile, kComponentsFile, kReadsFile},
+      {kAssignmentsFile},
+      [&] {
+        if (options.nranks == 1) {
+          auto r = chrysalis::run_shared(result.contigs, result.components, reads_path, r2t,
+                                         work_dir);
+          result.assignments = std::move(r.assignments);
+          result.r2t_timing = r.timing;
+        } else {
+          simpi::run(
+              options.nranks,
+              [&](simpi::Context& ctx) {
+                auto r = chrysalis::run_hybrid(ctx, result.contigs, result.components,
+                                               reads_path, r2t, work_dir);
+                if (ctx.rank() == 0) {
+                  result.assignments = std::move(r.assignments);
+                  result.r2t_timing = r.timing;
+                }
+              },
+              options.comm, driver.fault_for("chrysalis.reads_to_transcripts"));
+        }
+      },
+      [&] {
+        result.assignments =
+            chrysalis::read_assignments(work_dir + "/" + kAssignmentsFile);
+      });
 
   // --- Butterfly (includes FastaToDebruijn + QuantifyGraph per component) ---
-  trace.phase("butterfly", [&] {
-    butterfly::ButterflyOptions bf;
-    bf.k = options.k;
-    bf.tie_break_seed = options.run_seed;
-    bf.min_node_support = options.butterfly_min_node_support;
-    bf.require_paired_support = options.butterfly_require_paired_support;
-    result.transcripts = butterfly::run_butterfly(result.contigs, result.components,
-                                                  result.assignments, reads, bf);
-    seq::write_fasta(work_dir + "/Trinity.fa", result.transcripts);
-  });
+  driver.stage(
+      "butterfly", {kContigsFile, kComponentsFile, kAssignmentsFile, kReadsFile},
+      {kTranscriptsFile},
+      [&] {
+        butterfly::ButterflyOptions bf;
+        bf.k = options.k;
+        bf.tie_break_seed = options.run_seed;
+        bf.min_node_support = options.butterfly_min_node_support;
+        bf.require_paired_support = options.butterfly_require_paired_support;
+        result.transcripts = butterfly::run_butterfly(result.contigs, result.components,
+                                                      result.assignments, reads, bf);
+        seq::write_fasta(work_dir + "/" + kTranscriptsFile, result.transcripts);
+      },
+      [&] { result.transcripts = seq::read_all(work_dir + "/" + kTranscriptsFile); });
 
   result.trace = trace.records();
   return result;

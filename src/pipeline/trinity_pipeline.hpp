@@ -10,16 +10,30 @@
 // (the reads FASTA is written once and then *streamed* by
 // ReadsToTranscripts), and a ResourceTrace records the wall/CPU/RSS
 // timeline that Figures 2 and 11 plot.
+//
+// Checkpoint/restart: those stage files double as checkpoints. With
+// checkpointing on (default), every completed stage is recorded in a
+// RunManifest (work_dir/run_manifest.jsonl, atomic commits). A re-launch
+// with `resume = true` validates the manifest against the current options
+// fingerprint and the on-disk artifacts, skips every stage that is still
+// valid, and re-runs from the first invalid one — so a run killed by a
+// rank failure resumes instead of starting over. In-process, a bounded
+// retry/backoff driver re-launches a stage whose simpi world aborted
+// (simpi::AbortedError / RankFaultError); `fault` + `fault_stage` inject
+// such failures for testing.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "align/mpi_bowtie.hpp"
+#include "checkpoint/manifest.hpp"
+#include "checkpoint/retry.hpp"
 #include "chrysalis/graph_from_fasta.hpp"
 #include "chrysalis/reads_to_transcripts.hpp"
 #include "butterfly/butterfly.hpp"
 #include "simpi/cost_model.hpp"
+#include "simpi/fault.hpp"
 #include "util/resource_trace.hpp"
 
 namespace trinity::pipeline {
@@ -59,7 +73,37 @@ struct PipelineOptions {
   int bowtie_kernel_repeats = 1;
   int gff_kernel_repeats = 1;
   int r2t_kernel_repeats = 1;
+
+  // --- checkpoint / restart ---------------------------------------------------
+
+  /// Record each completed stage in work_dir/run_manifest.jsonl. The only
+  /// cost is hashing the stage artifacts (measured as "<stage>.checkpoint"
+  /// trace phases and by bench_checkpoint_overhead).
+  bool checkpoint = true;
+  /// Skip stages whose manifest record validates against the options
+  /// fingerprint and on-disk artifacts; re-run from the first invalid one.
+  bool resume = false;
+  /// In-process recovery: a stage whose simpi world aborts is re-launched
+  /// up to retry.max_attempts times with exponential backoff.
+  checkpoint::RetryPolicy retry;
+  /// Injected rank fault (testing/benching); disabled by default.
+  simpi::FaultPlan fault;
+  /// Stage whose simpi world receives `fault` ("chrysalis.bowtie",
+  /// "chrysalis.graph_from_fasta", or "chrysalis.reads_to_transcripts").
+  std::string fault_stage;
 };
+
+/// Fingerprint over every output-affecting option plus a digest of the
+/// input reads. Scheduling-only knobs (nranks, thread counts, cost model,
+/// kernel repeats, distribution/strategy selections) are excluded: the
+/// paper's equivalence claim — enforced by the pipeline tests — is that
+/// they never change results, so resuming under a different schedule is
+/// legitimate.
+[[nodiscard]] std::uint64_t options_fingerprint(const PipelineOptions& options,
+                                                const std::vector<seq::Sequence>& reads);
+
+/// Manifest filename inside the work directory.
+inline constexpr const char* kManifestFileName = "run_manifest.jsonl";
 
 /// Everything a run produces, including the per-stage timings each figure
 /// bench consumes.
@@ -75,6 +119,15 @@ struct PipelineResult {
   chrysalis::R2TTiming r2t_timing;
 
   std::vector<util::PhaseRecord> trace;  ///< wall/CPU/RSS per stage
+
+  /// Stage execution log: stages recomputed this run, in pipeline order.
+  std::vector<std::string> stages_executed;
+  /// Stages skipped because their checkpoint validated (resume runs).
+  std::vector<std::string> stages_resumed;
+  /// Stage re-launches performed by the retry driver (0 in fault-free runs).
+  int stage_retries = 0;
+  /// Fingerprint this run recorded/validated manifest entries under.
+  std::uint64_t options_fingerprint = 0;
 
   /// Modeled Chrysalis time (Bowtie + GraphFromFasta + ReadsToTranscripts),
   /// the quantity the paper's abstract reduces from >50 h to <5 h.

@@ -35,6 +35,7 @@ Message Context::raw_recv(int source, int tag) {
 void Context::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
   if (tag < 0) throw std::invalid_argument("simpi: user tags must be >= 0");
   if (dest < 0 || dest >= size()) throw std::out_of_range("simpi: send dest out of range");
+  fault_point(FaultOp::kSend);
   raw_send(dest, tag, bytes);
   comm_seconds_ += cost_model().p2p_cost(bytes.size());
 }
@@ -44,12 +45,27 @@ Message Context::recv_bytes(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size())) {
     throw std::out_of_range("simpi: recv source out of range");
   }
+  fault_point(FaultOp::kRecv);
   return raw_recv(source, tag);
 }
 
 void Context::barrier() {
+  fault_point(FaultOp::kBarrier);
   world_.barrier_wait();
   comm_seconds_ += cost_model().barrier_cost(size());
+}
+
+void Context::fault_point(FaultOp op) {
+  const FaultPlan& plan = world_.fault_plan();
+  if (!plan.enabled() || rank_ != plan.rank) return;
+  const int entry = ++fault_entries_[static_cast<std::size_t>(op)];
+  bool fire = plan.op == op && entry == plan.at_entry;
+  if (!fire && plan.after_virtual_seconds >= 0.0) {
+    fire = cpu_clock_.seconds() + comm_seconds_ >= plan.after_virtual_seconds;
+  }
+  if (!fire || !plan.consume_fire()) return;
+  throw RankFaultError("injected fault: rank " + std::to_string(rank_) + " killed at " +
+                       to_string(op) + " entry " + std::to_string(entry));
 }
 
 std::atomic<std::uint64_t>& Context::world_counter(int id) { return world_.counter(id); }
@@ -60,8 +76,12 @@ bool Context::has_message(int source, int tag) {
 
 // --- World ---------------------------------------------------------------------
 
-World::World(int nranks, CommCostModel model) : model_(model) {
+World::World(int nranks, CommCostModel model, FaultPlan fault)
+    : model_(model), fault_(std::move(fault)) {
   if (nranks < 1) throw std::invalid_argument("simpi: world needs at least one rank");
+  // Arm here so a plan the caller never armed still fires (fresh budget per
+  // world); a pre-armed plan keeps its shared budget across launches.
+  if (fault_.enabled()) fault_.arm();
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>(&aborted_));
@@ -97,8 +117,8 @@ void World::barrier_wait() {
 // --- run -------------------------------------------------------------------------
 
 std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
-                            CommCostModel model) {
-  World world(nranks, model);
+                            CommCostModel model, FaultPlan fault) {
+  World world(nranks, model, std::move(fault));
   std::vector<RankResult> results(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;

@@ -16,6 +16,7 @@
 // reporters use max/min over per-rank virtual times — exactly the
 // "processes with the highest/lowest times" curves of Figures 7 and 9.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstring>
@@ -28,7 +29,9 @@
 #include <vector>
 
 #include "simpi/cost_model.hpp"
+#include "simpi/fault.hpp"
 #include "simpi/mailbox.hpp"
+#include "util/timer.hpp"
 
 namespace trinity::simpi {
 
@@ -38,6 +41,7 @@ namespace trinity::simpi {
 class AbortedError : public std::runtime_error {
  public:
   AbortedError() : std::runtime_error("simpi world aborted by another rank") {}
+  explicit AbortedError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class World;
@@ -177,9 +181,16 @@ class Context {
   void raw_send(int dest, int tag, std::span<const std::byte> bytes);
   Message raw_recv(int source, int tag);
 
+  /// Fault-injection hook, called on entry to every costed simpi operation.
+  /// Counts the entry and throws RankFaultError when this rank is the
+  /// world's FaultPlan victim and the trigger condition is met.
+  void fault_point(FaultOp op);
+
   World& world_;
   int rank_;
   double comm_seconds_ = 0.0;
+  std::array<int, kNumFaultOps> fault_entries_{};  ///< per-op entry counts
+  util::ThreadCpuTimer cpu_clock_;  ///< virtual-time base for FaultPlan triggers
 };
 
 /// Outcome of one rank's execution under run().
@@ -195,10 +206,11 @@ struct RankResult {
 /// run(); exposed for tests that need fine-grained control.
 class World {
  public:
-  explicit World(int nranks, CommCostModel model = {});
+  explicit World(int nranks, CommCostModel model = {}, FaultPlan fault = {});
 
   [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
   [[nodiscard]] const CommCostModel& cost_model() const { return model_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_; }
   [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   /// Marks the world aborted and wakes all blocked receivers/barriers.
@@ -216,6 +228,7 @@ class World {
   std::atomic<std::uint64_t>& counter(int id);
 
   CommCostModel model_;
+  FaultPlan fault_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::mutex counters_mu_;
@@ -232,9 +245,10 @@ class World {
 /// Runs `fn(ctx)` on `nranks` rank threads and returns per-rank results in
 /// rank order. If any rank throws, the world is aborted (waking blocked
 /// ranks with AbortedError) and the lowest-rank exception is rethrown after
-/// all threads join.
+/// all threads join. `fault`, when enabled, injects a rank failure (see
+/// simpi/fault.hpp); the injected RankFaultError is rethrown as root cause.
 std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
-                            CommCostModel model = {});
+                            CommCostModel model = {}, FaultPlan fault = {});
 
 // --- template implementations ------------------------------------------------
 
@@ -249,6 +263,7 @@ inline constexpr int kTagReduce = -4;
 template <typename T>
 void Context::bcast(std::vector<T>& data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_point(FaultOp::kBcast);
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
@@ -265,6 +280,7 @@ void Context::bcast(std::vector<T>& data, int root) {
 template <typename T>
 std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  fault_point(FaultOp::kGatherv);
   std::size_t total_bytes = local.size() * sizeof(T);
   std::vector<std::vector<T>> out;
   if (rank_ == root) {
@@ -290,6 +306,7 @@ std::vector<T> Context::allgatherv(const std::vector<T>& local,
                                    std::vector<std::size_t>* counts_out) {
   // Gather at rank 0, then broadcast the concatenation and the counts.
   // The modeled cost is charged inside gatherv/bcast.
+  fault_point(FaultOp::kAllgatherv);
   auto parts = gatherv(local, 0);
   std::vector<T> flat;
   std::vector<std::uint64_t> counts;
@@ -317,6 +334,7 @@ std::vector<T> Context::allgather(const T& v) {
 
 template <typename T>
 T Context::allreduce_sum(T v) {
+  fault_point(FaultOp::kReduce);
   const auto all = allgather(v);
   T acc{};
   for (const T& x : all) acc += x;
@@ -325,6 +343,7 @@ T Context::allreduce_sum(T v) {
 
 template <typename T>
 T Context::allreduce_max(T v) {
+  fault_point(FaultOp::kReduce);
   const auto all = allgather(v);
   T best = all.front();
   for (const T& x : all) best = x > best ? x : best;
@@ -333,6 +352,7 @@ T Context::allreduce_max(T v) {
 
 template <typename T>
 T Context::allreduce_min(T v) {
+  fault_point(FaultOp::kReduce);
   const auto all = allgather(v);
   T best = all.front();
   for (const T& x : all) best = x < best ? x : best;

@@ -1,0 +1,48 @@
+#include "simpi/fault.hpp"
+
+namespace trinity::simpi {
+
+const char* to_string(FaultOp op) {
+  switch (op) {
+    case FaultOp::kNone: return "none";
+    case FaultOp::kBarrier: return "barrier";
+    case FaultOp::kBcast: return "bcast";
+    case FaultOp::kGatherv: return "gatherv";
+    case FaultOp::kAllgatherv: return "allgatherv";
+    case FaultOp::kReduce: return "reduce";
+    case FaultOp::kSend: return "send";
+    case FaultOp::kRecv: return "recv";
+  }
+  return "unknown";
+}
+
+FaultOp fault_op_from_string(std::string_view name) {
+  for (const FaultOp op :
+       {FaultOp::kBarrier, FaultOp::kBcast, FaultOp::kGatherv, FaultOp::kAllgatherv,
+        FaultOp::kReduce, FaultOp::kSend, FaultOp::kRecv}) {
+    if (name == to_string(op)) return op;
+  }
+  throw std::invalid_argument("unknown fault op: " + std::string(name));
+}
+
+void FaultPlan::arm() {
+  if (!fires_remaining) {
+    fires_remaining = std::make_shared<std::atomic<int>>(max_fires);
+  }
+}
+
+bool FaultPlan::consume_fire() const {
+  if (!fires_remaining) return false;
+  // Decrement-if-positive: concurrent fire attempts (victim rank only, but
+  // be safe) never push the budget negative.
+  int current = fires_remaining->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (fires_remaining->compare_exchange_weak(current, current - 1,
+                                               std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace trinity::simpi

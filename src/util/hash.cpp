@@ -1,0 +1,29 @@
+#include "util/hash.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace trinity::util {
+
+std::uint64_t fnv1a_append(std::uint64_t state, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= static_cast<std::uint64_t>(bytes[i]);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fnv1a_file: cannot open " + path);
+  std::uint64_t state = kFnvOffsetBasis;
+  char buf[1 << 16];
+  while (in) {
+    in.read(buf, sizeof(buf));
+    state = fnv1a_append(state, buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return state;
+}
+
+}  // namespace trinity::util

@@ -1,0 +1,269 @@
+// Tests for the checkpoint subsystem: manifest JSON-line round-trips,
+// tolerant loading of damaged manifests, atomic commits, stage validation
+// against on-disk artifacts, the options fingerprint builder, and the
+// retry/backoff policy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "checkpoint/fingerprint.hpp"
+#include "checkpoint/manifest.hpp"
+#include "checkpoint/retry.hpp"
+#include "test_helpers.hpp"
+#include "util/hash.hpp"
+
+namespace trinity::checkpoint {
+namespace {
+
+using testing::TempDir;
+
+StageRecord sample_record() {
+  StageRecord r;
+  r.stage = "chrysalis.bowtie";
+  r.fingerprint = 0xdeadbeefcafef00dULL;
+  r.complete = true;
+  r.attempt = 2;
+  r.wall_seconds = 1.25;
+  r.checkpoint_seconds = 0.03125;
+  r.inputs.push_back({"inchworm.fa", 123, 0x1111222233334444ULL});
+  r.inputs.push_back({"reads.fa", 456, 0x5555666677778888ULL});
+  r.outputs.push_back({"bowtie.sam", 789, 0x9999aaaabbbbccccULL});
+  return r;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+// --- JSON line round-trip --------------------------------------------------------
+
+TEST(ManifestJson, RecordRoundTrips) {
+  const StageRecord r = sample_record();
+  const auto parsed = parse_json_line(to_json_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stage, r.stage);
+  EXPECT_EQ(parsed->fingerprint, r.fingerprint);
+  EXPECT_EQ(parsed->complete, r.complete);
+  EXPECT_EQ(parsed->attempt, r.attempt);
+  EXPECT_DOUBLE_EQ(parsed->wall_seconds, r.wall_seconds);
+  EXPECT_DOUBLE_EQ(parsed->checkpoint_seconds, r.checkpoint_seconds);
+  EXPECT_EQ(parsed->inputs, r.inputs);
+  EXPECT_EQ(parsed->outputs, r.outputs);
+}
+
+TEST(ManifestJson, HashesSurviveAsFullSixtyFourBit) {
+  // Hashes near 2^64 - 1 cannot survive a double round-trip; the format
+  // must carry them as strings.
+  StageRecord r;
+  r.stage = "jellyfish";
+  r.fingerprint = 0xffffffffffffffffULL;
+  r.outputs.push_back({"kmers.bin", 1, 0xfffffffffffffffeULL});
+  const auto parsed = parse_json_line(to_json_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->fingerprint, 0xffffffffffffffffULL);
+  EXPECT_EQ(parsed->outputs.at(0).hash, 0xfffffffffffffffeULL);
+}
+
+TEST(ManifestJson, EscapesSpecialCharactersInPaths) {
+  StageRecord r;
+  r.stage = "weird \"stage\"\n\t\\name";
+  r.fingerprint = 7;
+  r.inputs.push_back({"dir\\file \"x\".fa", 2, 3});
+  const auto parsed = parse_json_line(to_json_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stage, r.stage);
+  EXPECT_EQ(parsed->inputs.at(0).path, r.inputs.at(0).path);
+}
+
+TEST(ManifestJson, RejectsMalformedLines) {
+  const std::string good = to_json_line(sample_record());
+  // Truncations at every prefix length must fail, never crash.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(parse_json_line(good.substr(0, len)).has_value())
+        << "prefix of length " << len << " parsed";
+  }
+  EXPECT_FALSE(parse_json_line(good + "garbage").has_value());
+  EXPECT_FALSE(parse_json_line("not json at all").has_value());
+  EXPECT_FALSE(parse_json_line("{}").has_value());  // missing required fields
+  EXPECT_FALSE(parse_json_line("{\"stage\":\"x\"}").has_value());  // no fingerprint
+}
+
+// --- RunManifest load/commit -----------------------------------------------------
+
+TEST(RunManifest, LoadOfMissingFileIsEmpty) {
+  TempDir dir("manifest_missing");
+  const auto m = RunManifest::load(dir.file("absent.jsonl"));
+  EXPECT_TRUE(m.records().empty());
+  EXPECT_EQ(m.dropped_lines(), 0u);
+}
+
+TEST(RunManifest, CommitThenLoadRoundTrips) {
+  TempDir dir("manifest_roundtrip");
+  RunManifest m(dir.file("run_manifest.jsonl"));
+  StageRecord first = sample_record();
+  StageRecord second;
+  second.stage = "inchworm";
+  second.fingerprint = first.fingerprint;
+  second.complete = true;
+  m.upsert(first);
+  m.upsert(second);
+  m.commit();
+
+  const auto loaded = RunManifest::load(m.path());
+  ASSERT_EQ(loaded.records().size(), 2u);
+  EXPECT_EQ(loaded.records()[0].stage, "chrysalis.bowtie");
+  EXPECT_EQ(loaded.records()[1].stage, "inchworm");
+  EXPECT_EQ(loaded.dropped_lines(), 0u);
+  // No leftover temporary from the atomic rename.
+  EXPECT_FALSE(std::filesystem::exists(m.path() + ".tmp"));
+}
+
+TEST(RunManifest, UpsertReplacesInPlace) {
+  RunManifest m("unused");
+  StageRecord r = sample_record();
+  m.upsert(r);
+  r.attempt = 5;
+  m.upsert(r);
+  ASSERT_EQ(m.records().size(), 1u);
+  EXPECT_EQ(m.records()[0].attempt, 5);
+  ASSERT_NE(m.find("chrysalis.bowtie"), nullptr);
+  EXPECT_EQ(m.find("chrysalis.bowtie")->attempt, 5);
+  EXPECT_EQ(m.find("nope"), nullptr);
+}
+
+TEST(RunManifest, TruncatedLineIsDroppedOthersSurvive) {
+  TempDir dir("manifest_truncated");
+  const std::string path = dir.file("run_manifest.jsonl");
+  const std::string good = to_json_line(sample_record());
+  // A crash mid-append leaves a final line cut off mid-object.
+  write_file(path, good + "\n" + good.substr(0, good.size() / 2));
+  const auto m = RunManifest::load(path);
+  ASSERT_EQ(m.records().size(), 1u);
+  EXPECT_EQ(m.dropped_lines(), 1u);
+}
+
+TEST(RunManifest, CommitIntoUnwritableDirectoryThrows) {
+  RunManifest m("/nonexistent_dir_zzz/run_manifest.jsonl");
+  m.upsert(sample_record());
+  EXPECT_THROW(m.commit(), std::runtime_error);
+}
+
+// --- capture + validate ----------------------------------------------------------
+
+TEST(ValidateStage, ValidRecordPasses) {
+  TempDir dir("validate_ok");
+  write_file(dir.file("a.fa"), ">r0\nACGT\n");
+  write_file(dir.file("b.sam"), "@HD\n");
+  StageRecord r;
+  r.stage = "s";
+  r.fingerprint = 42;
+  r.complete = true;
+  r.inputs.push_back(capture_artifact(dir.str(), "a.fa"));
+  r.outputs.push_back(capture_artifact(dir.str(), "b.sam"));
+  EXPECT_EQ(validate_stage(r, dir.str(), 42), StageCheck::kValid);
+}
+
+TEST(ValidateStage, ReportsEveryFailureReason) {
+  TempDir dir("validate_fail");
+  write_file(dir.file("a.fa"), ">r0\nACGT\n");
+  StageRecord r;
+  r.stage = "s";
+  r.fingerprint = 42;
+  r.complete = true;
+  r.outputs.push_back(capture_artifact(dir.str(), "a.fa"));
+
+  EXPECT_EQ(validate_stage(r, dir.str(), 43), StageCheck::kFingerprintMismatch);
+
+  StageRecord incomplete = r;
+  incomplete.complete = false;
+  EXPECT_EQ(validate_stage(incomplete, dir.str(), 42), StageCheck::kIncomplete);
+
+  // Same size, different bytes: only the hash catches it.
+  write_file(dir.file("a.fa"), ">r0\nACGA\n");
+  EXPECT_EQ(validate_stage(r, dir.str(), 42), StageCheck::kArtifactModified);
+
+  std::filesystem::remove(dir.file("a.fa"));
+  EXPECT_EQ(validate_stage(r, dir.str(), 42), StageCheck::kArtifactMissing);
+}
+
+TEST(ValidateStage, CaptureOfMissingFileThrows) {
+  TempDir dir("capture_missing");
+  EXPECT_THROW((void)capture_artifact(dir.str(), "ghost.fa"), std::runtime_error);
+}
+
+TEST(ValidateStage, CaptureMatchesFnvOfContents) {
+  TempDir dir("capture_hash");
+  const std::string content = "some stage artifact bytes";
+  write_file(dir.file("x"), content);
+  const ArtifactRecord a = capture_artifact(dir.str(), "x");
+  EXPECT_EQ(a.bytes, content.size());
+  EXPECT_EQ(a.hash, util::fnv1a(content));
+}
+
+// --- fingerprint -----------------------------------------------------------------
+
+TEST(Fingerprint, SensitiveToNameValueAndOrder) {
+  const auto base = FingerprintBuilder().add("k", std::int64_t{25}).add("seed", true).digest();
+  EXPECT_EQ(FingerprintBuilder().add("k", std::int64_t{25}).add("seed", true).digest(), base);
+  EXPECT_NE(FingerprintBuilder().add("k", std::int64_t{26}).add("seed", true).digest(), base);
+  EXPECT_NE(FingerprintBuilder().add("q", std::int64_t{25}).add("seed", true).digest(), base);
+  EXPECT_NE(FingerprintBuilder().add("seed", true).add("k", std::int64_t{25}).digest(), base);
+  EXPECT_NE(FingerprintBuilder().add("k", std::int64_t{25}).add("seed", false).digest(), base);
+}
+
+TEST(Fingerprint, DoubleUsesBitPattern) {
+  const auto a = FingerprintBuilder().add("x", 0.1).digest();
+  const auto b = FingerprintBuilder().add("x", 0.1 + 1e-18).digest();  // same double
+  const auto c = FingerprintBuilder().add("x", 0.2).digest();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// --- retry policy ----------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 1.0;
+  p.backoff_multiplier = 4.0;
+  p.max_backoff_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(p.backoff_for(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(2), 4.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(3), 10.0);  // 16 capped
+}
+
+TEST(RetryPolicy, DefaultBackoffIsZero) {
+  RetryPolicy p;
+  EXPECT_DOUBLE_EQ(p.backoff_for(1), 0.0);
+  EXPECT_DOUBLE_EQ(p.backoff_for(10), 0.0);
+}
+
+// --- hashing utility -------------------------------------------------------------
+
+TEST(Fnv1a, KnownVectorsAndStreaming) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(util::fnv1a(std::string_view{""}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(util::fnv1a(std::string_view{"a"}), 0xaf63dc4c8601ec8cULL);
+  // Streaming in pieces equals hashing the whole.
+  auto state = util::kFnvOffsetBasis;
+  state = util::fnv1a_append(state, "foo", 3);
+  state = util::fnv1a_append(state, "bar", 3);
+  EXPECT_EQ(state, util::fnv1a(std::string_view{"foobar"}));
+}
+
+TEST(Fnv1a, FileHashMatchesInMemory) {
+  TempDir dir("fnv_file");
+  // Larger than the streaming buffer so multiple reads are exercised.
+  std::string content;
+  for (int i = 0; i < 10000; ++i) content += "block " + std::to_string(i) + "\n";
+  write_file(dir.file("big"), content);
+  EXPECT_EQ(util::fnv1a_file(dir.file("big")), util::fnv1a(content));
+  EXPECT_THROW((void)util::fnv1a_file(dir.file("ghost")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace trinity::checkpoint

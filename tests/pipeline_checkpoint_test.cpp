@@ -1,0 +1,340 @@
+// Integration tests for pipeline checkpoint/restart: manifest recording,
+// stage-level resume, invalidation (corrupt manifest, stale options,
+// damaged artifacts), the in-process retry driver, and the paper-style
+// fault-then-relaunch scenario producing byte-identical transcripts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checkpoint/manifest.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+#include "sim/transcriptome.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::pipeline {
+namespace {
+
+using trinity::testing::TempDir;
+
+const std::vector<std::string> kAllStages = {
+    "write_input",        "jellyfish",
+    "inchworm",           "chrysalis.bowtie",
+    "chrysalis.graph_from_fasta", "chrysalis.reads_to_transcripts",
+    "butterfly"};
+
+PipelineOptions small_options(const std::string& work_dir, int nranks = 1) {
+  PipelineOptions o;
+  o.k = 15;
+  o.nranks = nranks;
+  o.work_dir = work_dir;
+  o.model_threads_per_rank = 4;
+  o.max_mem_reads = 500;
+  o.trace_sample_interval_ms = 0;
+  // Single OpenMP thread keeps stage outputs bit-reproducible across runs,
+  // which the byte-identity assertions below rely on.
+  o.omp_threads = 1;
+  return o;
+}
+
+sim::Dataset tiny_dataset() {
+  auto p = sim::preset("tiny");
+  p.reads.error_rate = 0.002;
+  p.reads.coverage = 30.0;
+  p.reads.expression_sigma = 0.7;
+  return sim::simulate_dataset(p);
+}
+
+const sim::Dataset& shared_dataset() {
+  static const sim::Dataset data = tiny_dataset();
+  return data;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A FaultPlan that kills `rank` at its first simpi call of the targeted
+/// stage (virtual-time trigger at 0 so it is independent of which
+/// collectives the stage happens to use).
+simpi::FaultPlan kill_rank(int rank) {
+  simpi::FaultPlan plan;
+  plan.rank = rank;
+  plan.after_virtual_seconds = 0.0;
+  return plan;
+}
+
+std::vector<std::string> stages_from(const std::vector<std::string>& all, std::size_t first) {
+  return {all.begin() + static_cast<std::ptrdiff_t>(first), all.end()};
+}
+
+std::vector<std::string> stages_until(const std::vector<std::string>& all, std::size_t end) {
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+// --- recording -------------------------------------------------------------------
+
+TEST(PipelineCheckpoint, FreshRunRecordsEveryStage) {
+  const TempDir dir("ckpt_record");
+  const auto& data = shared_dataset();
+  const auto result = run_pipeline(data.reads.reads, small_options(dir.str()));
+
+  EXPECT_EQ(result.stages_executed, kAllStages);
+  EXPECT_TRUE(result.stages_resumed.empty());
+  EXPECT_EQ(result.stage_retries, 0);
+
+  const auto manifest = checkpoint::RunManifest::load(dir.file(kManifestFileName));
+  ASSERT_EQ(manifest.records().size(), kAllStages.size());
+  for (std::size_t i = 0; i < kAllStages.size(); ++i) {
+    const auto& rec = manifest.records()[i];
+    EXPECT_EQ(rec.stage, kAllStages[i]);
+    EXPECT_TRUE(rec.complete);
+    EXPECT_EQ(rec.fingerprint, result.options_fingerprint);
+    EXPECT_EQ(rec.attempt, 1);
+    for (const auto& artifact : rec.outputs) {
+      EXPECT_EQ(checkpoint::capture_artifact(dir.str(), artifact.path), artifact)
+          << rec.stage << " output " << artifact.path << " drifted from its record";
+    }
+  }
+
+  // Checkpoint overhead is traced per stage.
+  std::vector<std::string> phases;
+  for (const auto& r : result.trace) phases.push_back(r.name);
+  for (const auto& stage : kAllStages) {
+    EXPECT_NE(std::find(phases.begin(), phases.end(), stage + ".checkpoint"), phases.end())
+        << stage;
+  }
+}
+
+TEST(PipelineCheckpoint, CheckpointOffWritesNoManifest) {
+  const TempDir dir("ckpt_off");
+  auto options = small_options(dir.str());
+  options.checkpoint = false;
+  const auto result = run_pipeline(shared_dataset().reads.reads, options);
+  EXPECT_FALSE(std::filesystem::exists(dir.file(kManifestFileName)));
+  EXPECT_EQ(result.stages_executed, kAllStages);
+  for (const auto& r : result.trace) {
+    EXPECT_EQ(r.name.find(".checkpoint"), std::string::npos) << r.name;
+  }
+}
+
+// --- resume ----------------------------------------------------------------------
+
+TEST(PipelineCheckpoint, ResumeSkipsEveryValidStage) {
+  const TempDir dir("ckpt_resume_all");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  const auto first = run_pipeline(data.reads.reads, options);
+  const std::string transcripts = slurp(dir.file("Trinity.fa"));
+
+  options.resume = true;
+  const auto second = run_pipeline(data.reads.reads, options);
+  EXPECT_TRUE(second.stages_executed.empty());
+  EXPECT_EQ(second.stages_resumed, kAllStages);
+
+  // The resumed run reconstructs the full in-memory result from artifacts.
+  ASSERT_EQ(second.transcripts.size(), first.transcripts.size());
+  for (std::size_t i = 0; i < first.transcripts.size(); ++i) {
+    EXPECT_EQ(second.transcripts[i].name, first.transcripts[i].name);
+    EXPECT_EQ(second.transcripts[i].bases, first.transcripts[i].bases);
+  }
+  EXPECT_EQ(second.contigs.size(), first.contigs.size());
+  EXPECT_EQ(second.assignments.size(), first.assignments.size());
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), transcripts);
+}
+
+TEST(PipelineCheckpoint, ResumeWithoutManifestRunsEverything) {
+  const TempDir dir("ckpt_resume_cold");
+  auto options = small_options(dir.str());
+  options.resume = true;  // nothing to resume from: must behave like a fresh run
+  const auto result = run_pipeline(shared_dataset().reads.reads, options);
+  EXPECT_EQ(result.stages_executed, kAllStages);
+  EXPECT_TRUE(result.stages_resumed.empty());
+  EXPECT_FALSE(result.transcripts.empty());
+}
+
+TEST(PipelineCheckpoint, ModifiedArtifactRerunsFromThatStage) {
+  const TempDir dir("ckpt_modified");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  run_pipeline(data.reads.reads, options);
+  const std::string transcripts = slurp(dir.file("Trinity.fa"));
+
+  // Same-size corruption of the Inchworm output: only the hash can see it.
+  {
+    std::fstream f(dir.file("inchworm.fa"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(3);
+    f.put('X');
+  }
+
+  options.resume = true;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_resumed, stages_until(kAllStages, 2));
+  EXPECT_EQ(result.stages_executed, stages_from(kAllStages, 2));
+  // Recomputation from intact upstream artifacts restores the output.
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), transcripts);
+}
+
+TEST(PipelineCheckpoint, MissingArtifactRerunsFromThatStage) {
+  const TempDir dir("ckpt_missing");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  run_pipeline(data.reads.reads, options);
+  std::filesystem::remove(dir.file("bowtie.sam"));
+
+  options.resume = true;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_resumed, stages_until(kAllStages, 3));
+  EXPECT_EQ(result.stages_executed, stages_from(kAllStages, 3));
+  EXPECT_TRUE(std::filesystem::exists(dir.file("bowtie.sam")));
+}
+
+TEST(PipelineCheckpoint, StaleOptionsFingerprintForcesFullRerun) {
+  const TempDir dir("ckpt_stale");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  run_pipeline(data.reads.reads, options);
+
+  options.resume = true;
+  options.min_kmer_count = 3;  // output-affecting: every record is stale
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_TRUE(result.stages_resumed.empty());
+  EXPECT_EQ(result.stages_executed, kAllStages);
+}
+
+TEST(PipelineCheckpoint, SchedulingKnobsDoNotInvalidateCheckpoints) {
+  const TempDir dir("ckpt_sched");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  run_pipeline(data.reads.reads, options);
+
+  // Resuming a crashed 1-rank run on 2 ranks (or more model threads) is
+  // legitimate: scheduling never changes results.
+  options.resume = true;
+  options.nranks = 2;
+  options.model_threads_per_rank = 8;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_resumed, kAllStages);
+  EXPECT_TRUE(result.stages_executed.empty());
+}
+
+TEST(PipelineCheckpoint, TruncatedManifestLineRerunsOnlyThatStage) {
+  const TempDir dir("ckpt_truncated");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  run_pipeline(data.reads.reads, options);
+
+  // Chop the tail of the manifest: the final line (butterfly) becomes a
+  // torn write, exactly what a crash mid-commit leaves behind.
+  const std::string path = dir.file(kManifestFileName);
+  std::string contents = slurp(path);
+  contents.resize(contents.size() - 10);
+  std::ofstream(path, std::ios::binary) << contents;
+
+  options.resume = true;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_resumed, stages_until(kAllStages, kAllStages.size() - 1));
+  EXPECT_EQ(result.stages_executed,
+            std::vector<std::string>{std::string("butterfly")});
+}
+
+TEST(PipelineCheckpoint, GarbageManifestNeverCrashes) {
+  const TempDir dir("ckpt_garbage");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  std::ofstream(dir.file(kManifestFileName))
+      << "this is not json\n{\"stage\":\n\x01\x02\x03\n";
+  options.resume = true;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_executed, kAllStages);
+  EXPECT_FALSE(result.transcripts.empty());
+}
+
+// --- fault injection + retry -----------------------------------------------------
+
+TEST(PipelineCheckpoint, InjectedFaultIsRetriedInProcess) {
+  const TempDir dir("ckpt_retry");
+  const TempDir baseline_dir("ckpt_retry_baseline");
+  const auto& data = shared_dataset();
+
+  auto baseline_options = small_options(baseline_dir.str(), /*nranks=*/3);
+  const auto baseline = run_pipeline(data.reads.reads, baseline_options);
+
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.fault = kill_rank(1);
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  const auto result = run_pipeline(data.reads.reads, options);
+
+  EXPECT_EQ(result.stage_retries, 1);
+  EXPECT_EQ(result.stages_executed, kAllStages);
+  // The retried attempt appears in the trace; the manifest records the
+  // attempt number that finally succeeded.
+  std::vector<std::string> phases;
+  for (const auto& r : result.trace) phases.push_back(r.name);
+  EXPECT_NE(std::find(phases.begin(), phases.end(),
+                      "chrysalis.graph_from_fasta.retry2"),
+            phases.end());
+  const auto manifest = checkpoint::RunManifest::load(dir.file(kManifestFileName));
+  ASSERT_NE(manifest.find("chrysalis.graph_from_fasta"), nullptr);
+  EXPECT_EQ(manifest.find("chrysalis.graph_from_fasta")->attempt, 2);
+
+  // A transient fault must not change the assembly.
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
+}
+
+TEST(PipelineCheckpoint, RetryExhaustionRethrowsTheFault) {
+  const TempDir dir("ckpt_exhausted");
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.fault = kill_rank(1);
+  options.fault.max_fires = 100;  // persistent fault
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  options.retry.max_attempts = 2;
+  EXPECT_THROW(run_pipeline(shared_dataset().reads.reads, options),
+               simpi::RankFaultError);
+}
+
+// The acceptance scenario: a run killed mid-Chrysalis, then re-launched
+// with --resume, completes while skipping the stages that had finished,
+// and its transcripts are byte-identical to an uninterrupted run.
+TEST(PipelineCheckpoint, KilledRunResumesAndMatchesUninterruptedRun) {
+  const TempDir dir("ckpt_relaunch");
+  const TempDir baseline_dir("ckpt_relaunch_baseline");
+  const auto& data = shared_dataset();
+
+  auto baseline_options = small_options(baseline_dir.str(), /*nranks=*/3);
+  const auto baseline = run_pipeline(data.reads.reads, baseline_options);
+
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.fault = kill_rank(1);
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  options.retry.max_attempts = 1;  // no in-process recovery: the run dies
+  EXPECT_THROW(run_pipeline(data.reads.reads, options), simpi::RankFaultError);
+
+  // Everything up to the fault is checkpointed...
+  const auto manifest = checkpoint::RunManifest::load(dir.file(kManifestFileName));
+  EXPECT_EQ(manifest.records().size(), 4u);
+  EXPECT_EQ(manifest.records().back().stage, "chrysalis.bowtie");
+
+  // ...so the relaunch resumes past it and finishes the rest.
+  auto relaunch = small_options(dir.str(), /*nranks=*/3);
+  relaunch.resume = true;
+  const auto result = run_pipeline(data.reads.reads, relaunch);
+  EXPECT_EQ(result.stages_resumed, stages_until(kAllStages, 4));
+  EXPECT_EQ(result.stages_executed, stages_from(kAllStages, 4));
+
+  ASSERT_EQ(result.transcripts.size(), baseline.transcripts.size());
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
+}
+
+}  // namespace
+}  // namespace trinity::pipeline
