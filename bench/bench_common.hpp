@@ -23,6 +23,7 @@
 #include "kmer/counter.hpp"
 #include "seq/fasta.hpp"
 #include "sim/transcriptome.hpp"
+#include "simpi/context.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -68,6 +69,27 @@ inline Workload make_workload(const std::string& preset_name, std::size_t genes,
   w.reads_path = w.work_dir + "/reads.fa";
   seq::write_fasta(w.reads_path, w.dataset.reads.reads);
   return w;
+}
+
+/// Aggregate communication/imbalance view of one simpi::run — the
+/// comm-volume and skew columns the figure benches report next to their
+/// timing series (semantics in docs/OBSERVABILITY.md).
+struct CommSummary {
+  std::uint64_t bytes_sent = 0;      ///< payload sent, summed over ranks and ops
+  std::uint64_t bytes_received = 0;  ///< payload received, summed likewise
+  double wait_seconds = 0.0;         ///< total time ranks sat blocked ("skew time")
+  double skew = 1.0;                 ///< max/mean rank virtual time
+};
+
+inline CommSummary summarize_comm(const std::vector<simpi::RankResult>& ranks) {
+  CommSummary s;
+  for (const auto& r : ranks) {
+    s.bytes_sent += r.comm.total_bytes_sent();
+    s.bytes_received += r.comm.total_bytes_received();
+    s.wait_seconds += r.comm.total_wait_seconds();
+  }
+  s.skew = simpi::skew_ratio(ranks);
+  return s;
 }
 
 /// Optional CSV sink: when --csv <path> is given, figure benches also

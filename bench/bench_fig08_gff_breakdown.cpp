@@ -29,24 +29,38 @@ int main(int argc, char** argv) {
   // divided by a thread count either).
   options.model_threads_per_rank = 1;
 
-  std::printf("%6s | %9s %9s %14s | %s\n", "nodes", "loop1(%)", "loop2(%)", "nonparallel(%)",
-              "total(s)");
+  bench::JsonSink json(args, "fig08_gff_breakdown");
+  std::printf("%6s | %9s %9s %14s | %9s | %6s\n", "nodes", "loop1(%)", "loop2(%)",
+              "nonparallel(%)", "total(s)", "skew");
   const int trials = static_cast<int>(args.get_int("trials", 2));
   for (const int nranks : {1, 2, 4, 8, 16, 24}) {
     chrysalis::GffTiming timing;
+    bench::CommSummary comm;
     for (int trial = 0; trial < trials; ++trial) {
       chrysalis::GffTiming t;
-      simpi::run(nranks, [&](simpi::Context& ctx) {
+      const auto ranks = simpi::run(nranks, [&](simpi::Context& ctx) {
         const auto r = chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
         if (ctx.rank() == 0) t = r.timing;
       });
-      if (trial == 0 || t.total_seconds() < timing.total_seconds()) timing = t;
+      if (trial == 0 || t.total_seconds() < timing.total_seconds()) {
+        timing = t;
+        comm = bench::summarize_comm(ranks);
+      }
     }
     const double total = timing.total_seconds();
     const double loop1 = timing.loop1.max() / total * 100.0;
     const double loop2 = timing.loop2.max() / total * 100.0;
-    std::printf("%6d | %9.1f %9.1f %14.1f | %8.3f\n", nranks, loop1, loop2,
-                100.0 - loop1 - loop2, total);
+    std::printf("%6d | %9.1f %9.1f %14.1f | %9.3f | %6.2f\n", nranks, loop1, loop2,
+                100.0 - loop1 - loop2, total, comm.skew);
+    json.begin_entry();
+    json.field("nodes", static_cast<std::int64_t>(nranks));
+    json.field("loop1_pct", loop1);
+    json.field("loop2_pct", loop2);
+    json.field("nonparallel_pct", 100.0 - loop1 - loop2);
+    json.field("total_s", total);
+    json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
+    json.field("comm_wait_s", comm.wait_seconds);
+    json.field("skew_ratio", comm.skew);
   }
   std::printf("\npaper: loops = 92.4%% of the total at 16 nodes, falling to 36.7%% at 128\n"
               "nodes as the non-parallel share grows; the share of the loops rises again\n"

@@ -35,31 +35,52 @@ int main(int argc, char** argv) {
   options.kernel_repeats = repeats;
   options.model_threads_per_rank = 1;
 
-  bench::CsvSink csv(args, "nodes,loop_max,loop_min,setup,concat,total,speedup");
-  std::printf("%6s | %10s %10s | %9s %9s | %9s | %8s\n", "nodes", "loop_max", "loop_min",
-              "setup(s)", "concat(s)", "total(s)", "speedup");
+  bench::CsvSink csv(args,
+                     "nodes,loop_max,loop_min,setup,concat,total,speedup,comm_bytes,skew");
+  bench::JsonSink json(args, "fig09_r2t_scaling");
+  std::printf("%6s | %10s %10s | %9s %9s | %9s | %8s | %10s %6s\n", "nodes", "loop_max",
+              "loop_min", "setup(s)", "concat(s)", "total(s)", "speedup", "comm(B)", "skew");
   const int trials = static_cast<int>(args.get_int("trials", 2));
   double base_total = 0.0;
   for (const int nranks : {1, 2, 4, 8, 16}) {
     // Best of N trials; see bench_fig07 for the rationale.
     chrysalis::R2TTiming timing;
+    bench::CommSummary comm;
     for (int trial = 0; trial < trials; ++trial) {
       chrysalis::R2TTiming t;
-      simpi::run(nranks, [&](simpi::Context& ctx) {
+      const auto ranks = simpi::run(nranks, [&](simpi::Context& ctx) {
         const auto r = chrysalis::run_hybrid(ctx, w.contigs, components, w.reads_path,
                                              options, w.work_dir);
         if (ctx.rank() == 0) t = r.timing;
       });
-      if (trial == 0 || t.total_seconds() < timing.total_seconds()) timing = t;
+      if (trial == 0 || t.total_seconds() < timing.total_seconds()) {
+        timing = t;
+        comm = bench::summarize_comm(ranks);
+      }
     }
     if (nranks == 1) base_total = timing.total_seconds();
-    std::printf("%6d | %10.3f %10.3f | %9.3f %9.3f | %9.3f | %7.2fx\n", nranks,
+    std::printf("%6d | %10.3f %10.3f | %9.3f %9.3f | %9.3f | %7.2fx | %10llu %6.2f\n", nranks,
                 timing.main_loop.max(), timing.main_loop.min(), timing.setup_seconds,
                 timing.concat_seconds, timing.total_seconds(),
-                base_total / timing.total_seconds());
+                base_total / timing.total_seconds(),
+                static_cast<unsigned long long>(comm.bytes_received), comm.skew);
     csv.row(nranks, timing.main_loop.max(), timing.main_loop.min(), timing.setup_seconds,
             timing.concat_seconds, timing.total_seconds(),
-            base_total / timing.total_seconds());
+            base_total / timing.total_seconds(), comm.bytes_received, comm.skew);
+    json.begin_entry();
+    json.field("nodes", static_cast<std::int64_t>(nranks));
+    json.field("loop_max", timing.main_loop.max());
+    json.field("loop_min", timing.main_loop.min());
+    json.field("setup_s", timing.setup_seconds);
+    json.field("concat_s", timing.concat_seconds);
+    json.field("total_s", timing.total_seconds());
+    json.field("speedup", base_total / timing.total_seconds());
+    json.field("comm_bytes_sent", static_cast<std::int64_t>(comm.bytes_sent));
+    json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
+    json.field("comm_wait_s", comm.wait_seconds);
+    json.field("skew_ratio", comm.skew);
+    json.field("assignment_bytes_pooled",
+               static_cast<std::int64_t>(timing.assignment_bytes_pooled));
   }
   std::printf("\npaper: near-linear MPI-loop scaling (8.37x from 4 to 32 nodes); overall\n"
               "19.75x at 32 nodes vs 1 node; the serial setup (k-mer -> bundle assignment)\n"

@@ -33,8 +33,7 @@ int main(int argc, char** argv) {
     // Same kernel calibration as the Figure 2 bench, so the two traces
     // are directly comparable.
     options.model_threads_per_rank = 1;  // node-count scaling, as in Figs 7-9
-    options.model_threads_per_rank = 1;  // node-count scaling, as in Figs 7-9
-  options.bowtie_kernel_repeats = static_cast<int>(args.get_int("bowtie-repeats", 85));
+    options.bowtie_kernel_repeats = static_cast<int>(args.get_int("bowtie-repeats", 85));
     options.gff_kernel_repeats = static_cast<int>(args.get_int("gff-repeats", 400));
     options.r2t_kernel_repeats = static_cast<int>(args.get_int("r2t-repeats", 60));
     return pipeline::run_pipeline(data.reads.reads, options);
@@ -48,6 +47,27 @@ int main(int argc, char** argv) {
   for (const auto& phase : parallel.trace) {
     std::printf("%-34s %10.2f %10.2f %14.1f\n", phase.name.c_str(), phase.wall_seconds,
                 phase.cpu_seconds, static_cast<double>(phase.rss_peak) / (1024.0 * 1024.0));
+  }
+
+  // Per-stage communication and imbalance of the hybrid run, from the
+  // pipeline's own observability layer (same data as run_report.json).
+  bench::JsonSink json(args, "fig11_parallel_trace");
+  std::printf("\n%-34s %10s %10s %6s\n", "hybrid stage comm", "sent(B)", "recv(B)", "skew");
+  for (const auto& stage : parallel.stage_comm) {
+    const auto comm = bench::summarize_comm(stage.ranks);
+    std::printf("%-34s %10llu %10llu %6.2f\n", stage.stage.c_str(),
+                static_cast<unsigned long long>(comm.bytes_sent),
+                static_cast<unsigned long long>(comm.bytes_received), comm.skew);
+    json.begin_entry();
+    json.field("stage", stage.stage);
+    json.field("nodes", static_cast<std::int64_t>(nranks));
+    json.field("comm_bytes_sent", static_cast<std::int64_t>(comm.bytes_sent));
+    json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
+    json.field("comm_wait_s", comm.wait_seconds);
+    json.field("skew_ratio", comm.skew);
+  }
+  if (!parallel.report_path.empty()) {
+    std::printf("full run report: %s\n", parallel.report_path.c_str());
   }
 
   const double before = original.chrysalis_virtual_seconds();

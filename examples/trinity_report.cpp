@@ -1,0 +1,44 @@
+// trinity_report: summarize the JSON run report a pipeline run emits
+// (<work_dir>/run_report.json; schema in docs/OBSERVABILITY.md).
+//
+// Prints the per-stage load-imbalance table — max/mean rank virtual time,
+// skew ratio, communication volume, blocked ("wait") time — plus the
+// Chrysalis pooling volumes, without re-running anything.
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/quickstart --ranks 4          # produces the report
+//   ./build/examples/trinity_report /tmp/trinity_quickstart/run_report.json
+//
+// Flags:
+//   --json    re-emit the parsed report compactly on stdout instead of the
+//             summary (round-trip check / piping into jq)
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "pipeline/run_report.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: trinity_report <run_report.json> [--json]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  try {
+    const util::Json report = pipeline::load_run_report(path);
+    if (args.get_bool("json", false)) {
+      std::cout << report.dump() << '\n';
+    } else {
+      pipeline::summarize_report(report, std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trinity_report: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,14 @@
 #!/bin/sh
 # check.sh — the repo's verification gate.
 #
-#   1. Tier-1 verify (ROADMAP.md): full build + complete ctest suite.
-#   2. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint and
+#   1. Docs gate: local markdown links in README.md, EXPERIMENTS.md and
+#      docs/ must resolve,
+#      and the "Schema version" stated in docs/OBSERVABILITY.md must match
+#      kReportSchemaVersion in src/pipeline/run_report.hpp (the emitted
+#      report's version is asserted against the same constant by
+#      run_report_test in step 2).
+#   2. Tier-1 verify (ROADMAP.md): full build + complete ctest suite.
+#   3. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint and
 #      simpi test binaries — the subsystems that throw across thread and
 #      collective boundaries, where sanitizers earn their keep.
 #
@@ -13,6 +19,38 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== docs: links + schema version =="
+docs_failed=0
+for doc in README.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    doc_dir=$(dirname -- "$doc")
+    # Markdown links to local files: [text](target). URLs and anchors pass.
+    for target in $(grep -o ']([^)#][^)]*)' "$doc" | sed 's/^](//; s/)$//'); do
+        case $target in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        # Relative to the doc's directory first, then the repo root.
+        if [ ! -e "$doc_dir/$target" ] && [ ! -e "$target" ]; then
+            echo "dead link in $doc: $target" >&2
+            docs_failed=1
+        fi
+    done
+done
+header_version=$(sed -n 's/.*kReportSchemaVersion = \([0-9][0-9]*\);.*/\1/p' \
+    src/pipeline/run_report.hpp)
+docs_version=$(sed -n 's/^Schema version: \([0-9][0-9]*\)$/\1/p' docs/OBSERVABILITY.md)
+if [ -z "$header_version" ] || [ -z "$docs_version" ]; then
+    echo "could not extract schema version (header: '$header_version'," \
+         "docs: '$docs_version')" >&2
+    docs_failed=1
+elif [ "$header_version" != "$docs_version" ]; then
+    echo "schema version mismatch: run_report.hpp says $header_version," \
+         "docs/OBSERVABILITY.md says $docs_version" >&2
+    docs_failed=1
+fi
+[ "$docs_failed" -eq 0 ] || exit 1
+echo "docs ok (schema version $header_version)"
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null

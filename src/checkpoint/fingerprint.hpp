@@ -16,6 +16,10 @@
 
 namespace trinity::checkpoint {
 
+/// Accumulates (name, value) pairs into an FNV-1a digest. Both the field
+/// name and the order of add() calls are significant: renaming or
+/// reordering a field changes the fingerprint, which is the desired
+/// invalidation behavior when an option's meaning changes.
 class FingerprintBuilder {
  public:
   FingerprintBuilder& add(std::string_view name, std::string_view value);
@@ -26,6 +30,8 @@ class FingerprintBuilder {
   /// the fingerprint is exact.
   FingerprintBuilder& add(std::string_view name, double value);
 
+  /// The digest of everything added so far (a running value: more fields
+  /// can be folded in afterwards).
   [[nodiscard]] std::uint64_t digest() const { return state_; }
 
  private:

@@ -90,6 +90,7 @@ class Parser {
       else if (key == "attempt") record.attempt = static_cast<int>(parse_number());
       else if (key == "wall_seconds") record.wall_seconds = parse_number();
       else if (key == "checkpoint_seconds") record.checkpoint_seconds = parse_number();
+      else if (key == "trace") record.trace = parse_string();
       else if (key == "inputs") record.inputs = parse_artifacts();
       else if (key == "outputs") record.outputs = parse_artifacts();
       else fail("unknown key " + key);
@@ -222,6 +223,10 @@ std::string to_json_line(const StageRecord& record) {
   num << ",\"wall_seconds\":" << record.wall_seconds
       << ",\"checkpoint_seconds\":" << record.checkpoint_seconds;
   out += num.str();
+  if (!record.trace.empty()) {
+    out += ",\"trace\":";
+    append_escaped(out, record.trace);
+  }
   out += ",\"inputs\":";
   append_artifacts(out, record.inputs);
   out += ",\"outputs\":";

@@ -41,6 +41,11 @@ struct StageRecord {
   int attempt = 1;                      ///< attempt number that succeeded
   double wall_seconds = 0.0;            ///< stage execution wall time
   double checkpoint_seconds = 0.0;      ///< hashing + manifest commit overhead
+  /// Work-dir-relative path of the run report carrying this stage's
+  /// observability metrics (docs/OBSERVABILITY.md). Optional: empty when
+  /// the run emitted no report, and omitted from the JSON line then, so
+  /// manifests written before the field existed parse unchanged.
+  std::string trace;
   std::vector<ArtifactRecord> inputs;   ///< artifacts the stage consumed
   std::vector<ArtifactRecord> outputs;  ///< artifacts the stage produced
 };

@@ -369,6 +369,9 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   }
   const auto packed = simpi::pack_strings(my_welds);
   const auto pooled_bytes = ctx.allgatherv(packed);
+  timing.weld_bytes_contributed =
+      ctx.allgatherv(std::vector<std::uint64_t>{packed.size()});
+  timing.weld_bytes_pooled = pooled_bytes.size();
   auto welds = dedup_welds(simpi::unpack_string_pool(pooled_bytes));
   const auto weld_cores = detail::index_weld_cores(welds, options.k);
 
@@ -399,6 +402,9 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
     }
   }
   const auto pooled_ints = ctx.allgatherv(my_match_ints);
+  timing.match_bytes_contributed = ctx.allgatherv(
+      std::vector<std::uint64_t>{my_match_ints.size() * sizeof(std::int32_t)});
+  timing.match_bytes_pooled = pooled_ints.size() * sizeof(std::int32_t);
   if (pooled_ints.size() % 2 != 0) {
     throw std::logic_error("GraphFromFasta: malformed pooled match array");
   }

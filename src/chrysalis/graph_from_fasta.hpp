@@ -88,6 +88,15 @@ struct GffTiming {
   double setup_seconds = 0.0;     ///< non-parallel: shared-k-mer map build
   double finalize_seconds = 0.0;  ///< non-parallel: dedup, pairing, clustering
   double comm_seconds = 0.0;      ///< max modeled communication over ranks
+
+  // Communication volume of the two pooling Allgathervs (hybrid runs only;
+  // zero / empty for shared-memory runs). "Contributed" is what each rank
+  // put in; "pooled" is the flat payload every rank received back — the
+  // quantity docs/OBSERVABILITY.md calls pooled bytes.
+  std::vector<std::uint64_t> weld_bytes_contributed;   ///< per rank, loop 1
+  std::uint64_t weld_bytes_pooled = 0;                 ///< packed weld pool size
+  std::vector<std::uint64_t> match_bytes_contributed;  ///< per rank, loop 2
+  std::uint64_t match_bytes_pooled = 0;                ///< pooled match-int array size
   /// Total modeled time: serial parts + slowest rank per loop + comm.
   [[nodiscard]] double total_seconds() const {
     return setup_seconds + loop1.max() + loop2.max() + finalize_seconds + comm_seconds;

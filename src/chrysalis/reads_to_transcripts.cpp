@@ -163,6 +163,7 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
   result.timing.setup_seconds = setup_cpu.seconds();
 
   double loop_seconds = 0.0;
+  std::uint64_t chunks = 0;
   seq::FastaReader reader(reads_path);
   std::int64_t base_index = 0;
   for (;;) {
@@ -173,8 +174,11 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
     loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
                                   result.assignments);
     base_index += static_cast<std::int64_t>(chunk.size());
+    ++chunks;
   }
   result.timing.main_loop.seconds = {loop_seconds};
+  result.timing.rank_chunks = {chunks};
+  result.timing.rank_reads = {result.assignments.size()};
 
   if (!output_dir.empty()) {
     result.merged_output_path = output_dir + "/readsToComponents.out.tsv";
@@ -198,6 +202,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
 
   std::vector<ReadAssignment> my_assignments;
   double my_loop = 0.0;
+  std::uint64_t my_chunks = 0;
   constexpr int kChunkTag = 7;
 
   if (options.strategy == R2TStrategy::kRedundantStreaming) {
@@ -214,6 +219,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
       if (chunk_index % ctx.size() == ctx.rank()) {
         my_loop +=
             process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+        ++my_chunks;
       }
       base_index += static_cast<std::int64_t>(chunk.size());
       ++chunk_index;
@@ -234,6 +240,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         if (dest == 0) {
           my_loop +=
               process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          ++my_chunks;
         } else {
           std::vector<std::string> wire;
           wire.reserve(chunk.size() + 1);
@@ -257,6 +264,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         for (std::size_t i = 1; i < wire.size(); ++i) chunk[i - 1].bases = wire[i];
         my_loop +=
             process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+        ++my_chunks;
       }
     }
   }
@@ -299,11 +307,19 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   }
 
   // Pool assignments so every rank returns the full, sorted result.
+  const std::uint64_t my_assignment_bytes = my_assignments.size() * sizeof(ReadAssignment);
   result.assignments = ctx.allgatherv(my_assignments);
   sort_by_read_index(result.assignments);
 
   result.timing.setup_seconds = ctx.allreduce_max(my_setup);
   result.timing.main_loop.seconds = ctx.allgatherv(std::vector<double>{my_loop});
+  result.timing.rank_chunks = ctx.allgatherv(std::vector<std::uint64_t>{my_chunks});
+  result.timing.rank_reads =
+      ctx.allgatherv(std::vector<std::uint64_t>{my_assignment_bytes / sizeof(ReadAssignment)});
+  result.timing.assignment_bytes_contributed =
+      ctx.allgatherv(std::vector<std::uint64_t>{my_assignment_bytes});
+  result.timing.assignment_bytes_pooled =
+      result.assignments.size() * sizeof(ReadAssignment);
   result.timing.concat_seconds = concat_seconds;
   result.timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
   return result;

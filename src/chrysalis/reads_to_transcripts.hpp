@@ -77,6 +77,16 @@ struct R2TTiming {
   PerRankTimes main_loop;       ///< the MPI-enabled streaming+assignment loop
   double concat_seconds = 0.0;  ///< per-rank file concatenation at rank 0
   double comm_seconds = 0.0;    ///< max modeled communication over ranks
+
+  // Work distribution and final-pooling volume (size 1 vectors for
+  // shared-memory runs). Chunk counts expose the modulo distribution's
+  // remainder imbalance directly; byte fields mirror GffTiming's
+  // contributed/pooled split for the assignment Allgatherv.
+  std::vector<std::uint64_t> rank_chunks;  ///< chunks each rank processed
+  std::vector<std::uint64_t> rank_reads;   ///< reads each rank assigned
+  std::vector<std::uint64_t> assignment_bytes_contributed;  ///< per rank
+  std::uint64_t assignment_bytes_pooled = 0;  ///< full pooled payload, bytes
+
   [[nodiscard]] double total_seconds() const {
     return setup_seconds + main_loop.max() + concat_seconds + comm_seconds;
   }

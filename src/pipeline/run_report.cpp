@@ -1,0 +1,242 @@
+#include "pipeline/run_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace trinity::pipeline {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+util::Json int_array(const std::vector<std::uint64_t>& values) {
+  util::Json arr = util::Json::array();
+  for (const auto v : values) arr.push_back(util::Json(static_cast<std::int64_t>(v)));
+  return arr;
+}
+
+util::Json double_array(const std::vector<double>& values) {
+  util::Json arr = util::Json::array();
+  for (const auto v : values) arr.push_back(util::Json(v));
+  return arr;
+}
+
+util::Json string_array(const std::vector<std::string>& values) {
+  util::Json arr = util::Json::array();
+  for (const auto& v : values) arr.push_back(util::Json(v));
+  return arr;
+}
+
+util::Json phase_json(const util::PhaseRecord& r) {
+  util::Json p = util::Json::object();
+  p.set("name", r.name);
+  p.set("start_s", r.start_seconds);
+  p.set("wall_s", r.wall_seconds);
+  p.set("cpu_s", r.cpu_seconds);
+  p.set("rss_before_b", static_cast<std::int64_t>(r.rss_before));
+  p.set("rss_after_b", static_cast<std::int64_t>(r.rss_after));
+  p.set("rss_peak_b", static_cast<std::int64_t>(r.rss_peak));
+  util::Json counters = util::Json::object();
+  for (const auto& c : r.counters) counters.set(c.name, util::Json(c.value));
+  p.set("counters", std::move(counters));
+  return p;
+}
+
+util::Json rank_json(const simpi::RankResult& r) {
+  util::Json out = util::Json::object();
+  out.set("rank", r.rank);
+  out.set("cpu_s", r.cpu_seconds);
+  out.set("comm_s", r.comm_seconds);
+  out.set("virtual_s", r.virtual_seconds());
+  // Ops with zero calls are omitted: most stages use two or three of the
+  // eight operations and all-zero rows are noise.
+  util::Json ops = util::Json::object();
+  for (std::size_t i = 0; i < simpi::kNumCommOps; ++i) {
+    const auto& s = r.comm.ops[i];
+    if (s.calls == 0) continue;
+    util::Json op = util::Json::object();
+    op.set("calls", static_cast<std::int64_t>(s.calls));
+    op.set("bytes_sent", static_cast<std::int64_t>(s.bytes_sent));
+    op.set("bytes_received", static_cast<std::int64_t>(s.bytes_received));
+    op.set("wait_s", s.wait_seconds);
+    ops.set(simpi::to_string(static_cast<simpi::CommOp>(i)), std::move(op));
+  }
+  out.set("ops", std::move(ops));
+  return out;
+}
+
+util::Json comm_json(const StageCommMetrics& m) {
+  util::Json out = util::Json::object();
+  out.set("stage", m.stage);
+  out.set("nranks", static_cast<std::int64_t>(m.ranks.size()));
+  double max_virtual = 0.0, sum_virtual = 0.0;
+  for (const auto& r : m.ranks) {
+    const double v = r.virtual_seconds();
+    max_virtual = v > max_virtual ? v : max_virtual;
+    sum_virtual += v;
+  }
+  out.set("max_virtual_s", max_virtual);
+  out.set("mean_virtual_s",
+          m.ranks.empty() ? 0.0 : sum_virtual / static_cast<double>(m.ranks.size()));
+  out.set("skew_ratio", m.skew_ratio());
+  util::Json ranks = util::Json::array();
+  for (const auto& r : m.ranks) ranks.push_back(rank_json(r));
+  out.set("ranks", std::move(ranks));
+  return out;
+}
+
+util::Json gff_json(const chrysalis::GffTiming& t) {
+  util::Json out = util::Json::object();
+  out.set("loop1_s", double_array(t.loop1.seconds));
+  out.set("loop2_s", double_array(t.loop2.seconds));
+  out.set("setup_s", t.setup_seconds);
+  out.set("finalize_s", t.finalize_seconds);
+  out.set("comm_s", t.comm_seconds);
+  out.set("weld_bytes_contributed", int_array(t.weld_bytes_contributed));
+  out.set("weld_bytes_pooled", static_cast<std::int64_t>(t.weld_bytes_pooled));
+  out.set("match_bytes_contributed", int_array(t.match_bytes_contributed));
+  out.set("match_bytes_pooled", static_cast<std::int64_t>(t.match_bytes_pooled));
+  return out;
+}
+
+util::Json r2t_json(const chrysalis::R2TTiming& t) {
+  util::Json out = util::Json::object();
+  out.set("main_loop_s", double_array(t.main_loop.seconds));
+  out.set("setup_s", t.setup_seconds);
+  out.set("concat_s", t.concat_seconds);
+  out.set("comm_s", t.comm_seconds);
+  out.set("rank_chunks", int_array(t.rank_chunks));
+  out.set("rank_reads", int_array(t.rank_reads));
+  out.set("assignment_bytes_contributed", int_array(t.assignment_bytes_contributed));
+  out.set("assignment_bytes_pooled", static_cast<std::int64_t>(t.assignment_bytes_pooled));
+  return out;
+}
+
+}  // namespace
+
+util::Json build_run_report(const PipelineOptions& options, const PipelineResult& result) {
+  util::Json report = util::Json::object();
+  report.set("schema_version", kReportSchemaVersion);
+  report.set("generator", "trinity_pipeline");
+  report.set("nranks", options.nranks);
+  report.set("model_threads_per_rank", options.model_threads_per_rank);
+  report.set("options_fingerprint", hex64(result.options_fingerprint));
+  report.set("stages_executed", string_array(result.stages_executed));
+  report.set("stages_resumed", string_array(result.stages_resumed));
+  report.set("stage_retries", result.stage_retries);
+
+  util::Json phases = util::Json::array();
+  for (const auto& p : result.trace) phases.push_back(phase_json(p));
+  report.set("phases", std::move(phases));
+
+  util::Json comm = util::Json::array();
+  for (const auto& m : result.stage_comm) comm.push_back(comm_json(m));
+  report.set("comm", std::move(comm));
+
+  util::Json chrysalis = util::Json::object();
+  chrysalis.set("graph_from_fasta", gff_json(result.gff_timing));
+  chrysalis.set("reads_to_transcripts", r2t_json(result.r2t_timing));
+  report.set("chrysalis", std::move(chrysalis));
+  return report;
+}
+
+void write_run_report(const std::string& path, const util::Json& report) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_run_report: cannot open '" + path + "'");
+  out << report.dump(2) << '\n';
+  if (!out) throw std::runtime_error("write_run_report: write failure on '" + path + "'");
+}
+
+util::Json load_run_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_run_report: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  util::Json report = util::Json::parse(buf.str());
+  const util::Json* version = report.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    throw std::runtime_error("load_run_report: '" + path + "' has no schema_version");
+  }
+  if (version->as_int() < 1 || version->as_int() > kReportSchemaVersion) {
+    throw std::runtime_error("load_run_report: unsupported schema_version " +
+                             std::to_string(version->as_int()) + " in '" + path + "'");
+  }
+  return report;
+}
+
+void summarize_report(const util::Json& report, std::ostream& out) {
+  out << "run report: schema " << report.at("schema_version").as_int() << ", nranks "
+      << report.at("nranks").as_int() << ", model_threads_per_rank "
+      << report.at("model_threads_per_rank").as_int() << '\n';
+
+  auto join = [](const util::Json& arr) {
+    std::string s;
+    for (const auto& v : arr.items()) {
+      if (!s.empty()) s += ", ";
+      s += v.as_string();
+    }
+    return s.empty() ? std::string("(none)") : s;
+  };
+  out << "stages executed: " << join(report.at("stages_executed")) << '\n';
+  out << "stages resumed:  " << join(report.at("stages_resumed")) << '\n';
+  out << "stage retries:   " << report.at("stage_retries").as_int() << "\n\n";
+
+  // Per-stage imbalance table from the comm section.
+  const auto& comm = report.at("comm").items();
+  if (comm.empty()) {
+    out << "no hybrid stages ran (nranks == 1 or all stages resumed); no per-rank"
+           " communication was recorded\n";
+  } else {
+    out << std::left << std::setw(32) << "stage" << std::right << std::setw(6) << "ranks"
+        << std::setw(12) << "max(virt)" << std::setw(12) << "mean(virt)" << std::setw(7)
+        << "skew" << std::setw(14) << "sent(B)" << std::setw(14) << "recv(B)"
+        << std::setw(10) << "wait(s)" << '\n';
+    for (const auto& stage : comm) {
+      std::int64_t sent = 0, received = 0;
+      double wait = 0.0;
+      for (const auto& rank : stage.at("ranks").items()) {
+        for (const auto& [name, op] : rank.at("ops").members()) {
+          sent += op.at("bytes_sent").as_int();
+          received += op.at("bytes_received").as_int();
+          wait += op.at("wait_s").as_double();
+        }
+      }
+      out << std::left << std::setw(32) << stage.at("stage").as_string() << std::right
+          << std::setw(6) << stage.at("nranks").as_int() << std::fixed << std::setprecision(4)
+          << std::setw(12) << stage.at("max_virtual_s").as_double() << std::setw(12)
+          << stage.at("mean_virtual_s").as_double() << std::setprecision(2) << std::setw(7)
+          << stage.at("skew_ratio").as_double() << std::setw(14) << sent << std::setw(14)
+          << received << std::setprecision(4) << std::setw(10) << wait << '\n';
+    }
+  }
+
+  // Chrysalis pooling volumes (the paper's Section III.B/III.C traffic).
+  const auto sum_ints = [](const util::Json& arr) {
+    std::int64_t total = 0;
+    for (const auto& v : arr.items()) total += v.as_int();
+    return total;
+  };
+  const auto& gff = report.at("chrysalis").at("graph_from_fasta");
+  const auto& r2t = report.at("chrysalis").at("reads_to_transcripts");
+  out << "\nchrysalis pooling:\n"
+      << "  graph_from_fasta welds:   " << sum_ints(gff.at("weld_bytes_contributed"))
+      << " B contributed -> " << gff.at("weld_bytes_pooled").as_int() << " B pooled\n"
+      << "  graph_from_fasta matches: " << sum_ints(gff.at("match_bytes_contributed"))
+      << " B contributed -> " << gff.at("match_bytes_pooled").as_int() << " B pooled\n"
+      << "  reads_to_transcripts:     " << sum_ints(r2t.at("assignment_bytes_contributed"))
+      << " B contributed -> " << r2t.at("assignment_bytes_pooled").as_int() << " B pooled\n";
+  if (!r2t.at("rank_chunks").items().empty()) {
+    out << "  reads_to_transcripts chunks per rank:";
+    for (const auto& v : r2t.at("rank_chunks").items()) out << ' ' << v.as_int();
+    out << '\n';
+  }
+}
+
+}  // namespace trinity::pipeline

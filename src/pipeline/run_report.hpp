@@ -1,0 +1,49 @@
+#pragma once
+// The machine-readable run report: one JSON document per pipeline run,
+// written to `<work_dir>/run_report.json` by default.
+//
+// The paper diagnosed its load imbalance by hand — Collectl plots plus
+// per-rank printf timing (Figures 7-11). The report is the systematic
+// version: everything those figures need (per-rank virtual times, skew
+// ratios, per-operation communication volume, the phase timeline with its
+// counters) in one versioned document that the `trinity_report` summarizer
+// and the figure benches consume without re-running anything.
+//
+// The schema is documented field-by-field in docs/OBSERVABILITY.md; the
+// `schema_version` constant below is the single source of truth and
+// scripts/check.sh fails when the docs drift from it. Compatibility rule:
+// adding fields is a minor change (readers must ignore unknown keys),
+// removing or re-typing one bumps the version.
+
+#include <ostream>
+#include <string>
+
+#include "pipeline/trinity_pipeline.hpp"
+#include "util/json.hpp"
+
+namespace trinity::pipeline {
+
+/// Version of the run-report schema this library writes. Must match the
+/// "Schema version" stated in docs/OBSERVABILITY.md (enforced by
+/// scripts/check.sh) and the "schema_version" field of every emitted
+/// report (enforced by run_report_test).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Builds the report document from a finished run. Pure: no I/O.
+[[nodiscard]] util::Json build_run_report(const PipelineOptions& options,
+                                          const PipelineResult& result);
+
+/// Pretty-prints `report` to `path` (two-space indent, trailing newline).
+void write_run_report(const std::string& path, const util::Json& report);
+
+/// Reads and parses a report file. Throws std::runtime_error when the file
+/// is unreadable, is not JSON, or declares a schema_version this library
+/// does not understand.
+[[nodiscard]] util::Json load_run_report(const std::string& path);
+
+/// Human-readable digest of a report: per-stage imbalance table (max/mean
+/// rank virtual time, skew ratio, bytes sent/received, wait time) plus the
+/// Chrysalis pooling volumes. This is what `trinity_report` prints.
+void summarize_report(const util::Json& report, std::ostream& out);
+
+}  // namespace trinity::pipeline

@@ -8,6 +8,7 @@
 
 #include "align/sam_io.hpp"
 #include "checkpoint/fingerprint.hpp"
+#include "pipeline/run_report.hpp"
 #include "chrysalis/components_io.hpp"
 #include "chrysalis/scaffold.hpp"
 #include "inchworm/inchworm.hpp"
@@ -18,6 +19,25 @@
 #include "util/timer.hpp"
 
 namespace trinity::pipeline {
+
+std::uint64_t StageCommMetrics::total_bytes_sent(simpi::CommOp op) const {
+  std::uint64_t total = 0;
+  for (const auto& r : ranks) total += r.comm.of(op).bytes_sent;
+  return total;
+}
+
+std::uint64_t StageCommMetrics::total_bytes_received(simpi::CommOp op) const {
+  std::uint64_t total = 0;
+  for (const auto& r : ranks) total += r.comm.of(op).bytes_received;
+  return total;
+}
+
+const StageCommMetrics* PipelineResult::find_stage_comm(const std::string& stage) const {
+  for (const auto& m : stage_comm) {
+    if (m.stage == stage) return &m;
+  }
+  return nullptr;
+}
 
 double PipelineResult::chrysalis_virtual_seconds() const {
   const double bowtie =
@@ -69,6 +89,36 @@ constexpr const char* kComponentsFile = "components.txt";
 constexpr const char* kAssignmentsFile = "readsToComponents.out.tsv";
 constexpr const char* kTranscriptsFile = "Trinity.fa";
 
+/// Records a hybrid stage's per-rank results (replacing any earlier
+/// attempt's entry, so a retried stage reports its final attempt) and
+/// annotates the open trace phase with the headline counters
+/// docs/OBSERVABILITY.md defines.
+void record_stage_comm(PipelineResult& result, util::ResourceTrace& trace,
+                       const std::string& stage, std::vector<simpi::RankResult> ranks) {
+  StageCommMetrics metrics{stage, std::move(ranks)};
+  std::uint64_t sent = 0, received = 0;
+  double wait = 0.0;
+  for (const auto& r : metrics.ranks) {
+    sent += r.comm.total_bytes_sent();
+    received += r.comm.total_bytes_received();
+    wait += r.comm.total_wait_seconds();
+  }
+  trace.counter("skew_ratio", metrics.skew_ratio());
+  trace.counter("comm_bytes_sent", static_cast<double>(sent));
+  trace.counter("comm_bytes_received", static_cast<double>(received));
+  trace.counter("comm_wait_s", wait);
+  trace.counter(
+      "allgatherv_bytes_received",
+      static_cast<double>(metrics.total_bytes_received(simpi::CommOp::kAllgatherv)));
+  for (auto& m : result.stage_comm) {
+    if (m.stage == stage) {
+      m = std::move(metrics);
+      return;
+    }
+  }
+  result.stage_comm.push_back(std::move(metrics));
+}
+
 /// Orchestrates one pipeline run as a sequence of checkpointed stages.
 ///
 /// Each stage declares its input/output artifacts and two bodies: compute
@@ -79,12 +129,13 @@ constexpr const char* kTranscriptsFile = "Trinity.fa";
 class StageDriver {
  public:
   StageDriver(const PipelineOptions& options, std::string work_dir,
-              util::ResourceTrace& trace, PipelineResult& result)
+              util::ResourceTrace& trace, PipelineResult& result, std::string trace_ref)
       : options_(options),
         work_dir_(std::move(work_dir)),
         manifest_path_(work_dir_ + "/" + kManifestFileName),
         trace_(trace),
-        result_(result) {
+        result_(result),
+        trace_ref_(std::move(trace_ref)) {
     if (options_.checkpoint || options_.resume) {
       manifest_ = checkpoint::RunManifest::load(manifest_path_);
       if (manifest_.dropped_lines() > 0) {
@@ -189,6 +240,7 @@ class StageDriver {
       record.complete = true;
       record.attempt = exec.attempts;
       record.wall_seconds = exec.wall_seconds;
+      record.trace = trace_ref_;
       for (const auto& p : inputs) record.inputs.push_back(checkpoint::capture_artifact(work_dir_, p));
       for (const auto& p : outputs) {
         record.outputs.push_back(checkpoint::capture_artifact(work_dir_, p));
@@ -206,6 +258,7 @@ class StageDriver {
   PipelineResult& result_;
   checkpoint::RunManifest manifest_;
   simpi::FaultPlan fault_;
+  std::string trace_ref_;  ///< run-report path stamped into stage records
   bool chain_valid_ = true;  ///< false after the first recomputed stage
 };
 
@@ -222,8 +275,20 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   const std::string reads_path = work_dir + "/" + kReadsFile;
   result.options_fingerprint = options_fingerprint(options, reads);
 
+  // Resolve the run-report destination up front: stage manifest records
+  // point at it (the "trace" field) as they are committed.
+  const std::string report_path =
+      !options.emit_report
+          ? ""
+          : (options.report_path.empty() ? work_dir + "/" + kReportFileName
+                                         : options.report_path);
+  const std::string report_ref =
+      !options.emit_report
+          ? ""
+          : (options.report_path.empty() ? std::string(kReportFileName) : options.report_path);
+
   util::ResourceTrace trace(options.trace_sample_interval_ms);
-  StageDriver driver(options, work_dir, trace, result);
+  StageDriver driver(options, work_dir, trace, result, report_ref);
 
   // Stage files: Trinity modules exchange data through the filesystem —
   // which is exactly what makes them checkpoints.
@@ -290,7 +355,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
               cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
           align::write_sam(work_dir + "/" + kSamFile, sam, result.contigs);
         } else {
-          simpi::run(
+          auto rank_results = simpi::run(
               options.nranks,
               [&](simpi::Context& ctx) {
                 auto dist = align::distributed_bowtie(ctx, result.contigs, reads,
@@ -302,6 +367,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.bowtie"));
+          record_stage_comm(result, trace, "chrysalis.bowtie", std::move(rank_results));
         }
       },
       [&] {
@@ -348,7 +414,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
           result.components = std::move(r.components);
           result.gff_timing = r.timing;
         } else {
-          simpi::run(
+          auto rank_results = simpi::run(
               options.nranks,
               [&](simpi::Context& ctx) {
                 auto r = chrysalis::run_hybrid(ctx, result.contigs, counter, gff, scaffold);
@@ -358,6 +424,8 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.graph_from_fasta"));
+          record_stage_comm(result, trace, "chrysalis.graph_from_fasta",
+                            std::move(rank_results));
         }
         chrysalis::write_components(work_dir + "/" + kComponentsFile, result.components);
       },
@@ -384,7 +452,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
           result.assignments = std::move(r.assignments);
           result.r2t_timing = r.timing;
         } else {
-          simpi::run(
+          auto rank_results = simpi::run(
               options.nranks,
               [&](simpi::Context& ctx) {
                 auto r = chrysalis::run_hybrid(ctx, result.contigs, result.components,
@@ -395,6 +463,8 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.reads_to_transcripts"));
+          record_stage_comm(result, trace, "chrysalis.reads_to_transcripts",
+                            std::move(rank_results));
         }
       },
       [&] {
@@ -419,6 +489,10 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
       [&] { result.transcripts = seq::read_all(work_dir + "/" + kTranscriptsFile); });
 
   result.trace = trace.records();
+  if (options.emit_report) {
+    result.report_path = report_path;
+    write_run_report(report_path, build_run_report(options, result));
+  }
   return result;
 }
 

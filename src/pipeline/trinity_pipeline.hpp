@@ -91,6 +91,15 @@ struct PipelineOptions {
   /// Stage whose simpi world receives `fault` ("chrysalis.bowtie",
   /// "chrysalis.graph_from_fasta", or "chrysalis.reads_to_transcripts").
   std::string fault_stage;
+
+  // --- observability ----------------------------------------------------------
+
+  /// Write the versioned JSON run report (docs/OBSERVABILITY.md) when the
+  /// run finishes: phase timeline, per-rank communication counters, and
+  /// the Chrysalis work-distribution metrics.
+  bool emit_report = true;
+  /// Report destination; empty means `<work_dir>/run_report.json`.
+  std::string report_path;
 };
 
 /// Fingerprint over every output-affecting option plus a digest of the
@@ -104,6 +113,24 @@ struct PipelineOptions {
 
 /// Manifest filename inside the work directory.
 inline constexpr const char* kManifestFileName = "run_manifest.jsonl";
+
+/// Default run-report filename inside the work directory.
+inline constexpr const char* kReportFileName = "run_report.json";
+
+/// Per-rank communication counters for one hybrid stage — the simpi
+/// RankResults of that stage's world, kept verbatim so imbalance can be
+/// recomputed from first principles. Stages run with nranks == 1 (and
+/// stages skipped on resume) have no entry.
+struct StageCommMetrics {
+  std::string stage;                     ///< e.g. "chrysalis.graph_from_fasta"
+  std::vector<simpi::RankResult> ranks;  ///< one entry per rank, in rank order
+
+  /// Max-over-mean rank virtual time: 1.0 = perfectly balanced.
+  [[nodiscard]] double skew_ratio() const { return simpi::skew_ratio(ranks); }
+  /// Byte totals for one operation, summed over ranks.
+  [[nodiscard]] std::uint64_t total_bytes_sent(simpi::CommOp op) const;
+  [[nodiscard]] std::uint64_t total_bytes_received(simpi::CommOp op) const;
+};
 
 /// Everything a run produces, including the per-stage timings each figure
 /// bench consumes.
@@ -119,6 +146,16 @@ struct PipelineResult {
   chrysalis::R2TTiming r2t_timing;
 
   std::vector<util::PhaseRecord> trace;  ///< wall/CPU/RSS per stage
+
+  /// Per-rank communication counters for each hybrid stage executed this
+  /// run, in pipeline order (final attempt when a stage was retried).
+  std::vector<StageCommMetrics> stage_comm;
+  /// Path of the emitted JSON run report; empty when emit_report is false.
+  std::string report_path;
+
+  /// The comm metrics for `stage`, or nullptr when the stage ran without
+  /// a simpi world (nranks == 1) or was resumed from a checkpoint.
+  [[nodiscard]] const StageCommMetrics* find_stage_comm(const std::string& stage) const;
 
   /// Stage execution log: stages recomputed this run, in pipeline order.
   std::vector<std::string> stages_executed;

@@ -32,10 +32,22 @@ Message Context::raw_recv(int source, int tag) {
   }
 }
 
+Message Context::waited_recv(int source, int tag, CommOp op) {
+  util::Timer wait;
+  Message msg = raw_recv(source, tag);
+  auto& s = stats_.of(op);
+  s.wait_seconds += wait.seconds();
+  s.bytes_received += msg.payload.size();
+  return msg;
+}
+
 void Context::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
   if (tag < 0) throw std::invalid_argument("simpi: user tags must be >= 0");
   if (dest < 0 || dest >= size()) throw std::out_of_range("simpi: send dest out of range");
   fault_point(FaultOp::kSend);
+  auto& s = stats_.of(CommOp::kSend);
+  ++s.calls;
+  s.bytes_sent += bytes.size();
   raw_send(dest, tag, bytes);
   comm_seconds_ += cost_model().p2p_cost(bytes.size());
 }
@@ -46,12 +58,17 @@ Message Context::recv_bytes(int source, int tag) {
     throw std::out_of_range("simpi: recv source out of range");
   }
   fault_point(FaultOp::kRecv);
-  return raw_recv(source, tag);
+  ++stats_.of(CommOp::kRecv).calls;
+  return waited_recv(source, tag, CommOp::kRecv);
 }
 
 void Context::barrier() {
   fault_point(FaultOp::kBarrier);
+  auto& s = stats_.of(CommOp::kBarrier);
+  ++s.calls;
+  util::Timer wait;
   world_.barrier_wait();
+  s.wait_seconds += wait.seconds();
   comm_seconds_ += cost_model().barrier_cost(size());
 }
 
@@ -114,6 +131,18 @@ void World::barrier_wait() {
   if (barrier_generation_ == my_generation && aborted()) throw AbortedError();
 }
 
+double skew_ratio(const std::vector<RankResult>& results) {
+  if (results.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (const auto& r : results) {
+    const double v = r.virtual_seconds();
+    max = v > max ? v : max;
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(results.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
 // --- run -------------------------------------------------------------------------
 
 std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
@@ -138,6 +167,7 @@ std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
       res.rank = r;
       res.cpu_seconds = cpu.seconds();
       res.comm_seconds = ctx.comm_seconds();
+      res.comm = ctx.comm_stats();
     });
   }
   for (auto& t : threads) t.join();

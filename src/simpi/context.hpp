@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "simpi/comm_stats.hpp"
 #include "simpi/cost_model.hpp"
 #include "simpi/fault.hpp"
 #include "simpi/mailbox.hpp"
@@ -144,10 +145,15 @@ class Context {
   template <typename T>
   T allreduce_min(T v);
 
-  // --- virtual time ---------------------------------------------------------
+  // --- virtual time and communication accounting ----------------------------
 
   /// Modeled communication seconds accumulated by this rank so far.
   [[nodiscard]] double comm_seconds() const { return comm_seconds_; }
+
+  /// Per-op call/byte/wait counters accumulated by this rank so far (see
+  /// simpi/comm_stats.hpp for the counting semantics). Also returned per
+  /// rank in RankResult after run().
+  [[nodiscard]] const CommStats& comm_stats() const { return stats_; }
 
   /// Adds explicitly modeled time (e.g. a charged I/O estimate) to this
   /// rank's communication clock.
@@ -164,14 +170,21 @@ class Context {
   /// immediately (the MPI_Iprobe analogue).
   [[nodiscard]] bool has_message(int source, int tag);
 
-  /// Library-extension transfers (simpi/nonblocking.hpp collectives):
-  /// uncosted raw send/recv that may use reserved negative tags. The
-  /// extension charges its own modeled collective cost. Not for
-  /// application code.
+  /// Library-extension transfers (simpi/nonblocking.hpp collectives,
+  /// SubComm, collective file output): uncosted raw send/recv that may use
+  /// reserved negative tags. The extension charges its own modeled
+  /// collective cost; the transfers are counted under CommOp::kExtension.
+  /// Not for application code.
   void internal_send(int dest, int tag, std::span<const std::byte> bytes) {
+    auto& ext = stats_.of(CommOp::kExtension);
+    ++ext.calls;
+    ext.bytes_sent += bytes.size();
     raw_send(dest, tag, bytes);
   }
-  Message internal_recv(int source, int tag) { return raw_recv(source, tag); }
+  Message internal_recv(int source, int tag) {
+    ++stats_.of(CommOp::kExtension).calls;
+    return waited_recv(source, tag, CommOp::kExtension);
+  }
 
  private:
   friend class World;
@@ -181,6 +194,11 @@ class Context {
   void raw_send(int dest, int tag, std::span<const std::byte> bytes);
   Message raw_recv(int source, int tag);
 
+  /// raw_recv plus accounting: the blocked wall time and the payload size
+  /// are added to `op`'s wait_seconds / bytes_received. Callers count the
+  /// op's own call and any sent bytes themselves.
+  Message waited_recv(int source, int tag, CommOp op);
+
   /// Fault-injection hook, called on entry to every costed simpi operation.
   /// Counts the entry and throws RankFaultError when this rank is the
   /// world's FaultPlan victim and the trigger condition is met.
@@ -189,6 +207,7 @@ class Context {
   World& world_;
   int rank_;
   double comm_seconds_ = 0.0;
+  CommStats stats_;  ///< per-op calls/bytes/wait, exposed via comm_stats()
   std::array<int, kNumFaultOps> fault_entries_{};  ///< per-op entry counts
   util::ThreadCpuTimer cpu_clock_;  ///< virtual-time base for FaultPlan triggers
 };
@@ -198,9 +217,15 @@ struct RankResult {
   int rank = 0;
   double cpu_seconds = 0.0;   ///< thread CPU time consumed by the rank fn
   double comm_seconds = 0.0;  ///< modeled communication time
+  CommStats comm;             ///< per-op calls/bytes/wait (comm_stats.hpp)
   /// Virtual execution time of this rank on the simulated cluster.
   [[nodiscard]] double virtual_seconds() const { return cpu_seconds + comm_seconds; }
 };
+
+/// max(virtual_seconds) / mean(virtual_seconds) over a world's ranks — the
+/// load-imbalance ratio the run report and figure benches call "skew".
+/// 1.0 for perfectly balanced or empty results.
+[[nodiscard]] double skew_ratio(const std::vector<RankResult>& results);
 
 /// The set of ranks plus the shared delivery fabric. Normally used through
 /// run(); exposed for tests that need fine-grained control.
@@ -264,13 +289,16 @@ template <typename T>
 void Context::bcast(std::vector<T>& data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_point(FaultOp::kBcast);
+  ++stats_.of(CommOp::kBcast).calls;
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       raw_send(r, detail::kTagBcast, std::as_bytes(std::span<const T>(data)));
     }
+    stats_.of(CommOp::kBcast).bytes_sent +=
+        data.size() * sizeof(T) * static_cast<std::size_t>(size() - 1);
   } else {
-    const Message msg = raw_recv(root, detail::kTagBcast);
+    const Message msg = waited_recv(root, detail::kTagBcast, CommOp::kBcast);
     data.resize(msg.payload.size() / sizeof(T));
     std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
   }
@@ -281,6 +309,7 @@ template <typename T>
 std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   fault_point(FaultOp::kGatherv);
+  ++stats_.of(CommOp::kGatherv).calls;
   std::size_t total_bytes = local.size() * sizeof(T);
   std::vector<std::vector<T>> out;
   if (rank_ == root) {
@@ -288,7 +317,7 @@ std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int ro
     out[static_cast<std::size_t>(root)] = local;
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      const Message msg = raw_recv(r, detail::kTagGather);
+      const Message msg = waited_recv(r, detail::kTagGather, CommOp::kGatherv);
       auto& slot = out[static_cast<std::size_t>(r)];
       slot.resize(msg.payload.size() / sizeof(T));
       std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
@@ -296,6 +325,7 @@ std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int ro
     }
   } else {
     raw_send(root, detail::kTagGather, std::as_bytes(std::span<const T>(local)));
+    stats_.of(CommOp::kGatherv).bytes_sent += local.size() * sizeof(T);
   }
   comm_seconds_ += cost_model().collective_cost(size(), total_bytes);
   return out;
@@ -305,8 +335,12 @@ template <typename T>
 std::vector<T> Context::allgatherv(const std::vector<T>& local,
                                    std::vector<std::size_t>* counts_out) {
   // Gather at rank 0, then broadcast the concatenation and the counts.
-  // The modeled cost is charged inside gatherv/bcast.
+  // The modeled cost is charged inside gatherv/bcast; the kAllgatherv row
+  // records the LOGICAL payload (contribution sent, pooled result
+  // received), with transport counted by the inner ops.
   fault_point(FaultOp::kAllgatherv);
+  ++stats_.of(CommOp::kAllgatherv).calls;
+  stats_.of(CommOp::kAllgatherv).bytes_sent += local.size() * sizeof(T);
   auto parts = gatherv(local, 0);
   std::vector<T> flat;
   std::vector<std::uint64_t> counts;
@@ -322,6 +356,7 @@ std::vector<T> Context::allgatherv(const std::vector<T>& local,
   }
   bcast(flat, 0);
   bcast(counts, 0);
+  stats_.of(CommOp::kAllgatherv).bytes_received += flat.size() * sizeof(T);
   if (counts_out) counts_out->assign(counts.begin(), counts.end());
   return flat;
 }
@@ -332,9 +367,22 @@ std::vector<T> Context::allgather(const T& v) {
   return allgatherv(local);
 }
 
+namespace detail {
+/// Logical-payload accounting shared by the allreduce family: one element
+/// contributed, nranks elements observed (transport in the inner ops).
+template <typename T>
+void count_reduce(CommStats& stats, std::size_t nranks) {
+  auto& rd = stats.of(CommOp::kReduce);
+  ++rd.calls;
+  rd.bytes_sent += sizeof(T);
+  rd.bytes_received += nranks * sizeof(T);
+}
+}  // namespace detail
+
 template <typename T>
 T Context::allreduce_sum(T v) {
   fault_point(FaultOp::kReduce);
+  detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);
   T acc{};
   for (const T& x : all) acc += x;
@@ -344,6 +392,7 @@ T Context::allreduce_sum(T v) {
 template <typename T>
 T Context::allreduce_max(T v) {
   fault_point(FaultOp::kReduce);
+  detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);
   T best = all.front();
   for (const T& x : all) best = x > best ? x : best;
@@ -353,6 +402,7 @@ T Context::allreduce_max(T v) {
 template <typename T>
 T Context::allreduce_min(T v) {
   fault_point(FaultOp::kReduce);
+  detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);
   T best = all.front();
   for (const T& x : all) best = x < best ? x : best;

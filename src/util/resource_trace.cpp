@@ -8,6 +8,13 @@
 
 namespace trinity::util {
 
+const PhaseCounter* PhaseRecord::counter(const std::string& counter_name) const {
+  for (const auto& c : counters) {
+    if (c.name == counter_name) return &c;
+  }
+  return nullptr;
+}
+
 ResourceTrace::ResourceTrace(int sample_interval_ms) {
   if (sample_interval_ms > 0) {
     sampler_ = std::thread([this, sample_interval_ms] { sampler_loop(sample_interval_ms); });
@@ -57,6 +64,17 @@ void ResourceTrace::end_phase() {
   phase_open_ = false;
 }
 
+void ResourceTrace::counter(const std::string& name, double value) {
+  if (!phase_open_) throw std::logic_error("ResourceTrace: counter() needs an open phase");
+  for (auto& c : open_record_.counters) {
+    if (c.name == name) {
+      c.value = value;
+      return;
+    }
+  }
+  open_record_.counters.push_back(PhaseCounter{name, value});
+}
+
 double ResourceTrace::total_wall_seconds() const {
   double total = 0.0;
   for (const auto& r : records_) total += r.wall_seconds;
@@ -75,10 +93,17 @@ void ResourceTrace::print_table(std::ostream& out) const {
 }
 
 void ResourceTrace::write_csv(std::ostream& out) const {
-  out << "phase,start_s,wall_s,cpu_s,rss_before_b,rss_after_b,rss_peak_b\n";
+  // Counters vary per phase, so they share one free-form column:
+  // semicolon-joined name=value pairs (docs/OBSERVABILITY.md, "Trace CSV").
+  out << "phase,start_s,wall_s,cpu_s,rss_before_b,rss_after_b,rss_peak_b,counters\n";
   for (const auto& r : records_) {
     out << r.name << ',' << r.start_seconds << ',' << r.wall_seconds << ',' << r.cpu_seconds
-        << ',' << r.rss_before << ',' << r.rss_after << ',' << r.rss_peak << '\n';
+        << ',' << r.rss_before << ',' << r.rss_after << ',' << r.rss_peak << ',';
+    for (std::size_t i = 0; i < r.counters.size(); ++i) {
+      if (i > 0) out << ';';
+      out << r.counters[i].name << '=' << r.counters[i].value;
+    }
+    out << '\n';
   }
 }
 

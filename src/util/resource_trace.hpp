@@ -17,6 +17,14 @@
 
 namespace trinity::util {
 
+/// A named scalar attached to a phase by the code running inside it, e.g.
+/// "allgatherv_bytes" or "skew_ratio". Counters carry whatever quantity a
+/// stage wants to surface in the trace next to its time/memory row.
+struct PhaseCounter {
+  std::string name;
+  double value = 0.0;
+};
+
 /// One completed pipeline phase in a trace.
 struct PhaseRecord {
   std::string name;
@@ -26,6 +34,10 @@ struct PhaseRecord {
   std::uint64_t rss_before = 0;   ///< RSS at phase entry, bytes
   std::uint64_t rss_after = 0;    ///< RSS at phase exit, bytes
   std::uint64_t rss_peak = 0;     ///< max RSS sampled while phase ran, bytes
+  std::vector<PhaseCounter> counters;  ///< attachments, in insertion order
+
+  /// Counter lookup by name; nullptr when absent.
+  [[nodiscard]] const PhaseCounter* counter(const std::string& counter_name) const;
 };
 
 /// Collects a sequence of named phases with time and memory accounting.
@@ -45,6 +57,11 @@ class ResourceTrace {
 
   /// Closes the currently open phase and appends its record.
   void end_phase();
+
+  /// Attaches a named scalar to the currently open phase. Repeated calls
+  /// with the same name overwrite the value (the last write wins), so a
+  /// retried stage reports its final attempt. Throws when no phase is open.
+  void counter(const std::string& name, double value);
 
   /// Runs `fn` bracketed by begin/end of a phase named `name`.
   template <typename Fn>

@@ -80,6 +80,24 @@ TEST(ManifestJson, EscapesSpecialCharactersInPaths) {
   EXPECT_EQ(parsed->inputs.at(0).path, r.inputs.at(0).path);
 }
 
+TEST(ManifestJson, TraceFieldIsOptionalAndRoundTrips) {
+  // With a trace, the field round-trips.
+  StageRecord r = sample_record();
+  r.trace = "run_report.json";
+  const auto parsed = parse_json_line(to_json_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace, "run_report.json");
+
+  // Without one, the key is omitted entirely — the line matches what the
+  // pre-trace format wrote, so old manifests keep parsing byte-identically.
+  r.trace.clear();
+  const std::string line = to_json_line(r);
+  EXPECT_EQ(line.find("\"trace\""), std::string::npos);
+  const auto bare = parse_json_line(line);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_TRUE(bare->trace.empty());
+}
+
 TEST(ManifestJson, RejectsMalformedLines) {
   const std::string good = to_json_line(sample_record());
   // Truncations at every prefix length must fail, never crash.

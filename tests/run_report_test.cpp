@@ -1,0 +1,254 @@
+// The JSON run report end to end: a hybrid pipeline run must emit a
+// document that round-trips through the parser, declares the supported
+// schema version, and whose per-stage Allgatherv byte counts and
+// max/mean rank-time imbalance agree with the in-memory PipelineResult.
+// docs/OBSERVABILITY.md documents every field asserted here.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "checkpoint/manifest.hpp"
+#include "pipeline/run_report.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+#include "sim/transcriptome.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::pipeline {
+namespace {
+
+using trinity::testing::TempDir;
+
+PipelineOptions small_options(const std::string& work_dir, int nranks) {
+  PipelineOptions o;
+  o.k = 15;
+  o.nranks = nranks;
+  o.work_dir = work_dir;
+  o.model_threads_per_rank = 4;
+  o.max_mem_reads = 500;
+  o.trace_sample_interval_ms = 0;
+  return o;
+}
+
+sim::Dataset tiny_dataset() {
+  auto p = sim::preset("tiny");
+  p.reads.error_rate = 0.002;
+  p.reads.coverage = 30.0;
+  p.reads.expression_sigma = 0.7;
+  return sim::simulate_dataset(p);
+}
+
+/// One hybrid run shared by the assertions below (the pipeline dominates
+/// this binary's runtime, so run it once).
+class RunReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("run_report");
+    const auto data = tiny_dataset();
+    result_ = new PipelineResult(
+        run_pipeline(data.reads.reads, small_options(dir_->str(), kRanks)));
+    report_ = new util::Json(load_run_report(result_->report_path));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    report_ = nullptr;
+    delete result_;
+    result_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static constexpr int kRanks = 2;
+  static TempDir* dir_;
+  static PipelineResult* result_;
+  static util::Json* report_;
+};
+
+TempDir* RunReportTest::dir_ = nullptr;
+PipelineResult* RunReportTest::result_ = nullptr;
+util::Json* RunReportTest::report_ = nullptr;
+
+TEST_F(RunReportTest, WritesReportAtDefaultPath) {
+  EXPECT_EQ(result_->report_path, dir_->file(kReportFileName));
+  EXPECT_TRUE(std::filesystem::exists(result_->report_path));
+}
+
+TEST_F(RunReportTest, DeclaresSupportedSchemaVersion) {
+  EXPECT_EQ(report_->at("schema_version").as_int(), kReportSchemaVersion);
+  EXPECT_EQ(report_->at("generator").as_string(), "trinity_pipeline");
+  EXPECT_EQ(report_->at("nranks").as_int(), kRanks);
+}
+
+TEST_F(RunReportTest, RoundTripsThroughParser) {
+  const std::string text = report_->dump(2);
+  const util::Json reparsed = util::Json::parse(text);
+  EXPECT_EQ(reparsed.dump(2), text);
+}
+
+TEST_F(RunReportTest, CommSectionCoversEveryHybridStage) {
+  std::vector<std::string> stages;
+  for (const auto& stage : report_->at("comm").items()) {
+    stages.push_back(stage.at("stage").as_string());
+    EXPECT_EQ(stage.at("nranks").as_int(), kRanks);
+    EXPECT_EQ(stage.at("ranks").items().size(), static_cast<std::size_t>(kRanks));
+  }
+  for (const auto* expected : {"chrysalis.bowtie", "chrysalis.graph_from_fasta",
+                               "chrysalis.reads_to_transcripts"}) {
+    EXPECT_NE(std::find(stages.begin(), stages.end(), expected), stages.end()) << expected;
+  }
+}
+
+TEST_F(RunReportTest, ImbalanceFieldsAreConsistent) {
+  for (const auto& stage : report_->at("comm").items()) {
+    const double max_virtual = stage.at("max_virtual_s").as_double();
+    const double mean_virtual = stage.at("mean_virtual_s").as_double();
+    const double skew = stage.at("skew_ratio").as_double();
+    EXPECT_GT(mean_virtual, 0.0);
+    EXPECT_GE(max_virtual, mean_virtual);
+    EXPECT_NEAR(skew, max_virtual / mean_virtual, 1e-9);
+    EXPECT_GE(skew, 1.0);
+
+    // The per-rank rows must reproduce the stage aggregates.
+    double max_seen = 0.0, sum_seen = 0.0;
+    for (const auto& rank : stage.at("ranks").items()) {
+      const double v = rank.at("virtual_s").as_double();
+      max_seen = v > max_seen ? v : max_seen;
+      sum_seen += v;
+    }
+    EXPECT_NEAR(max_seen, max_virtual, 1e-9);
+    EXPECT_NEAR(sum_seen / kRanks, mean_virtual, 1e-9);
+  }
+}
+
+TEST_F(RunReportTest, AllgathervBytesMatchChrysalisPooling) {
+  const util::Json* gff_stage = nullptr;
+  for (const auto& stage : report_->at("comm").items()) {
+    if (stage.at("stage").as_string() == "chrysalis.graph_from_fasta") gff_stage = &stage;
+  }
+  ASSERT_NE(gff_stage, nullptr);
+
+  const auto& gff = report_->at("chrysalis").at("graph_from_fasta");
+  const std::int64_t pooled =
+      gff.at("weld_bytes_pooled").as_int() + gff.at("match_bytes_pooled").as_int();
+  std::int64_t contributed = 0;
+  for (const auto& v : gff.at("weld_bytes_contributed").items()) contributed += v.as_int();
+  for (const auto& v : gff.at("match_bytes_contributed").items()) contributed += v.as_int();
+  EXPECT_EQ(contributed, pooled);  // a pool is exactly its contributions
+
+  // Every rank logically receives each pooled concatenation; the stage also
+  // runs bookkeeping allgathervs (timing, the byte counters themselves), so
+  // the recorded volume is at least the two pools.
+  for (const auto& rank : gff_stage->at("ranks").items()) {
+    const util::Json* ag = rank.at("ops").find("allgatherv");
+    ASSERT_NE(ag, nullptr);
+    EXPECT_GT(ag->at("calls").as_int(), 0);
+    EXPECT_GE(ag->at("bytes_received").as_int(), pooled);
+  }
+
+  // The in-memory accessors agree with the document.
+  const StageCommMetrics* metrics = result_->find_stage_comm("chrysalis.graph_from_fasta");
+  ASSERT_NE(metrics, nullptr);
+  std::int64_t json_received = 0;
+  for (const auto& rank : gff_stage->at("ranks").items()) {
+    json_received += rank.at("ops").at("allgatherv").at("bytes_received").as_int();
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(
+                metrics->total_bytes_received(simpi::CommOp::kAllgatherv)),
+            json_received);
+  EXPECT_NEAR(metrics->skew_ratio(), gff_stage->at("skew_ratio").as_double(), 1e-9);
+}
+
+TEST_F(RunReportTest, ReadsToTranscriptsChunkAccounting) {
+  const auto& r2t = report_->at("chrysalis").at("reads_to_transcripts");
+  std::int64_t chunks = 0, reads = 0, contributed = 0;
+  for (const auto& v : r2t.at("rank_chunks").items()) chunks += v.as_int();
+  for (const auto& v : r2t.at("rank_reads").items()) reads += v.as_int();
+  for (const auto& v : r2t.at("assignment_bytes_contributed").items()) {
+    contributed += v.as_int();
+  }
+  EXPECT_GT(chunks, 0);
+  EXPECT_EQ(reads, static_cast<std::int64_t>(result_->assignments.size()));
+  EXPECT_EQ(contributed, r2t.at("assignment_bytes_pooled").as_int());
+}
+
+TEST_F(RunReportTest, ManifestRecordsPointAtReport) {
+  const auto manifest = checkpoint::RunManifest::load(dir_->file(kManifestFileName));
+  ASSERT_FALSE(manifest.records().empty());
+  for (const auto& record : manifest.records()) {
+    EXPECT_EQ(record.trace, kReportFileName) << record.stage;
+  }
+}
+
+TEST_F(RunReportTest, SummaryMentionsEveryStage) {
+  std::ostringstream out;
+  summarize_report(*report_, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("chrysalis.graph_from_fasta"), std::string::npos);
+  EXPECT_NE(text.find("skew"), std::string::npos);
+  EXPECT_NE(text.find("chunks per rank"), std::string::npos);
+}
+
+TEST(RunReportStandalone, EmitReportOffWritesNothing) {
+  const TempDir dir("run_report_off");
+  const auto data = tiny_dataset();
+  auto options = small_options(dir.str(), 2);
+  options.emit_report = false;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_TRUE(result.report_path.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir.file(kReportFileName)));
+  const auto manifest = checkpoint::RunManifest::load(dir.file(kManifestFileName));
+  ASSERT_FALSE(manifest.records().empty());
+  for (const auto& record : manifest.records()) EXPECT_TRUE(record.trace.empty());
+}
+
+TEST(RunReportStandalone, LoaderRejectsBadDocuments) {
+  const TempDir dir("run_report_bad");
+  EXPECT_THROW((void)load_run_report(dir.file("missing.json")), std::runtime_error);
+
+  {
+    std::ofstream out(dir.file("no_version.json"));
+    out << "{\"generator\": \"trinity_pipeline\"}\n";
+  }
+  EXPECT_THROW((void)load_run_report(dir.file("no_version.json")), std::runtime_error);
+
+  {
+    std::ofstream out(dir.file("future.json"));
+    out << "{\"schema_version\": " << (kReportSchemaVersion + 1) << "}\n";
+  }
+  EXPECT_THROW((void)load_run_report(dir.file("future.json")), std::runtime_error);
+}
+
+TEST(RunReportStandalone, BuildIsPureAndWriteRoundTrips) {
+  const TempDir dir("run_report_pure");
+  PipelineOptions options;
+  options.nranks = 2;
+  PipelineResult result;
+  result.stages_executed = {"jellyfish"};
+  StageCommMetrics metrics;
+  metrics.stage = "demo";
+  metrics.ranks.resize(2);
+  metrics.ranks[0].rank = 0;
+  metrics.ranks[0].cpu_seconds = 1.0;
+  metrics.ranks[0].comm.of(simpi::CommOp::kAllgatherv) = {1, 4, 12, 0.0};
+  metrics.ranks[1].rank = 1;
+  metrics.ranks[1].cpu_seconds = 3.0;
+  result.stage_comm.push_back(metrics);
+
+  const util::Json report = build_run_report(options, result);
+  EXPECT_EQ(report.at("schema_version").as_int(), kReportSchemaVersion);
+  const auto& stage = report.at("comm").items().at(0);
+  EXPECT_EQ(stage.at("skew_ratio").as_double(), 1.5);  // max 3 / mean 2
+  // Zero-call ops are omitted from the per-rank rows.
+  EXPECT_NE(stage.at("ranks").items().at(0).at("ops").find("allgatherv"), nullptr);
+  EXPECT_EQ(stage.at("ranks").items().at(0).at("ops").find("send"), nullptr);
+
+  write_run_report(dir.file("report.json"), report);
+  const util::Json loaded = load_run_report(dir.file("report.json"));
+  EXPECT_EQ(loaded.dump(2), report.dump(2));
+}
+
+}  // namespace
+}  // namespace trinity::pipeline

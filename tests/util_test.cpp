@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/resource_trace.hpp"
 #include "util/rng.hpp"
@@ -324,6 +325,110 @@ TEST(ResourceTraceTest, BackgroundSamplerCapturesTransientPeak) {
   });
   const auto& r = trace.records().front();
   EXPECT_GE(r.rss_peak, r.rss_before);
+}
+
+TEST(ResourceTraceTest, CounterAttachesToOpenPhase) {
+  ResourceTrace trace(0);
+  trace.phase("stage", [&] {
+    trace.counter("skew_ratio", 1.5);
+    trace.counter("bytes", 128.0);
+    trace.counter("skew_ratio", 2.0);  // same name: last write wins
+  });
+  const auto& r = trace.records().front();
+  ASSERT_EQ(r.counters.size(), 2u);
+  const PhaseCounter* skew = r.counter("skew_ratio");
+  ASSERT_NE(skew, nullptr);
+  EXPECT_DOUBLE_EQ(skew->value, 2.0);
+  EXPECT_EQ(r.counter("missing"), nullptr);
+}
+
+TEST(ResourceTraceTest, CounterOutsidePhaseThrows) {
+  ResourceTrace trace(0);
+  EXPECT_THROW(trace.counter("x", 1.0), std::logic_error);
+}
+
+TEST(ResourceTraceTest, CsvIncludesCountersColumn) {
+  ResourceTrace trace(0);
+  trace.phase("x", [&] {
+    trace.counter("a", 1.0);
+    trace.counter("b", 2.5);
+  });
+  std::ostringstream out;
+  trace.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find(",counters"), std::string::npos);
+  EXPECT_NE(csv.find("a=1;b=2.5"), std::string::npos);
+}
+
+// --- Json -------------------------------------------------------------------------
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"name":"run","count":3,"ratio":1.5,"ok":true,"none":null,"items":[1,2,3]})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);  // insertion order and value forms preserved
+  EXPECT_EQ(doc.at("name").as_string(), "run");
+  EXPECT_EQ(doc.at("count").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_double(), 1.5);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("items").items().size(), 3u);
+}
+
+TEST(JsonTest, LargeIntegersStayExact) {
+  // Beyond 2^53: a double round-trip would corrupt this (byte counters in
+  // the run report need exact 64-bit integers).
+  const std::string text = "[9007199254740993,-9007199254740993]";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.items().at(0).as_int(), 9007199254740993LL);
+  EXPECT_EQ(doc.dump(), text);
+}
+
+TEST(JsonTest, AsIntRejectsNonIntegralNumbers) {
+  const Json doc = Json::parse("1.5");
+  EXPECT_THROW((void)doc.as_int(), std::runtime_error);
+  EXPECT_DOUBLE_EQ(doc.as_double(), 1.5);
+  EXPECT_THROW((void)doc.as_string(), std::runtime_error);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const Json doc = Json::parse(R"(["a\nb","A\t\"q\""])");
+  EXPECT_EQ(doc.items().at(0).as_string(), "a\nb");
+  EXPECT_EQ(doc.items().at(1).as_string(), "A\t\"q\"");
+  EXPECT_EQ(Json::parse(doc.dump()).items().at(0).as_string(), "a\nb");
+}
+
+TEST(JsonTest, MalformedDocumentsThrow) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("nul"), std::runtime_error);
+}
+
+TEST(JsonTest, BuildersFindAndAt) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  obj.set("b", "text");
+  obj.set("a", 2);  // set replaces in place, keeping position
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members().front().first, "a");
+  EXPECT_EQ(obj.at("a").as_int(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), std::runtime_error);
+
+  Json arr = Json::array();
+  arr.push_back(Json(true));
+  arr.push_back(std::move(obj));
+  EXPECT_EQ(arr.items().size(), 2u);
+  EXPECT_EQ(arr.dump(), R"([true,{"a":2,"b":"text"}])");
+}
+
+TEST(JsonTest, PrettyDumpIndents) {
+  Json obj = Json::object();
+  obj.set("k", 1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": 1\n}");
 }
 
 TEST(LogTest, LevelGatesOutput) {
