@@ -1,0 +1,137 @@
+// What input tolerance costs — parser throughput under each ParsePolicy
+// over a clean read file and a corrupted copy (a percentage of records
+// damaged with the corpus categories: flipped headers, bad separators,
+// invalid bases, quality-length mismatches).
+//
+// Strict mode over the corrupted file throws on the first malformed
+// record, so its "corrupted" row reports the failure location instead of
+// a throughput. Tolerant and repair complete; their rows report the exact
+// quarantine/repair counts alongside the reads/s cost of scrubbing.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/error.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Measurement {
+  std::string policy;
+  std::string input;  // "clean" or "corrupted"
+  bool completed = false;
+  double wall_seconds = 0.0;
+  std::int64_t records_ok = 0;
+  std::int64_t quarantined = 0;
+  std::int64_t repaired = 0;
+  std::string error;  // strict-mode failure location
+};
+
+/// Writes `reads` as FASTQ, damaging every `corrupt_every`-th record
+/// (0 = clean) by rotating through the malformed-record categories.
+std::string write_reads(const std::vector<trinity::seq::Sequence>& reads,
+                        const std::string& path, std::size_t corrupt_every) {
+  std::ofstream out(path, std::ios::binary);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto& r = reads[i];
+    std::string header = "@" + r.name;
+    std::string bases = r.bases;
+    std::string sep = "+";
+    std::string quality(r.bases.size(), 'F');
+    if (corrupt_every > 0 && i % corrupt_every == corrupt_every - 1) {
+      switch ((i / corrupt_every) % 4) {
+        case 0: header[0] = 'B'; break;                    // missing_header
+        case 1: sep = "x"; break;                          // bad_separator
+        case 2: bases[bases.size() / 2] = '!'; break;      // invalid_character
+        case 3: quality.pop_back(); break;                 // quality_length_mismatch
+      }
+    }
+    out << header << '\n' << bases << '\n' << sep << '\n' << quality << '\n';
+  }
+  return path;
+}
+
+Measurement measure(const std::string& path, const std::string& input,
+                    trinity::seq::ParsePolicy policy) {
+  Measurement m;
+  m.policy = trinity::seq::to_string(policy);
+  m.input = input;
+  trinity::util::Timer wall;
+  try {
+    trinity::io::ParseDiagnostics diag;
+    const auto seqs = trinity::seq::read_all(path, policy, &diag);
+    m.completed = true;
+    m.records_ok = static_cast<std::int64_t>(seqs.size());
+    m.quarantined = static_cast<std::int64_t>(diag.records_quarantined());
+    m.repaired = static_cast<std::int64_t>(diag.records_repaired);
+  } catch (const trinity::io::ParseError& e) {
+    m.error = std::string(trinity::io::to_string(e.category())) + " at line " +
+              std::to_string(e.line());
+  }
+  m.wall_seconds = wall.seconds();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const auto genes = static_cast<std::size_t>(args.get_int("genes", 200));
+  const auto corrupt_every = static_cast<std::size_t>(args.get_int("corrupt-every", 100));
+
+  bench::banner("Parse tolerance",
+                "FASTA/FASTQ reader throughput per policy, clean vs corrupted input");
+
+  auto preset = sim::preset("sugarbeet_like");
+  preset.transcriptome.num_genes = genes;
+  const auto data = sim::simulate_dataset(preset);
+  const auto& reads = data.reads.reads;
+
+  const std::string dir = "/tmp/trinity_bench_parse";
+  std::filesystem::create_directories(dir);
+  const auto clean = write_reads(reads, dir + "/clean.fq", 0);
+  const auto corrupted = write_reads(reads, dir + "/corrupted.fq", corrupt_every);
+  std::printf("workload: %zu reads; 1 in %zu records damaged in the corrupted copy\n\n",
+              reads.size(), corrupt_every);
+
+  std::vector<Measurement> series;
+  for (const seq::ParsePolicy policy :
+       {seq::ParsePolicy::kStrict, seq::ParsePolicy::kTolerant, seq::ParsePolicy::kRepair}) {
+    series.push_back(measure(clean, "clean", policy));
+    series.push_back(measure(corrupted, "corrupted", policy));
+  }
+
+  std::printf("%-9s %-10s %10s %12s %10s %12s %9s\n", "policy", "input", "wall(s)",
+              "reads/s", "ok", "quarantined", "repaired");
+  for (const auto& m : series) {
+    if (m.completed) {
+      const double rate =
+          m.wall_seconds > 0.0 ? static_cast<double>(m.records_ok) / m.wall_seconds : 0.0;
+      std::printf("%-9s %-10s %10.4f %12.0f %10lld %12lld %9lld\n", m.policy.c_str(),
+                  m.input.c_str(), m.wall_seconds, rate,
+                  static_cast<long long>(m.records_ok),
+                  static_cast<long long>(m.quarantined),
+                  static_cast<long long>(m.repaired));
+    } else {
+      std::printf("%-9s %-10s %10.4f   ParseError: %s\n", m.policy.c_str(), m.input.c_str(),
+                  m.wall_seconds, m.error.c_str());
+    }
+  }
+
+  bench::JsonSink json(args, "parse_tolerance");
+  for (const auto& m : series) {
+    json.begin_entry();
+    json.field("policy", m.policy);
+    json.field("input", m.input);
+    json.field("completed", static_cast<std::int64_t>(m.completed ? 1 : 0));
+    json.field("wall_seconds", m.wall_seconds);
+    json.field("records_ok", m.records_ok);
+    json.field("records_quarantined", m.quarantined);
+    json.field("records_repaired", m.repaired);
+  }
+  return 0;
+}

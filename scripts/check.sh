@@ -8,8 +8,13 @@
 #      report's version is asserted against the same constant by
 #      run_report_test in step 2).
 #   2. Tier-1 verify (ROADMAP.md): full build + complete ctest suite.
-#   3. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint and
-#      simpi test binaries — the subsystems that throw across thread and
+#   3. Fault-matrix gate (docs/ROBUSTNESS.md): the injected-storage-failure
+#      matrix — ENOSPC and a torn rename at the manifest commit recovering
+#      via resume to byte-identical transcripts, EIO mid-dump and a short
+#      write on the final transcripts retried in process — plus the io-layer
+#      unit tests and the malformed-input corpus.
+#   4. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io
+#      and simpi test binaries — the subsystems that throw across thread and
 #      collective boundaries, where sanitizers earn their keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
@@ -57,18 +62,26 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "== fault matrix: injected storage failures + malformed input =="
+# Already run as part of ctest above; run the binaries verbatim as a
+# dedicated gate so a failure here names the robustness contract directly
+# (and so the gate still bites if the suite registration ever regresses).
+./build/tests/io_fault_test
+./build/tests/seq_parse_policy_test
+./build/tests/io_fault_matrix_test
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + simpi tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-    pipeline_checkpoint_test
+    pipeline_checkpoint_test io_fault_test seq_parse_policy_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-         pipeline_checkpoint_test; do
+         pipeline_checkpoint_test io_fault_test seq_parse_policy_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/io_file.hpp"
 #include "util/hash.hpp"
 
 namespace trinity::checkpoint {
@@ -278,15 +279,14 @@ void RunManifest::upsert(StageRecord record) {
 
 void RunManifest::commit() const {
   if (path_.empty()) throw std::runtime_error("RunManifest::commit: no path set");
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("RunManifest::commit: cannot write " + tmp);
-    for (const auto& r : records_) out << to_json_line(r) << '\n';
-    out.flush();
-    if (!out) throw std::runtime_error("RunManifest::commit: write failed for " + tmp);
+  std::string body;
+  for (const auto& r : records_) {
+    body += to_json_line(r);
+    body += '\n';
   }
-  std::filesystem::rename(tmp, path_);  // atomic on POSIX
+  // tmp + fsync + rename through the fault-injectable io layer; failures
+  // surface as io::IoError with transient/permanent classification.
+  io::write_file_atomic(path_, body);
 }
 
 const char* to_string(StageCheck check) {

@@ -164,7 +164,7 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
 
   double loop_seconds = 0.0;
   std::uint64_t chunks = 0;
-  seq::FastaReader reader(reads_path);
+  seq::FastaReader reader(reads_path, options.parse_policy);
   std::int64_t base_index = 0;
   for (;;) {
     util::ThreadCpuTimer read_cpu;
@@ -176,6 +176,7 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
     base_index += static_cast<std::int64_t>(chunk.size());
     ++chunks;
   }
+  result.parse = reader.diagnostics();
   result.timing.main_loop.seconds = {loop_seconds};
   result.timing.rank_chunks = {chunks};
   result.timing.rank_reads = {result.assignments.size()};
@@ -208,7 +209,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   if (options.strategy == R2TStrategy::kRedundantStreaming) {
     // Every rank streams the whole file and keeps chunks where
     // chunk_index mod size == rank; discarded chunks still cost the read.
-    seq::FastaReader reader(reads_path);
+    seq::FastaReader reader(reads_path, options.parse_policy);
     std::int64_t base_index = 0;
     std::int64_t chunk_index = 0;
     for (;;) {
@@ -224,11 +225,12 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
       base_index += static_cast<std::int64_t>(chunk.size());
       ++chunk_index;
     }
+    result.parse = reader.diagnostics();
   } else {
     // Master/slave ablation: rank 0 reads and ships chunks round-robin;
     // an empty payload is the end-of-stream sentinel.
     if (ctx.rank() == 0) {
-      seq::FastaReader reader(reads_path);
+      seq::FastaReader reader(reads_path, options.parse_policy);
       std::int64_t base_index = 0;
       std::int64_t chunk_index = 0;
       for (;;) {
@@ -254,6 +256,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
       for (int r = 1; r < ctx.size(); ++r) {
         ctx.send_bytes(r, kChunkTag, simpi::pack_strings({}));
       }
+      result.parse = reader.diagnostics();
     } else {
       for (;;) {
         const auto msg = ctx.recv_bytes(0, kChunkTag);

@@ -25,7 +25,9 @@
 
 #include "chrysalis/components.hpp"
 #include "chrysalis/graph_from_fasta.hpp"
+#include "io/error.hpp"
 #include "simpi/context.hpp"
+#include "seq/fasta.hpp"
 #include "seq/sequence.hpp"
 
 namespace trinity::chrysalis {
@@ -59,6 +61,11 @@ struct ReadsToTranscriptsOptions {
   /// GraphFromFastaOptions::kernel_repeats. Leave at 1 for normal use.
   int kernel_repeats = 1;
   R2TOutputMode output_mode = R2TOutputMode::kPerRankConcat;
+  /// How the streaming reader treats malformed records (strict throws
+  /// io::ParseError, tolerant/repair quarantine and continue — see
+  /// seq/fasta.hpp). All ranks must use the same policy: quarantining
+  /// changes read indices, so a mixed world would disagree on assignments.
+  seq::ParsePolicy parse_policy = seq::ParsePolicy::kStrict;
 };
 
 /// One read's bundle assignment.
@@ -98,6 +105,10 @@ struct R2TResult {
   std::vector<ReadAssignment> assignments;
   R2TTiming timing;
   std::string merged_output_path;  ///< empty when no output dir was given
+  /// Quarantine/repair counts from this stage's streaming reader (the rank
+  /// that read the file; under redundant streaming every rank sees the
+  /// same file, so the counts are identical on all readers).
+  io::ParseDiagnostics parse;
 };
 
 /// Builds the canonical k-mer -> component map from each component's

@@ -1,0 +1,83 @@
+#include "io/error.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace trinity::io {
+
+namespace {
+
+std::string io_message(IoErrorKind kind, const std::string& op, const std::string& path,
+                       int error_code, const std::string& detail) {
+  std::string out = "io: " + op + " '" + path + "': " + detail;
+  if (error_code != 0) {
+    out += " (";
+    out += std::strerror(error_code);
+    out += ")";
+  }
+  out += " [";
+  out += to_string(kind);
+  out += "]";
+  return out;
+}
+
+std::string parse_message(ParseCategory category, const std::string& path, std::size_t line,
+                          std::uint64_t byte_offset, const std::string& detail) {
+  return path + ":" + std::to_string(line) + ": " + detail + " [" + to_string(category) +
+         ", byte offset " + std::to_string(byte_offset) + "]";
+}
+
+}  // namespace
+
+const char* to_string(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kTransient: return "transient";
+    case IoErrorKind::kPermanent: return "permanent";
+  }
+  return "unknown";
+}
+
+IoErrorKind classify_errno(int error_code) {
+  switch (error_code) {
+    case EIO:
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+    case ETIMEDOUT:
+#ifdef ESTALE
+    case ESTALE:  // NFS handle went stale; a re-open can succeed
+#endif
+      return IoErrorKind::kTransient;
+    default:
+      return IoErrorKind::kPermanent;
+  }
+}
+
+IoError::IoError(IoErrorKind kind, std::string op, std::string path, int error_code,
+                 const std::string& detail)
+    : std::runtime_error(io_message(kind, op, path, error_code, detail)),
+      kind_(kind),
+      op_(std::move(op)),
+      path_(std::move(path)),
+      error_code_(error_code) {}
+
+const char* to_string(ParseCategory category) {
+  switch (category) {
+    case ParseCategory::kMissingHeader: return "missing_header";
+    case ParseCategory::kTruncatedRecord: return "truncated_record";
+    case ParseCategory::kBadSeparator: return "bad_separator";
+    case ParseCategory::kInvalidCharacter: return "invalid_character";
+    case ParseCategory::kQualityLengthMismatch: return "quality_length_mismatch";
+  }
+  return "unknown";
+}
+
+ParseError::ParseError(ParseCategory category, std::string path, std::size_t line,
+                       std::uint64_t byte_offset, const std::string& detail)
+    : std::runtime_error(parse_message(category, path, line, byte_offset, detail)),
+      category_(category),
+      path_(std::move(path)),
+      line_(line),
+      byte_offset_(byte_offset) {}
+
+}  // namespace trinity::io

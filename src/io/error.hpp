@@ -1,0 +1,137 @@
+#pragma once
+// Typed error taxonomy for the storage and input layer.
+//
+// The paper's ReadsToTranscripts scheme has every rank redundantly stream
+// the whole read file, so a single flaky disk or one malformed record used
+// to abort all P ranks with an undiagnosable bare runtime_error. This
+// header splits that failure domain in two:
+//
+//  * IoError — a syscall-level storage failure, classified transient
+//    (worth retrying: EIO, EINTR, a torn write) or permanent (retrying
+//    cannot help: ENOSPC, EACCES, a missing file). The pipeline's retry
+//    driver re-launches a stage only for transient errors and fails fast
+//    with the full op/path/errno context otherwise.
+//
+//  * ParseError — malformed *input data*, never retryable, carrying the
+//    exact location (path, 1-based line, byte offset of that line) and a
+//    category so a strict-mode failure is immediately diagnosable.
+//
+// ParseDiagnostics is the graceful-degradation side of the same taxonomy:
+// tolerant parsers count what they quarantined per category instead of
+// throwing, and the counts flow into run_report.json (schema v2).
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace trinity::io {
+
+/// Whether retrying the failed operation can plausibly succeed.
+enum class IoErrorKind {
+  kTransient,  ///< worth retrying: EIO, EINTR, EAGAIN, a short/torn write
+  kPermanent,  ///< retrying cannot help: ENOSPC, EACCES, ENOENT, EROFS
+};
+
+[[nodiscard]] const char* to_string(IoErrorKind kind);
+
+/// Maps an errno value to the retry classification above. Unknown codes
+/// classify permanent: failing fast beats retrying blindly.
+[[nodiscard]] IoErrorKind classify_errno(int error_code);
+
+/// A storage-layer failure: which operation, on which path, with which
+/// errno, and whether a retry is worthwhile.
+class IoError : public std::runtime_error {
+ public:
+  IoError(IoErrorKind kind, std::string op, std::string path, int error_code,
+          const std::string& detail);
+
+  [[nodiscard]] IoErrorKind kind() const { return kind_; }
+  [[nodiscard]] bool transient() const { return kind_ == IoErrorKind::kTransient; }
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// errno of the failed syscall; 0 for synthetic failures (e.g. a file
+  /// shorter than the collective write expected).
+  [[nodiscard]] int error_code() const { return error_code_; }
+
+ private:
+  IoErrorKind kind_;
+  std::string op_;
+  std::string path_;
+  int error_code_;
+};
+
+/// What exactly was wrong with a malformed input record.
+enum class ParseCategory : int {
+  kMissingHeader = 0,       ///< data before any '>'/'@' header
+  kTruncatedRecord,         ///< EOF in the middle of a FASTQ record
+  kBadSeparator,            ///< FASTQ '+' separator line missing or wrong
+  kInvalidCharacter,        ///< non-alphabetic byte in sequence data
+  kQualityLengthMismatch,   ///< FASTQ quality length != sequence length
+};
+
+inline constexpr std::size_t kNumParseCategories = 5;
+
+[[nodiscard]] const char* to_string(ParseCategory category);
+
+/// Malformed input data at an exact location. Never retryable: the bytes
+/// on disk are wrong, not the read of them.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(ParseCategory category, std::string path, std::size_t line,
+             std::uint64_t byte_offset, const std::string& detail);
+
+  [[nodiscard]] ParseCategory category() const { return category_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// 1-based line number of the offending line.
+  [[nodiscard]] std::size_t line() const { return line_; }
+  /// Byte offset of the start of the offending line within the file.
+  [[nodiscard]] std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  ParseCategory category_;
+  std::string path_;
+  std::size_t line_;
+  std::uint64_t byte_offset_;
+};
+
+/// Per-category quarantine counts accumulated by a tolerant parser. A run
+/// that degrades gracefully completes *and* reports exactly what it
+/// dropped — these counts surface in run_report.json (schema v2) and as
+/// ResourceTrace counters.
+struct ParseDiagnostics {
+  /// Malformed records quarantined (dropped), by category.
+  std::array<std::uint64_t, kNumParseCategories> quarantined{};
+  /// Records rewritten in repair mode (invalid bases -> 'N', quality
+  /// padded/trimmed) instead of quarantined.
+  std::uint64_t records_repaired = 0;
+  /// Records returned successfully (clean or repaired).
+  std::uint64_t records_ok = 0;
+  /// Blank / whitespace-only lines skipped (informational, not an error).
+  std::uint64_t blank_lines = 0;
+  /// Lines that carried a CRLF ending (informational).
+  std::uint64_t crlf_lines = 0;
+
+  [[nodiscard]] std::uint64_t& of(ParseCategory category) {
+    return quarantined[static_cast<std::size_t>(category)];
+  }
+  [[nodiscard]] std::uint64_t of(ParseCategory category) const {
+    return quarantined[static_cast<std::size_t>(category)];
+  }
+  /// Total records quarantined across all categories.
+  [[nodiscard]] std::uint64_t records_quarantined() const {
+    std::uint64_t total = 0;
+    for (const auto v : quarantined) total += v;
+    return total;
+  }
+  /// Accumulates `other` into this (e.g. input-file parse + stage parse).
+  void merge(const ParseDiagnostics& other) {
+    for (std::size_t i = 0; i < kNumParseCategories; ++i) quarantined[i] += other.quarantined[i];
+    records_repaired += other.records_repaired;
+    records_ok += other.records_ok;
+    blank_lines += other.blank_lines;
+    crlf_lines += other.crlf_lines;
+  }
+};
+
+}  // namespace trinity::io

@@ -1,0 +1,134 @@
+#include "io/fault_plan.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace trinity::io {
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kNone: return "none";
+    case IoOp::kOpen: return "open";
+    case IoOp::kRead: return "read";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kRename: return "rename";
+    case IoOp::kAny: return "any";
+  }
+  return "unknown";
+}
+
+IoOp io_op_from_string(std::string_view name) {
+  for (const IoOp op :
+       {IoOp::kOpen, IoOp::kRead, IoOp::kWrite, IoOp::kFsync, IoOp::kRename, IoOp::kAny}) {
+    if (name == to_string(op)) return op;
+  }
+  throw std::invalid_argument("unknown io op: " + std::string(name));
+}
+
+const char* to_string(IoFaultKind kind) {
+  switch (kind) {
+    case IoFaultKind::kNone: return "none";
+    case IoFaultKind::kEnospc: return "enospc";
+    case IoFaultKind::kEio: return "eio";
+    case IoFaultKind::kShortWrite: return "short_write";
+    case IoFaultKind::kTornRename: return "torn_rename";
+  }
+  return "unknown";
+}
+
+IoFaultKind io_fault_kind_from_string(std::string_view name) {
+  for (const IoFaultKind kind : {IoFaultKind::kEnospc, IoFaultKind::kEio,
+                                 IoFaultKind::kShortWrite, IoFaultKind::kTornRename}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown io fault kind: " + std::string(name));
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer match with star backtracking (the classic
+  // linear-ish algorithm; patterns here are short path globs).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool IoFaultPlan::matches(IoOp observed_op, std::string_view path) const {
+  if (!enabled()) return false;
+  if (op != IoOp::kAny && op != observed_op) return false;
+  return glob_match(path_glob, path);
+}
+
+void IoFaultPlan::arm() {
+  if (!fires_remaining) fires_remaining = std::make_shared<std::atomic<int>>(max_fires);
+  if (!ops_matched) ops_matched = std::make_shared<std::atomic<int>>(0);
+}
+
+bool IoFaultPlan::should_fire(IoOp observed_op, std::string_view path) const {
+  if (!fires_remaining || !ops_matched) return false;  // never armed
+  if (!matches(observed_op, path)) return false;
+  const int seen = ops_matched->fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (seen != at_op) return false;
+  // Decrement-if-positive, mirroring simpi::FaultPlan::consume_fire.
+  int current = fires_remaining->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (fires_remaining->compare_exchange_weak(current, current - 1,
+                                               std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+IoFaultPlan IoFaultPlan::parse(std::string_view spec) {
+  std::vector<std::string_view> parts;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ':') {
+      parts.push_back(spec.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  if (parts.size() < 4 || parts.size() > 5) {
+    throw std::invalid_argument("io fault plan: expected OP:GLOB:N:KIND[:FIRES], got '" +
+                                std::string(spec) + "'");
+  }
+  IoFaultPlan plan;
+  plan.op = io_op_from_string(parts[0]);
+  plan.path_glob = std::string(parts[1]);
+  if (plan.path_glob.empty()) {
+    throw std::invalid_argument("io fault plan: empty path glob in '" + std::string(spec) + "'");
+  }
+  const auto parse_int = [&spec](std::string_view s, const char* field) {
+    try {
+      std::size_t used = 0;
+      const int v = std::stoi(std::string(s), &used);
+      if (used != s.size() || v < 1) throw std::invalid_argument("range");
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("io fault plan: bad " + std::string(field) + " in '" +
+                                  std::string(spec) + "'");
+    }
+  };
+  plan.at_op = parse_int(parts[2], "op index");
+  plan.kind = io_fault_kind_from_string(parts[3]);
+  if (parts.size() == 5) plan.max_fires = parse_int(parts[4], "fire count");
+  return plan;
+}
+
+}  // namespace trinity::io

@@ -1,0 +1,103 @@
+#pragma once
+// Storage fault injection for the io layer.
+//
+// The simpi FaultPlan (simpi/fault.hpp) makes a *rank* die the way real MPI
+// jobs die; an IoFaultPlan makes the *filesystem* fail the way real disks
+// fail: ENOSPC on the Nth write to a path, EIO mid-spill, a short write
+// that leaves partial bytes behind, or a torn write-then-crash at rename —
+// the one failure mode atomic-commit protocols exist to survive.
+//
+// The API deliberately mirrors simpi::FaultPlan: a trigger (the Nth io
+// operation matching an op + path glob), arm() allocating a fire budget
+// shared by every copy of the plan, and consume_fire() so a retry driver
+// re-running the stage with the same plan sees a transient fault exactly
+// once. Plans install process-globally via io::ScopedFaultInjection
+// (io/io_file.hpp) so production call sites need no plumbing.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace trinity::io {
+
+/// Operations a storage fault can be attached to.
+enum class IoOp : int {
+  kNone = 0,
+  kOpen,
+  kRead,
+  kWrite,
+  kFsync,
+  kRename,
+  kAny,  ///< trigger matches every io operation
+};
+
+[[nodiscard]] const char* to_string(IoOp op);
+
+/// Parses an IoOp name ("open", "read", "write", "fsync", "rename",
+/// "any"); throws std::invalid_argument on anything else.
+[[nodiscard]] IoOp io_op_from_string(std::string_view name);
+
+/// What happens when the trigger fires.
+enum class IoFaultKind : int {
+  kNone = 0,
+  kEnospc,      ///< the op fails with ENOSPC (permanent: disk is full)
+  kEio,         ///< the op fails with EIO (transient: flaky device)
+  kShortWrite,  ///< half the bytes land on disk, then a transient failure
+  kTornRename,  ///< source truncated to half, renamed, then a crash —
+                ///< the destination holds a torn tail
+};
+
+[[nodiscard]] const char* to_string(IoFaultKind kind);
+
+/// Parses an IoFaultKind name ("enospc", "eio", "short_write",
+/// "torn_rename"); throws std::invalid_argument on anything else.
+[[nodiscard]] IoFaultKind io_fault_kind_from_string(std::string_view name);
+
+/// Shell-style glob match supporting '*' (any run, including '/') and '?'
+/// (any single byte). Matching is over the whole string.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+/// An injected storage-fault schedule. Default-constructed plans are
+/// disabled and cost one predicted branch per io operation.
+struct IoFaultPlan {
+  IoOp op = IoOp::kNone;            ///< operation class the trigger counts
+  std::string path_glob;            ///< glob over the op's path; empty disables
+  int at_op = 1;                    ///< fire on the Nth matching op (1-based)
+  IoFaultKind kind = IoFaultKind::kNone;
+  int max_fires = 1;                ///< total fires across stage relaunches
+
+  [[nodiscard]] bool enabled() const {
+    return op != IoOp::kNone && kind != IoFaultKind::kNone && !path_glob.empty();
+  }
+
+  /// True when `observed_op` on `path` is the kind of operation this plan
+  /// counts (trigger-counter match; firing additionally needs the Nth-op
+  /// condition and budget).
+  [[nodiscard]] bool matches(IoOp observed_op, std::string_view path) const;
+
+  /// Allocates the shared fire budget and op counter. Idempotent; called
+  /// automatically when the plan is installed, but a retry driver that
+  /// wants once-across-relaunches semantics must arm its own copy first
+  /// and install that same copy for every launch.
+  void arm();
+
+  /// Advances the matching-op counter and consumes one fire when this is
+  /// the at_op-th match with budget remaining. False otherwise.
+  [[nodiscard]] bool should_fire(IoOp observed_op, std::string_view path) const;
+
+  /// Parses the colon-separated plan syntax used by tests, benches and
+  /// scripts/check.sh:  OP:GLOB:N:KIND[:FIRES]
+  /// e.g. "write:*run_manifest.jsonl.tmp:1:enospc" or
+  /// "rename:*manifest*:1:torn_rename:2". Throws std::invalid_argument on
+  /// malformed specs.
+  [[nodiscard]] static IoFaultPlan parse(std::string_view spec);
+
+  /// Shared across copies so a retried stage does not re-fire a transient
+  /// fault (the fire budget) and so the Nth-op trigger counts operations
+  /// globally, not per plan copy.
+  std::shared_ptr<std::atomic<int>> fires_remaining;
+  std::shared_ptr<std::atomic<int>> ops_matched;
+};
+
+}  // namespace trinity::io

@@ -1,0 +1,122 @@
+#pragma once
+// IoFile / IoFs: the storage shim every durable writer goes through.
+//
+// Production call sites (simpi::write_file_ordered, checkpoint manifest
+// commits, kmer partition spills, the FASTA/FASTQ writers) open, write,
+// fsync and rename through this layer instead of raw ofstream/syscalls.
+// That buys two things at once:
+//
+//  1. Real failures become typed: every syscall error surfaces as an
+//     io::IoError carrying op, path, errno and a transient/permanent
+//     classification the retry driver can act on — instead of a silent
+//     short write or a bare runtime_error.
+//
+//  2. Injected failures become possible: an IoFaultPlan installed via
+//     ScopedFaultInjection makes the Nth matching operation fail with
+//     ENOSPC/EIO, land only half its bytes (short write), or tear the
+//     destination at rename — without touching the call sites.
+//
+// The write path is deliberately explicit about durability:
+// write_file_atomic is the commit primitive (tmp + fsync + rename) whose
+// guarantee is "either the old content or the new content, never a mix" —
+// except under an injected torn rename, which is exactly the failure the
+// manifest loader's corrupt-line tolerance exists to absorb.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/error.hpp"
+#include "io/fault_plan.hpp"
+
+namespace trinity::io {
+
+/// Installs `plan` as the process-global storage fault plan (arming it if
+/// needed). Passing a disabled plan is equivalent to clear_fault_plan().
+void set_fault_plan(IoFaultPlan plan);
+
+/// Removes any installed fault plan.
+void clear_fault_plan();
+
+/// Copy of the currently installed plan (disabled when none).
+[[nodiscard]] IoFaultPlan current_fault_plan();
+
+/// RAII installation for tests, the fault-matrix gate, and the pipeline:
+/// installs an enabled plan on construction (a disabled plan is a no-op,
+/// leaving any caller-installed plan in place) and restores the previously
+/// installed plan on destruction. The restored copy shares the original's
+/// fire budget, so nesting composes.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(IoFaultPlan plan) : previous_(current_fault_plan()) {
+    if (plan.enabled()) set_fault_plan(std::move(plan));
+  }
+  ~ScopedFaultInjection() { set_fault_plan(std::move(previous_)); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  IoFaultPlan previous_;
+};
+
+/// A writable file descriptor whose operations report typed errors and
+/// honor the installed fault plan. Move-only RAII: the destructor closes
+/// silently; call close() to observe close-time errors.
+class IoFile {
+ public:
+  /// O_CREAT|O_WRONLY|O_TRUNC with mode 0644.
+  [[nodiscard]] static IoFile create(const std::string& path);
+  /// O_WRONLY on an existing file (used for offset writes into a
+  /// pre-sized shared file).
+  [[nodiscard]] static IoFile open_write(const std::string& path);
+
+  IoFile(IoFile&& other) noexcept;
+  IoFile& operator=(IoFile&& other) noexcept;
+  IoFile(const IoFile&) = delete;
+  IoFile& operator=(const IoFile&) = delete;
+  ~IoFile();
+
+  /// Appends all of `data` at the current offset, looping over partial
+  /// syscall writes. Throws IoError on failure (injected short writes
+  /// leave the partial prefix on disk, then throw transient).
+  void write_all(std::string_view data);
+
+  /// Positioned write of all of `data` at `offset` (pwrite loop); the
+  /// collective file output uses this for rank slices.
+  void pwrite_all(std::string_view data, std::uint64_t offset);
+
+  void fsync();
+
+  /// Closes the descriptor, reporting errors; idempotent.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  /// Bytes successfully written through this handle (both write paths).
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  IoFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Renames `from` over `to` (atomic on POSIX), honoring rename faults: a
+/// torn rename truncates `from` to half before renaming, then throws —
+/// modeling a crash after a non-atomic metadata commit.
+void rename_file(const std::string& from, const std::string& to);
+
+/// create + write_all + close in one call.
+void write_file(const std::string& path, std::string_view contents);
+
+/// The atomic commit primitive: writes `path + ".tmp"`, fsyncs, renames
+/// over `path`. On any failure the previous content of `path` is intact
+/// (injected torn renames excepted, by design).
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Size of `path` in bytes; throws IoError (permanent) when unreadable.
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+}  // namespace trinity::io

@@ -1,5 +1,7 @@
 #include "kmer/counter.hpp"
 
+#include "io/io_file.hpp"
+
 #include <omp.h>
 
 #include <fstream>
@@ -123,17 +125,17 @@ std::vector<KmerCount> read_dump_text(const std::string& path, const seq::KmerCo
 }
 
 void write_dump_binary(const std::string& path, const std::vector<KmerCount>& counts, int k) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_dump_binary: cannot open '" + path + "'");
   const auto k32 = static_cast<std::uint32_t>(k);
   const auto n = static_cast<std::uint64_t>(counts.size());
-  out.write(reinterpret_cast<const char*>(&k32), sizeof(k32));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  std::string body;
+  body.reserve(sizeof(k32) + sizeof(n) + counts.size() * (sizeof(seq::KmerCode) + 4));
+  body.append(reinterpret_cast<const char*>(&k32), sizeof(k32));
+  body.append(reinterpret_cast<const char*>(&n), sizeof(n));
   for (const auto& kc : counts) {
-    out.write(reinterpret_cast<const char*>(&kc.code), sizeof(kc.code));
-    out.write(reinterpret_cast<const char*>(&kc.count), sizeof(kc.count));
+    body.append(reinterpret_cast<const char*>(&kc.code), sizeof(kc.code));
+    body.append(reinterpret_cast<const char*>(&kc.count), sizeof(kc.count));
   }
-  if (!out) throw std::runtime_error("write_dump_binary: write failure on '" + path + "'");
+  io::write_file(path, body);  // fault-injectable; throws io::IoError
 }
 
 std::vector<KmerCount> read_dump_binary(const std::string& path, int expected_k) {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "io/io_file.hpp"
 #include "seq/fasta.hpp"
 #include "seq/kmer.hpp"
 
@@ -13,12 +14,13 @@ namespace trinity::kmer {
 
 namespace {
 
-/// Buffered writer of packed k-mer codes for one partition.
+/// Buffered writer of packed k-mer codes for one partition. Spills go
+/// through io::IoFile so injected faults (EIO mid-spill, ENOSPC) surface
+/// as typed io::IoError instead of a silently-short partition file.
 class PartitionWriter {
  public:
   explicit PartitionWriter(const std::string& path)
-      : path_(path), out_(path, std::ios::binary) {
-    if (!out_) throw std::runtime_error("disk_count: cannot open '" + path + "'");
+      : path_(path), out_(io::IoFile::create(path)) {
     buffer_.reserve(kFlushAt);
   }
 
@@ -30,9 +32,8 @@ class PartitionWriter {
   /// Flushes and returns total bytes written.
   std::uint64_t finish() {
     flush();
-    out_.flush();
-    if (!out_) throw std::runtime_error("disk_count: write failure on '" + path_ + "'");
-    return bytes_;
+    out_.close();
+    return out_.bytes_written();
   }
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -42,16 +43,14 @@ class PartitionWriter {
 
   void flush() {
     if (buffer_.empty()) return;
-    out_.write(reinterpret_cast<const char*>(buffer_.data()),
-               static_cast<std::streamsize>(buffer_.size() * sizeof(seq::KmerCode)));
-    bytes_ += buffer_.size() * sizeof(seq::KmerCode);
+    out_.write_all(std::string_view(reinterpret_cast<const char*>(buffer_.data()),
+                                    buffer_.size() * sizeof(seq::KmerCode)));
     buffer_.clear();
   }
 
   std::string path_;
-  std::ofstream out_;
+  io::IoFile out_;
   std::vector<seq::KmerCode> buffer_;
-  std::uint64_t bytes_ = 0;
 };
 
 // Partition selector: mix the code so partitions stay balanced even for

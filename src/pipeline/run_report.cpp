@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/io_file.hpp"
+
 namespace trinity::pipeline {
 
 namespace {
@@ -106,6 +108,26 @@ util::Json gff_json(const chrysalis::GffTiming& t) {
   return out;
 }
 
+// Schema v2: the robustness section. All five quarantine categories are
+// always present (zero or not) so consumers get exact per-category counts
+// without existence checks.
+util::Json parse_json(seq::ParsePolicy policy, const io::ParseDiagnostics& d) {
+  util::Json out = util::Json::object();
+  out.set("policy", to_string(policy));
+  out.set("records_ok", static_cast<std::int64_t>(d.records_ok));
+  out.set("records_quarantined", static_cast<std::int64_t>(d.records_quarantined()));
+  out.set("records_repaired", static_cast<std::int64_t>(d.records_repaired));
+  out.set("blank_lines", static_cast<std::int64_t>(d.blank_lines));
+  out.set("crlf_lines", static_cast<std::int64_t>(d.crlf_lines));
+  util::Json by_category = util::Json::object();
+  for (std::size_t i = 0; i < io::kNumParseCategories; ++i) {
+    by_category.set(io::to_string(static_cast<io::ParseCategory>(i)),
+                    static_cast<std::int64_t>(d.quarantined[i]));
+  }
+  out.set("quarantined", std::move(by_category));
+  return out;
+}
+
 util::Json r2t_json(const chrysalis::R2TTiming& t) {
   util::Json out = util::Json::object();
   out.set("main_loop_s", double_array(t.main_loop.seconds));
@@ -131,6 +153,8 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
   report.set("stages_executed", string_array(result.stages_executed));
   report.set("stages_resumed", string_array(result.stages_resumed));
   report.set("stage_retries", result.stage_retries);
+  report.set("io_retries", result.io_retries);
+  report.set("parse", parse_json(options.parse_policy, result.parse));
 
   util::Json phases = util::Json::array();
   for (const auto& p : result.trace) phases.push_back(phase_json(p));
@@ -148,10 +172,7 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
 }
 
 void write_run_report(const std::string& path, const util::Json& report) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("write_run_report: cannot open '" + path + "'");
-  out << report.dump(2) << '\n';
-  if (!out) throw std::runtime_error("write_run_report: write failure on '" + path + "'");
+  io::write_file(path, report.dump(2) + "\n");
 }
 
 util::Json load_run_report(const std::string& path) {
@@ -186,7 +207,30 @@ void summarize_report(const util::Json& report, std::ostream& out) {
   };
   out << "stages executed: " << join(report.at("stages_executed")) << '\n';
   out << "stages resumed:  " << join(report.at("stages_resumed")) << '\n';
-  out << "stage retries:   " << report.at("stage_retries").as_int() << "\n\n";
+  out << "stage retries:   " << report.at("stage_retries").as_int() << '\n';
+  // Schema v2 fields; a v1 report simply lacks them.
+  if (const util::Json* io_retries = report.find("io_retries")) {
+    out << "io retries:      " << io_retries->as_int() << '\n';
+  }
+  if (const util::Json* parse = report.find("parse")) {
+    out << "parse (" << parse->at("policy").as_string()
+        << "): " << parse->at("records_ok").as_int() << " ok, "
+        << parse->at("records_quarantined").as_int() << " quarantined, "
+        << parse->at("records_repaired").as_int() << " repaired";
+    if (parse->at("records_quarantined").as_int() > 0) {
+      out << " [";
+      bool first = true;
+      for (const auto& [name, count] : parse->at("quarantined").members()) {
+        if (count.as_int() == 0) continue;
+        if (!first) out << ", ";
+        first = false;
+        out << name << "=" << count.as_int();
+      }
+      out << "]";
+    }
+    out << '\n';
+  }
+  out << '\n';
 
   // Per-stage imbalance table from the comm section.
   const auto& comm = report.at("comm").items();

@@ -27,7 +27,7 @@ namespace trinity::pipeline {
 /// "Schema version" stated in docs/OBSERVABILITY.md (enforced by
 /// scripts/check.sh) and the "schema_version" field of every emitted
 /// report (enforced by run_report_test).
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Builds the report document from a finished run. Pure: no I/O.
 [[nodiscard]] util::Json build_run_report(const PipelineOptions& options,

@@ -8,6 +8,7 @@
 
 #include "align/sam_io.hpp"
 #include "checkpoint/fingerprint.hpp"
+#include "io/io_file.hpp"
 #include "pipeline/run_report.hpp"
 #include "chrysalis/components_io.hpp"
 #include "chrysalis/scaffold.hpp"
@@ -210,7 +211,16 @@ class StageDriver {
         handle_abort(name, e.what(), attempt, policy);
       } catch (const simpi::AbortedError& e) {
         handle_abort(name, e.what(), attempt, policy);
+      } catch (const io::IoError& e) {
+        // The typed-error contract: transient storage failures are retried
+        // like an aborted world; permanent ones (ENOSPC, torn rename) fail
+        // fast — the committed checkpoints are the recovery path.
+        if (!e.transient()) throw;
+        handle_abort(name, e.what(), attempt, policy);
+        ++result_.io_retries;
       }
+      // io::ParseError (malformed input) is deliberately not caught:
+      // retrying cannot fix bytes that are wrong on disk.
       // Retrying: another writer may share the work dir (a re-launched
       // driver), so reread the manifest before the next attempt.
       manifest_ = checkpoint::RunManifest::load(manifest_path_);
@@ -262,15 +272,21 @@ class StageDriver {
   bool chain_valid_ = true;  ///< false after the first recomputed stage
 };
 
-}  // namespace
-
-PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
-                            const PipelineOptions& options) {
+/// Shared body of run_pipeline / run_pipeline_from_file. `input_parse`
+/// carries the quarantine counts of the input-file read when the caller
+/// streamed the reads off disk (null when they arrived in memory).
+PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
+                                 const PipelineOptions& options,
+                                 const io::ParseDiagnostics* input_parse) {
   if (options.nranks < 1) throw std::invalid_argument("run_pipeline: nranks must be >= 1");
   if (options.retry.max_attempts < 1) {
     throw std::invalid_argument("run_pipeline: retry.max_attempts must be >= 1");
   }
+  // Install the storage fault plan for the whole run; armed once so a
+  // retried stage does not re-trip a consumed transient fault.
+  io::ScopedFaultInjection io_fault_guard(options.io_fault);
   PipelineResult result;
+  if (input_parse != nullptr) result.parse = *input_parse;
   const std::string work_dir = ensure_work_dir(options);
   const std::string reads_path = work_dir + "/" + kReadsFile;
   result.options_fingerprint = options_fingerprint(options, reads);
@@ -307,6 +323,11 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   driver.stage(
       "jellyfish", {kReadsFile}, {kKmersFile},
       [&] {
+        // Rebuild the counter on entry: the retry driver may run this body
+        // again (e.g. after a transient I/O failure on the dump), and
+        // re-adding the reads to a populated counter would double every
+        // count.
+        counter = kmer::KmerCounter(counter_options);
         counter.add_sequences(reads);
         counts = counter.dump();
         kmer::write_dump_binary(work_dir + "/" + kKmersFile, counts, options.k);
@@ -441,7 +462,10 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   r2t.kernel_repeats = options.r2t_kernel_repeats;
   r2t.strategy = options.r2t_strategy;
   r2t.output_mode = options.r2t_output_mode;
+  r2t.parse_policy = options.parse_policy;
 
+  // Assigned (not merged) in the stage body: idempotent across retries.
+  io::ParseDiagnostics r2t_parse;
   driver.stage(
       "chrysalis.reads_to_transcripts", {kContigsFile, kComponentsFile, kReadsFile},
       {kAssignmentsFile},
@@ -451,6 +475,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                                          work_dir);
           result.assignments = std::move(r.assignments);
           result.r2t_timing = r.timing;
+          r2t_parse = r.parse;
         } else {
           auto rank_results = simpi::run(
               options.nranks,
@@ -460,12 +485,15 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                 if (ctx.rank() == 0) {
                   result.assignments = std::move(r.assignments);
                   result.r2t_timing = r.timing;
+                  r2t_parse = r.parse;
                 }
               },
               options.comm, driver.fault_for("chrysalis.reads_to_transcripts"));
           record_stage_comm(result, trace, "chrysalis.reads_to_transcripts",
                             std::move(rank_results));
         }
+        trace.counter("parse_quarantined", static_cast<double>(r2t_parse.records_quarantined()));
+        trace.counter("parse_repaired", static_cast<double>(r2t_parse.records_repaired));
       },
       [&] {
         result.assignments =
@@ -488,6 +516,7 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
       },
       [&] { result.transcripts = seq::read_all(work_dir + "/" + kTranscriptsFile); });
 
+  result.parse.merge(r2t_parse);
   result.trace = trace.records();
   if (options.emit_report) {
     result.report_path = report_path;
@@ -496,9 +525,18 @@ PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
   return result;
 }
 
+}  // namespace
+
+PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
+                            const PipelineOptions& options) {
+  return run_pipeline_impl(reads, options, nullptr);
+}
+
 PipelineResult run_pipeline_from_file(const std::string& reads_path,
                                       const PipelineOptions& options) {
-  return run_pipeline(seq::read_all(reads_path), options);
+  io::ParseDiagnostics input_parse;
+  const auto reads = seq::read_all(reads_path, options.parse_policy, &input_parse);
+  return run_pipeline_impl(reads, options, &input_parse);
 }
 
 }  // namespace trinity::pipeline

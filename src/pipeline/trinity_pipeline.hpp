@@ -32,6 +32,9 @@
 #include "chrysalis/graph_from_fasta.hpp"
 #include "chrysalis/reads_to_transcripts.hpp"
 #include "butterfly/butterfly.hpp"
+#include "io/error.hpp"
+#include "io/fault_plan.hpp"
+#include "seq/fasta.hpp"
 #include "simpi/cost_model.hpp"
 #include "simpi/fault.hpp"
 #include "util/resource_trace.hpp"
@@ -91,6 +94,22 @@ struct PipelineOptions {
   /// Stage whose simpi world receives `fault` ("chrysalis.bowtie",
   /// "chrysalis.graph_from_fasta", or "chrysalis.reads_to_transcripts").
   std::string fault_stage;
+  /// Injected storage fault (testing/benching); disabled by default.
+  /// Installed process-wide for the duration of the run (see
+  /// io::ScopedFaultInjection) and armed once, so a transient fault fires
+  /// exactly once even when the retry driver re-launches the stage.
+  /// Transient faults (eio, short_write) are retried in process; permanent
+  /// ones (enospc, torn_rename) fail the run with a typed io::IoError,
+  /// leaving the checkpoints for a `resume = true` re-launch.
+  io::IoFaultPlan io_fault;
+
+  // --- input robustness -------------------------------------------------------
+
+  /// How FASTA/FASTQ readers treat malformed records (seq/fasta.hpp):
+  /// kStrict throws io::ParseError with path/line/byte-offset; kTolerant
+  /// quarantines and completes; kRepair additionally fixes what it can.
+  /// Applies to the input reads file and the ReadsToTranscripts stream.
+  seq::ParsePolicy parse_policy = seq::ParsePolicy::kStrict;
 
   // --- observability ----------------------------------------------------------
 
@@ -163,6 +182,13 @@ struct PipelineResult {
   std::vector<std::string> stages_resumed;
   /// Stage re-launches performed by the retry driver (0 in fault-free runs).
   int stage_retries = 0;
+  /// Subset of stage_retries caused by transient io::IoError (the retry
+  /// driver fails fast on permanent ones).
+  int io_retries = 0;
+  /// Parse quarantine/repair counts over the whole run: the input-file read
+  /// (run_pipeline_from_file) merged with the ReadsToTranscripts stream.
+  /// All-zero under kStrict (a malformed record throws instead).
+  io::ParseDiagnostics parse;
   /// Fingerprint this run recorded/validated manifest entries under.
   std::uint64_t options_fingerprint = 0;
 
@@ -176,7 +202,9 @@ struct PipelineResult {
 PipelineResult run_pipeline(const std::vector<seq::Sequence>& reads,
                             const PipelineOptions& options);
 
-/// Runs the pipeline on a FASTA/FASTQ file.
+/// Runs the pipeline on a FASTA/FASTQ file, read under
+/// `options.parse_policy`; quarantine counts from that read surface in
+/// PipelineResult::parse and the run report.
 PipelineResult run_pipeline_from_file(const std::string& reads_path,
                                       const PipelineOptions& options);
 

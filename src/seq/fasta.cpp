@@ -1,14 +1,18 @@
 #include "seq/fasta.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <stdexcept>
 
+#include "io/io_file.hpp"
 #include "seq/sequence.hpp"
 
 namespace trinity::seq {
 
 namespace {
 
-// Strips trailing CR (for CRLF files) and returns the id token of a header.
+// Returns the id token of a header line (text after '>'/'@', up to the
+// first whitespace).
 std::string header_name(const std::string& line) {
   std::string body = line.substr(1);
   const auto ws = body.find_first_of(" \t");
@@ -16,41 +20,118 @@ std::string header_name(const std::string& line) {
   return body;
 }
 
-void chomp(std::string& line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
+// Printable rendering of a (possibly binary) byte for error messages.
+std::string printable(char c) {
+  if (std::isprint(static_cast<unsigned char>(c))) return std::string(1, c);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+  return buf;
 }
 
 }  // namespace
 
-FastaReader::FastaReader(const std::string& path) : in_(path), path_(path) {
-  if (!in_) throw std::runtime_error("FastaReader: cannot open '" + path + "'");
+const char* to_string(ParsePolicy policy) {
+  switch (policy) {
+    case ParsePolicy::kStrict: return "strict";
+    case ParsePolicy::kTolerant: return "tolerant";
+    case ParsePolicy::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+ParsePolicy parse_policy_from_string(std::string_view name) {
+  for (const ParsePolicy p :
+       {ParsePolicy::kStrict, ParsePolicy::kTolerant, ParsePolicy::kRepair}) {
+    if (name == to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown parse policy: " + std::string(name));
+}
+
+FastaReader::FastaReader(const std::string& path, ParsePolicy policy)
+    : in_(path), path_(path), policy_(policy) {
+  if (!in_) {
+    throw io::IoError(io::IoErrorKind::kPermanent, "open", path, errno, "cannot open");
+  }
+}
+
+bool FastaReader::next_line(std::string& line) {
+  if (!std::getline(in_, line)) return false;
+  ++line_number_;
+  line_offset_ = next_offset_;
+  next_offset_ += line.size() + (in_.eof() ? 0 : 1);
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+    ++diagnostics_.crlf_lines;
+  }
+  // Trailing whitespace is formatting noise, never sequence data.
+  const auto last = line.find_last_not_of(" \t");
+  line.resize(last == std::string::npos ? 0 : last + 1);
+  return true;
+}
+
+void FastaReader::malformed(io::ParseCategory category, std::size_t line,
+                            std::uint64_t offset, const std::string& detail) {
+  if (policy_ == ParsePolicy::kStrict) {
+    throw io::ParseError(category, path_, line, offset, detail);
+  }
+  ++diagnostics_.of(category);
+}
+
+bool FastaReader::check_bases(std::string& bases, bool& repaired_record) {
+  for (const char c : bases) {
+    if (std::isalpha(static_cast<unsigned char>(c))) continue;
+    if (policy_ == ParsePolicy::kRepair) {
+      for (char& b : bases) {
+        if (!std::isalpha(static_cast<unsigned char>(b))) b = 'N';
+      }
+      repaired_record = true;
+      return true;
+    }
+    malformed(io::ParseCategory::kInvalidCharacter, line_number_, line_offset_,
+              "invalid character '" + printable(c) + "' in sequence data");
+    return false;  // tolerant: caller quarantines (strict threw above)
+  }
+  return true;
 }
 
 std::optional<Sequence> FastaReader::next() {
-  if (!format_known_) {
-    // Peek the first non-empty line to decide the format.
-    std::string line;
-    while (std::getline(in_, line)) {
-      chomp(line);
-      if (line.empty()) continue;
-      if (line[0] == '>') {
-        is_fastq_ = false;
-        pending_header_ = line;
-      } else if (line[0] == '@') {
-        is_fastq_ = true;
-        pending_header_ = line;
-      } else {
-        throw std::runtime_error("FastaReader: '" + path_ +
-                                 "' does not start with a FASTA/FASTQ header");
+  for (;;) {
+    quarantined_record_ = false;
+    if (!format_known_) {
+      // Scan for the first header line to decide the format. Anything
+      // else before it is one destroyed leading record.
+      std::string line;
+      bool complained = false;
+      while (next_line(line)) {
+        if (line.empty()) {
+          ++diagnostics_.blank_lines;
+          continue;
+        }
+        if (line[0] == '>' || line[0] == '@') {
+          is_fastq_ = line[0] == '@';
+          pending_header_ = line;
+          pending_header_line_ = line_number_;
+          pending_header_offset_ = line_offset_;
+          format_known_ = true;
+          break;
+        }
+        if (!complained) {
+          malformed(io::ParseCategory::kMissingHeader, line_number_, line_offset_,
+                    "'" + path_ + "' does not start with a FASTA/FASTQ header");
+          complained = true;
+        }
       }
-      format_known_ = true;
-      break;
+      if (!format_known_) return std::nullopt;  // empty (or all-garbage) file
     }
-    if (!format_known_) return std::nullopt;  // empty file
+    auto rec = is_fastq_ ? next_fastq() : next_fasta();
+    if (rec) {
+      ++records_read_;
+      ++diagnostics_.records_ok;
+      return rec;
+    }
+    if (!quarantined_record_) return std::nullopt;  // end of file
+    // A record was quarantined under kTolerant/kRepair: keep reading.
   }
-  auto rec = is_fastq_ ? next_fastq() : next_fasta();
-  if (rec) ++records_read_;
-  return rec;
 }
 
 std::optional<Sequence> FastaReader::next_fasta() {
@@ -58,16 +139,30 @@ std::optional<Sequence> FastaReader::next_fasta() {
   Sequence rec;
   rec.name = header_name(pending_header_);
   pending_header_.clear();
+  bool repaired = false;
+  bool bad = false;
   std::string line;
-  while (std::getline(in_, line)) {
-    chomp(line);
-    if (line.empty()) continue;
+  while (next_line(line)) {
+    if (line.empty()) {
+      ++diagnostics_.blank_lines;
+      continue;
+    }
     if (line[0] == '>') {
       pending_header_ = line;
+      pending_header_line_ = line_number_;
+      pending_header_offset_ = line_offset_;
       break;
     }
-    rec.bases += line;
+    // A record already marked bad still consumes its remaining lines so
+    // the reader stays synchronized (counted once, not per line).
+    if (!bad && !check_bases(line, repaired)) bad = true;
+    if (!bad) rec.bases += line;
   }
+  if (bad) {
+    quarantined_record_ = true;
+    return std::nullopt;
+  }
+  if (repaired) ++diagnostics_.records_repaired;
   return rec;
 }
 
@@ -75,43 +170,107 @@ std::optional<Sequence> FastaReader::next_fastq() {
   if (pending_header_.empty()) return std::nullopt;
   Sequence rec;
   rec.name = header_name(pending_header_);
+  const std::size_t rec_line = pending_header_line_;
+  const std::uint64_t rec_offset = pending_header_offset_;
   pending_header_.clear();
+
+  // Reads the next non-blank line of the 4-line record.
+  const auto read_part = [this](std::string& out) {
+    while (next_line(out)) {
+      if (!out.empty()) return true;
+      ++diagnostics_.blank_lines;
+    }
+    return false;
+  };
 
   std::string seq_line;
   std::string plus_line;
   std::string qual_line;
-  if (!std::getline(in_, seq_line)) {
-    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  if (!read_part(seq_line) ) {
+    malformed(io::ParseCategory::kTruncatedRecord, rec_line, rec_offset,
+              "truncated FASTQ record '" + rec.name + "' (EOF before sequence line)");
+    quarantined_record_ = true;
+    return std::nullopt;
   }
-  chomp(seq_line);
-  if (!std::getline(in_, plus_line)) {
-    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  if (!read_part(plus_line)) {
+    malformed(io::ParseCategory::kTruncatedRecord, rec_line, rec_offset,
+              "truncated FASTQ record '" + rec.name + "' (EOF before '+' separator)");
+    quarantined_record_ = true;
+    return std::nullopt;
   }
-  chomp(plus_line);
-  if (plus_line.empty() || plus_line[0] != '+') {
-    throw std::runtime_error("FastaReader: malformed FASTQ separator in '" + path_ + "'");
+  if (plus_line[0] != '+') {
+    malformed(io::ParseCategory::kBadSeparator, line_number_, line_offset_,
+              "malformed FASTQ separator for '" + rec.name + "': expected '+', got '" +
+                  printable(plus_line[0]) + "'");
+    // Resynchronize at the next header so one bad record costs one record.
+    std::string line;
+    while (next_line(line)) {
+      if (line.empty()) {
+        ++diagnostics_.blank_lines;
+        continue;
+      }
+      if (line[0] == '@') {
+        pending_header_ = line;
+        pending_header_line_ = line_number_;
+        pending_header_offset_ = line_offset_;
+        break;
+      }
+    }
+    quarantined_record_ = true;
+    return std::nullopt;
   }
-  if (!std::getline(in_, qual_line)) {
-    throw std::runtime_error("FastaReader: truncated FASTQ record in '" + path_ + "'");
+  if (!read_part(qual_line)) {
+    malformed(io::ParseCategory::kTruncatedRecord, rec_line, rec_offset,
+              "truncated FASTQ record '" + rec.name + "' (EOF before quality line)");
+    quarantined_record_ = true;
+    return std::nullopt;
   }
-  chomp(qual_line);
-  if (qual_line.size() != seq_line.size()) {
-    throw std::runtime_error("FastaReader: FASTQ quality length mismatch in '" + path_ + "'");
+
+  bool repaired = false;
+  bool bad = false;
+  if (!check_bases(seq_line, repaired)) bad = true;
+  if (!bad && qual_line.size() != seq_line.size()) {
+    if (policy_ == ParsePolicy::kRepair) {
+      qual_line.resize(seq_line.size(), 'F');  // pad/trim to the sequence length
+      repaired = true;
+    } else {
+      malformed(io::ParseCategory::kQualityLengthMismatch, line_number_, line_offset_,
+                "FASTQ quality length " + std::to_string(qual_line.size()) +
+                    " != sequence length " + std::to_string(seq_line.size()) + " for '" +
+                    rec.name + "'");
+      bad = true;
+    }
   }
   rec.bases = seq_line;
   rec.quality = qual_line;
 
-  // Look ahead for the next record header.
+  // Look ahead for the next record header; garbage between records is one
+  // destroyed record, skipped after being counted.
   std::string line;
-  while (std::getline(in_, line)) {
-    chomp(line);
-    if (line.empty()) continue;
-    if (line[0] != '@') {
-      throw std::runtime_error("FastaReader: expected FASTQ header in '" + path_ + "'");
+  bool complained = false;
+  while (next_line(line)) {
+    if (line.empty()) {
+      ++diagnostics_.blank_lines;
+      continue;
     }
-    pending_header_ = line;
-    break;
+    if (line[0] == '@') {
+      pending_header_ = line;
+      pending_header_line_ = line_number_;
+      pending_header_offset_ = line_offset_;
+      break;
+    }
+    if (!complained) {
+      malformed(io::ParseCategory::kMissingHeader, line_number_, line_offset_,
+                "expected FASTQ header, got '" + printable(line[0]) + "'");
+      complained = true;
+    }
   }
+
+  if (bad) {
+    quarantined_record_ = true;
+    return std::nullopt;
+  }
+  if (repaired) ++diagnostics_.records_repaired;
   return rec;
 }
 
@@ -126,46 +285,55 @@ std::vector<Sequence> FastaReader::read_chunk(std::size_t max_records) {
   return out;
 }
 
-std::vector<Sequence> read_all(const std::string& path) {
-  FastaReader reader(path);
+std::vector<Sequence> read_all(const std::string& path, ParsePolicy policy,
+                               io::ParseDiagnostics* diagnostics) {
+  FastaReader reader(path, policy);
   std::vector<Sequence> out;
   while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  if (diagnostics) *diagnostics = reader.diagnostics();
   return out;
 }
 
 void write_fasta(const std::string& path, const std::vector<Sequence>& seqs, std::size_t wrap) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_fasta: cannot open '" + path + "'");
+  std::string body;
   for (const auto& s : seqs) {
-    out << '>' << s.name << '\n';
+    body += '>';
+    body += s.name;
+    body += '\n';
     if (wrap == 0) {
-      out << s.bases << '\n';
+      body += s.bases;
+      body += '\n';
     } else {
       for (std::size_t i = 0; i < s.bases.size(); i += wrap) {
-        out << s.bases.substr(i, wrap) << '\n';
+        body.append(s.bases, i, wrap);
+        body += '\n';
       }
-      if (s.bases.empty()) out << '\n';
+      if (s.bases.empty()) body += '\n';
     }
   }
-  if (!out) throw std::runtime_error("write_fasta: write failure on '" + path + "'");
+  io::write_file(path, body);
 }
 
 void write_fastq(const std::string& path, const std::vector<Sequence>& seqs,
                  char default_quality) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_fastq: cannot open '" + path + "'");
+  std::string body;
   for (const auto& s : seqs) {
     if (s.has_quality() && s.quality.size() != s.bases.size()) {
       throw std::runtime_error("write_fastq: quality length mismatch for '" + s.name + "'");
     }
-    out << '@' << s.name << '\n' << s.bases << "\n+\n";
+    body += '@';
+    body += s.name;
+    body += '\n';
+    body += s.bases;
+    body += "\n+\n";
     if (s.has_quality()) {
-      out << s.quality << '\n';
+      body += s.quality;
     } else {
-      out << std::string(s.bases.size(), default_quality) << '\n';
+      body.append(s.bases.size(), default_quality);
     }
+    body += '\n';
   }
-  if (!out) throw std::runtime_error("write_fastq: write failure on '" + path + "'");
+  io::write_file(path, body);
 }
 
 std::size_t total_bases(const std::vector<Sequence>& seqs) {

@@ -7,25 +7,53 @@
 // read_chunk()) while GraphFromFasta-style consumers can slurp with
 // read_all(). Format is auto-detected from the first record character
 // ('>' FASTA, '@' FASTQ).
+//
+// Real read sets are dirty — truncated downloads, CRLF line endings, the
+// occasional bit-flipped header — and with the paper's redundant-streaming
+// scheme one bad record used to abort all P ranks at once. The reader
+// therefore takes a ParsePolicy:
+//
+//  * kStrict (default): throw io::ParseError on the first malformed
+//    record, carrying path, 1-based line, byte offset and a category.
+//  * kTolerant: quarantine malformed records (skip them, counting each by
+//    category in ParseDiagnostics) and keep going — the run completes and
+//    reports exactly what it dropped.
+//  * kRepair: additionally fix what is mechanically fixable (invalid
+//    sequence bytes -> 'N', quality padded/truncated to the sequence
+//    length); the unfixable still quarantines as in kTolerant.
+//
+// All policies absorb CRLF line endings, blank lines and trailing
+// whitespace — formatting noise, not corruption (counted, not failed).
 
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "io/error.hpp"
 #include "seq/sequence.hpp"
 
 namespace trinity::seq {
 
+/// How the reader treats malformed records. See the header comment.
+enum class ParsePolicy { kStrict, kTolerant, kRepair };
+
+[[nodiscard]] const char* to_string(ParsePolicy policy);
+
+/// Parses a ParsePolicy name ("strict", "tolerant", "repair"); throws
+/// std::invalid_argument on anything else. Used by CLI flags.
+[[nodiscard]] ParsePolicy parse_policy_from_string(std::string_view name);
+
 /// Streaming reader over a FASTA or FASTQ file.
 class FastaReader {
  public:
-  /// Opens `path`; throws std::runtime_error when the file cannot be read.
-  explicit FastaReader(const std::string& path);
+  /// Opens `path`; throws io::IoError when the file cannot be read.
+  explicit FastaReader(const std::string& path, ParsePolicy policy = ParsePolicy::kStrict);
 
-  /// Reads the next record, or std::nullopt at end of file. Throws
-  /// std::runtime_error on malformed input (e.g. FASTQ record with
-  /// mismatched quality length, sequence data before any header).
+  /// Reads the next well-formed (or repaired) record, or std::nullopt at
+  /// end of file. Under ParsePolicy::kStrict throws io::ParseError on
+  /// malformed input; under kTolerant/kRepair malformed records are
+  /// quarantined (see diagnostics()) and reading continues.
   std::optional<Sequence> next();
 
   /// Reads up to `max_records` records into a vector (the paper's
@@ -35,22 +63,52 @@ class FastaReader {
   /// Number of records returned so far.
   [[nodiscard]] std::size_t records_read() const { return records_read_; }
 
+  /// Per-category quarantine/repair counts accumulated so far.
+  [[nodiscard]] const io::ParseDiagnostics& diagnostics() const { return diagnostics_; }
+
  private:
+  /// Reads the next raw line, tracking line number and byte offset and
+  /// stripping CRLF + trailing whitespace. False at end of file.
+  bool next_line(std::string& line);
+
+  /// Reports a malformed record at line `line` / offset `offset`: throws
+  /// under kStrict, otherwise counts a quarantined record of `category`.
+  void malformed(io::ParseCategory category, std::size_t line, std::uint64_t offset,
+                 const std::string& detail);
+
+  /// Validates sequence bytes in-place per the policy. True when the line
+  /// is acceptable (possibly repaired); false when the record must be
+  /// quarantined (strict mode throws instead).
+  bool check_bases(std::string& bases, bool& repaired_record);
+
   std::optional<Sequence> next_fasta();
   std::optional<Sequence> next_fastq();
 
   std::ifstream in_;
   std::string path_;
-  std::string pending_header_;  // lookahead header line for FASTA
+  ParsePolicy policy_;
+  std::string pending_header_;       // lookahead header line
+  std::size_t pending_header_line_ = 0;
+  std::uint64_t pending_header_offset_ = 0;
   bool is_fastq_ = false;
   bool format_known_ = false;
+  bool quarantined_record_ = false;  // set when a record was dropped; next() loops
   std::size_t records_read_ = 0;
+  io::ParseDiagnostics diagnostics_;
+
+  std::size_t line_number_ = 0;      // 1-based number of the last line read
+  std::uint64_t line_offset_ = 0;    // byte offset of that line's start
+  std::uint64_t next_offset_ = 0;    // byte offset one past the last line read
 };
 
-/// Reads every record of a FASTA/FASTQ file.
-std::vector<Sequence> read_all(const std::string& path);
+/// Reads every record of a FASTA/FASTQ file. `diagnostics`, when non-null,
+/// receives the reader's quarantine counts (useful with kTolerant/kRepair).
+std::vector<Sequence> read_all(const std::string& path,
+                               ParsePolicy policy = ParsePolicy::kStrict,
+                               io::ParseDiagnostics* diagnostics = nullptr);
 
 /// Writes sequences as FASTA with `wrap` columns per line (0 = no wrap).
+/// Throws io::IoError on storage failure.
 void write_fasta(const std::string& path, const std::vector<Sequence>& seqs,
                  std::size_t wrap = 0);
 

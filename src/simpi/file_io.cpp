@@ -1,12 +1,9 @@
 #include "simpi/file_io.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
-#include <stdexcept>
+
+#include "io/error.hpp"
+#include "io/io_file.hpp"
 
 namespace trinity::simpi {
 
@@ -20,38 +17,47 @@ void write_file_ordered(Context& ctx, const std::string& path, std::string_view 
     total += sizes[static_cast<std::size_t>(r)];
   }
 
+  // Failures carry the rank whose slice failed: with P ranks writing into
+  // one file, "write failure on foo.fasta" alone is undebuggable.
+  const auto attribute = [&](const io::IoError& e) {
+    throw io::IoError(e.kind(), e.op(), path, e.error_code(),
+                      "rank " + std::to_string(ctx.rank()) + "/" +
+                          std::to_string(ctx.size()) + " slice [" + std::to_string(offset) +
+                          ", " + std::to_string(offset + local_data.size()) + "): " + e.what());
+  };
+
   // Rank 0 creates the file at full size, then everyone writes in place.
   if (ctx.rank() == 0) {
-    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-    if (fd < 0) {
-      throw std::runtime_error("write_file_ordered: cannot create '" + path +
-                               "': " + std::strerror(errno));
+    try {
+      io::IoFile out = io::IoFile::create(path);
+      out.close();
+      std::filesystem::resize_file(path, total);
+    } catch (const io::IoError& e) {
+      attribute(e);
     }
-    ::close(fd);
-    std::filesystem::resize_file(path, total);
   }
   ctx.barrier();
 
   if (!local_data.empty()) {
-    const int fd = ::open(path.c_str(), O_WRONLY);
-    if (fd < 0) {
-      throw std::runtime_error("write_file_ordered: cannot open '" + path +
-                               "': " + std::strerror(errno));
+    try {
+      io::IoFile out = io::IoFile::open_write(path);
+      out.pwrite_all(local_data, offset);
+      out.close();
+    } catch (const io::IoError& e) {
+      attribute(e);
     }
-    std::size_t written = 0;
-    while (written < local_data.size()) {
-      const ssize_t n = ::pwrite(fd, local_data.data() + written, local_data.size() - written,
-                                 static_cast<off_t>(offset + written));
-      if (n < 0) {
-        ::close(fd);
-        throw std::runtime_error("write_file_ordered: write failure on '" + path +
-                                 "': " + std::strerror(errno));
-      }
-      written += static_cast<std::size_t>(n);
-    }
-    ::close(fd);
   }
   ctx.barrier();
+
+  // Every rank verifies the collective actually produced `total` bytes; a
+  // short file here means some slice silently failed to land.
+  const std::uint64_t actual = io::file_size(path);
+  if (actual != total) {
+    throw io::IoError(io::IoErrorKind::kPermanent, "verify", path, 0,
+                      "collective write produced " + std::to_string(actual) +
+                          " bytes, expected " + std::to_string(total) + " (rank " +
+                          std::to_string(ctx.rank()) + "/" + std::to_string(ctx.size()) + ")");
+  }
 }
 
 }  // namespace trinity::simpi

@@ -17,8 +17,10 @@ namespace trinity::simpi {
 
 /// Collectively writes each rank's `local_data` into `path` in rank order.
 /// Must be called by every rank. The resulting file equals the rank-order
-/// concatenation of all contributions. Throws std::runtime_error on I/O
-/// failure (which aborts the world, like an MPI-I/O error would).
+/// concatenation of all contributions. Throws io::IoError on I/O failure
+/// (which aborts the world, like an MPI-I/O error would); the message names
+/// the failing rank and its byte slice, and after the collective every rank
+/// verifies the file length matches the summed contributions.
 void write_file_ordered(Context& ctx, const std::string& path, std::string_view local_data);
 
 }  // namespace trinity::simpi
