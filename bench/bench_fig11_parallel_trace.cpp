@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu reference isoforms, %zu reads\n\n",
               data.transcriptome.transcripts.size(), data.reads.reads.size());
 
-  auto run_with = [&](int ranks, const char* dir) {
+  auto run_with = [&](int ranks, const char* dir, bool traced) {
     pipeline::PipelineOptions options;
     options.k = bench::kK;
     options.nranks = ranks;
@@ -36,11 +36,14 @@ int main(int argc, char** argv) {
     options.bowtie_kernel_repeats = static_cast<int>(args.get_int("bowtie-repeats", 85));
     options.gff_kernel_repeats = static_cast<int>(args.get_int("gff-repeats", 400));
     options.r2t_kernel_repeats = static_cast<int>(args.get_int("r2t-repeats", 60));
+    // The per-rank/per-thread timeline behind this figure, as an artifact:
+    // the hybrid run emits a Chrome trace next to its run report.
+    if (traced) options.trace_path = "trace.json";
     return pipeline::run_pipeline(data.reads.reads, options);
   };
 
-  const auto original = run_with(1, "/tmp/trinity_bench_fig11_orig");
-  const auto parallel = run_with(nranks, "/tmp/trinity_bench_fig11_par");
+  const auto original = run_with(1, "/tmp/trinity_bench_fig11_orig", false);
+  const auto parallel = run_with(nranks, "/tmp/trinity_bench_fig11_par", true);
 
   std::printf("%-34s %10s %10s %14s\n", "stage (hybrid run)", "wall(s)", "cpu(s)",
               "rss_peak(MB)");
@@ -68,6 +71,10 @@ int main(int argc, char** argv) {
   }
   if (!parallel.report_path.empty()) {
     std::printf("full run report: %s\n", parallel.report_path.c_str());
+  }
+  if (!parallel.trace_file.empty()) {
+    std::printf("chrome trace:    %s  (Perfetto / trinity_trace)\n",
+                parallel.trace_file.c_str());
   }
 
   const double before = original.chrysalis_virtual_seconds();

@@ -1,0 +1,118 @@
+// Tracing overhead guard: with tracing disabled (the default), every
+// instrumented hook must collapse to one relaxed atomic load, keeping the
+// end-to-end cost on a real workload under 2%.
+//
+// Two measurements:
+//   1. Microbench of the disabled hook (SpanScope construct/destruct with no
+//      recorder installed), in ns/call against an empty-loop baseline.
+//   2. The Figure 7 workload (hybrid GraphFromFasta) run untraced, counting
+//      how many hook invocations a traced run of the same workload performs.
+//      Projected overhead = hook_cost * hook_count / untraced_wall.
+//
+// The projection is the honest comparison available inside one binary: the
+// instrumentation cannot be compiled out, so "0% vs this build" is
+// unmeasurable, but hook-cost x hook-count bounds what the hooks add. The
+// bench exits non-zero when the projection crosses the 2% budget, which is
+// how scripts/check.sh gates regressions (e.g. someone adding allocation or
+// a lock to the disabled path).
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "chrysalis/graph_from_fasta.hpp"
+#include "trace/span_recorder.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// ns per disabled SpanScope over `iters` calls, baseline-subtracted.
+double disabled_hook_ns(std::int64_t iters) {
+  using namespace trinity;
+  volatile std::int64_t sink = 0;
+  util::Timer base_timer;
+  for (std::int64_t i = 0; i < iters; ++i) sink = sink + i;
+  const double baseline = base_timer.seconds();
+
+  util::Timer hook_timer;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    trace::SpanScope span("bench.noop", trace::kCatSimpi);
+    if (span) span.arg("i", static_cast<double>(i));
+    sink = sink + i;
+  }
+  const double with_hook = hook_timer.seconds();
+  return (with_hook - baseline) / static_cast<double>(iters) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  const auto genes = static_cast<std::size_t>(args.get_int("genes", 120));
+  const int nranks = static_cast<int>(args.get_int("ranks", 4));
+  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 20));
+  const double budget = args.get_double("budget", 0.02);
+
+  bench::banner("Trace overhead", "disabled-tracing cost on the Figure 7 workload");
+
+  if (trace::enabled()) {
+    std::printf("error: a recorder is installed; this bench measures the disabled path\n");
+    return 1;
+  }
+  const std::int64_t iters = args.get_int("iters", 20'000'000);
+  const double hook_ns = disabled_hook_ns(iters);
+  std::printf("disabled hook: %.2f ns/call (%lld calls)\n", hook_ns,
+              static_cast<long long>(iters));
+
+  const auto w = bench::make_workload("sugarbeet_like", genes, "trace_overhead");
+  bench::describe(w);
+
+  chrysalis::GraphFromFastaOptions options;
+  options.k = bench::kK;
+  options.kernel_repeats = repeats;
+  options.model_threads_per_rank = 1;
+
+  // Untraced run: the workload cost the hooks are amortized against.
+  util::Timer untraced_timer;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
+  });
+  const double untraced_wall = untraced_timer.seconds();
+
+  // Traced run of the identical workload: every recorded event is one hook
+  // that the disabled path would have short-circuited. Wait sub-spans ride
+  // inside their op's hook, so events >= hooks and the bound is conservative.
+  trace::SpanRecorder recorder(1u << 22);
+  std::uint64_t hook_count = 0;
+  {
+    trace::ScopedRecording recording(&recorder);
+    simpi::run(nranks, [&](simpi::Context& ctx) {
+      chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
+    });
+    hook_count = recorder.drain().size() + recorder.dropped_events();
+  }
+
+  const double projected_s = hook_ns * 1e-9 * static_cast<double>(hook_count);
+  const double overhead = untraced_wall > 0.0 ? projected_s / untraced_wall : 0.0;
+  std::printf("\nworkload: %d ranks, untraced wall %.3f s\n", nranks, untraced_wall);
+  std::printf("hook sites exercised: %llu (from the traced twin run)\n",
+              static_cast<unsigned long long>(hook_count));
+  std::printf("projected disabled-tracing overhead: %.4f%% (budget %.1f%%)\n",
+              overhead * 100.0, budget * 100.0);
+
+  bench::JsonSink json(args, "trace_overhead");
+  json.begin_entry();
+  json.field("hook_ns", hook_ns);
+  json.field("hook_count", static_cast<std::int64_t>(hook_count));
+  json.field("untraced_wall_s", untraced_wall);
+  json.field("projected_overhead", overhead);
+  json.field("budget", budget);
+
+  if (overhead >= budget) {
+    std::printf("FAIL: disabled-tracing overhead exceeds the budget\n");
+    return 1;
+  }
+  std::printf("PASS: disabled-tracing overhead within budget\n");
+  return 0;
+}

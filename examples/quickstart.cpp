@@ -13,6 +13,9 @@
 //              [--fault-op allgatherv --fault-at 1] [--max-attempts 3]
 // The fault flags kill the given rank mid-stage (by default at its first
 // communication); the pipeline's retry driver then re-launches the stage.
+//
+// Observability: --trace writes <work-dir>/trace.json, a Chrome trace-event
+// timeline of the run (docs/OBSERVABILITY.md "Distributed trace").
 
 #include <cstdio>
 #include <iostream>
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   }
   options.fault_stage = args.get_string("fault-stage", "chrysalis.graph_from_fasta");
   options.retry.max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
+  if (args.get_bool("trace", false)) options.trace_path = "trace.json";
   const auto result = pipeline::run_pipeline(data.reads.reads, options);
 
   if (!result.stages_resumed.empty()) {
@@ -96,5 +100,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nmodeled Chrysalis time on the simulated cluster: "
             << result.chrysalis_virtual_seconds() << " s\n";
+  if (!result.trace_file.empty()) {
+    std::cout << "trace written to " << result.trace_file
+              << " (open in Perfetto, or run trinity_trace on it)\n";
+  }
   return 0;
 }

@@ -13,19 +13,39 @@
 // Flags:
 //   --json    re-emit the parsed report compactly on stdout instead of the
 //             summary (round-trip check / piping into jq)
+//   --trace   when the report carries a "trace_file" field (a run with
+//             PipelineOptions::trace_path set), load that Chrome trace and
+//             append the critical-path analysis (per-stage critical rank,
+//             per-rank blocked time, top-5 spans) to the summary
 
 #include <exception>
 #include <iostream>
 #include <string>
 
 #include "pipeline/run_report.hpp"
+#include "trace/analyze.hpp"
+#include "trace/chrome_trace.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// The report stores trace_path as given (work-dir-relative by default), so a
+// moved work dir keeps working: resolve it against the report's directory.
+std::string resolve_trace_path(const std::string& report_path,
+                               const std::string& trace_file) {
+  if (!trace_file.empty() && trace_file.front() == '/') return trace_file;
+  const auto slash = report_path.find_last_of('/');
+  if (slash == std::string::npos) return trace_file;
+  return report_path.substr(0, slash + 1) + trace_file;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace trinity;
   const auto args = util::CliArgs::parse(argc, argv);
   if (args.positional().empty()) {
-    std::cerr << "usage: trinity_report <run_report.json> [--json]\n";
+    std::cerr << "usage: trinity_report <run_report.json> [--json] [--trace]\n";
     return 2;
   }
   const std::string path = args.positional().front();
@@ -35,6 +55,18 @@ int main(int argc, char** argv) {
       std::cout << report.dump() << '\n';
     } else {
       pipeline::summarize_report(report, std::cout);
+      if (args.get_bool("trace", false)) {
+        const util::Json* trace_file = report.find("trace_file");
+        if (trace_file == nullptr) {
+          std::cerr << "trinity_report: report has no trace_file field "
+                       "(run with PipelineOptions::trace_path set)\n";
+          return 1;
+        }
+        const std::string trace_path =
+            resolve_trace_path(path, trace_file->as_string());
+        const auto events = trace::read_chrome_trace(trace_path);
+        std::cout << '\n' << trace::format_analysis(trace::analyze_trace(events, 5));
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "trinity_report: " << e.what() << '\n';

@@ -1,0 +1,57 @@
+// trinity_trace: mine a Chrome trace emitted by a pipeline run
+// (PipelineOptions::trace_path; format in docs/OBSERVABILITY.md).
+//
+// Prints the per-stage cross-rank critical path (which rank the stage's
+// closing collective waited for), per-rank busy/blocked totals, and the
+// top-N longest spans — the paper's Figure 7/9 max-vs-min diagnosis from a
+// single artifact. The same file loads interactively in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/quickstart --ranks 4 --trace
+//   ./build/examples/trinity_trace /tmp/trinity_quickstart/trace.json
+//
+// Flags:
+//   --top N       how many spans to list (default 5)
+//   --validate    run the Chrome trace-event shape checker instead of the
+//                 analysis; exit 0 iff the file is well-formed (the
+//                 scripts/check.sh trace gate)
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "trace/analyze.hpp"
+#include "trace/chrome_trace.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  const auto args = util::CliArgs::parse(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: trinity_trace <trace.json> [--top N] [--validate]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  try {
+    if (args.get_bool("validate", false)) {
+      const trace::TraceShapeReport shape = trace::validate_chrome_trace_file(path);
+      if (!shape.ok()) {
+        std::cerr << "trinity_trace: " << path << " failed the shape check:\n";
+        for (const auto& error : shape.errors) std::cerr << "  " << error << '\n';
+        return 1;
+      }
+      std::cout << path << ": well-formed Chrome trace (" << shape.num_events
+                << " events)\n";
+      return 0;
+    }
+    const auto events = trace::read_chrome_trace(path);
+    const auto top_n = static_cast<std::size_t>(args.get_int("top", 5));
+    std::cout << trace::format_analysis(trace::analyze_trace(events, top_n));
+  } catch (const std::exception& e) {
+    std::cerr << "trinity_trace: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

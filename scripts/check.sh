@@ -13,9 +13,14 @@
 #      via resume to byte-identical transcripts, EIO mid-dump and a short
 #      write on the final transcripts retried in process — plus the io-layer
 #      unit tests and the malformed-input corpus.
-#   4. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io
-#      and simpi test binaries — the subsystems that throw across thread and
-#      collective boundaries, where sanitizers earn their keep.
+#   4. Trace gate (docs/OBSERVABILITY.md "Distributed trace"): a small
+#      traced pipeline run must leave a trace.json that passes the Chrome
+#      trace-event shape checker and yields a critical-path analysis, and
+#      the disabled-tracing overhead bench must stay under its 2% budget.
+#   5. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#      simpi and trace test binaries — the subsystems that throw across
+#      thread and collective boundaries (and, for the trace recorder,
+#      publish buffers across threads), where sanitizers earn their keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -eu
@@ -70,18 +75,27 @@ echo "== fault matrix: injected storage failures + malformed input =="
 ./build/tests/seq_parse_policy_test
 ./build/tests/io_fault_matrix_test
 
+echo "== trace: traced run + shape check + overhead budget =="
+trace_dir=/tmp/trinity_check_trace
+rm -rf "$trace_dir"
+./build/examples/quickstart --genes 8 --ranks 2 --trace --work-dir "$trace_dir" >/dev/null
+./build/examples/trinity_trace "$trace_dir/trace.json" --validate
+./build/examples/trinity_trace "$trace_dir/trace.json" | grep -q 'critical path'
+./build/examples/trinity_report "$trace_dir/run_report.json" --trace | grep -q 'top spans'
+./build/bench/bench_trace_overhead --genes 60 --kernel-repeats 5 --iters 5000000
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + io + simpi tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi + trace tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-    pipeline_checkpoint_test io_fault_test seq_parse_policy_test
+    pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-         pipeline_checkpoint_test io_fault_test seq_parse_policy_test; do
+         pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

@@ -210,7 +210,7 @@ std::vector<IndexRange> ranges_for_rank(const GraphFromFastaOptions& options,
 template <typename Body>
 double timed_dynamic_loop(simpi::Context& ctx, int counter_id,
                           const GraphFromFastaOptions& options, std::size_t num_items,
-                          Body&& body) {
+                          Body&& body, const char* trace_name = nullptr) {
   const std::size_t chunk = effective_chunk_size(options, num_items, ctx.size());
   const std::size_t num_chunks = (num_items + chunk - 1) / chunk;
   ctx.barrier();
@@ -218,12 +218,21 @@ double timed_dynamic_loop(simpi::Context& ctx, int counter_id,
   if (ctx.rank() == 0) counter.reset(0);
   ctx.barrier();
 
+  const bool traced = trace_name != nullptr && trace::enabled();
   util::ThreadCpuTimer cpu;
   for (;;) {
     const std::uint64_t c = counter.fetch_add(1);
     if (c >= num_chunks) break;
     const std::size_t begin = static_cast<std::size_t>(c) * chunk;
     const std::size_t end = std::min(begin + chunk, num_items);
+    // One span per claimed chunk: the self-scheduling claim pattern is the
+    // point of this loop, so make each claim visible on the rank's track.
+    std::optional<trace::SpanScope> span;
+    if (traced) {
+      span.emplace(trace_name, trace::kCatLoop);
+      span->arg("chunk", static_cast<double>(c));
+      span->arg("items", static_cast<double>(end - begin));
+    }
     for (std::size_t i = begin; i < end; ++i) body(i);
   }
   return cpu.seconds() / static_cast<double>(std::max(options.model_threads_per_rank, 1));
@@ -284,13 +293,15 @@ GffResult run_shared(const std::vector<seq::Sequence>& contigs,
   std::vector<std::vector<std::string>> weld_parts(
       static_cast<std::size_t>(std::max(threads, 1)));
   const std::vector<IndexRange> all{IndexRange{0, contigs.size()}};
-  const double loop1 =
-      timed_parallel_loop(all, threads, options.model_threads_per_rank, [&](std::size_t i) {
+  const double loop1 = timed_parallel_loop(
+      all, threads, options.model_threads_per_rank,
+      [&](std::size_t i) {
         auto& sink = weld_parts[static_cast<std::size_t>(omp_get_thread_num())];
         run_calibrated(options.kernel_repeats, sink, [&](std::vector<std::string>& out) {
           detail::harvest_welds(contigs[i], multiplicity, read_counter, options, out);
         });
-      });
+      },
+      "gff.loop1");
   timing.loop1.seconds = {loop1};
 
   util::ThreadCpuTimer mid_cpu;
@@ -306,15 +317,17 @@ GffResult run_shared(const std::vector<seq::Sequence>& contigs,
   // Loop 2 — weld matching, OpenMP dynamic over all contigs.
   std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> match_parts(
       static_cast<std::size_t>(std::max(threads, 1)));
-  const double loop2 =
-      timed_parallel_loop(all, threads, options.model_threads_per_rank, [&](std::size_t i) {
+  const double loop2 = timed_parallel_loop(
+      all, threads, options.model_threads_per_rank,
+      [&](std::size_t i) {
         auto& sink = match_parts[static_cast<std::size_t>(omp_get_thread_num())];
         run_calibrated(options.kernel_repeats, sink,
                        [&](std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
                          detail::find_weld_matches(contigs[i], static_cast<std::int32_t>(i),
                                                    weld_cores, options, out);
                        });
-      });
+      },
+      "gff.loop2");
   timing.loop2.seconds = {loop2};
 
   std::vector<std::pair<std::int32_t, std::int32_t>> matches;
@@ -356,9 +369,10 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   };
   const double my_loop1 =
       options.distribution == Distribution::kDynamic
-          ? timed_dynamic_loop(ctx, kDynamicCounterLoop1, options, contigs.size(), loop1_body)
+          ? timed_dynamic_loop(ctx, kDynamicCounterLoop1, options, contigs.size(), loop1_body,
+                               "gff.loop1")
           : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
-                                loop1_body);
+                                loop1_body, "gff.loop1");
 
   // Pool welds on every rank: pack the strings into one sequence, then
   // Allgatherv the packed bytes (paper, Section III.B).
@@ -388,9 +402,10 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   };
   const double my_loop2 =
       options.distribution == Distribution::kDynamic
-          ? timed_dynamic_loop(ctx, kDynamicCounterLoop2, options, contigs.size(), loop2_body)
+          ? timed_dynamic_loop(ctx, kDynamicCounterLoop2, options, contigs.size(), loop2_body,
+                               "gff.loop2")
           : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
-                                loop2_body);
+                                loop2_body, "gff.loop2");
 
   // Pool the pairing indices as a flat integer array (substantially less
   // data than loop 1's strings, as the paper notes).

@@ -14,9 +14,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "chrysalis/distribution.hpp"
+#include "trace/span_recorder.hpp"
 #include "util/timer.hpp"
 
 namespace trinity::chrysalis {
@@ -32,23 +34,44 @@ inline int resolve_omp_threads(int requested, bool hybrid) {
 /// Runs `body(index)` over the given ranges with an OpenMP team of
 /// `real_threads` and returns the team's summed CPU seconds divided by
 /// `model_threads` — the loop's virtual duration on one simulated node.
+///
+/// When `trace_name` is set and a trace::SpanRecorder is installed, each
+/// team thread records one span per range (category "loop") with the range
+/// index and the number of dynamic-schedule items it claimed, making
+/// intra-rank scheduling behavior visible on the timeline. The rank is read
+/// from trace::current_rank() before the parallel region forks, because
+/// OpenMP workers do not inherit the rank thread's thread_locals.
 template <typename Body>
 double timed_parallel_loop(const std::vector<IndexRange>& ranges, int real_threads,
-                           int model_threads, Body&& body) {
+                           int model_threads, Body&& body,
+                           const char* trace_name = nullptr) {
   double work_cpu = 0.0;
+  const bool traced = trace_name != nullptr && trace::enabled();
+  const int trace_rank = traced ? trace::current_rank() : -1;
   // One parallel region for the whole loop: each thread's CPU clock is read
   // exactly once, so the clock's coarse tick (10 ms on some kernels) is
   // paid once per loop instead of once per chunk.
 #pragma omp parallel num_threads(real_threads) reduction(+ : work_cpu)
   {
     util::ThreadCpuTimer cpu;
+    const int tid = omp_get_thread_num();
+    int range_index = 0;
     for (const auto& range : ranges) {
+      std::optional<trace::SpanScope> span;
+      if (traced) span.emplace(trace_name, trace::kCatLoop, trace_rank, tid);
+      std::int64_t items = 0;
       const auto begin = static_cast<std::int64_t>(range.begin);
       const auto end = static_cast<std::int64_t>(range.end);
 #pragma omp for schedule(dynamic)
       for (std::int64_t i = begin; i < end; ++i) {
         body(static_cast<std::size_t>(i));
+        ++items;
       }
+      if (span) {
+        span->arg("range", range_index);
+        span->arg("items", static_cast<double>(items));
+      }
+      ++range_index;
     }
     work_cpu += cpu.seconds();
   }

@@ -117,7 +117,8 @@ double process_chunk(const std::vector<seq::Sequence>& chunk, std::int64_t base_
                                assignments[offset + i] = detail::assign_read(
                                    chunk[i], base_index + static_cast<std::int64_t>(i),
                                    bundle_of, options.k);
-                             });
+                             },
+                             "r2t.chunk");
 }
 
 std::string rank_output_path(const std::string& output_dir, int rank) {

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <mutex>
 
+#include "trace/span_recorder.hpp"
+
 namespace trinity::io {
 
 namespace {
@@ -49,6 +51,10 @@ IoFaultPlan installed_plan() {
 IoFaultKind fault_point(IoOp op, const std::string& path) {
   const IoFaultPlan plan = installed_plan();
   if (!plan.should_fire(op, path)) return IoFaultKind::kNone;
+  // Every injected fault — thrown here or acted out by the caller — leaves
+  // an instant event on the firing thread's track.
+  trace::instant("io.fault", trace::kCatIo,
+                 std::string(to_string(plan.kind)) + " at " + to_string(op) + " " + path);
   switch (plan.kind) {
     case IoFaultKind::kShortWrite:
       // Only a write can land partial bytes; elsewhere degrade to EIO.
@@ -85,6 +91,8 @@ void clear_fault_plan() {
 IoFaultPlan current_fault_plan() { return installed_plan(); }
 
 IoFile IoFile::create(const std::string& path) {
+  trace::SpanScope span("io.open", trace::kCatIo);
+  if (span) span.set_detail(path);
   fault_point(IoOp::kOpen, path);
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) throw_errno("open", path, errno, "cannot create");
@@ -92,6 +100,8 @@ IoFile IoFile::create(const std::string& path) {
 }
 
 IoFile IoFile::open_write(const std::string& path) {
+  trace::SpanScope span("io.open", trace::kCatIo);
+  if (span) span.set_detail(path);
   fault_point(IoOp::kOpen, path);
   const int fd = ::open(path.c_str(), O_WRONLY);
   if (fd < 0) throw_errno("open", path, errno, "cannot open for writing");
@@ -119,6 +129,11 @@ IoFile::~IoFile() {
 }
 
 void IoFile::write_all(std::string_view data) {
+  trace::SpanScope span("io.write", trace::kCatIo);
+  if (span) {
+    span.arg("bytes", static_cast<double>(data.size()));
+    span.set_detail(path_);
+  }
   const IoFaultKind fault = fault_point(IoOp::kWrite, path_);
   if (fault == IoFaultKind::kShortWrite) {
     // Land half the payload, then fail: the on-disk file now holds a
@@ -150,6 +165,12 @@ void IoFile::write_all(std::string_view data) {
 }
 
 void IoFile::pwrite_all(std::string_view data, std::uint64_t offset) {
+  trace::SpanScope span("io.write", trace::kCatIo);
+  if (span) {
+    span.arg("bytes", static_cast<double>(data.size()));
+    span.arg("offset", static_cast<double>(offset));
+    span.set_detail(path_);
+  }
   const IoFaultKind fault = fault_point(IoOp::kWrite, path_);
   if (fault == IoFaultKind::kShortWrite) {
     const std::size_t half = data.size() / 2;
@@ -181,6 +202,8 @@ void IoFile::pwrite_all(std::string_view data, std::uint64_t offset) {
 }
 
 void IoFile::fsync() {
+  trace::SpanScope span("io.fsync", trace::kCatIo);
+  if (span) span.set_detail(path_);
   fault_point(IoOp::kFsync, path_);
   if (::fsync(fd_) < 0) throw_errno("fsync", path_, errno, "fsync failure");
 }
@@ -193,6 +216,8 @@ void IoFile::close() {
 }
 
 void rename_file(const std::string& from, const std::string& to) {
+  trace::SpanScope span("io.rename", trace::kCatIo);
+  if (span) span.set_detail(to);
   // The plan may target either side of the rename; count the op once,
   // against the destination first (commit targets name their final path).
   IoFaultKind fault = fault_point(IoOp::kRename, to);

@@ -155,6 +155,13 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
   report.set("stage_retries", result.stage_retries);
   report.set("io_retries", result.io_retries);
   report.set("parse", parse_json(options.parse_policy, result.parse));
+  // Additive schema-2 field: present only when the run emitted a Chrome
+  // trace. Recorded as given in options (work-dir relative by default) so
+  // a report plus its trace stay portable as a pair.
+  if (!result.trace_file.empty()) {
+    report.set("trace_file",
+               options.trace_path.empty() ? result.trace_file : options.trace_path);
+  }
 
   util::Json phases = util::Json::array();
   for (const auto& p : result.trace) phases.push_back(phase_json(p));
@@ -211,6 +218,9 @@ void summarize_report(const util::Json& report, std::ostream& out) {
   // Schema v2 fields; a v1 report simply lacks them.
   if (const util::Json* io_retries = report.find("io_retries")) {
     out << "io retries:      " << io_retries->as_int() << '\n';
+  }
+  if (const util::Json* trace_file = report.find("trace_file")) {
+    out << "trace file:      " << trace_file->as_string() << '\n';
   }
   if (const util::Json* parse = report.find("parse")) {
     out << "parse (" << parse->at("policy").as_string()

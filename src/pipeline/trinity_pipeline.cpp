@@ -3,6 +3,8 @@
 #include <exception>
 #include <filesystem>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -10,6 +12,8 @@
 #include "checkpoint/fingerprint.hpp"
 #include "io/io_file.hpp"
 #include "pipeline/run_report.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/span_recorder.hpp"
 #include "chrysalis/components_io.hpp"
 #include "chrysalis/scaffold.hpp"
 #include "inchworm/inchworm.hpp"
@@ -130,13 +134,16 @@ void record_stage_comm(PipelineResult& result, util::ResourceTrace& trace,
 class StageDriver {
  public:
   StageDriver(const PipelineOptions& options, std::string work_dir,
-              util::ResourceTrace& trace, PipelineResult& result, std::string trace_ref)
+              util::ResourceTrace& trace, PipelineResult& result, std::string trace_ref,
+              trace::SpanRecorder* recorder, double recorder_epoch_offset)
       : options_(options),
         work_dir_(std::move(work_dir)),
         manifest_path_(work_dir_ + "/" + kManifestFileName),
         trace_(trace),
         result_(result),
-        trace_ref_(std::move(trace_ref)) {
+        trace_ref_(std::move(trace_ref)),
+        recorder_(recorder),
+        recorder_epoch_offset_(recorder_epoch_offset) {
     if (options_.checkpoint || options_.resume) {
       manifest_ = checkpoint::RunManifest::load(manifest_path_);
       if (manifest_.dropped_lines() > 0) {
@@ -158,12 +165,60 @@ class StageDriver {
     if (can_resume(name)) {
       trace_.phase(name + ".resumed", load);
       result_.stages_resumed.push_back(name);
+      sync_trace();
       return;
     }
     chain_valid_ = false;  // everything downstream recomputes too
     const Execution exec = execute_with_retry(name, compute);
     result_.stages_executed.push_back(name);
     if (options_.checkpoint) record(name, inputs, outputs, exec);
+    sync_trace();
+  }
+
+  /// Stage-end trace maintenance: synthesizes one pipeline-category span
+  /// (plus rss counter samples) for every ResourceTrace phase closed since
+  /// the last call, then drains the recorder's thread buffers — the
+  /// "drained at stage end" contract that bounds buffer occupancy. The
+  /// span is stamped from the PhaseRecord itself, so the analyzer's stage
+  /// wall times equal the run report's exactly; the (sub-microsecond)
+  /// epoch skew between the resource-trace clock and the recorder clock is
+  /// bridged by recorder_epoch_offset_.
+  void sync_trace() {
+    if (recorder_ == nullptr) return;
+    const auto& phases = trace_.records();
+    for (; synced_phases_ < phases.size(); ++synced_phases_) {
+      const util::PhaseRecord& pr = phases[synced_phases_];
+      trace::TraceEvent span;
+      span.kind = trace::EventKind::kSpan;
+      span.name = pr.name;
+      span.category = trace::kCatPipeline;
+      span.start_s = pr.start_seconds + recorder_epoch_offset_;
+      span.dur_s = pr.wall_seconds;
+      span.args.push_back({"cpu_s", pr.cpu_seconds});
+      span.args.push_back({"rss_peak_b", static_cast<double>(pr.rss_peak)});
+      for (const auto& c : pr.counters) span.args.push_back({c.name, c.value});
+      recorder_->record(std::move(span));
+
+      for (const auto& [offset, rss] :
+           {std::pair<double, std::uint64_t>{0.0, pr.rss_before},
+            std::pair<double, std::uint64_t>{pr.wall_seconds, pr.rss_after}}) {
+        trace::TraceEvent sample;
+        sample.kind = trace::EventKind::kCounter;
+        sample.name = "rss_bytes";
+        sample.category = trace::kCatPipeline;
+        sample.start_s = pr.start_seconds + recorder_epoch_offset_ + offset;
+        sample.value = static_cast<double>(rss);
+        recorder_->record(std::move(sample));
+      }
+    }
+    auto drained = recorder_->drain();
+    events_.insert(events_.end(), std::make_move_iterator(drained.begin()),
+                   std::make_move_iterator(drained.end()));
+  }
+
+  /// Everything drained so far (moved out once, at trace-write time).
+  [[nodiscard]] std::vector<trace::TraceEvent> take_trace_events() {
+    return std::move(events_);
   }
 
   [[nodiscard]] simpi::FaultPlan fault_for(const std::string& name) const {
@@ -231,6 +286,8 @@ class StageDriver {
   /// Rethrows when the retry budget is exhausted; otherwise logs and counts.
   void handle_abort(const std::string& name, const char* what, int attempt,
                     const checkpoint::RetryPolicy& policy) {
+    trace::instant("stage.abort", trace::kCatPipeline,
+                   name + ": " + what, {{"attempt", static_cast<double>(attempt)}});
     if (attempt >= policy.max_attempts) throw;
     ++result_.stage_retries;
     LOG_WARN() << "pipeline: stage " << name << " aborted (" << what << "); retry "
@@ -270,6 +327,11 @@ class StageDriver {
   simpi::FaultPlan fault_;
   std::string trace_ref_;  ///< run-report path stamped into stage records
   bool chain_valid_ = true;  ///< false after the first recomputed stage
+
+  trace::SpanRecorder* recorder_;       ///< null when tracing is off
+  double recorder_epoch_offset_;        ///< recorder time at ResourceTrace start
+  std::size_t synced_phases_ = 0;       ///< phases already synthesized
+  std::vector<trace::TraceEvent> events_;  ///< drained so far, in drain order
 };
 
 /// Shared body of run_pipeline / run_pipeline_from_file. `input_parse`
@@ -303,8 +365,28 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
           ? ""
           : (options.report_path.empty() ? std::string(kReportFileName) : options.report_path);
 
+  // Span tracing: off unless trace_path is set. The recorder is installed
+  // process-wide for the run; everything instrumented (simpi collectives,
+  // loop chunks, io calls) records into it, and the driver drains it at
+  // every stage boundary.
+  const std::string trace_path =
+      options.trace_path.empty()
+          ? ""
+          : (options.trace_path.front() == '/' ? options.trace_path
+                                               : work_dir + "/" + options.trace_path);
+  std::unique_ptr<trace::SpanRecorder> recorder;
+  std::optional<trace::ScopedRecording> recording;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<trace::SpanRecorder>();
+    recording.emplace(recorder.get());
+  }
+
   util::ResourceTrace trace(options.trace_sample_interval_ms);
-  StageDriver driver(options, work_dir, trace, result, report_ref);
+  // Pipeline stage spans are stamped on the ResourceTrace clock; measure
+  // its epoch on the recorder clock so the two align on one timeline.
+  const double recorder_epoch_offset = recorder ? recorder->now() : 0.0;
+  StageDriver driver(options, work_dir, trace, result, report_ref, recorder.get(),
+                     recorder_epoch_offset);
 
   // Stage files: Trinity modules exchange data through the filesystem —
   // which is exactly what makes them checkpoints.
@@ -518,6 +600,17 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
 
   result.parse.merge(r2t_parse);
   result.trace = trace.records();
+  if (recorder) {
+    driver.sync_trace();  // catch events recorded after the last stage
+    recording.reset();    // uninstall before writing the file
+    trace::ChromeTraceMeta meta;
+    meta.dropped_events = recorder->dropped_events();
+    // Through the io layer: the trace write obeys the same fault-injection
+    // and typed-error contract as every other durable artifact.
+    io::write_file(trace_path,
+                   trace::chrome_trace_text(driver.take_trace_events(), meta));
+    result.trace_file = trace_path;
+  }
   if (options.emit_report) {
     result.report_path = report_path;
     write_run_report(report_path, build_run_report(options, result));

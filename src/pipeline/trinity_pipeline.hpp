@@ -119,6 +119,14 @@ struct PipelineOptions {
   bool emit_report = true;
   /// Report destination; empty means `<work_dir>/run_report.json`.
   std::string report_path;
+  /// Distributed span tracing (docs/OBSERVABILITY.md "Distributed trace"):
+  /// empty (the default) disables tracing entirely — instrumented code
+  /// collapses to one atomic load per hook. Non-empty installs a
+  /// trace::SpanRecorder for the run and writes a Chrome trace-event JSON
+  /// (loadable in Perfetto / chrome://tracing, minable by trinity_trace) to
+  /// this path when the run finishes; a relative path is joined to
+  /// work_dir. The report gains an additive "trace_file" field.
+  std::string trace_path;
 };
 
 /// Fingerprint over every output-affecting option plus a digest of the
@@ -171,6 +179,8 @@ struct PipelineResult {
   std::vector<StageCommMetrics> stage_comm;
   /// Path of the emitted JSON run report; empty when emit_report is false.
   std::string report_path;
+  /// Path of the emitted Chrome trace; empty when tracing was disabled.
+  std::string trace_file;
 
   /// The comm metrics for `stage`, or nullptr when the stage ran without
   /// a simpi world (nranks == 1) or was resumed from a checkpoint.

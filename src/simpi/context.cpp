@@ -3,9 +3,29 @@
 #include <exception>
 #include <thread>
 
+#include "trace/span_recorder.hpp"
 #include "util/timer.hpp"
 
 namespace trinity::simpi {
+namespace {
+
+// Wait sub-span names per op; literals so completed_span never copies on
+// the hot path.
+const char* wait_span_name(CommOp op) {
+  switch (op) {
+    case CommOp::kSend: return "send.wait";
+    case CommOp::kRecv: return "recv.wait";
+    case CommOp::kBarrier: return "barrier.wait";
+    case CommOp::kBcast: return "bcast.wait";
+    case CommOp::kGatherv: return "gatherv.wait";
+    case CommOp::kAllgatherv: return "allgatherv.wait";
+    case CommOp::kReduce: return "reduce.wait";
+    case CommOp::kExtension: return "extension.wait";
+    default: return "comm.wait";
+  }
+}
+
+}  // namespace
 
 // --- Context -----------------------------------------------------------------
 
@@ -35,15 +55,25 @@ Message Context::raw_recv(int source, int tag) {
 Message Context::waited_recv(int source, int tag, CommOp op) {
   util::Timer wait;
   Message msg = raw_recv(source, tag);
+  // The wait sub-span duration is the *same* measured value added to
+  // CommStats.wait_seconds, so per-rank wait-span totals in the trace
+  // reconcile with the run report's comm counters exactly.
+  const double waited = wait.seconds();
   auto& s = stats_.of(op);
-  s.wait_seconds += wait.seconds();
+  s.wait_seconds += waited;
   s.bytes_received += msg.payload.size();
+  trace::completed_span(wait_span_name(op), trace::kCatSimpi, waited);
   return msg;
 }
 
 void Context::send_bytes(int dest, int tag, std::span<const std::byte> bytes) {
   if (tag < 0) throw std::invalid_argument("simpi: user tags must be >= 0");
   if (dest < 0 || dest >= size()) throw std::out_of_range("simpi: send dest out of range");
+  trace::SpanScope span("send", trace::kCatSimpi);
+  if (span) {
+    span.arg("bytes", static_cast<double>(bytes.size()));
+    span.arg("dest", dest);
+  }
   fault_point(FaultOp::kSend);
   auto& s = stats_.of(CommOp::kSend);
   ++s.calls;
@@ -57,18 +87,23 @@ Message Context::recv_bytes(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size())) {
     throw std::out_of_range("simpi: recv source out of range");
   }
+  trace::SpanScope span("recv", trace::kCatSimpi);
+  if (span) span.arg("source", source);
   fault_point(FaultOp::kRecv);
   ++stats_.of(CommOp::kRecv).calls;
   return waited_recv(source, tag, CommOp::kRecv);
 }
 
 void Context::barrier() {
+  trace::SpanScope span("barrier", trace::kCatSimpi);
   fault_point(FaultOp::kBarrier);
   auto& s = stats_.of(CommOp::kBarrier);
   ++s.calls;
   util::Timer wait;
   world_.barrier_wait();
-  s.wait_seconds += wait.seconds();
+  const double waited = wait.seconds();
+  s.wait_seconds += waited;
+  trace::completed_span("barrier.wait", trace::kCatSimpi, waited);
   comm_seconds_ += cost_model().barrier_cost(size());
 }
 
@@ -81,8 +116,11 @@ void Context::fault_point(FaultOp op) {
     fire = cpu_clock_.seconds() + comm_seconds_ >= plan.after_virtual_seconds;
   }
   if (!fire || !plan.consume_fire()) return;
-  throw RankFaultError("injected fault: rank " + std::to_string(rank_) + " killed at " +
-                       to_string(op) + " entry " + std::to_string(entry));
+  std::string what = "injected fault: rank " + std::to_string(rank_) + " killed at " +
+                     to_string(op) + " entry " + std::to_string(entry);
+  trace::instant("simpi.fault", trace::kCatSimpi, what,
+                 {{"entry", static_cast<double>(entry)}});
+  throw RankFaultError(what);
 }
 
 std::atomic<std::uint64_t>& Context::world_counter(int id) { return world_.counter(id); }
@@ -155,6 +193,9 @@ std::vector<RankResult> run(int nranks, const std::function<void(Context&)>& fn,
 
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Rank attribution for every span recorded on this thread (collectives,
+      // io calls, loop spans read it before forking their OpenMP team).
+      trace::ScopedRank rank_scope(r);
       Context ctx(world, r);
       util::ThreadCpuTimer cpu;
       try {

@@ -32,6 +32,7 @@
 #include "simpi/cost_model.hpp"
 #include "simpi/fault.hpp"
 #include "simpi/mailbox.hpp"
+#include "trace/span_recorder.hpp"
 #include "util/timer.hpp"
 
 namespace trinity::simpi {
@@ -288,6 +289,11 @@ inline constexpr int kTagReduce = -4;
 template <typename T>
 void Context::bcast(std::vector<T>& data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  trace::SpanScope span("bcast", trace::kCatSimpi);
+  if (span) {
+    span.arg("bytes", static_cast<double>(data.size() * sizeof(T)));
+    span.arg("root", root);
+  }
   fault_point(FaultOp::kBcast);
   ++stats_.of(CommOp::kBcast).calls;
   if (rank_ == root) {
@@ -308,6 +314,11 @@ void Context::bcast(std::vector<T>& data, int root) {
 template <typename T>
 std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  trace::SpanScope span("gatherv", trace::kCatSimpi);
+  if (span) {
+    span.arg("bytes", static_cast<double>(local.size() * sizeof(T)));
+    span.arg("root", root);
+  }
   fault_point(FaultOp::kGatherv);
   ++stats_.of(CommOp::kGatherv).calls;
   std::size_t total_bytes = local.size() * sizeof(T);
@@ -338,6 +349,8 @@ std::vector<T> Context::allgatherv(const std::vector<T>& local,
   // The modeled cost is charged inside gatherv/bcast; the kAllgatherv row
   // records the LOGICAL payload (contribution sent, pooled result
   // received), with transport counted by the inner ops.
+  trace::SpanScope span("allgatherv", trace::kCatSimpi);
+  if (span) span.arg("bytes", static_cast<double>(local.size() * sizeof(T)));
   fault_point(FaultOp::kAllgatherv);
   ++stats_.of(CommOp::kAllgatherv).calls;
   stats_.of(CommOp::kAllgatherv).bytes_sent += local.size() * sizeof(T);
@@ -381,6 +394,7 @@ void count_reduce(CommStats& stats, std::size_t nranks) {
 
 template <typename T>
 T Context::allreduce_sum(T v) {
+  trace::SpanScope span("allreduce_sum", trace::kCatSimpi);
   fault_point(FaultOp::kReduce);
   detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);
@@ -391,6 +405,7 @@ T Context::allreduce_sum(T v) {
 
 template <typename T>
 T Context::allreduce_max(T v) {
+  trace::SpanScope span("allreduce_max", trace::kCatSimpi);
   fault_point(FaultOp::kReduce);
   detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);
@@ -401,6 +416,7 @@ T Context::allreduce_max(T v) {
 
 template <typename T>
 T Context::allreduce_min(T v) {
+  trace::SpanScope span("allreduce_min", trace::kCatSimpi);
   fault_point(FaultOp::kReduce);
   detail::count_reduce<T>(stats_, static_cast<std::size_t>(size()));
   const auto all = allgather(v);

@@ -1,0 +1,184 @@
+#include "trace/analyze.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace trinity::trace {
+namespace {
+
+bool is_wait_span(const TraceEvent& ev) {
+  const std::string suffix = ".wait";
+  return ev.name.size() > suffix.size() &&
+         ev.name.compare(ev.name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+// Length of the union of [start, end) intervals clipped to [t0, t1].
+double union_coverage(std::vector<std::pair<double, double>>& intervals,
+                      double t0, double t1) {
+  double covered = 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double cur_start = 0.0;
+  double cur_end = -1.0;
+  for (const auto& [s, e] : intervals) {
+    const double start = std::max(s, t0);
+    const double end = std::min(e, t1);
+    if (end <= start) continue;
+    if (cur_end < cur_start || start > cur_end) {
+      if (cur_end > cur_start) covered += cur_end - cur_start;
+      cur_start = start;
+      cur_end = end;
+    } else {
+      cur_end = std::max(cur_end, end);
+    }
+  }
+  if (cur_end > cur_start) covered += cur_end - cur_start;
+  return covered;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
+                            std::size_t top_n) {
+  TraceAnalysis out;
+  out.num_events = events.size();
+
+  // Pipeline stage spans define the windows; everything else is attributed
+  // to ranks inside them.
+  std::vector<const TraceEvent*> stage_spans;
+  std::vector<const TraceEvent*> rank_spans;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != EventKind::kSpan) continue;
+    if (ev.category == kCatPipeline && ev.rank < 0) {
+      stage_spans.push_back(&ev);
+    } else {
+      rank_spans.push_back(&ev);
+    }
+  }
+  std::sort(stage_spans.begin(), stage_spans.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->start_s < b->start_s;
+            });
+
+  std::map<int, RankStageStats> totals;
+  for (const TraceEvent* stage : stage_spans) {
+    const double t0 = stage->start_s;
+    const double t1 = stage->start_s + stage->dur_s;
+    StageCriticalPath cp;
+    cp.stage = stage->name;
+    cp.start_s = t0;
+    cp.wall_s = stage->dur_s;
+
+    std::map<int, std::vector<std::pair<double, double>>> by_rank;
+    std::map<int, double> blocked;
+    for (const TraceEvent* ev : rank_spans) {
+      if (ev->rank < 0) continue;
+      const double s = ev->start_s;
+      const double e = ev->start_s + ev->dur_s;
+      if (e <= t0 || s >= t1) continue;
+      if (is_wait_span(*ev)) {
+        blocked[ev->rank] += std::min(e, t1) - std::max(s, t0);
+      } else {
+        by_rank[ev->rank].push_back({s, e});
+      }
+    }
+    for (auto& [rank, intervals] : by_rank) {
+      RankStageStats stats;
+      stats.rank = rank;
+      stats.blocked_s = blocked.count(rank) != 0 ? blocked[rank] : 0.0;
+      stats.busy_s =
+          std::max(0.0, union_coverage(intervals, t0, t1) - stats.blocked_s);
+      cp.ranks.push_back(stats);
+      auto& total = totals[rank];
+      total.rank = rank;
+      total.busy_s += stats.busy_s;
+      total.blocked_s += stats.blocked_s;
+    }
+    double max_busy = 0.0;
+    double min_busy = -1.0;
+    for (const RankStageStats& stats : cp.ranks) {
+      if (stats.busy_s > max_busy) {
+        max_busy = stats.busy_s;
+        cp.critical_rank = stats.rank;
+        cp.critical_busy_s = stats.busy_s;
+      }
+      if (min_busy < 0.0 || stats.busy_s < min_busy) min_busy = stats.busy_s;
+    }
+    if (cp.ranks.size() >= 2 && min_busy > 0.0) {
+      cp.skew_ratio = max_busy / min_busy;
+    }
+    out.stages.push_back(std::move(cp));
+  }
+  for (auto& [rank, stats] : totals) out.rank_totals.push_back(stats);
+
+  // Top-N spans by duration (stage spans excluded above).
+  std::vector<const TraceEvent*> sorted = rank_spans;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->dur_s > b->dur_s;
+            });
+  for (std::size_t i = 0; i < sorted.size() && i < top_n; ++i) {
+    const TraceEvent* ev = sorted[i];
+    out.top_spans.push_back(
+        {ev->name, ev->category, ev->rank, ev->tid, ev->start_s, ev->dur_s});
+  }
+  return out;
+}
+
+std::string format_analysis(const TraceAnalysis& analysis) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "trace: %zu events, %zu stages\n",
+                analysis.num_events, analysis.stages.size());
+  out += line;
+
+  out += "\ncritical path per stage\n";
+  for (const StageCriticalPath& cp : analysis.stages) {
+    std::snprintf(line, sizeof(line), "  %-28s wall %-10s", cp.stage.c_str(),
+                  format_seconds(cp.wall_s).c_str());
+    out += line;
+    if (cp.critical_rank >= 0) {
+      std::snprintf(line, sizeof(line),
+                    " critical rank %d (busy %s, skew %.2fx)",
+                    cp.critical_rank,
+                    format_seconds(cp.critical_busy_s).c_str(), cp.skew_ratio);
+      out += line;
+    }
+    out += "\n";
+  }
+
+  if (!analysis.rank_totals.empty()) {
+    out += "\nper-rank totals (whole run)\n";
+    for (const RankStageStats& stats : analysis.rank_totals) {
+      std::snprintf(line, sizeof(line), "  rank %-3d busy %-10s blocked %s\n",
+                    stats.rank, format_seconds(stats.busy_s).c_str(),
+                    format_seconds(stats.blocked_s).c_str());
+      out += line;
+    }
+  }
+
+  if (!analysis.top_spans.empty()) {
+    out += "\ntop spans\n";
+    for (const SpanSummary& span : analysis.top_spans) {
+      std::snprintf(line, sizeof(line), "  %-10s %-28s rank %-3d tid %-3d %s\n",
+                    span.category.c_str(), span.name.c_str(), span.rank,
+                    span.tid, format_seconds(span.dur_s).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace trinity::trace

@@ -1,0 +1,67 @@
+#pragma once
+// Trace mining: per-stage cross-rank critical path, per-rank blocked-gap
+// totals, and top-N spans — the paper's Figure 7/9 max-vs-min diagnosis
+// computed from the timeline instead of aggregate counters.
+//
+// Definitions (docs/OBSERVABILITY.md): within a pipeline stage span
+// [t0, t1], a rank's *coverage* is the union of its span intervals clipped
+// to the window, its *blocked* time is the summed duration of its `*.wait`
+// spans (time a collective spent stalled on a peer), and its *busy* time is
+// coverage minus blocked. The stage's critical rank is the one with the
+// largest busy time — the rank every other rank waits for at the stage's
+// closing collective.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/span_recorder.hpp"
+
+namespace trinity::trace {
+
+struct RankStageStats {
+  int rank = -1;
+  double busy_s = 0.0;
+  double blocked_s = 0.0;
+};
+
+struct StageCriticalPath {
+  std::string stage;
+  double start_s = 0.0;
+  double wall_s = 0.0;  ///< the pipeline stage span's duration
+  int critical_rank = -1;
+  double critical_busy_s = 0.0;
+  /// max busy / min busy across ranks (the Figure 7/9 imbalance ratio);
+  /// 1.0 when fewer than two ranks recorded events in the stage.
+  double skew_ratio = 1.0;
+  std::vector<RankStageStats> ranks;
+};
+
+struct SpanSummary {
+  std::string name;
+  std::string category;
+  int rank = -1;
+  int tid = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+};
+
+struct TraceAnalysis {
+  std::vector<StageCriticalPath> stages;
+  /// Whole-run blocked totals per rank, sorted by rank.
+  std::vector<RankStageStats> rank_totals;
+  /// Longest spans (pipeline stage spans excluded — they would trivially
+  /// dominate), sorted by descending duration.
+  std::vector<SpanSummary> top_spans;
+  std::size_t num_events = 0;
+};
+
+/// Mines `events` (e.g. from read_chrome_trace). `top_n` bounds top_spans.
+[[nodiscard]] TraceAnalysis analyze_trace(const std::vector<TraceEvent>& events,
+                                          std::size_t top_n = 5);
+
+/// Human-readable report (what `trinity_trace` and `trinity_report --trace`
+/// print).
+[[nodiscard]] std::string format_analysis(const TraceAnalysis& analysis);
+
+}  // namespace trinity::trace

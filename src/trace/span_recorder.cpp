@@ -1,0 +1,185 @@
+#include "trace/span_recorder.hpp"
+
+#include <utility>
+
+namespace trinity::trace {
+namespace {
+
+// The active recorder plus an install epoch. Threads cache their buffer
+// pointer in a thread_local keyed by the epoch, so a thread that outlives
+// one recording session cannot write into a freed buffer of the next.
+std::atomic<SpanRecorder*> g_active{nullptr};
+std::atomic<std::uint64_t> g_epoch{0};
+
+thread_local SpanRecorder::ThreadBuffer* t_buffer = nullptr;
+thread_local std::uint64_t t_buffer_epoch = 0;
+
+thread_local int t_rank = -1;
+
+}  // namespace
+
+SpanRecorder::SpanRecorder(std::size_t per_thread_capacity)
+    : capacity_(per_thread_capacity == 0 ? 1 : per_thread_capacity) {}
+
+SpanRecorder::~SpanRecorder() {
+  // Must not be destroyed while installed; ScopedRecording enforces the
+  // pairing, this is a backstop against misuse in tests.
+  if (g_active.load(std::memory_order_relaxed) == this) {
+    g_active.store(nullptr, std::memory_order_release);
+    g_epoch.fetch_add(1, std::memory_order_release);
+  }
+}
+
+SpanRecorder* SpanRecorder::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+SpanRecorder::ThreadBuffer& SpanRecorder::thread_buffer() {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (t_buffer != nullptr && t_buffer_epoch == epoch) return *t_buffer;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->events.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  t_buffer = buffers_.back().get();
+  t_buffer_epoch = epoch;
+  return *t_buffer;
+}
+
+void SpanRecorder::record(TraceEvent ev) {
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= capacity_) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> SpanRecorder::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    for (auto& ev : buf->events) out.push_back(std::move(ev));
+    buf->events.clear();
+  }
+  return out;
+}
+
+std::uint64_t SpanRecorder::dropped_events() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+bool enabled() { return g_active.load(std::memory_order_relaxed) != nullptr; }
+
+ScopedRecording::ScopedRecording(SpanRecorder* recorder) {
+  g_epoch.fetch_add(1, std::memory_order_release);
+  g_active.store(recorder, std::memory_order_release);
+}
+
+ScopedRecording::~ScopedRecording() {
+  g_active.store(nullptr, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+int current_rank() { return t_rank; }
+
+ScopedRank::ScopedRank(int rank) : previous_(t_rank) { t_rank = rank; }
+
+ScopedRank::~ScopedRank() { t_rank = previous_; }
+
+SpanScope::SpanScope(const char* name, const char* category)
+    : SpanScope(name, category, t_rank, 0) {}
+
+SpanScope::SpanScope(const char* name, const char* category, int rank, int tid)
+    : recorder_(SpanRecorder::active()) {
+  if (recorder_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  rank_ = rank;
+  tid_ = tid;
+  start_ = recorder_->now();
+}
+
+SpanScope::~SpanScope() {
+  if (recorder_ == nullptr) return;
+  // Re-check: the recorder may have been uninstalled while the span was
+  // open (e.g. a fault unwound past the pipeline driver).
+  if (SpanRecorder::active() != recorder_) return;
+  TraceEvent ev;
+  ev.kind = EventKind::kSpan;
+  ev.name = name_;
+  ev.category = category_;
+  ev.rank = rank_;
+  ev.tid = tid_;
+  ev.start_s = start_;
+  ev.dur_s = recorder_->now() - start_;
+  for (int i = 0; i < num_args_; ++i) {
+    ev.args.push_back({arg_names_[i], arg_values_[i]});
+  }
+  ev.detail = std::move(detail_);
+  recorder_->record(std::move(ev));
+}
+
+void SpanScope::arg(const char* name, double value) {
+  if (recorder_ == nullptr || num_args_ >= kMaxArgs) return;
+  arg_names_[num_args_] = name;
+  arg_values_[num_args_] = value;
+  ++num_args_;
+}
+
+void SpanScope::set_detail(std::string detail) {
+  if (recorder_ == nullptr) return;
+  detail_ = std::move(detail);
+}
+
+void completed_span(const char* name, const char* category,
+                    double duration_s) {
+  SpanRecorder* rec = SpanRecorder::active();
+  if (rec == nullptr) return;
+  TraceEvent ev;
+  ev.kind = EventKind::kSpan;
+  ev.name = name;
+  ev.category = category;
+  ev.rank = t_rank;
+  const double end = rec->now();
+  ev.start_s = end - (duration_s > 0.0 ? duration_s : 0.0);
+  ev.dur_s = duration_s > 0.0 ? duration_s : 0.0;
+  rec->record(std::move(ev));
+}
+
+void instant(const char* name, const char* category, std::string detail,
+             std::vector<TraceArg> args) {
+  SpanRecorder* rec = SpanRecorder::active();
+  if (rec == nullptr) return;
+  TraceEvent ev;
+  ev.kind = EventKind::kInstant;
+  ev.name = name;
+  ev.category = category;
+  ev.rank = t_rank;
+  ev.start_s = rec->now();
+  ev.args = std::move(args);
+  ev.detail = std::move(detail);
+  rec->record(std::move(ev));
+}
+
+void counter(const char* name, const char* category, double value, int rank) {
+  SpanRecorder* rec = SpanRecorder::active();
+  if (rec == nullptr) return;
+  TraceEvent ev;
+  ev.kind = EventKind::kCounter;
+  ev.name = name;
+  ev.category = category;
+  ev.rank = rank;
+  ev.start_s = rec->now();
+  ev.value = value;
+  rec->record(std::move(ev));
+}
+
+}  // namespace trinity::trace

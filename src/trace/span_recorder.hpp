@@ -1,0 +1,184 @@
+#pragma once
+// Low-overhead span recording for the distributed timeline (docs/OBSERVABILITY.md).
+//
+// The recorder is a process-global singleton installed for the duration of a
+// traced pipeline run (ScopedRecording). Every instrumented layer — simpi
+// collectives, chrysalis parallel loops, the io layer, the pipeline stage
+// driver — funnels events through SpanScope / instant() / counter(), which
+// collapse to a single relaxed atomic load when no recorder is installed.
+// That disabled fast path is what the <2% overhead guard in
+// bench_trace_overhead measures.
+//
+// Events land in per-thread buffers (one mutex each, never contended: a
+// thread only ever appends to its own buffer; the mutex exists for drain())
+// with a hard capacity so a runaway loop degrades to counted drops instead
+// of unbounded memory. drain() is called at stage boundaries by the pipeline
+// driver and moves everything recorded so far into one vector.
+//
+// Clock domain: all timestamps come from one process-wide steady clock that
+// starts when the recorder is constructed. Because simpi ranks are threads
+// of this one process, that shared wall clock *is* the merged cluster
+// timeline; the per-rank virtual clocks (thread CPU + modeled comm time)
+// diverge from each other and are attached as span args / report counters
+// instead of being used as timestamps.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace trinity::trace {
+
+// Category tags for the four instrumented layers.
+inline constexpr const char* kCatSimpi = "simpi";
+inline constexpr const char* kCatLoop = "loop";
+inline constexpr const char* kCatIo = "io";
+inline constexpr const char* kCatPipeline = "pipeline";
+
+enum class EventKind { kSpan, kInstant, kCounter };
+
+/// One numeric argument attached to an event (bytes, items, attempt, ...).
+struct TraceArg {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One recorded event. rank -1 means "no rank": the orchestration thread
+/// outside simpi::run (mapped to its own track on export).
+struct TraceEvent {
+  EventKind kind = EventKind::kSpan;
+  std::string name;
+  std::string category;
+  int rank = -1;
+  int tid = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;    ///< spans only
+  double value = 0.0;    ///< counters only
+  std::vector<TraceArg> args;
+  std::string detail;    ///< free-form string (path, error text, ...)
+};
+
+/// Collects events into per-thread capacity-bounded buffers.
+class SpanRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit SpanRecorder(std::size_t per_thread_capacity = kDefaultCapacity);
+  ~SpanRecorder();
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// The installed recorder, or nullptr when tracing is off.
+  [[nodiscard]] static SpanRecorder* active();
+
+  /// Seconds since this recorder was constructed (the trace clock).
+  [[nodiscard]] double now() const { return clock_.seconds(); }
+
+  /// Appends to the calling thread's buffer (drops past capacity).
+  void record(TraceEvent ev);
+
+  /// Moves all buffered events out, across every thread that recorded.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Events discarded because a thread buffer hit capacity.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  /// Per-thread event storage; public only for the thread_local cache in
+  /// the implementation file.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+ private:
+  friend class ScopedRecording;
+
+  ThreadBuffer& thread_buffer();
+
+  util::Timer clock_;
+  std::size_t capacity_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// True when a recorder is installed; one relaxed atomic load.
+[[nodiscard]] bool enabled();
+
+/// Installs `recorder` as the process-global active recorder for this
+/// scope. Nesting is not supported (the pipeline owns the recorder).
+class ScopedRecording {
+ public:
+  explicit ScopedRecording(SpanRecorder* recorder);
+  ~ScopedRecording();
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+};
+
+/// Rank attribution for the calling thread. simpi::run sets it on each rank
+/// thread; -1 everywhere else. OpenMP worker threads do *not* inherit it —
+/// parallel loops read it on the master and pass it down explicitly.
+[[nodiscard]] int current_rank();
+
+/// Sets current_rank() for the calling thread within a scope.
+class ScopedRank {
+ public:
+  explicit ScopedRank(int rank);
+  ~ScopedRank();
+  ScopedRank(const ScopedRank&) = delete;
+  ScopedRank& operator=(const ScopedRank&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// RAII span. When no recorder is active, construction is one atomic load
+/// and the destructor does nothing; name/category must be string literals
+/// (they are not copied until the event is recorded).
+class SpanScope {
+ public:
+  SpanScope(const char* name, const char* category);
+  SpanScope(const char* name, const char* category, int rank, int tid);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// True when the span is being recorded (use to skip arg computation).
+  explicit operator bool() const { return recorder_ != nullptr; }
+
+  /// Attaches a numeric argument (silently ignored past kMaxArgs).
+  void arg(const char* name, double value);
+  void set_detail(std::string detail);
+
+ private:
+  static constexpr int kMaxArgs = 4;
+
+  SpanRecorder* recorder_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int rank_ = -1;
+  int tid_ = 0;
+  double start_ = 0.0;
+  int num_args_ = 0;
+  const char* arg_names_[kMaxArgs] = {};
+  double arg_values_[kMaxArgs] = {};
+  std::string detail_;
+};
+
+/// Records a span that ends now and lasted `duration_s` (used for wait
+/// sub-spans, whose duration is the exact double added to CommStats).
+void completed_span(const char* name, const char* category, double duration_s);
+
+/// Records an instant event (faults, retries). Cold path; may allocate.
+void instant(const char* name, const char* category, std::string detail = {},
+             std::vector<TraceArg> args = {});
+
+/// Records a counter-track sample (e.g. rss_bytes per stage boundary).
+void counter(const char* name, const char* category, double value,
+             int rank = -1);
+
+}  // namespace trinity::trace

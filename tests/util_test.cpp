@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -311,6 +313,24 @@ TEST(ResourceTraceTest, CsvHasHeaderAndRows) {
   const std::string csv = out.str();
   EXPECT_NE(csv.find("phase,start_s"), std::string::npos);
   EXPECT_NE(csv.find("x,"), std::string::npos);
+}
+
+TEST(ResourceTraceTest, ZeroIntervalFallsBackToBeforeAfterMax) {
+  // With the sampler disabled (interval 0) there are no mid-phase samples,
+  // so the documented fallback applies: rss_peak == max(rss_before,
+  // rss_after), never 0 and never below either endpoint.
+  ResourceTrace trace(0);
+  trace.phase("grow", [] {
+    // Allocate ~32 MB and keep it live across the phase end so rss_after
+    // (and hence the fallback peak) reflects the growth.
+    static std::vector<char> keep;
+    keep.assign(32 << 20, 1);
+    volatile char sink = keep[999];
+    (void)sink;
+  });
+  const auto& r = trace.records().front();
+  EXPECT_GT(r.rss_peak, 0u);
+  EXPECT_EQ(r.rss_peak, std::max(r.rss_before, r.rss_after));
 }
 
 TEST(ResourceTraceTest, BackgroundSamplerCapturesTransientPeak) {
