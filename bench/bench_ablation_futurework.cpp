@@ -20,8 +20,11 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
+  auto cfg = bench::bench_config("bench_ablation_futurework", "Ablation (future work): Section VI directions vs the published design");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
 
   bench::banner("Ablation (future work)", "Section VI directions vs the published design");
   const auto w = bench::make_workload("sugarbeet_like", genes, "futurework");

@@ -51,9 +51,13 @@ Measurement measure(const std::string& config, const trinity::pipeline::Pipeline
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 120));
-  const int nranks = static_cast<int>(args.get_int("ranks", 4));
+  auto cfg = bench::bench_config("bench_checkpoint_overhead", "Checkpoint overhead: pipeline cost with checkpointing off / on / resume-after-fault");
+  cfg.flag_int("genes", 120, "genes to simulate (scales the dataset)");
+  cfg.flag_int("ranks", 4, "rank count for the measured world(s)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int nranks = static_cast<int>(cfg.get_int("ranks"));
 
   bench::banner("Checkpoint overhead",
                 "pipeline cost with checkpointing off / on / resume-after-fault");
@@ -129,7 +133,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(series[2].stages_executed),
               static_cast<std::size_t>(series[2].stages_executed + series[2].stages_resumed));
 
-  bench::JsonSink json(args, "checkpoint_overhead");
+  bench::JsonSink json(cfg, "checkpoint_overhead");
   for (const auto& m : series) {
     json.begin_entry();
     json.field("config", m.config);

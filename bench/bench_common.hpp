@@ -21,13 +21,44 @@
 
 #include "inchworm/inchworm.hpp"
 #include "kmer/counter.hpp"
+#include "pipeline/config.hpp"
 #include "seq/fasta.hpp"
 #include "sim/transcriptome.hpp"
 #include "simpi/context.hpp"
-#include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace trinity::bench {
+
+/// The shared bench flag spec: every figure bench gets --csv and --json
+/// sinks plus the unified parse/--help/deprecation machinery; per-bench
+/// flags are declared on the returned Config before parse_cli().
+inline Config bench_config(const char* program, const char* description) {
+  Config cfg(program, description);
+  cfg.flag_string("csv", "", "also write the measured series as CSV to this path")
+      .flag_string("json", "", "also write the series as one JSON document to this path");
+  return cfg;
+}
+
+/// parse_cli + help/deprecation boilerplate; returns false when the bench
+/// should exit (help shown or a ConfigError was printed, *exit_code set).
+inline bool parse_or_exit(Config& cfg, int argc, const char* const* argv, int* exit_code) {
+  try {
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    *exit_code = 2;
+    return false;
+  }
+  if (cfg.help_requested()) {
+    std::fputs(cfg.help_text().c_str(), stdout);
+    *exit_code = 0;
+    return false;
+  }
+  for (const auto& note : cfg.deprecation_notes()) {
+    std::fprintf(stderr, "%s: %s\n", "deprecated", note.c_str());
+  }
+  return true;
+}
 
 /// A prepared Chrysalis input: simulated reads, their k-mer counts, and the
 /// Inchworm contigs, plus the reads written to disk for streaming stages.
@@ -96,10 +127,10 @@ inline CommSummary summarize_comm(const std::vector<simpi::RankResult>& ranks) {
 /// write their series as plottable CSV.
 class CsvSink {
  public:
-  CsvSink(const util::CliArgs& args, const std::string& header) {
-    const auto path = args.get("csv");
-    if (!path) return;
-    out_.open(*path);
+  CsvSink(const Config& cfg, const std::string& header) {
+    const auto path = cfg.get_string("csv");
+    if (path.empty()) return;
+    out_.open(path);
     if (out_) out_ << header << '\n';
   }
   template <typename... Ts>
@@ -122,9 +153,9 @@ class CsvSink {
 /// compare runs (scripts/check.sh and CI-style regression diffing).
 class JsonSink {
  public:
-  JsonSink(const util::CliArgs& args, std::string bench) : bench_(std::move(bench)) {
-    const auto path = args.get("json");
-    if (path) out_.open(*path);
+  JsonSink(const Config& cfg, std::string bench) : bench_(std::move(bench)) {
+    const auto path = cfg.get_string("json");
+    if (!path.empty()) out_.open(path);
   }
 
   ~JsonSink() {

@@ -13,8 +13,14 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 300));
+  auto cfg = bench::bench_config("bench_fig02_baseline_trace", "Figure 2: original (OpenMP-only) Trinity trace: runtime vs RAM");
+  cfg.flag_int("genes", 300, "genes to simulate (scales the dataset)");
+  cfg.flag_int("bowtie-repeats", 85, "Bowtie kernel repeats (cost-model calibration)");
+  cfg.flag_int("gff-repeats", 400, "GraphFromFasta kernel repeats (cost-model calibration)");
+  cfg.flag_int("r2t-repeats", 60, "ReadsToTranscripts kernel repeats (cost-model calibration)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
 
   bench::banner("Figure 2", "original (OpenMP-only) Trinity trace: runtime vs RAM");
 
@@ -33,9 +39,9 @@ int main(int argc, char** argv) {
   // per item than this reproduction's kernels; without this the cheap
   // kernels would hide the paper's defining shape (Chrysalis >> rest).
   options.model_threads_per_rank = 1;  // node-count scaling, as in Figs 7-9
-  options.bowtie_kernel_repeats = static_cast<int>(args.get_int("bowtie-repeats", 85));
-  options.gff_kernel_repeats = static_cast<int>(args.get_int("gff-repeats", 400));
-  options.r2t_kernel_repeats = static_cast<int>(args.get_int("r2t-repeats", 60));
+  options.bowtie_kernel_repeats = static_cast<int>(cfg.get_int("bowtie-repeats"));
+  options.gff_kernel_repeats = static_cast<int>(cfg.get_int("gff-repeats"));
+  options.r2t_kernel_repeats = static_cast<int>(cfg.get_int("r2t-repeats"));
   const auto result = pipeline::run_pipeline(data.reads.reads, options);
 
   std::printf("%-34s %10s %10s %10s %14s\n", "stage", "start(s)", "wall(s)", "cpu(s)",

@@ -18,10 +18,15 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 60));
-  const int runs = static_cast<int>(args.get_int("runs", 4));
-  const int nranks = static_cast<int>(args.get_int("ranks", 8));
+  auto cfg = bench::bench_config("bench_fig04_validation_sw", "Figure 4: all-to-all SW validation, whitefly dataset");
+  cfg.flag_int("genes", 60, "genes to simulate (scales the dataset)");
+  cfg.flag_int("runs", 4, "repeated runs per pipeline version");
+  cfg.flag_int("ranks", 8, "rank count for the measured world(s)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int runs = static_cast<int>(cfg.get_int("runs"));
+  const int nranks = static_cast<int>(cfg.get_int("ranks"));
 
   bench::banner("Figure 4", "all-to-all SW validation, whitefly dataset");
 

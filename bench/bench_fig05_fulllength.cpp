@@ -16,16 +16,21 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const int runs = static_cast<int>(args.get_int("runs", 3));
-  const int nranks = static_cast<int>(args.get_int("ranks", 8));
+  auto cfg = bench::bench_config("bench_fig05_fulllength", "Figure 5: full-length reconstructed genes/isoforms vs reference");
+  cfg.flag_int("runs", 3, "repeated runs per pipeline version");
+  cfg.flag_int("ranks", 8, "rank count for the measured world(s)");
+  cfg.flag_int("genes", static_cast<std::int64_t>(60), "genes to simulate (scales the dataset)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const int runs = static_cast<int>(cfg.get_int("runs"));
+  const int nranks = static_cast<int>(cfg.get_int("ranks"));
 
   bench::banner("Figure 5", "full-length reconstructed genes/isoforms vs reference");
 
   for (const char* dataset : {"schizophrenia_like", "drosophila_like"}) {
     auto preset = sim::preset(dataset);
     preset.transcriptome.num_genes = static_cast<std::size_t>(
-        args.get_int("genes", static_cast<std::int64_t>(60)));
+        cfg.get_int("genes"));
     const auto data = sim::simulate_dataset(preset);
     std::printf("\n[%s] %zu genes, %zu reference isoforms, %zu reads\n", dataset,
                 data.transcriptome.genes.size(), data.transcriptome.transcripts.size(),

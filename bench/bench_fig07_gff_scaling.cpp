@@ -9,16 +9,44 @@
 // both loops speed up with rank count; loop 2 suffers visible max/min
 // imbalance at high rank counts; total time speeds up less than the loops
 // because the non-parallel regions grow in share (Figure 8).
+//
+// Each rank count is measured twice — overlap_pooling off (blocking weld
+// Allgatherv) and on (nonblocking, loop-2 extraction hidden behind it) —
+// and the two runs must produce identical components (asserted; exit 1 on
+// mismatch). The JSON series carries both modes, with the Allgatherv wait
+// and the overlap counters, so the overlap's wait reduction is directly
+// diffable.
+
+#include <cstdint>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "chrysalis/graph_from_fasta.hpp"
 #include "simpi/context.hpp"
 
+namespace {
+
+/// Sum of the per-rank wall time blocked in the weld/match Allgathervs —
+/// the "<op>.wait" quantity the overlap is meant to shrink.
+double allgatherv_wait(const std::vector<trinity::simpi::RankResult>& ranks) {
+  double total = 0.0;
+  for (const auto& r : ranks)
+    total += r.comm.of(trinity::simpi::CommOp::kAllgatherv).wait_seconds;
+  return total;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
-  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 100));
+  auto cfg = bench::bench_config("bench_fig07_gff_scaling", "Figure 7: hybrid GraphFromFasta scaling (sugarbeet workload)");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)");
+  cfg.flag_int("kernel-repeats", 100, "per-item kernel repeats (cost-model calibration)");
+  cfg.flag_int("trials", 2, "trials per configuration (minimum kept)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int repeats = static_cast<int>(cfg.get_int("kernel-repeats"));
 
   bench::banner("Figure 7", "hybrid GraphFromFasta scaling (sugarbeet workload)");
   const auto w = bench::make_workload("sugarbeet_like", genes, "fig07");
@@ -33,55 +61,86 @@ int main(int argc, char** argv) {
   options.model_threads_per_rank = 1;
 
   bench::CsvSink csv(
-      args, "nodes,loop1_max,loop1_min,loop2_max,loop2_min,total,speedup,comm_bytes,skew");
-  bench::JsonSink json(args, "fig07_gff_scaling");
-  std::printf("%6s | %11s %11s | %11s %11s | %11s | %8s | %10s %6s\n", "nodes", "loop1_max",
-              "loop1_min", "loop2_max", "loop2_min", "total(s)", "speedup", "comm(B)", "skew");
-  const int trials = static_cast<int>(args.get_int("trials", 2));
+      cfg,
+      "nodes,overlap,loop1_max,loop1_min,loop2_max,loop2_min,total,speedup,"
+      "comm_bytes,allgatherv_wait,skew");
+  bench::JsonSink json(cfg, "fig07_gff_scaling");
+  std::printf("%6s %3s | %11s %11s | %11s %11s | %11s | %8s | %10s %9s %6s\n", "nodes", "ovl",
+              "loop1_max", "loop1_min", "loop2_max", "loop2_min", "total(s)", "speedup",
+              "comm(B)", "ag_wait", "skew");
+  const int trials = static_cast<int>(cfg.get_int("trials"));
   double base_total = 0.0;
   for (const int nranks : {1, 2, 4, 8, 16, 24}) {
-    // Best of N trials: rank threads oversubscribe the 2-core host, and a
-    // descheduled thread's CPU clock picks up scheduler noise; the minimum
-    // is the least-contaminated measurement.
-    chrysalis::GffTiming timing;
-    bench::CommSummary comm;
-    for (int trial = 0; trial < trials; ++trial) {
-      chrysalis::GffTiming t;
-      const auto ranks = simpi::run(nranks, [&](simpi::Context& ctx) {
-        const auto r = chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
-        if (ctx.rank() == 0) t = r.timing;
-      });
-      if (trial == 0 || t.total_seconds() < timing.total_seconds()) {
-        timing = t;
-        comm = bench::summarize_comm(ranks);
+    std::vector<std::int32_t> reference_components;  // from the overlap-off run
+    for (const bool overlap : {false, true}) {
+      options.overlap_pooling = overlap;
+      // Best of N trials: rank threads oversubscribe the 2-core host, and a
+      // descheduled thread's CPU clock picks up scheduler noise; the minimum
+      // is the least-contaminated measurement.
+      chrysalis::GffTiming timing;
+      bench::CommSummary comm;
+      double ag_wait = 0.0;
+      std::vector<std::int32_t> components;
+      for (int trial = 0; trial < trials; ++trial) {
+        chrysalis::GffTiming t;
+        std::vector<std::int32_t> c;
+        const auto ranks = simpi::run(nranks, [&](simpi::Context& ctx) {
+          const auto r = chrysalis::run_hybrid(ctx, w.contigs, w.counter, options);
+          if (ctx.rank() == 0) {
+            t = r.timing;
+            c = r.components.component_of;
+          }
+        });
+        if (trial == 0 || t.total_seconds() < timing.total_seconds()) {
+          timing = t;
+          comm = bench::summarize_comm(ranks);
+          ag_wait = allgatherv_wait(ranks);
+        }
+        components = std::move(c);
       }
+      // Overlapping the weld pooling must not change the clustering: both
+      // modes are asserted bit-identical on the contig -> component table.
+      if (!overlap) {
+        reference_components = components;
+      } else if (components != reference_components) {
+        std::fprintf(stderr,
+                     "bench_fig07: overlap_pooling changed the components at %d ranks\n",
+                     nranks);
+        return 1;
+      }
+      if (nranks == 1 && !overlap) base_total = timing.total_seconds();
+      std::printf(
+          "%6d %3s | %11.3f %11.3f | %11.3f %11.3f | %11.3f | %7.2fx | %10llu %9.3f %6.2f\n",
+          nranks, overlap ? "on" : "off", timing.loop1.max(), timing.loop1.min(),
+          timing.loop2.max(), timing.loop2.min(), timing.total_seconds(),
+          base_total / timing.total_seconds(),
+          static_cast<unsigned long long>(comm.bytes_received), ag_wait, comm.skew);
+      csv.row(nranks, overlap ? 1 : 0, timing.loop1.max(), timing.loop1.min(),
+              timing.loop2.max(), timing.loop2.min(), timing.total_seconds(),
+              base_total / timing.total_seconds(), comm.bytes_received, ag_wait, comm.skew);
+      json.begin_entry();
+      json.field("nodes", static_cast<std::int64_t>(nranks));
+      json.field("overlap", overlap);
+      json.field("loop1_max", timing.loop1.max());
+      json.field("loop1_min", timing.loop1.min());
+      json.field("loop2_max", timing.loop2.max());
+      json.field("loop2_min", timing.loop2.min());
+      json.field("total_s", timing.total_seconds());
+      json.field("speedup", base_total / timing.total_seconds());
+      json.field("comm_bytes_sent", static_cast<std::int64_t>(comm.bytes_sent));
+      json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
+      json.field("comm_wait_s", comm.wait_seconds);
+      json.field("allgatherv_wait_s", ag_wait);
+      json.field("overlap_compute_s", timing.overlap_compute_seconds);
+      json.field("pool_wait_s", timing.pool_wait_seconds);
+      json.field("skew_ratio", comm.skew);
+      json.field("weld_bytes_pooled", static_cast<std::int64_t>(timing.weld_bytes_pooled));
+      json.field("match_bytes_pooled", static_cast<std::int64_t>(timing.match_bytes_pooled));
     }
-    if (nranks == 1) base_total = timing.total_seconds();
-    std::printf("%6d | %11.3f %11.3f | %11.3f %11.3f | %11.3f | %7.2fx | %10llu %6.2f\n",
-                nranks, timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
-                timing.loop2.min(), timing.total_seconds(),
-                base_total / timing.total_seconds(),
-                static_cast<unsigned long long>(comm.bytes_received), comm.skew);
-    csv.row(nranks, timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
-            timing.loop2.min(), timing.total_seconds(), base_total / timing.total_seconds(),
-            comm.bytes_received, comm.skew);
-    json.begin_entry();
-    json.field("nodes", static_cast<std::int64_t>(nranks));
-    json.field("loop1_max", timing.loop1.max());
-    json.field("loop1_min", timing.loop1.min());
-    json.field("loop2_max", timing.loop2.max());
-    json.field("loop2_min", timing.loop2.min());
-    json.field("total_s", timing.total_seconds());
-    json.field("speedup", base_total / timing.total_seconds());
-    json.field("comm_bytes_sent", static_cast<std::int64_t>(comm.bytes_sent));
-    json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
-    json.field("comm_wait_s", comm.wait_seconds);
-    json.field("skew_ratio", comm.skew);
-    json.field("weld_bytes_pooled", static_cast<std::int64_t>(timing.weld_bytes_pooled));
-    json.field("match_bytes_pooled", static_cast<std::int64_t>(timing.match_bytes_pooled));
   }
   std::printf("\npaper: loops speed up ~8-12x over the node range; total GraphFromFasta\n"
               "4.5x@16 -> 20.7x@192 nodes vs the 1-node OpenMP baseline; load imbalance\n"
-              "(max vs min rank) grows with node count, worst in loop 2.\n");
+              "(max vs min rank) grows with node count, worst in loop 2. overlap=on\n"
+              "hides loop-2 extraction behind the weld Allgatherv (identical output).\n");
   return 0;
 }

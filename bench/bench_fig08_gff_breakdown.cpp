@@ -13,9 +13,14 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
-  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 60));
+  auto cfg = bench::bench_config("bench_fig08_gff_breakdown", "Figure 8: GraphFromFasta time breakdown, normalized to 100%");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)");
+  cfg.flag_int("kernel-repeats", 60, "per-item kernel repeats (cost-model calibration)");
+  cfg.flag_int("trials", 2, "trials per configuration (minimum kept)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int repeats = static_cast<int>(cfg.get_int("kernel-repeats"));
 
   bench::banner("Figure 8", "GraphFromFasta time breakdown, normalized to 100%");
   const auto w = bench::make_workload("sugarbeet_like", genes, "fig08");
@@ -29,10 +34,10 @@ int main(int argc, char** argv) {
   // divided by a thread count either).
   options.model_threads_per_rank = 1;
 
-  bench::JsonSink json(args, "fig08_gff_breakdown");
+  bench::JsonSink json(cfg, "fig08_gff_breakdown");
   std::printf("%6s | %9s %9s %14s | %9s | %6s\n", "nodes", "loop1(%)", "loop2(%)",
               "nonparallel(%)", "total(s)", "skew");
-  const int trials = static_cast<int>(args.get_int("trials", 2));
+  const int trials = static_cast<int>(cfg.get_int("trials"));
   for (const int nranks : {1, 2, 4, 8, 16, 24}) {
     chrysalis::GffTiming timing;
     bench::CommSummary comm;

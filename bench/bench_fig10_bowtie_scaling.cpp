@@ -25,8 +25,11 @@ constexpr double kPyfastaBytesPerSecond = 1.0e6;
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
+  auto cfg = bench::bench_config("bench_fig10_bowtie_scaling", "Figure 10: distributed Bowtie: PyFasta split vs alignment time");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
 
   bench::banner("Figure 10", "distributed Bowtie: PyFasta split vs alignment time");
   const auto w = bench::make_workload("sugarbeet_like", genes, "fig10");
@@ -39,8 +42,8 @@ int main(int argc, char** argv) {
   const double pyfasta_model =
       static_cast<double>(seq::total_bases(w.contigs)) / kPyfastaBytesPerSecond;
 
-  bench::CsvSink csv(args, "nodes,pyfasta,bowtie_max,bowtie_min,total,speedup,comm_bytes,skew");
-  bench::JsonSink json(args, "fig10_bowtie_scaling");
+  bench::CsvSink csv(cfg, "nodes,pyfasta,bowtie_max,bowtie_min,total,speedup,comm_bytes,skew");
+  bench::JsonSink json(cfg, "fig10_bowtie_scaling");
   std::printf("%6s | %11s %12s %11s | %9s | %8s | %10s %6s\n", "nodes", "pyfasta(s)",
               "bowtie_max(s)", "bowtie_min(s)", "total(s)", "speedup", "comm(B)", "skew");
   double base_total = 0.0;

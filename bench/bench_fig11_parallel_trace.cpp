@@ -13,9 +13,16 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 300));
-  const int nranks = static_cast<int>(args.get_int("ranks", 16));
+  auto cfg = bench::bench_config("bench_fig11_parallel_trace", "Figure 11: parallel Trinity trace on simulated nodes");
+  cfg.flag_int("genes", 300, "genes to simulate (scales the dataset)");
+  cfg.flag_int("ranks", 16, "rank count for the measured world(s)");
+  cfg.flag_int("bowtie-repeats", 85, "Bowtie kernel repeats (cost-model calibration)");
+  cfg.flag_int("gff-repeats", 400, "GraphFromFasta kernel repeats (cost-model calibration)");
+  cfg.flag_int("r2t-repeats", 60, "ReadsToTranscripts kernel repeats (cost-model calibration)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int nranks = static_cast<int>(cfg.get_int("ranks"));
 
   bench::banner("Figure 11", "parallel Trinity trace on simulated nodes");
 
@@ -33,9 +40,9 @@ int main(int argc, char** argv) {
     // Same kernel calibration as the Figure 2 bench, so the two traces
     // are directly comparable.
     options.model_threads_per_rank = 1;  // node-count scaling, as in Figs 7-9
-    options.bowtie_kernel_repeats = static_cast<int>(args.get_int("bowtie-repeats", 85));
-    options.gff_kernel_repeats = static_cast<int>(args.get_int("gff-repeats", 400));
-    options.r2t_kernel_repeats = static_cast<int>(args.get_int("r2t-repeats", 60));
+    options.bowtie_kernel_repeats = static_cast<int>(cfg.get_int("bowtie-repeats"));
+    options.gff_kernel_repeats = static_cast<int>(cfg.get_int("gff-repeats"));
+    options.r2t_kernel_repeats = static_cast<int>(cfg.get_int("r2t-repeats"));
     // The per-rank/per-thread timeline behind this figure, as an artifact:
     // the hybrid run emits a Chrome trace next to its run report.
     if (traced) options.trace_path = "trace.json";
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
 
   // Per-stage communication and imbalance of the hybrid run, from the
   // pipeline's own observability layer (same data as run_report.json).
-  bench::JsonSink json(args, "fig11_parallel_trace");
+  bench::JsonSink json(cfg, "fig11_parallel_trace");
   std::printf("\n%-34s %10s %10s %6s\n", "hybrid stage comm", "sent(B)", "recv(B)", "skew");
   for (const auto& stage : parallel.stage_comm) {
     const auto comm = bench::summarize_comm(stage.ranks);

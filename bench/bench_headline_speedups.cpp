@@ -16,9 +16,13 @@
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 400));
-  const int max_ranks = static_cast<int>(args.get_int("ranks", 16));
+  auto cfg = bench::bench_config("bench_headline_speedups", "Headline speedups: abstract / Section V summary numbers");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)");
+  cfg.flag_int("ranks", 16, "rank count for the measured world(s)");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int max_ranks = static_cast<int>(cfg.get_int("ranks"));
 
   bench::banner("Headline speedups", "abstract / Section V summary numbers");
   const auto w = bench::make_workload("sugarbeet_like", genes, "headline");

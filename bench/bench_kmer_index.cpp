@@ -1,0 +1,183 @@
+// Microbenchmark behind the flat-index tentpole: FlatKmerIndex vs the
+// std::unordered_map<KmerCode, V> it replaced, on the exact access patterns
+// of the fig07 workload — the contig_kmer_multiplicity build (one insert
+// per contig (k-1)-mer) and the weld-harvest / assign_read probe loop (one
+// lookup per k-mer, hit-heavy for contigs, miss-heavy for reads).
+//
+// Both containers consume the same pre-extracted canonical code lists, so
+// the measured difference is pure hash-table work (host wall time; best of
+// --repeats). The checksum/size cross-check pins behavioural parity, and
+// --min-speedup (default 1.0) makes the binary fail when the flat index
+// stops beating the baseline — the scripts/check.sh perf gate.
+//
+// By default the series is written to BENCH_kmer_index.json in the working
+// directory ({"bench":"kmer_index","series":[...]}) so repeated runs leave
+// a comparable before/after trail.
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kmer/flat_index.hpp"
+#include "seq/kmer.hpp"
+
+namespace {
+
+using trinity::seq::KmerCode;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Extracts canonical (k-1)-mer codes per sequence — the shared preprocessing
+/// both containers consume (mirrors the cached-extraction overlap path).
+std::vector<std::vector<KmerCode>> extract_codes(
+    const std::vector<trinity::seq::Sequence>& seqs, int k) {
+  const trinity::seq::KmerCodec codec(k - 1);
+  std::vector<std::vector<KmerCode>> out;
+  out.reserve(seqs.size());
+  for (const auto& s : seqs) {
+    std::vector<KmerCode> codes;
+    for (const auto& occ : codec.extract_canonical(s.bases)) codes.push_back(occ.code);
+    out.push_back(std::move(codes));
+  }
+  return out;
+}
+
+/// One measured build+probe pass: `Index` is either container. The build is
+/// contig_kmer_multiplicity's loop (count each contig code); the probe sums
+/// hits over the read codes, like assign_read's bundle-map scan.
+struct PassResult {
+  double build_s = 0.0;
+  double probe_s = 0.0;
+  std::size_t entries = 0;
+  std::uint64_t checksum = 0;
+};
+
+template <typename Index, typename Lookup>
+PassResult run_pass(const std::vector<std::vector<KmerCode>>& contig_codes,
+                    const std::vector<std::vector<KmerCode>>& read_codes,
+                    std::size_t reserve_hint, Lookup&& lookup) {
+  PassResult r;
+  double t0 = now_seconds();
+  Index counts;
+  counts.reserve(reserve_hint);
+  for (const auto& codes : contig_codes) {
+    for (const KmerCode code : codes) ++counts[code];
+  }
+  r.build_s = now_seconds() - t0;
+  r.entries = counts.size();
+
+  t0 = now_seconds();
+  std::uint64_t sum = 0;
+  for (const auto& codes : read_codes) {
+    for (const KmerCode code : codes) sum += lookup(counts, code);
+  }
+  r.probe_s = now_seconds() - t0;
+  r.checksum = sum;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  Config cfg("bench_kmer_index",
+             "flat open-addressing k-mer index vs std::unordered_map on the fig07 workload");
+  cfg.flag_int("genes", 400, "genes to simulate (scales the dataset)")
+      .flag_int("repeats", 5, "timed repetitions per container (minimum kept)")
+      .flag_double("min-speedup", 1.0,
+                   "fail (exit 1) unless the flat index's combined speedup reaches this; "
+                   "0 disables the gate")
+      .flag_string("csv", "", "also write the measured series as CSV to this path")
+      .flag_string("json", "BENCH_kmer_index.json",
+                   "write the series as one JSON document to this path");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+
+  bench::banner("kmer-index", "flat open-addressing index vs std::unordered_map");
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int repeats = static_cast<int>(cfg.get_int("repeats"));
+  const auto w = bench::make_workload("sugarbeet_like", genes, "kmer_index");
+  bench::describe(w);
+
+  const auto contig_codes = extract_codes(w.contigs, bench::kK);
+  const auto read_codes = extract_codes(w.dataset.reads.reads, bench::kK);
+  const std::size_t reserve_hint = seq::total_bases(w.contigs);
+  std::size_t probes = 0;
+  for (const auto& codes : read_codes) probes += codes.size();
+
+  // Best-of-N on each container; both get the same reserve-from-count hint.
+  PassResult flat, baseline;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto f = run_pass<kmer::FlatKmerIndex<std::uint32_t>>(
+        contig_codes, read_codes, reserve_hint,
+        [](const kmer::FlatKmerIndex<std::uint32_t>& idx, KmerCode code) -> std::uint64_t {
+          const std::uint32_t* hit = idx.lookup(code);
+          return hit != nullptr ? *hit : 0;
+        });
+    const auto b = run_pass<std::unordered_map<KmerCode, std::uint32_t>>(
+        contig_codes, read_codes, reserve_hint,
+        [](const std::unordered_map<KmerCode, std::uint32_t>& idx,
+           KmerCode code) -> std::uint64_t {
+          const auto it = idx.find(code);
+          return it != idx.end() ? it->second : 0;
+        });
+    if (rep == 0 || f.build_s + f.probe_s < flat.build_s + flat.probe_s) flat = f;
+    if (rep == 0 || b.build_s + b.probe_s < baseline.build_s + baseline.probe_s) baseline = b;
+  }
+
+  if (flat.entries != baseline.entries || flat.checksum != baseline.checksum) {
+    std::fprintf(stderr,
+                 "bench_kmer_index: containers disagree (flat %zu entries / checksum %llu, "
+                 "unordered_map %zu / %llu)\n",
+                 flat.entries, static_cast<unsigned long long>(flat.checksum),
+                 baseline.entries, static_cast<unsigned long long>(baseline.checksum));
+    return 1;
+  }
+
+  const double build_speedup = baseline.build_s / flat.build_s;
+  const double probe_speedup = baseline.probe_s / flat.probe_s;
+  const double combined_speedup =
+      (baseline.build_s + baseline.probe_s) / (flat.build_s + flat.probe_s);
+
+  bench::CsvSink csv(cfg, "impl,build_s,probe_s,entries,probes,checksum");
+  bench::JsonSink json(cfg, "kmer_index");
+  std::printf("%14s | %10s %10s | %10s %12s\n", "impl", "build(s)", "probe(s)", "entries",
+              "probes");
+  struct Row {
+    const char* impl;
+    const PassResult* r;
+  };
+  for (const Row& row : {Row{"flat", &flat}, Row{"unordered_map", &baseline}}) {
+    std::printf("%14s | %10.4f %10.4f | %10zu %12zu\n", row.impl, row.r->build_s,
+                row.r->probe_s, row.r->entries, probes);
+    csv.row(row.impl, row.r->build_s, row.r->probe_s, row.r->entries, probes,
+            row.r->checksum);
+    json.begin_entry();
+    json.field("impl", std::string(row.impl));
+    json.field("build_s", row.r->build_s);
+    json.field("probe_s", row.r->probe_s);
+    json.field("entries", static_cast<std::int64_t>(row.r->entries));
+    json.field("probes", static_cast<std::int64_t>(probes));
+    json.field("checksum", static_cast<std::int64_t>(row.r->checksum));
+    json.field("build_speedup", row.r == &flat ? build_speedup : 1.0);
+    json.field("probe_speedup", row.r == &flat ? probe_speedup : 1.0);
+    json.field("combined_speedup", row.r == &flat ? combined_speedup : 1.0);
+  }
+  std::printf("\nflat vs unordered_map: build %.2fx, probe %.2fx, combined %.2fx\n",
+              build_speedup, probe_speedup, combined_speedup);
+
+  const double min_speedup = cfg.get_double("min-speedup");
+  if (min_speedup > 0.0 && combined_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_kmer_index: combined speedup %.2fx is below --min-speedup %.2f\n",
+                 combined_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

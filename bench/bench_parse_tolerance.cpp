@@ -79,9 +79,13 @@ Measurement measure(const std::string& path, const std::string& input,
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 200));
-  const auto corrupt_every = static_cast<std::size_t>(args.get_int("corrupt-every", 100));
+  auto cfg = bench::bench_config("bench_parse_tolerance", "Parse tolerance: FASTA/FASTQ reader throughput per policy, clean vs corrupted input");
+  cfg.flag_int("genes", 200, "genes to simulate (scales the dataset)");
+  cfg.flag_int("corrupt-every", 100, "corrupt every Nth simulated record");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const auto corrupt_every = static_cast<std::size_t>(cfg.get_int("corrupt-every"));
 
   bench::banner("Parse tolerance",
                 "FASTA/FASTQ reader throughput per policy, clean vs corrupted input");
@@ -122,7 +126,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::JsonSink json(args, "parse_tolerance");
+  bench::JsonSink json(cfg, "parse_tolerance");
   for (const auto& m : series) {
     json.begin_entry();
     json.field("policy", m.policy);

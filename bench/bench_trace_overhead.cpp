@@ -48,11 +48,18 @@ double disabled_hook_ns(std::int64_t iters) {
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 120));
-  const int nranks = static_cast<int>(args.get_int("ranks", 4));
-  const int repeats = static_cast<int>(args.get_int("kernel-repeats", 20));
-  const double budget = args.get_double("budget", 0.02);
+  auto cfg = bench::bench_config("bench_trace_overhead", "Trace overhead: disabled-tracing cost on the Figure 7 workload");
+  cfg.flag_int("genes", 120, "genes to simulate (scales the dataset)");
+  cfg.flag_int("ranks", 4, "rank count for the measured world(s)");
+  cfg.flag_int("kernel-repeats", 20, "per-item kernel repeats (cost-model calibration)");
+  cfg.flag_double("budget", 0.02, "maximum allowed disabled-tracing overhead fraction");
+  cfg.flag_int("iters", 20'000'000, "hot-loop iterations for the disabled-hook microbench");
+  int parse_exit = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &parse_exit)) return parse_exit;
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int nranks = static_cast<int>(cfg.get_int("ranks"));
+  const int repeats = static_cast<int>(cfg.get_int("kernel-repeats"));
+  const double budget = cfg.get_double("budget");
 
   bench::banner("Trace overhead", "disabled-tracing cost on the Figure 7 workload");
 
@@ -60,7 +67,7 @@ int main(int argc, char** argv) {
     std::printf("error: a recorder is installed; this bench measures the disabled path\n");
     return 1;
   }
-  const std::int64_t iters = args.get_int("iters", 20'000'000);
+  const std::int64_t iters = cfg.get_int("iters");
   const double hook_ns = disabled_hook_ns(iters);
   std::printf("disabled hook: %.2f ns/call (%lld calls)\n", hook_ns,
               static_cast<long long>(iters));
@@ -101,7 +108,7 @@ int main(int argc, char** argv) {
   std::printf("projected disabled-tracing overhead: %.4f%% (budget %.1f%%)\n",
               overhead * 100.0, budget * 100.0);
 
-  bench::JsonSink json(args, "trace_overhead");
+  bench::JsonSink json(cfg, "trace_overhead");
   json.begin_entry();
   json.field("hook_ns", hook_ns);
   json.field("hook_count", static_cast<std::int64_t>(hook_count));

@@ -19,55 +19,37 @@
 
 #include <iostream>
 
+#include "pipeline/config.hpp"
 #include "pipeline/trinity_pipeline.hpp"
 #include "seq/fasta.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  if (args.positional().empty()) {
-    std::cerr << "usage: assemble_fasta <reads.fa|reads.fq> [--out transcripts.fa]\n"
-              << "                      [--ranks N] [--k 25] [--min-kmer-count 2]\n"
-              << "                      [--work-dir DIR]\n";
-    return 2;
-  }
-  const std::string reads_path = args.positional().front();
-  const std::string out_path = args.get_string("out", "transcripts.fa");
-
+  pipeline::PipelineOptions defaults;
+  defaults.work_dir = "/tmp/trinity_assemble";
+  Config cfg("assemble_fasta",
+             "assemble transcripts de novo from a FASTA/FASTQ read file");
+  cfg.usage("<reads.fa|reads.fq>")
+      .with_pipeline(defaults)
+      .flag_string("out", "transcripts.fa", "output transcript FASTA");
   pipeline::PipelineOptions options;
-  options.k = static_cast<int>(args.get_int("k", 25));
-  options.nranks = static_cast<int>(args.get_int("ranks", 1));
-  options.min_kmer_count = static_cast<std::uint32_t>(args.get_int("min-kmer-count", 2));
-  options.work_dir = args.get_string("work-dir", "/tmp/trinity_assemble");
-
-  const std::string dist = args.get_string("gff-distribution", "crr");
-  if (dist == "block") {
-    options.gff_distribution = chrysalis::Distribution::kBlock;
-  } else if (dist == "dynamic") {
-    options.gff_distribution = chrysalis::Distribution::kDynamic;
-  } else if (dist != "crr") {
-    std::cerr << "unknown --gff-distribution '" << dist << "'\n";
+  try {
+    cfg.parse_cli(argc, argv);
+    if (!cfg.help_requested()) options = cfg.pipeline_options();
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
     return 2;
   }
-  options.gff_hybrid_setup = args.get_bool("gff-hybrid-setup", false);
-  const std::string strategy = args.get_string("r2t-strategy", "redundant");
-  if (strategy == "master-slave") {
-    options.r2t_strategy = chrysalis::R2TStrategy::kMasterSlave;
-  } else if (strategy != "redundant") {
-    std::cerr << "unknown --r2t-strategy '" << strategy << "'\n";
-    return 2;
+  if (cfg.help_requested() || cfg.positional().empty()) {
+    std::cout << cfg.help_text();
+    return cfg.help_requested() ? 0 : 2;
   }
-  if (args.get_string("r2t-output", "concat") == "collective") {
-    options.r2t_output_mode = chrysalis::R2TOutputMode::kCollective;
+  for (const auto& note : cfg.deprecation_notes()) {
+    std::cerr << "assemble_fasta: " << note << '\n';
   }
-  if (args.get_string("bowtie-split", "targets") == "reads") {
-    options.bowtie_split = align::BowtieSplit::kReads;
-  }
-  options.butterfly_min_node_support =
-      static_cast<std::uint32_t>(args.get_int("min-node-support", 0));
-  options.butterfly_require_paired_support = args.get_bool("require-paired-support", false);
+  const std::string reads_path = cfg.positional().front();
+  const std::string out_path = cfg.get_string("out");
 
   try {
     const auto result = pipeline::run_pipeline_from_file(reads_path, options);

@@ -15,33 +15,47 @@
 
 #include "butterfly/butterfly.hpp"
 #include "chrysalis/debruijn.hpp"
+#include "pipeline/config.hpp"
 #include "pipeline/trinity_pipeline.hpp"
 #include "seq/fasta.hpp"
 #include "sim/transcriptome.hpp"
-#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const int k = static_cast<int>(args.get_int("k", 25));
-  const auto top = static_cast<std::size_t>(args.get_int("top", 15));
+  pipeline::PipelineOptions defaults;
+  defaults.work_dir = "/tmp/trinity_explore";
+  Config cfg("explore_components", "per-component QC table for Chrysalis output");
+  cfg.usage("[reads.fa]")
+      .with_pipeline(defaults)
+      .flag_int("top", 15, "components to list")
+      .flag_int("genes", 30, "genes to simulate when no reads file is given");
+  pipeline::PipelineOptions options;
+  try {
+    cfg.parse_cli(argc, argv);
+    if (!cfg.help_requested()) options = cfg.pipeline_options();
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (cfg.help_requested()) {
+    std::cout << cfg.help_text();
+    return 0;
+  }
+  const int k = options.k;
+  const auto top = static_cast<std::size_t>(cfg.get_int("top"));
 
   std::vector<seq::Sequence> reads;
-  if (!args.positional().empty()) {
-    reads = seq::read_all(args.positional().front());
-    std::cout << "loaded " << reads.size() << " reads from " << args.positional().front()
+  if (!cfg.positional().empty()) {
+    reads = seq::read_all(cfg.positional().front());
+    std::cout << "loaded " << reads.size() << " reads from " << cfg.positional().front()
               << "\n";
   } else {
     auto preset = sim::preset("tiny");
-    preset.transcriptome.num_genes = static_cast<std::size_t>(args.get_int("genes", 30));
+    preset.transcriptome.num_genes = static_cast<std::size_t>(cfg.get_int("genes"));
     reads = sim::simulate_dataset(preset).reads.reads;
     std::cout << "no input given; simulated " << reads.size() << " reads ('tiny' preset)\n";
   }
 
-  pipeline::PipelineOptions options;
-  options.k = k;
-  options.nranks = static_cast<int>(args.get_int("ranks", 1));
-  options.work_dir = "/tmp/trinity_explore";
   const auto result = pipeline::run_pipeline(reads, options);
 
   // Reads and transcripts per component.

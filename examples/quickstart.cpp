@@ -20,18 +20,34 @@
 #include <cstdio>
 #include <iostream>
 
+#include "pipeline/config.hpp"
 #include "pipeline/trinity_pipeline.hpp"
 #include "sim/transcriptome.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "validate/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const int ranks = static_cast<int>(args.get_int("ranks", 4));
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 40));
-  const int k = static_cast<int>(args.get_int("k", 25));
+  pipeline::PipelineOptions defaults;
+  defaults.nranks = 4;
+  defaults.work_dir = "/tmp/trinity_quickstart";
+  defaults.fault_stage = "chrysalis.graph_from_fasta";
+  Config cfg("quickstart",
+             "simulate a small RNA-seq dataset and run the full parallel Trinity "
+             "pipeline");
+  cfg.with_pipeline(defaults).flag_int("genes", 40, "genes to simulate");
+  try {
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (cfg.help_requested()) {
+    std::cout << cfg.help_text();
+    return 0;
+  }
+  for (const auto& note : cfg.deprecation_notes()) std::cerr << "quickstart: " << note << '\n';
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
 
   // 1. Simulate a transcriptome and an RNA-seq read set.
   auto preset = sim::preset("tiny");
@@ -45,21 +61,13 @@ int main(int argc, char** argv) {
 
   // 2. Run the pipeline: Jellyfish -> Inchworm -> Chrysalis -> Butterfly.
   pipeline::PipelineOptions options;
-  options.k = k;
-  options.nranks = ranks;
-  options.work_dir = args.get_string("work-dir", "/tmp/trinity_quickstart");
-  options.checkpoint = !args.get_bool("no-checkpoint", false);
-  options.resume = args.get_bool("resume", false);
-  options.fault.rank = static_cast<int>(args.get_int("fault-rank", -1));
-  if (const auto op = args.get("fault-op")) {
-    options.fault.op = simpi::fault_op_from_string(*op);
-    options.fault.at_entry = static_cast<int>(args.get_int("fault-at", 1));
-  } else if (options.fault.rank >= 0) {
-    options.fault.after_virtual_seconds = 0.0;  // first communication
+  try {
+    options = cfg.pipeline_options();
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
   }
-  options.fault_stage = args.get_string("fault-stage", "chrysalis.graph_from_fasta");
-  options.retry.max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
-  if (args.get_bool("trace", false)) options.trace_path = "trace.json";
+  const int ranks = options.nranks;
   const auto result = pipeline::run_pipeline(data.reads.reads, options);
 
   if (!result.stages_resumed.empty()) {

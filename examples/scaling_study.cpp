@@ -17,9 +17,9 @@
 #include "inchworm/inchworm.hpp"
 #include "kmer/counter.hpp"
 #include "seq/fasta.hpp"
+#include "pipeline/config.hpp"
 #include "sim/transcriptome.hpp"
 #include "simpi/context.hpp"
-#include "util/cli.hpp"
 
 namespace {
 
@@ -27,7 +27,14 @@ std::vector<int> parse_ranks(const std::string& csv) {
   std::vector<int> out;
   std::istringstream in(csv);
   std::string token;
-  while (std::getline(in, token, ',')) out.push_back(std::stoi(token));
+  while (std::getline(in, token, ',')) {
+    try {
+      out.push_back(std::stoi(token));
+    } catch (const std::exception&) {
+      throw trinity::ConfigError("ranks",
+                                 "expected a comma-separated integer list, got '" + csv + "'");
+    }
+  }
   return out;
 }
 
@@ -35,12 +42,30 @@ std::vector<int> parse_ranks(const std::string& csv) {
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 150));
-  const double coverage = args.get_double("coverage", 15.0);
-  const int k = static_cast<int>(args.get_int("k", 25));
-  const int threads_per_rank = static_cast<int>(args.get_int("threads-per-rank", 16));
-  const auto ranks = parse_ranks(args.get_string("ranks", "1,2,4,8,16"));
+  Config cfg("scaling_study",
+             "rank sweep over a simulated dataset: Figure-7/9-style Chrysalis tables");
+  cfg.flag_int("genes", 150, "genes to simulate")
+      .flag_double("coverage", 15.0, "read coverage")
+      .flag_int("k", 25, "k-mer size")
+      .flag_int("threads-per-rank", 16, "modeled threads per node")
+      .flag_string("ranks", "1,2,4,8,16", "comma-separated rank counts to sweep");
+  cfg.alias("model-threads", "threads-per-rank").alias("nprocs", "ranks");
+  std::vector<int> ranks;
+  try {
+    cfg.parse_cli(argc, argv);
+    ranks = parse_ranks(cfg.get_string("ranks"));
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (cfg.help_requested()) {
+    std::cout << cfg.help_text();
+    return 0;
+  }
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const double coverage = cfg.get_double("coverage");
+  const int k = static_cast<int>(cfg.get_int("k"));
+  const int threads_per_rank = static_cast<int>(cfg.get_int("threads-per-rank"));
 
   // Workload: simulate, count k-mers, assemble contigs once; the sweep
   // re-runs only the Chrysalis stages, as the paper's benchmarks do.

@@ -22,10 +22,10 @@
 #include <iostream>
 #include <string>
 
+#include "pipeline/config.hpp"
 #include "pipeline/run_report.hpp"
 #include "trace/analyze.hpp"
 #include "trace/chrome_trace.hpp"
-#include "util/cli.hpp"
 
 namespace {
 
@@ -43,19 +43,29 @@ std::string resolve_trace_path(const std::string& report_path,
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  if (args.positional().empty()) {
-    std::cerr << "usage: trinity_report <run_report.json> [--json] [--trace]\n";
+  Config cfg("trinity_report", "summarize the JSON run report a pipeline run emits");
+  cfg.usage("<run_report.json>")
+      .flag_bool("json", false, "re-emit the parsed report compactly instead of the summary")
+      .flag_bool("trace", false,
+                 "load the report's trace_file and append the critical-path analysis");
+  try {
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
     return 2;
   }
-  const std::string path = args.positional().front();
+  if (cfg.help_requested() || cfg.positional().empty()) {
+    std::cout << cfg.help_text();
+    return cfg.help_requested() ? 0 : 2;
+  }
+  const std::string path = cfg.positional().front();
   try {
     const util::Json report = pipeline::load_run_report(path);
-    if (args.get_bool("json", false)) {
+    if (cfg.get_bool("json")) {
       std::cout << report.dump() << '\n';
     } else {
       pipeline::summarize_report(report, std::cout);
-      if (args.get_bool("trace", false)) {
+      if (cfg.get_bool("trace")) {
         const util::Json* trace_file = report.find("trace_file");
         if (trace_file == nullptr) {
           std::cerr << "trinity_report: report has no trace_file field "

@@ -41,7 +41,7 @@
 #include "kmer/counter.hpp"
 #include "seq/fasta.hpp"
 #include "simpi/context.hpp"
-#include "util/cli.hpp"
+#include "pipeline/config.hpp"
 #include "util/hash.hpp"
 
 namespace {
@@ -59,42 +59,44 @@ int usage() {
   return 2;
 }
 
-int stage_jellyfish(const util::CliArgs& args, int k) {
-  const auto reads = seq::read_all(args.positional()[1]);
+int stage_jellyfish(const Config& cfg, int k) {
+  const auto reads = seq::read_all(cfg.positional()[1]);
   kmer::CounterOptions o;
   o.k = k;
   kmer::KmerCounter counter(o);
   counter.add_sequences(reads);
   const auto counts = counter.dump();
-  const std::string out = args.get_string("out", "kmers.bin");
+  std::string out = cfg.get_string("out");
+  if (out.empty()) out = "kmers.bin";
   kmer::write_dump_binary(out, counts, k);
   std::cout << "jellyfish: " << reads.size() << " reads -> " << counts.size()
             << " distinct " << k << "-mers -> " << out << '\n';
   return 0;
 }
 
-int stage_inchworm(const util::CliArgs& args, int k) {
-  const auto counts = kmer::read_dump_binary(args.positional()[1], k);
+int stage_inchworm(const Config& cfg, int k) {
+  const auto counts = kmer::read_dump_binary(cfg.positional()[1], k);
   inchworm::InchwormOptions o;
   o.k = k;
   o.min_contig_length = static_cast<std::size_t>(k);
   inchworm::Inchworm assembler(o);
   assembler.load_counts(counts);
   const auto contigs = assembler.assemble();
-  const std::string out = args.get_string("out", "inchworm.fa");
+  std::string out = cfg.get_string("out");
+  if (out.empty()) out = "inchworm.fa";
   seq::write_fasta(out, contigs);
   std::cout << "inchworm: " << counts.size() << " k-mers -> " << contigs.size()
             << " contigs (" << assembler.stats().bases_assembled << " bp) -> " << out << '\n';
   return 0;
 }
 
-int stage_chrysalis(const util::CliArgs& args, int k) {
-  const auto contigs = seq::read_all(args.positional()[1]);
-  const std::string reads_path = args.positional()[2];
+int stage_chrysalis(const Config& cfg, int k) {
+  const auto contigs = seq::read_all(cfg.positional()[1]);
+  const std::string reads_path = cfg.positional()[2];
   const auto reads = seq::read_all(reads_path);
-  const std::string out_dir = args.get_string("out-dir", "chrysalis_out");
+  const std::string out_dir = cfg.get_string("out-dir");
   std::filesystem::create_directories(out_dir);
-  const int nprocs = static_cast<int>(args.get_int("nprocs", 1));
+  const int nprocs = static_cast<int>(cfg.get_int("ranks"));
 
   kmer::CounterOptions copt;
   copt.k = k;
@@ -112,12 +114,12 @@ int stage_chrysalis(const util::CliArgs& args, int k) {
   const std::uint64_t fp = checkpoint::FingerprintBuilder()
                                .add("stage", std::string_view("chrysalis"))
                                .add("k", static_cast<std::int64_t>(k))
-                               .add("inchworm", util::fnv1a_file(args.positional()[1]))
+                               .add("inchworm", util::fnv1a_file(cfg.positional()[1]))
                                .add("reads", util::fnv1a_file(reads_path))
                                .digest();
   const std::string manifest_path = out_dir + "/run_manifest.jsonl";
   auto manifest = checkpoint::RunManifest::load(manifest_path);
-  if (args.get_bool("resume", false)) {
+  if (cfg.get_bool("resume")) {
     const auto* rec = manifest.find("chrysalis");
     if (rec != nullptr &&
         checkpoint::validate_stage(*rec, out_dir, fp) == checkpoint::StageCheck::kValid) {
@@ -127,23 +129,16 @@ int stage_chrysalis(const util::CliArgs& args, int k) {
     std::cout << "chrysalis: checkpoint invalid or absent; running\n";
   }
 
-  simpi::FaultPlan fault;
-  fault.rank = static_cast<int>(args.get_int("fault-rank", -1));
-  if (const auto op = args.get("fault-op")) {
-    fault.op = simpi::fault_op_from_string(*op);
-    fault.at_entry = static_cast<int>(args.get_int("fault-at", 1));
-  } else if (fault.rank >= 0) {
-    fault.after_virtual_seconds = 0.0;  // first communication
-  }
+  simpi::FaultPlan fault = cfg.fault_plan();
   if (fault.enabled()) fault.arm();  // one fire across every re-launch below
-  const int max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
+  const int max_attempts = static_cast<int>(cfg.get_int("max-attempts"));
 
   chrysalis::ComponentSet components;
   std::size_t assigned = 0;
   int attempts = 1;
   // An existing Bowtie SAM file can be consumed instead of realigning —
   // the file-exchange interop Trinity's own stages rely on.
-  const std::string sam_path = args.get_string("sam", "");
+  const std::string sam_path = cfg.get_string("sam");
   if (nprocs == 1) {
     std::vector<align::SamRecord> sam;
     if (!sam_path.empty()) {
@@ -240,10 +235,10 @@ int stage_chrysalis(const util::CliArgs& args, int k) {
   return 0;
 }
 
-int stage_butterfly(const util::CliArgs& args, int k) {
-  const auto contigs = seq::read_all(args.positional()[1]);
-  const std::string dir = args.positional()[2];
-  const auto reads = seq::read_all(args.positional()[3]);
+int stage_butterfly(const Config& cfg, int k) {
+  const auto contigs = seq::read_all(cfg.positional()[1]);
+  const std::string dir = cfg.positional()[2];
+  const auto reads = seq::read_all(cfg.positional()[3]);
   const auto components = chrysalis::read_components(dir + "/components.txt");
   const auto assignments =
       chrysalis::read_assignments(dir + "/readsToComponents.out.tsv");
@@ -252,7 +247,8 @@ int stage_butterfly(const util::CliArgs& args, int k) {
   o.k = k;
   const auto transcripts =
       butterfly::run_butterfly(contigs, components, assignments, reads, o);
-  const std::string out = args.get_string("out", "Trinity.fa");
+  std::string out = cfg.get_string("out");
+  if (out.empty()) out = "Trinity.fa";
   seq::write_fasta(out, transcripts, 70);
   std::cout << "butterfly: " << components.num_components() << " components -> "
             << transcripts.size() << " transcripts -> " << out << '\n';
@@ -263,14 +259,36 @@ int stage_butterfly(const util::CliArgs& args, int k) {
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const int k = static_cast<int>(args.get_int("k", 25));
-  const auto& pos = args.positional();
+  Config cfg("trinity_stages", "run the Trinity pipeline one stage at a time");
+  cfg.usage("<jellyfish|inchworm|chrysalis|butterfly> <inputs...>")
+      .flag_int("k", 25, "k-mer size")
+      .flag_string("out", "", "output file (per-stage default when empty)")
+      .flag_string("out-dir", "chrysalis_out", "chrysalis output directory")
+      .flag_int("ranks", 1, "hybrid Chrysalis rank count (1 = shared-memory)")
+      .flag_string("sam", "", "existing Bowtie SAM to consume instead of realigning")
+      .flag_bool("resume", false, "skip chrysalis when its checkpoint validates")
+      .with_fault_flags();
+  cfg.alias("nprocs", "ranks");
   try {
-    if (pos.size() >= 2 && pos[0] == "jellyfish") return stage_jellyfish(args, k);
-    if (pos.size() >= 2 && pos[0] == "inchworm") return stage_inchworm(args, k);
-    if (pos.size() >= 3 && pos[0] == "chrysalis") return stage_chrysalis(args, k);
-    if (pos.size() >= 4 && pos[0] == "butterfly") return stage_butterfly(args, k);
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (cfg.help_requested()) {
+    std::cout << cfg.help_text();
+    return 0;
+  }
+  for (const auto& note : cfg.deprecation_notes()) {
+    std::cerr << "trinity_stages: " << note << '\n';
+  }
+  const int k = static_cast<int>(cfg.get_int("k"));
+  const auto& pos = cfg.positional();
+  try {
+    if (pos.size() >= 2 && pos[0] == "jellyfish") return stage_jellyfish(cfg, k);
+    if (pos.size() >= 2 && pos[0] == "inchworm") return stage_inchworm(cfg, k);
+    if (pos.size() >= 3 && pos[0] == "chrysalis") return stage_chrysalis(cfg, k);
+    if (pos.size() >= 4 && pos[0] == "butterfly") return stage_butterfly(cfg, k);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

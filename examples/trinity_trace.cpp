@@ -22,20 +22,29 @@
 #include <iostream>
 #include <string>
 
+#include "pipeline/config.hpp"
 #include "trace/analyze.hpp"
 #include "trace/chrome_trace.hpp"
-#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  if (args.positional().empty()) {
-    std::cerr << "usage: trinity_trace <trace.json> [--top N] [--validate]\n";
+  Config cfg("trinity_trace", "mine a Chrome trace emitted by a pipeline run");
+  cfg.usage("<trace.json>")
+      .flag_int("top", 5, "spans to list")
+      .flag_bool("validate", false, "run the trace-event shape checker instead");
+  try {
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
     return 2;
   }
-  const std::string path = args.positional().front();
+  if (cfg.help_requested() || cfg.positional().empty()) {
+    std::cout << cfg.help_text();
+    return cfg.help_requested() ? 0 : 2;
+  }
+  const std::string path = cfg.positional().front();
   try {
-    if (args.get_bool("validate", false)) {
+    if (cfg.get_bool("validate")) {
       const trace::TraceShapeReport shape = trace::validate_chrome_trace_file(path);
       if (!shape.ok()) {
         std::cerr << "trinity_trace: " << path << " failed the shape check:\n";
@@ -47,7 +56,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     const auto events = trace::read_chrome_trace(path);
-    const auto top_n = static_cast<std::size_t>(args.get_int("top", 5));
+    const auto top_n = static_cast<std::size_t>(cfg.get_int("top"));
     std::cout << trace::format_analysis(trace::analyze_trace(events, top_n));
   } catch (const std::exception& e) {
     std::cerr << "trinity_trace: " << e.what() << '\n';

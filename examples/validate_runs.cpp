@@ -11,18 +11,35 @@
 
 #include <fstream>
 
+#include "pipeline/config.hpp"
 #include "pipeline/trinity_pipeline.hpp"
 #include "sim/transcriptome.hpp"
-#include "util/cli.hpp"
 #include "validate/report.hpp"
 #include "validate/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace trinity;
-  const auto args = util::CliArgs::parse(argc, argv);
-  const int runs = static_cast<int>(args.get_int("runs", 4));
-  const auto genes = static_cast<std::size_t>(args.get_int("genes", 30));
-  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+  Config cfg("validate_runs",
+             "repeated original-vs-hybrid runs with Smith-Waterman categorization "
+             "and a two-sample t-test");
+  cfg.flag_int("runs", 4, "runs of each pipeline version")
+      .flag_int("genes", 30, "genes to simulate")
+      .flag_int("ranks", 4, "ranks for the hybrid runs")
+      .flag_string("report", "/tmp/trinity_validation.md", "markdown report path");
+  cfg.alias("nprocs", "ranks");
+  try {
+    cfg.parse_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  if (cfg.help_requested()) {
+    std::cout << cfg.help_text();
+    return 0;
+  }
+  const int runs = static_cast<int>(cfg.get_int("runs"));
+  const auto genes = static_cast<std::size_t>(cfg.get_int("genes"));
+  const int ranks = static_cast<int>(cfg.get_int("ranks"));
 
   auto preset = sim::preset("whitefly_like");
   preset.transcriptome.num_genes = genes;
@@ -75,7 +92,7 @@ int main(int argc, char** argv) {
                                     : "no significant difference (matches the paper)");
 
   // Full report, markdown + CSV, for the record.
-  const std::string report_path = args.get_string("report", "/tmp/trinity_validation.md");
+  const std::string report_path = cfg.get_string("report");
   std::ofstream report(report_path);
   validate::write_markdown_report(
       report,

@@ -17,10 +17,19 @@
 #      traced pipeline run must leave a trace.json that passes the Chrome
 #      trace-event shape checker and yields a critical-path analysis, and
 #      the disabled-tracing overhead bench must stay under its 2% budget.
-#   5. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
-#      simpi and trace test binaries — the subsystems that throw across
-#      thread and collective boundaries (and, for the trace recorder,
-#      publish buffers across threads), where sanitizers earn their keep.
+#   5. Config gate (docs/CONFIG.md): the unified-parsing unit suite verbatim
+#      (round-trip through to_json included), a real binary exercising
+#      --config preload + a deprecated spelling (must warn on stderr), and
+#      a malformed value failing with the typed "config error" shape.
+#   6. K-mer index gate: bench_kmer_index must show the flat open-addressing
+#      index no slower than std::unordered_map on the Figure 7 workload
+#      shape (--min-speedup 1.0, identical entries/checksum enforced by the
+#      bench itself) and record the run in BENCH_kmer_index.json.
+#   7. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#      simpi, trace, config and flat-index test binaries — the subsystems
+#      that throw across thread and collective boundaries (and, for the
+#      trace recorder, publish buffers across threads; for the flat index,
+#      raw-storage placement news), where sanitizers earn their keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -eu
@@ -84,18 +93,44 @@ rm -rf "$trace_dir"
 ./build/examples/trinity_report "$trace_dir/run_report.json" --trace | grep -q 'top spans'
 ./build/bench/bench_trace_overhead --genes 60 --kernel-repeats 5 --iters 5000000
 
+echo "== config: unified flag parsing (docs/CONFIG.md) =="
+# The unit suite verbatim (includes the to_json round-trip), then a real
+# binary: --config preload with a deprecated spelling overriding it.
+./build/tests/config_test
+cfg_dir=/tmp/trinity_check_config
+rm -rf "$cfg_dir"
+mkdir -p "$cfg_dir"
+printf '{"genes": 6, "ranks": 4, "trace_sample_interval_ms": 0}\n' \
+    > "$cfg_dir/cfg.json"
+./build/examples/quickstart --config "$cfg_dir/cfg.json" --nprocs 2 \
+    --work-dir "$cfg_dir/run" >/dev/null 2>"$cfg_dir/stderr"
+grep -q -- '--nprocs is deprecated; use --ranks' "$cfg_dir/stderr"
+# Malformed values must fail with the typed error shape, not a crash.
+if ./build/examples/quickstart --ranks banana >/dev/null 2>"$cfg_dir/err"; then
+    echo "expected 'quickstart --ranks banana' to fail" >&2
+    exit 1
+fi
+grep -q "config error: --ranks: expected an integer, got 'banana'" "$cfg_dir/err"
+echo "config ok"
+
+echo "== k-mer index: flat index vs unordered_map (BENCH_kmer_index.json) =="
+./build/bench/bench_kmer_index --genes 200 --repeats 3 --min-speedup 1.0 \
+    --json "$repo_root/BENCH_kmer_index.json"
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + io + simpi + trace tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + flat-index tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-    pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test
+    pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
+    config_test flat_index_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
-         pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test; do
+         pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
+         config_test flat_index_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

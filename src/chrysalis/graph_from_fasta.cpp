@@ -8,6 +8,7 @@
 
 #include "chrysalis/parallel_loop.hpp"
 #include "seq/dna.hpp"
+#include "simpi/nonblocking.hpp"
 #include "simpi/rma.hpp"
 #include "seq/kmer.hpp"
 #include "simpi/pack.hpp"
@@ -37,9 +38,9 @@ double GffTiming::nonparallel_fraction() const {
 namespace detail {
 
 namespace {
-// Accumulates one contig's distinct canonical (k-1)-mers into the map.
+// Accumulates one contig's distinct canonical (k-1)-mers into the index.
 void accumulate_contig(const seq::Sequence& contig, const seq::KmerCodec& codec,
-                       std::unordered_map<seq::KmerCode, std::uint32_t>& multiplicity) {
+                       kmer::FlatKmerIndex<std::uint32_t>& multiplicity) {
   std::unordered_set<seq::KmerCode> seen_in_contig;
   for (const auto& occ : codec.extract_canonical(contig.bases)) {
     if (seen_in_contig.insert(occ.code).second) ++multiplicity[occ.code];
@@ -47,16 +48,18 @@ void accumulate_contig(const seq::Sequence& contig, const seq::KmerCodec& codec,
 }
 }  // namespace
 
-std::unordered_map<seq::KmerCode, std::uint32_t> contig_kmer_multiplicity(
+kmer::FlatKmerIndex<std::uint32_t> contig_kmer_multiplicity(
     const std::vector<seq::Sequence>& contigs, int k) {
-  // (k-1)-mers: the overlap length at Inchworm branch points.
+  // (k-1)-mers: the overlap length at Inchworm branch points. Reserve from
+  // the total base count — an upper bound on the distinct k-mers the scan
+  // can produce — so the build loop never rehashes.
   const seq::KmerCodec codec(k - 1);
-  std::unordered_map<seq::KmerCode, std::uint32_t> multiplicity;
+  kmer::FlatKmerIndex<std::uint32_t> multiplicity(seq::total_bases(contigs));
   for (const auto& contig : contigs) accumulate_contig(contig, codec, multiplicity);
   return multiplicity;
 }
 
-std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity(
+kmer::FlatKmerIndex<std::uint32_t> hybrid_contig_kmer_multiplicity(
     simpi::Context& ctx, const std::vector<seq::Sequence>& contigs, int k) {
   // Each rank scans a contiguous block; since contigs are disjoint across
   // ranks and per-contig dedup is contig-local, summing the pooled partial
@@ -64,7 +67,7 @@ std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity
   const seq::KmerCodec codec(k - 1);
   const BlockDistribution dist(contigs.size(), ctx.size());
   const IndexRange mine = dist.block_for(ctx.rank());
-  std::unordered_map<seq::KmerCode, std::uint32_t> partial;
+  kmer::FlatKmerIndex<std::uint32_t> partial;
   for (std::size_t i = mine.begin; i < mine.end; ++i) {
     accumulate_contig(contigs[i], codec, partial);
   }
@@ -77,8 +80,7 @@ std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity
     wire.push_back(count);
   }
   const auto pooled = ctx.allgatherv(wire);
-  std::unordered_map<seq::KmerCode, std::uint32_t> multiplicity;
-  multiplicity.reserve(pooled.size() / 2);
+  kmer::FlatKmerIndex<std::uint32_t> multiplicity(pooled.size() / 2);
   for (std::size_t i = 0; i + 1 < pooled.size(); i += 2) {
     multiplicity[pooled[i]] += static_cast<std::uint32_t>(pooled[i + 1]);
   }
@@ -91,7 +93,7 @@ std::string canonical_weld(const std::string& weld) {
 }
 
 void harvest_welds(const seq::Sequence& contig,
-                   const std::unordered_map<seq::KmerCode, std::uint32_t>& overlap_multiplicity,
+                   const kmer::FlatKmerIndex<std::uint32_t>& overlap_multiplicity,
                    const kmer::KmerCounter& read_counter, const GraphFromFastaOptions& options,
                    std::vector<std::string>& out) {
   const int k = options.k;
@@ -134,6 +136,9 @@ void harvest_welds(const seq::Sequence& contig,
 WeldCoreIndex index_weld_cores(const std::vector<std::string>& welds, int k) {
   const seq::KmerCodec codec(k - 1);
   WeldCoreIndex index;
+  std::size_t bases = 0;
+  for (const auto& weld : welds) bases += weld.size();
+  index.reserve(bases);
   for (std::size_t w = 0; w < welds.size(); ++w) {
     std::unordered_set<seq::KmerCode> seen;
     for (const auto& occ : codec.extract_canonical(welds[w])) {
@@ -150,11 +155,21 @@ void find_weld_matches(const seq::Sequence& contig, std::int32_t contig_id,
                        std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
   const seq::KmerCodec codec(options.k - 1);
   if (contig.bases.size() < static_cast<std::size_t>(options.k - 1)) return;
+  std::vector<seq::KmerCode> codes;
+  const auto occurrences = codec.extract_canonical(contig.bases);
+  codes.reserve(occurrences.size());
+  for (const auto& occ : occurrences) codes.push_back(occ.code);
+  find_weld_matches(codes, contig_id, weld_cores, out);
+}
+
+void find_weld_matches(const std::vector<seq::KmerCode>& contig_codes, std::int32_t contig_id,
+                       const WeldCoreIndex& weld_cores,
+                       std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
   std::unordered_set<std::int32_t> hit;  // report each weld once per contig
-  for (const auto& occ : codec.extract_canonical(contig.bases)) {
-    const auto it = weld_cores.find(occ.code);
-    if (it == weld_cores.end()) continue;
-    for (const auto weld_id : it->second) {
+  for (const seq::KmerCode code : contig_codes) {
+    const auto* weld_ids = weld_cores.lookup(code);
+    if (weld_ids == nullptr) continue;
+    for (const auto weld_id : *weld_ids) {
       if (hit.insert(weld_id).second) out.emplace_back(weld_id, contig_id);
     }
   }
@@ -375,29 +390,80 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
                                 loop1_body, "gff.loop1");
 
   // Pool welds on every rank: pack the strings into one sequence, then
-  // Allgatherv the packed bytes (paper, Section III.B).
+  // Allgatherv the packed bytes (paper, Section III.B). With
+  // overlap_pooling the collective is started nonblocking and, while it is
+  // in flight, the rank pre-extracts its own contigs' canonical (k-1)-mer
+  // codes — the pooled-weld-independent prefix of loop 2 — so that compute
+  // hides the transfer. Dynamic distribution is excluded: a rank does not
+  // know its loop-2 items before the shared counter hands them out.
   std::vector<std::string> my_welds;
   for (auto& part : weld_parts) {
     my_welds.insert(my_welds.end(), std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
   }
   const auto packed = simpi::pack_strings(my_welds);
-  const auto pooled_bytes = ctx.allgatherv(packed);
-  timing.weld_bytes_contributed =
-      ctx.allgatherv(std::vector<std::uint64_t>{packed.size()});
+  const bool overlap = options.overlap_pooling &&
+                       options.distribution != Distribution::kDynamic && ctx.size() > 1;
+  std::vector<std::byte> pooled_bytes;
+  std::vector<std::vector<seq::KmerCode>> contig_codes;
+  double my_overlap = 0.0;
+  double my_pool_wait = 0.0;
+  if (overlap) {
+    simpi::IAllgatherv<std::byte> pool(ctx, packed, 0);
+    simpi::IAllgatherv<std::uint64_t> sizes(ctx, {packed.size()}, 1);
+    {
+      trace::SpanScope span("gff.overlap_extract", trace::kCatLoop);
+      util::ThreadCpuTimer cpu;
+      const seq::KmerCodec codec(options.k - 1);
+      contig_codes.resize(contigs.size());
+      for (const auto& range : my_ranges) {
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto occurrences = codec.extract_canonical(contigs[i].bases);
+          auto& codes = contig_codes[i];
+          codes.reserve(occurrences.size());
+          for (const auto& occ : occurrences) codes.push_back(occ.code);
+        }
+      }
+      my_overlap = cpu.seconds() / static_cast<double>(
+                                       std::max(options.model_threads_per_rank, 1));
+    }
+    util::Timer wait_wall;
+    pooled_bytes = pool.wait(my_overlap);
+    timing.weld_bytes_contributed = sizes.wait();
+    my_pool_wait = wait_wall.seconds();
+  } else {
+    // Blocking path: record the same wall-blocked quantity the overlap path
+    // reports, so pool_wait_seconds compares the two modes directly (the
+    // CommStats allgatherv row grows by exactly this delta).
+    const double wait_before =
+        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds;
+    pooled_bytes = ctx.allgatherv(packed);
+    timing.weld_bytes_contributed =
+        ctx.allgatherv(std::vector<std::uint64_t>{packed.size()});
+    my_pool_wait =
+        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds - wait_before;
+  }
   timing.weld_bytes_pooled = pooled_bytes.size();
   auto welds = dedup_welds(simpi::unpack_string_pool(pooled_bytes));
   const auto weld_cores = detail::index_weld_cores(welds, options.k);
 
-  // Loop 2 over the same chunk ownership.
+  // Loop 2 over the same chunk ownership; on the overlap path the
+  // extraction already happened behind the collective, so the kernel runs
+  // over the cached codes.
   std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> match_parts(
       static_cast<std::size_t>(std::max(threads, 1)));
   auto loop2_body = [&](std::size_t i) {
     auto& sink = match_parts[static_cast<std::size_t>(omp_get_thread_num())];
     run_calibrated(options.kernel_repeats, sink,
                    [&](std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
-                     detail::find_weld_matches(contigs[i], static_cast<std::int32_t>(i),
-                                               weld_cores, options, out);
+                     if (overlap) {
+                       detail::find_weld_matches(contig_codes[i],
+                                                 static_cast<std::int32_t>(i), weld_cores,
+                                                 out);
+                     } else {
+                       detail::find_weld_matches(contigs[i], static_cast<std::int32_t>(i),
+                                                 weld_cores, options, out);
+                     }
                    });
   };
   const double my_loop2 =
@@ -433,6 +499,8 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   timing.loop1.seconds = ctx.allgatherv(std::vector<double>{my_loop1});
   timing.loop2.seconds = ctx.allgatherv(std::vector<double>{my_loop2});
   timing.setup_seconds = ctx.allreduce_max(my_setup);
+  timing.overlap_compute_seconds = ctx.allreduce_max(my_overlap);
+  timing.pool_wait_seconds = ctx.allreduce_max(my_pool_wait);
   timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
 
   return finalize(contigs, std::move(welds), std::move(matches), extra_pairs,

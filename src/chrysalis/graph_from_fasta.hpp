@@ -25,13 +25,13 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "chrysalis/components.hpp"
 #include "chrysalis/distribution.hpp"
 #include "kmer/counter.hpp"
+#include "kmer/flat_index.hpp"
 #include "simpi/context.hpp"
 #include "seq/sequence.hpp"
 
@@ -72,6 +72,15 @@ struct GraphFromFastaOptions {
   /// the CPU clock's tick without changing outputs or the *relative* load
   /// imbalance across ranks. Leave at 1 for normal use.
   int kernel_repeats = 1;
+  /// Overlap the loop-1 weld pooling with compute (hybrid runs only): the
+  /// weld Allgatherv is started nonblocking and, while it is in flight,
+  /// each rank pre-extracts the canonical (k-1)-mer codes of its own
+  /// contigs — the part of loop 2's scan that does not depend on the pooled
+  /// welds. The hidden compute is credited against the modeled collective
+  /// cost and the output is bit-identical to the blocking path. Ignored
+  /// (forced off) under Distribution::kDynamic, where a rank does not know
+  /// its loop-2 items before the shared counter hands them out.
+  bool overlap_pooling = true;
 };
 
 /// Per-rank loop times (virtual seconds). Size 1 for shared-memory runs.
@@ -97,6 +106,14 @@ struct GffTiming {
   std::uint64_t weld_bytes_pooled = 0;                 ///< packed weld pool size
   std::vector<std::uint64_t> match_bytes_contributed;  ///< per rank, loop 2
   std::uint64_t match_bytes_pooled = 0;                ///< pooled match-int array size
+
+  // Overlapped-pooling accounting (overlap_compute is zero when
+  // overlap_pooling is off; pool_wait is recorded for BOTH hybrid modes so
+  // overlap on/off runs compare the weld-pool blocked wall directly; both
+  // zero for shared-memory runs). docs/OBSERVABILITY.md "overlap counters"
+  // documents both.
+  double overlap_compute_seconds = 0.0;  ///< max modeled compute hidden behind the weld pool
+  double pool_wait_seconds = 0.0;        ///< max wall time blocked in the weld-pool wait
   /// Total modeled time: serial parts + slowest rank per loop + comm.
   [[nodiscard]] double total_seconds() const {
     return setup_seconds + loop1.max() + loop2.max() + finalize_seconds + comm_seconds;
@@ -144,13 +161,13 @@ namespace detail {
 /// in the paper, and it must have read support: every k-mer across the
 /// window occurs at least `min_weld_support` times in the reads.
 void harvest_welds(const seq::Sequence& contig,
-                   const std::unordered_map<seq::KmerCode, std::uint32_t>& overlap_multiplicity,
+                   const kmer::FlatKmerIndex<std::uint32_t>& overlap_multiplicity,
                    const kmer::KmerCounter& read_counter, const GraphFromFastaOptions& options,
                    std::vector<std::string>& out);
 
 /// Index over the pooled welds: canonical (k-1)-mer code -> weld ids whose
 /// window contains it. Built identically on every rank before loop 2.
-using WeldCoreIndex = std::unordered_map<seq::KmerCode, std::vector<std::int32_t>>;
+using WeldCoreIndex = kmer::FlatKmerIndex<std::vector<std::int32_t>>;
 WeldCoreIndex index_weld_cores(const std::vector<std::string>& welds, int k);
 
 /// Loop-2 kernel for one contig: appends (weld_id, contig_id) matches for
@@ -160,14 +177,23 @@ void find_weld_matches(const seq::Sequence& contig, std::int32_t contig_id,
                        const WeldCoreIndex& weld_cores, const GraphFromFastaOptions& options,
                        std::vector<std::pair<std::int32_t, std::int32_t>>& out);
 
+/// Same kernel over a precomputed list of the contig's canonical (k-1)-mer
+/// codes — the form the overlap-pooling path uses after caching extraction
+/// while the weld Allgatherv is in flight (extraction reads only the contig,
+/// never the pooled welds, so it is the legally overlappable prefix of the
+/// loop-2 scan).
+void find_weld_matches(const std::vector<seq::KmerCode>& contig_codes, std::int32_t contig_id,
+                       const WeldCoreIndex& weld_cores,
+                       std::vector<std::pair<std::int32_t, std::int32_t>>& out);
+
 /// Builds the canonical-(k-1)-mer -> distinct-contig-count map (the serial
 /// setup region of Figure 8).
-std::unordered_map<seq::KmerCode, std::uint32_t> contig_kmer_multiplicity(
+kmer::FlatKmerIndex<std::uint32_t> contig_kmer_multiplicity(
     const std::vector<seq::Sequence>& contigs, int k);
 
 /// Cooperative (hybrid_setup) variant: block-partitioned scan + Allgatherv
 /// pooling. Collective; produces exactly the serial map on every rank.
-std::unordered_map<seq::KmerCode, std::uint32_t> hybrid_contig_kmer_multiplicity(
+kmer::FlatKmerIndex<std::uint32_t> hybrid_contig_kmer_multiplicity(
     simpi::Context& ctx, const std::vector<seq::Sequence>& contigs, int k);
 
 /// Canonical form of a weld: lexicographic min of the sequence and its

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,14 +13,19 @@
 #include "seq/kmer.hpp"
 #include "simpi/file_io.hpp"
 #include "simpi/pack.hpp"
+#include "trace/span_recorder.hpp"
 #include "util/timer.hpp"
 
 namespace trinity::chrysalis {
 
-std::unordered_map<seq::KmerCode, std::int32_t> build_bundle_kmer_map(
+kmer::FlatKmerIndex<std::int32_t> build_bundle_kmer_map(
     const std::vector<seq::Sequence>& contigs, const ComponentSet& components, int k) {
   const seq::KmerCodec codec(k);
-  std::unordered_map<seq::KmerCode, std::int32_t> bundle_of;
+  // Reserve-from-count: total contig bases bound the distinct k-mers, so
+  // the build loop never rehashes.
+  std::size_t bases = 0;
+  for (const auto& contig : contigs) bases += contig.bases.size();
+  kmer::FlatKmerIndex<std::int32_t> bundle_of(bases);
   for (const auto& comp : components.components) {
     for (const auto contig_id : comp.contig_ids) {
       const auto& contig = contigs.at(static_cast<std::size_t>(contig_id));
@@ -35,8 +41,7 @@ std::unordered_map<seq::KmerCode, std::int32_t> build_bundle_kmer_map(
 namespace detail {
 
 ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
-                           const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
-                           int k) {
+                           const kmer::FlatKmerIndex<std::int32_t>& bundle_of, int k) {
   ReadAssignment out;
   out.read_index = read_index;
 
@@ -54,18 +59,18 @@ ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
   };
   std::vector<Tally> tallies;
   for (const auto& occ : occurrences) {
-    const auto it = bundle_of.find(occ.code);
-    if (it == bundle_of.end()) continue;
+    const auto* component = bundle_of.lookup(occ.code);
+    if (component == nullptr) continue;
     bool found = false;
     for (auto& t : tallies) {
-      if (t.component == it->second) {
+      if (t.component == *component) {
         ++t.count;
         t.last = occ.position;
         found = true;
         break;
       }
     }
-    if (!found) tallies.push_back({it->second, 1, occ.position, occ.position});
+    if (!found) tallies.push_back({*component, 1, occ.position, occ.position});
   }
   if (tallies.empty()) return out;
 
@@ -99,7 +104,7 @@ namespace {
 /// Processes one in-memory chunk with an OpenMP team; returns the modeled
 /// loop seconds and appends to `assignments`.
 double process_chunk(const std::vector<seq::Sequence>& chunk, std::int64_t base_index,
-                     const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
+                     const kmer::FlatKmerIndex<std::int32_t>& bundle_of,
                      const ReadsToTranscriptsOptions& options, int real_threads,
                      std::vector<ReadAssignment>& assignments) {
   const std::size_t offset = assignments.size();
@@ -120,6 +125,48 @@ double process_chunk(const std::vector<seq::Sequence>& chunk, std::int64_t base_
                              },
                              "r2t.chunk");
 }
+
+/// Double-buffered chunk source (options.overlap_io): a helper thread
+/// parses the next chunk while the caller classifies the current one.
+/// next() returns the chunk in file order — identical to calling
+/// read_chunk() directly — plus the wall time the caller still spent
+/// blocked on the parse (the unhidden I/O remainder); hidden_seconds() is
+/// the parse CPU that ran behind compute. The reader is only ever touched
+/// by one thread at a time: the helper finishes (get()) before the next
+/// helper is launched.
+class PrefetchingChunkSource {
+ public:
+  PrefetchingChunkSource(seq::FastaReader& reader, std::size_t max_reads)
+      : reader_(reader), max_reads_(max_reads) {
+    launch();
+  }
+
+  std::vector<seq::Sequence> next(double& blocked_wall) {
+    trace::SpanScope span("r2t.prefetch.wait", trace::kCatLoop);
+    util::Timer blocked;
+    auto chunk = pending_.get();
+    blocked_wall = blocked.seconds();
+    if (!chunk.empty()) launch();
+    return chunk;
+  }
+
+  [[nodiscard]] double hidden_seconds() const { return hidden_; }
+
+ private:
+  void launch() {
+    pending_ = std::async(std::launch::async, [this] {
+      util::ThreadCpuTimer cpu;
+      auto chunk = reader_.read_chunk(max_reads_);
+      hidden_ += cpu.seconds();
+      return chunk;
+    });
+  }
+
+  seq::FastaReader& reader_;
+  std::size_t max_reads_;
+  double hidden_ = 0.0;  // only written by the helper, read after its get()
+  std::future<std::vector<seq::Sequence>> pending_;
+};
 
 std::string rank_output_path(const std::string& output_dir, int rank) {
   return output_dir + "/readsToComponents.rank" + std::to_string(rank) + ".tsv";
@@ -167,15 +214,33 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
   std::uint64_t chunks = 0;
   seq::FastaReader reader(reads_path, options.parse_policy);
   std::int64_t base_index = 0;
-  for (;;) {
-    util::ThreadCpuTimer read_cpu;
-    const auto chunk = reader.read_chunk(options.max_mem_reads);
-    loop_seconds += read_cpu.seconds();
-    if (chunk.empty()) break;
-    loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
-                                  result.assignments);
-    base_index += static_cast<std::int64_t>(chunk.size());
-    ++chunks;
+  if (options.overlap_io) {
+    // Double-buffered: the next chunk parses on a helper thread while this
+    // one classifies; only the residual blocked wall time costs the loop.
+    PrefetchingChunkSource source(reader, options.max_mem_reads);
+    for (;;) {
+      double blocked = 0.0;
+      const auto chunk = source.next(blocked);
+      loop_seconds += blocked;
+      result.timing.prefetch_wait_seconds += blocked;
+      if (chunk.empty()) break;
+      loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
+                                    result.assignments);
+      base_index += static_cast<std::int64_t>(chunk.size());
+      ++chunks;
+    }
+    result.timing.prefetch_hidden_seconds = source.hidden_seconds();
+  } else {
+    for (;;) {
+      util::ThreadCpuTimer read_cpu;
+      const auto chunk = reader.read_chunk(options.max_mem_reads);
+      loop_seconds += read_cpu.seconds();
+      if (chunk.empty()) break;
+      loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
+                                    result.assignments);
+      base_index += static_cast<std::int64_t>(chunk.size());
+      ++chunks;
+    }
   }
   result.parse = reader.diagnostics();
   result.timing.main_loop.seconds = {loop_seconds};
@@ -207,24 +272,49 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   std::uint64_t my_chunks = 0;
   constexpr int kChunkTag = 7;
 
+  double my_prefetch_hidden = 0.0;
+  double my_prefetch_wait = 0.0;
+
   if (options.strategy == R2TStrategy::kRedundantStreaming) {
     // Every rank streams the whole file and keeps chunks where
     // chunk_index mod size == rank; discarded chunks still cost the read.
+    // With overlap_io the next chunk parses on a helper thread while this
+    // rank classifies its owned chunk, so the redundant read mostly hides
+    // behind compute and only the residual blocked wall time is charged.
     seq::FastaReader reader(reads_path, options.parse_policy);
     std::int64_t base_index = 0;
     std::int64_t chunk_index = 0;
-    for (;;) {
-      util::ThreadCpuTimer read_cpu;
-      const auto chunk = reader.read_chunk(options.max_mem_reads);
-      my_loop += read_cpu.seconds();
-      if (chunk.empty()) break;
-      if (chunk_index % ctx.size() == ctx.rank()) {
-        my_loop +=
-            process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
-        ++my_chunks;
+    if (options.overlap_io) {
+      PrefetchingChunkSource source(reader, options.max_mem_reads);
+      for (;;) {
+        double blocked = 0.0;
+        const auto chunk = source.next(blocked);
+        my_loop += blocked;
+        my_prefetch_wait += blocked;
+        if (chunk.empty()) break;
+        if (chunk_index % ctx.size() == ctx.rank()) {
+          my_loop +=
+              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          ++my_chunks;
+        }
+        base_index += static_cast<std::int64_t>(chunk.size());
+        ++chunk_index;
       }
-      base_index += static_cast<std::int64_t>(chunk.size());
-      ++chunk_index;
+      my_prefetch_hidden = source.hidden_seconds();
+    } else {
+      for (;;) {
+        util::ThreadCpuTimer read_cpu;
+        const auto chunk = reader.read_chunk(options.max_mem_reads);
+        my_loop += read_cpu.seconds();
+        if (chunk.empty()) break;
+        if (chunk_index % ctx.size() == ctx.rank()) {
+          my_loop +=
+              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          ++my_chunks;
+        }
+        base_index += static_cast<std::int64_t>(chunk.size());
+        ++chunk_index;
+      }
     }
     result.parse = reader.diagnostics();
   } else {
@@ -324,6 +414,8 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
       ctx.allgatherv(std::vector<std::uint64_t>{my_assignment_bytes});
   result.timing.assignment_bytes_pooled =
       result.assignments.size() * sizeof(ReadAssignment);
+  result.timing.prefetch_hidden_seconds = ctx.allreduce_max(my_prefetch_hidden);
+  result.timing.prefetch_wait_seconds = ctx.allreduce_max(my_prefetch_wait);
   result.timing.concat_seconds = concat_seconds;
   result.timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
   return result;

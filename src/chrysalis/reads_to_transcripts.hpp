@@ -26,6 +26,7 @@
 #include "chrysalis/components.hpp"
 #include "chrysalis/graph_from_fasta.hpp"
 #include "io/error.hpp"
+#include "kmer/flat_index.hpp"
 #include "simpi/context.hpp"
 #include "seq/fasta.hpp"
 #include "seq/sequence.hpp"
@@ -66,6 +67,13 @@ struct ReadsToTranscriptsOptions {
   /// seq/fasta.hpp). All ranks must use the same policy: quarantining
   /// changes read indices, so a mixed world would disagree on assignments.
   seq::ParsePolicy parse_policy = seq::ParsePolicy::kStrict;
+  /// Double-buffer the streaming read against classification: a helper
+  /// thread parses the next chunk while the OpenMP team classifies the
+  /// current one, hiding the redundant-streaming I/O cost. Chunk order and
+  /// assignments are unchanged. Applies to run_shared and the
+  /// redundant-streaming hybrid strategy; the master/slave ablation keeps
+  /// its synchronous producer loop.
+  bool overlap_io = true;
 };
 
 /// One read's bundle assignment.
@@ -94,6 +102,12 @@ struct R2TTiming {
   std::vector<std::uint64_t> assignment_bytes_contributed;  ///< per rank
   std::uint64_t assignment_bytes_pooled = 0;  ///< full pooled payload, bytes
 
+  // Double-buffered prefetch accounting (zero when overlap_io is off and
+  // for the master/slave strategy); max over ranks for hybrid runs. See
+  // docs/OBSERVABILITY.md "overlap counters".
+  double prefetch_hidden_seconds = 0.0;  ///< chunk-parse CPU hidden behind compute
+  double prefetch_wait_seconds = 0.0;    ///< residual wall time blocked on the parser
+
   [[nodiscard]] double total_seconds() const {
     return setup_seconds + main_loop.max() + concat_seconds + comm_seconds;
   }
@@ -115,7 +129,7 @@ struct R2TResult {
 /// contigs (the "assignment of k-mers to Inchworm bundles" setup region).
 /// A k-mer occurring in several components maps to the smallest component
 /// id, deterministically.
-std::unordered_map<seq::KmerCode, std::int32_t> build_bundle_kmer_map(
+kmer::FlatKmerIndex<std::int32_t> build_bundle_kmer_map(
     const std::vector<seq::Sequence>& contigs, const ComponentSet& components, int k);
 
 /// Original OpenMP-only ReadsToTranscripts, streaming `reads_path`.
@@ -135,8 +149,7 @@ namespace detail {
 
 /// Assignment kernel for one read.
 ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
-                           const std::unordered_map<seq::KmerCode, std::int32_t>& bundle_of,
-                           int k);
+                           const kmer::FlatKmerIndex<std::int32_t>& bundle_of, int k);
 
 /// Writes assignments as TSV (read_index, component, shared, begin, end).
 void write_assignments(const std::string& path, const std::vector<ReadAssignment>& assignments);

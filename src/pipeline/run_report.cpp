@@ -105,6 +105,8 @@ util::Json gff_json(const chrysalis::GffTiming& t) {
   out.set("weld_bytes_pooled", static_cast<std::int64_t>(t.weld_bytes_pooled));
   out.set("match_bytes_contributed", int_array(t.match_bytes_contributed));
   out.set("match_bytes_pooled", static_cast<std::int64_t>(t.match_bytes_pooled));
+  out.set("overlap_compute_s", t.overlap_compute_seconds);
+  out.set("pool_wait_s", t.pool_wait_seconds);
   return out;
 }
 
@@ -138,6 +140,8 @@ util::Json r2t_json(const chrysalis::R2TTiming& t) {
   out.set("rank_reads", int_array(t.rank_reads));
   out.set("assignment_bytes_contributed", int_array(t.assignment_bytes_contributed));
   out.set("assignment_bytes_pooled", static_cast<std::int64_t>(t.assignment_bytes_pooled));
+  out.set("prefetch_hidden_s", t.prefetch_hidden_seconds);
+  out.set("prefetch_wait_s", t.prefetch_wait_seconds);
   return out;
 }
 

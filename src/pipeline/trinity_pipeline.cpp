@@ -508,6 +508,7 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
   gff.kernel_repeats = options.gff_kernel_repeats;
   gff.distribution = options.gff_distribution;
   gff.hybrid_setup = options.gff_hybrid_setup;
+  gff.overlap_pooling = options.overlap;
 
   driver.stage(
       "chrysalis.graph_from_fasta", {kContigsFile, kKmersFile, kSamFile}, {kComponentsFile},
@@ -545,6 +546,7 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
   r2t.strategy = options.r2t_strategy;
   r2t.output_mode = options.r2t_output_mode;
   r2t.parse_policy = options.parse_policy;
+  r2t.overlap_io = options.overlap;
 
   // Assigned (not merged) in the stage body: idempotent across retries.
   io::ParseDiagnostics r2t_parse;

@@ -68,6 +68,13 @@ struct PipelineOptions {
   align::BowtieSplit bowtie_split = align::BowtieSplit::kTargets;
   std::uint32_t butterfly_min_node_support = 0;  ///< read reconciliation
   bool butterfly_require_paired_support = false; ///< paired reconciliation
+  /// Communication/computation overlap in the Chrysalis hot paths: the
+  /// GraphFromFasta weld pooling runs as a nonblocking Allgatherv hidden
+  /// behind loop 2's extraction prefix, and ReadsToTranscripts
+  /// double-buffers chunk parsing against classification. Scheduling-only:
+  /// outputs are bit-identical with it on or off (the fig07/fig09 benches
+  /// assert this), so it is excluded from the options fingerprint.
+  bool overlap = true;
 
   /// Cost-model calibration for the trace benches (Figures 2 and 11):
   /// per-item kernel repeats for the three Chrysalis sub-steps, restoring

@@ -59,10 +59,12 @@ Message Context::waited_recv(int source, int tag, CommOp op) {
   // CommStats.wait_seconds, so per-rank wait-span totals in the trace
   // reconcile with the run report's comm counters exactly.
   const double waited = wait.seconds();
-  auto& s = stats_.of(op);
-  s.wait_seconds += waited;
-  s.bytes_received += msg.payload.size();
-  trace::completed_span(wait_span_name(op), trace::kCatSimpi, waited);
+  // An active WaitAttribution redirects the wait (row + span) to the outer
+  // collective; payload accounting stays on the transport op's row.
+  const CommOp wait_op = wait_override_.value_or(op);
+  stats_.of(wait_op).wait_seconds += waited;
+  stats_.of(op).bytes_received += msg.payload.size();
+  trace::completed_span(wait_span_name(wait_op), trace::kCatSimpi, waited);
   return msg;
 }
 

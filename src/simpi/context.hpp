@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -187,6 +188,22 @@ class Context {
     return waited_recv(source, tag, CommOp::kExtension);
   }
 
+  /// internal_recv variant for extension collectives that *implement* a
+  /// built-in op (e.g. nonblocking allgatherv): the transfer still counts
+  /// as an extension call, but the blocked wait, received bytes and
+  /// "<op>.wait" trace span are attributed to `op`'s row, so an overlapped
+  /// collective reports its residual wait exactly where the blocking one
+  /// would. Not for application code.
+  Message internal_recv_as(CommOp op, int source, int tag) {
+    ++stats_.of(CommOp::kExtension).calls;
+    return waited_recv(source, tag, op);
+  }
+
+  /// Mutable per-op row for extension collectives' logical accounting
+  /// (call count, contributed/pooled bytes), mirroring the layered counting
+  /// documented in simpi/comm_stats.hpp. Not for application code.
+  OpStats& extension_op_stats(CommOp op) { return stats_.of(op); }
+
  private:
   friend class World;
 
@@ -197,8 +214,30 @@ class Context {
 
   /// raw_recv plus accounting: the blocked wall time and the payload size
   /// are added to `op`'s wait_seconds / bytes_received. Callers count the
-  /// op's own call and any sent bytes themselves.
+  /// op's own call and any sent bytes themselves. While a WaitAttribution
+  /// guard is active, only the *wait* (row and "<op>.wait" span) is
+  /// redirected to the guard's op; bytes stay on `op`'s row.
   Message waited_recv(int source, int tag, CommOp op);
+
+  /// Scoped wait re-attribution for layered collectives: the blocking
+  /// allgatherv runs on gatherv + bcast, whose transport rows must keep
+  /// their calls/bytes (comm_stats.hpp documents the layering), but the
+  /// blocked wall belongs to the collective the caller issued — the same
+  /// row the nonblocking IAllgatherv charges its residual wait to, so the
+  /// two paths' "<op>.wait" numbers compare directly.
+  class WaitAttribution {
+   public:
+    WaitAttribution(Context& ctx, CommOp op) : ctx_(ctx), saved_(ctx.wait_override_) {
+      ctx_.wait_override_ = op;
+    }
+    ~WaitAttribution() { ctx_.wait_override_ = saved_; }
+    WaitAttribution(const WaitAttribution&) = delete;
+    WaitAttribution& operator=(const WaitAttribution&) = delete;
+
+   private:
+    Context& ctx_;
+    std::optional<CommOp> saved_;
+  };
 
   /// Fault-injection hook, called on entry to every costed simpi operation.
   /// Counts the entry and throws RankFaultError when this rank is the
@@ -209,6 +248,7 @@ class Context {
   int rank_;
   double comm_seconds_ = 0.0;
   CommStats stats_;  ///< per-op calls/bytes/wait, exposed via comm_stats()
+  std::optional<CommOp> wait_override_;  ///< active WaitAttribution target
   std::array<int, kNumFaultOps> fault_entries_{};  ///< per-op entry counts
   util::ThreadCpuTimer cpu_clock_;  ///< virtual-time base for FaultPlan triggers
 };
@@ -348,12 +388,15 @@ std::vector<T> Context::allgatherv(const std::vector<T>& local,
   // Gather at rank 0, then broadcast the concatenation and the counts.
   // The modeled cost is charged inside gatherv/bcast; the kAllgatherv row
   // records the LOGICAL payload (contribution sent, pooled result
-  // received), with transport counted by the inner ops.
+  // received), with transport counted by the inner ops. Blocked wall is
+  // re-attributed to the allgatherv row (WaitAttribution) so it compares
+  // one-to-one with the nonblocking IAllgatherv's residual wait.
   trace::SpanScope span("allgatherv", trace::kCatSimpi);
   if (span) span.arg("bytes", static_cast<double>(local.size() * sizeof(T)));
   fault_point(FaultOp::kAllgatherv);
   ++stats_.of(CommOp::kAllgatherv).calls;
   stats_.of(CommOp::kAllgatherv).bytes_sent += local.size() * sizeof(T);
+  const WaitAttribution wait_as_allgatherv(*this, CommOp::kAllgatherv);
   auto parts = gatherv(local, 0);
   std::vector<T> flat;
   std::vector<std::uint64_t> counts;
