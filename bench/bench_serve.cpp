@@ -1,0 +1,175 @@
+// bench_serve: throughput and latency of the multi-tenant job server
+// under a Poisson arrival workload.
+//
+// The figure benches measure one assembly at a time; this bench measures
+// the serving regime the ROADMAP targets — many small assemblies from
+// several tenants arriving as a Poisson process, multiplexed over one
+// shared rank pool with priority preemption. Reported: sustained
+// throughput (completed jobs per second of wall time from the first
+// submission to drain) and the p50/p95/p99 completion latency
+// (queue wait + run time per job), plus preemption and retry counts.
+//
+// Run:
+//   ./build/bench/bench_serve                      # writes BENCH_serve.json
+//   ./build/bench/bench_serve --jobs 40 --tenants 4 --arrival-rate 4 --fault
+//
+// --fault gives one mid-workload job an injected rank kill (retried
+// in-process by the pipeline's retry driver) to show that recovery under
+// load stays confined to the faulted tenant.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(sorted.size())) - 1.0,
+                       static_cast<double>(sorted.size() - 1)));
+  return sorted[std::max<std::size_t>(idx, 0)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinity;
+  Config cfg("bench_serve",
+             "multi-tenant serving throughput/latency under Poisson arrivals");
+  cfg.flag_int("jobs", 24, "jobs to submit (>= 20 for the acceptance workload)")
+      .flag_int("tenants", 3, "tenants the jobs round-robin over")
+      .flag_int("total-ranks", 8, "shared rank-pool size")
+      .flag_int("ranks-per-job", 2, "simulated ranks per job")
+      .flag_double("arrival-rate", 3.0, "Poisson arrival rate, jobs/second")
+      .flag_int("genes", 8, "genes in the shared simulated dataset")
+      .flag_int("seed", 1, "arrival-process RNG seed")
+      .flag_bool("fault", false, "inject a rank kill into one mid-workload job")
+      .flag_string("csv", "", "also write per-job rows as CSV to this path")
+      .flag_string("json", "BENCH_serve.json", "summary JSON destination");
+  int exit_code = 0;
+  if (!bench::parse_or_exit(cfg, argc, argv, &exit_code)) return exit_code;
+
+  const int jobs = static_cast<int>(cfg.get_int("jobs"));
+  const int tenants = static_cast<int>(cfg.get_int("tenants"));
+  const int total_ranks = static_cast<int>(cfg.get_int("total-ranks"));
+  const int ranks_per_job = static_cast<int>(cfg.get_int("ranks-per-job"));
+  const double arrival_rate = cfg.get_double("arrival-rate");
+
+  bench::banner("BENCH serve", "sustained jobs/sec and tail latency, Poisson arrivals");
+  const bench::Workload workload = bench::make_workload("tiny", static_cast<std::size_t>(cfg.get_int("genes")), "serve");
+  bench::describe(workload);
+
+  serve::ServerOptions server_options;
+  server_options.total_ranks = total_ranks;
+  server_options.max_queue_depth = jobs + 8;  // arrivals must not hit backpressure here
+  server_options.default_quota.max_queued_jobs = jobs;
+  server_options.default_quota.max_concurrent_ranks = total_ranks;
+  server_options.root_dir = workload.work_dir + "/serve_root";
+  serve::JobServer server(server_options);
+
+  // The job template: the shared tiny reads file, byte-reproducible
+  // settings (single OpenMP thread), no RSS sampler noise.
+  pipeline::PipelineOptions job_options;
+  job_options.k = 15;
+  job_options.nranks = ranks_per_job;
+  job_options.omp_threads = 1;
+  job_options.trace_sample_interval_ms = 0;
+
+  util::Rng arrivals(static_cast<std::uint64_t>(cfg.get_int("seed")));
+  util::Timer wall;
+  std::printf("submitting %d job(s) from %d tenant(s) at %.1f/s over %d rank(s)...\n\n",
+              jobs, tenants, arrival_rate, total_ranks);
+  for (int i = 0; i < jobs; ++i) {
+    serve::JobSpec spec;
+    spec.job_id = "bench-" + std::to_string(i);
+    spec.tenant = "tenant-" + std::to_string(i % tenants);
+    // Every fifth job is high-priority: exercises the preemption path
+    // whenever the pool is saturated when it arrives.
+    spec.priority = (i % 5 == 4) ? 10 : 0;
+    spec.reads_path = workload.reads_path;
+    spec.options = job_options;
+    spec.options.run_seed = static_cast<std::uint64_t>(i);
+    if (cfg.get_bool("fault") && i == jobs / 2) {
+      spec.options.fault = simpi::FaultPlan{};
+      spec.options.fault.rank = 1;
+      spec.options.fault.after_virtual_seconds = 0.0;
+      spec.options.fault_stage = "chrysalis.graph_from_fasta";
+      spec.options.retry.max_attempts = 3;
+    }
+    const serve::AdmitResult result = server.submit(std::move(spec));
+    if (!result.accepted()) {
+      std::printf("unexpected reject [%s]: %s\n", serve::to_string(result.code),
+                  result.detail.c_str());
+    }
+    const double gap = -std::log(arrivals.uniform01()) / arrival_rate;
+    std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+  }
+  server.drain();
+  const double makespan = wall.seconds();
+  server.shutdown();
+
+  int completed = 0, failed = 0, preemptions = 0;
+  std::vector<double> latencies;
+  bench::CsvSink csv(cfg, "job_id,tenant,priority,state,dispatches,preemptions,wait_s,run_s,latency_s");
+  for (const auto& job : server.jobs()) {
+    const double latency = job.queue_wait_seconds + job.run_seconds;
+    if (job.state == serve::JobState::kCompleted) {
+      ++completed;
+      latencies.push_back(latency);
+    } else if (job.state == serve::JobState::kFailed) {
+      ++failed;
+      std::printf("job %s FAILED: %s\n", job.job_id.c_str(), job.error.c_str());
+    }
+    preemptions += job.preemptions;
+    csv.row(job.job_id, job.tenant, job.priority, serve::to_string(job.state),
+            job.dispatches, job.preemptions, job.queue_wait_seconds, job.run_seconds,
+            latency);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double sustained = makespan > 0.0 ? completed / makespan : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+
+  std::int64_t stage_retries = 0;
+  const serve::Accounting accounting = server.accounting();
+  for (const auto& a : accounting.accounts()) stage_retries += a.stage_retries;
+
+  std::printf("\ncompleted %d / %d job(s) (%d failed) in %.2f s\n", completed, jobs,
+              failed, makespan);
+  std::printf("sustained throughput: %.3f jobs/s\n", sustained);
+  std::printf("latency p50/p95/p99:  %.3f / %.3f / %.3f s\n", p50, p95, p99);
+  std::printf("preemptions: %d, stage retries: %lld\n\n", preemptions,
+              static_cast<long long>(stage_retries));
+  accounting.summarize(std::cout);
+
+  bench::JsonSink json(cfg, "serve");
+  json.begin_entry();
+  json.field("jobs", static_cast<std::int64_t>(jobs));
+  json.field("tenants", static_cast<std::int64_t>(tenants));
+  json.field("total_ranks", static_cast<std::int64_t>(total_ranks));
+  json.field("ranks_per_job", static_cast<std::int64_t>(ranks_per_job));
+  json.field("arrival_rate_per_s", arrival_rate);
+  json.field("fault", cfg.get_bool("fault"));
+  json.field("completed", static_cast<std::int64_t>(completed));
+  json.field("failed", static_cast<std::int64_t>(failed));
+  json.field("preemptions", static_cast<std::int64_t>(preemptions));
+  json.field("stage_retries", stage_retries);
+  json.field("makespan_s", makespan);
+  json.field("sustained_jobs_per_s", sustained);
+  json.field("latency_p50_s", p50);
+  json.field("latency_p95_s", p95);
+  json.field("latency_p99_s", p99);
+  return failed == 0 ? 0 : 1;
+}

@@ -25,11 +25,19 @@
 #      index no slower than std::unordered_map on the Figure 7 workload
 #      shape (--min-speedup 1.0, identical entries/checksum enforced by the
 #      bench itself) and record the run in BENCH_kmer_index.json.
-#   7. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
-#      simpi, trace, config and flat-index test binaries — the subsystems
-#      that throw across thread and collective boundaries (and, for the
-#      trace recorder, publish buffers across threads; for the flat index,
-#      raw-storage placement news), where sanitizers earn their keep.
+#   7. Serve gate (docs/SERVING.md): a two-tenant batch where one tenant's
+#      job carries an injected rank crash — both jobs must complete through
+#      admission + scheduling with a clean drain, the clean tenant's
+#      transcripts must be byte-identical to a fault-free control run, and
+#      the post-hoc aggregate must rebuild the per-tenant ledger from the
+#      run-report artifacts.
+#   8. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#      simpi, trace, config, flat-index and serve test binaries — the
+#      subsystems that throw across thread and collective boundaries (and,
+#      for the trace recorder, publish buffers across threads; for the flat
+#      index, raw-storage placement news; for the serve layer, preempt
+#      tokens and rank leases across scheduler/worker threads), where
+#      sanitizers earn their keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -eu
@@ -117,20 +125,50 @@ echo "== k-mer index: flat index vs unordered_map (BENCH_kmer_index.json) =="
 ./build/bench/bench_kmer_index --genes 200 --repeats 3 --min-speedup 1.0 \
     --json "$repo_root/BENCH_kmer_index.json"
 
+echo "== serve: multi-tenant isolation under an injected fault =="
+serve_dir=/tmp/trinity_check_serve
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+# Seed a small dataset: the pipeline's write_input stage leaves reads.fa
+# in the work dir, which the served jobs then share as their input.
+./build/examples/quickstart --genes 8 --ranks 2 --work-dir "$serve_dir/seed" >/dev/null
+reads=$serve_dir/seed/reads.fa
+# Control: tenant B alone, fault-free.
+printf '{"tenant": "tenant-b", "job-id": "clean", "reads": "%s", "ranks": 2, "k": 15, "omp-threads": 1}\n' \
+    "$reads" > "$serve_dir/control.jsonl"
+./build/examples/trinity_serve --jobs "$serve_dir/control.jsonl" \
+    --root "$serve_dir/control" --total-ranks 4 \
+    | grep -q 'drain complete: 1 completed, 0 failed'
+# Scenario: tenant A's job kills rank 1 mid-Chrysalis (retried inside its
+# own work dir by the pipeline's retry driver); tenant B runs concurrently.
+{
+    printf '{"tenant": "tenant-a", "job-id": "crashy", "reads": "%s", "ranks": 2, "k": 15, "omp-threads": 1, "fault-rank": 1, "fault-stage": "chrysalis.graph_from_fasta", "max-attempts": 3}\n' "$reads"
+    printf '{"tenant": "tenant-b", "job-id": "clean", "reads": "%s", "ranks": 2, "k": 15, "omp-threads": 1}\n' "$reads"
+} > "$serve_dir/jobs.jsonl"
+./build/examples/trinity_serve --jobs "$serve_dir/jobs.jsonl" \
+    --root "$serve_dir/faulted" --total-ranks 4 \
+    | grep -q 'drain complete: 2 completed, 0 failed'
+# Isolation: tenant B's transcripts are byte-identical to the control run.
+cmp "$serve_dir/control/tenant-b/clean/Trinity.fa" \
+    "$serve_dir/faulted/tenant-b/clean/Trinity.fa"
+# The ledger is reconstructible from the run-report artifacts alone.
+./build/examples/trinity_report --aggregate "$serve_dir/faulted" | grep -q 'tenant-a'
+echo "serve ok"
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + flat-index tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + flat-index + serve tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
     pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-    config_test flat_index_test
+    config_test flat_index_test serve_test serve_fault_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
          pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-         config_test flat_index_test; do
+         config_test flat_index_test serve_test serve_fault_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

@@ -154,6 +154,14 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
   report.set("nranks", options.nranks);
   report.set("model_threads_per_rank", options.model_threads_per_rank);
   report.set("options_fingerprint", hex64(result.options_fingerprint));
+  // Additive schema-3 fields: job attribution, present only when the run
+  // belongs to a job server dispatch (docs/SERVING.md). Standalone runs
+  // omit all three, so v2 consumers see an unchanged document.
+  if (!options.job_id.empty() || !options.tenant.empty()) {
+    report.set("job_id", options.job_id);
+    report.set("tenant", options.tenant);
+    report.set("preemptions", options.preemptions);
+  }
   report.set("stages_executed", string_array(result.stages_executed));
   report.set("stages_resumed", string_array(result.stages_resumed));
   report.set("stage_retries", result.stage_retries);
@@ -216,6 +224,12 @@ void summarize_report(const util::Json& report, std::ostream& out) {
     }
     return s.empty() ? std::string("(none)") : s;
   };
+  // Schema v3 job attribution; absent for standalone runs.
+  if (const util::Json* job_id = report.find("job_id")) {
+    out << "job:             " << job_id->as_string() << " (tenant "
+        << report.at("tenant").as_string() << ", " << report.at("preemptions").as_int()
+        << " preemption(s))\n";
+  }
   out << "stages executed: " << join(report.at("stages_executed")) << '\n';
   out << "stages resumed:  " << join(report.at("stages_resumed")) << '\n';
   out << "stage retries:   " << report.at("stage_retries").as_int() << '\n';
@@ -294,6 +308,106 @@ void summarize_report(const util::Json& report, std::ostream& out) {
     out << "  reads_to_transcripts chunks per rank:";
     for (const auto& v : r2t.at("rank_chunks").items()) out << ' ' << v.as_int();
     out << '\n';
+  }
+}
+
+util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
+  struct TenantTotals {
+    std::int64_t jobs = 0;
+    double wall_s = 0.0;
+    double cpu_s = 0.0;
+    std::int64_t comm_bytes_sent = 0;
+    std::int64_t comm_bytes_received = 0;
+    std::int64_t stage_retries = 0;
+    std::int64_t io_retries = 0;
+    std::int64_t preemptions = 0;
+    double max_skew = 1.0;
+  };
+  // Insertion order preserved so the table is deterministic for a given
+  // report order (the aggregate caller sorts its directory scan).
+  std::vector<std::pair<std::string, TenantTotals>> tenants;
+  auto totals_for = [&](const std::string& tenant) -> TenantTotals& {
+    for (auto& [name, totals] : tenants) {
+      if (name == tenant) return totals;
+    }
+    tenants.emplace_back(tenant, TenantTotals{});
+    return tenants.back().second;
+  };
+
+  for (const auto& report : reports) {
+    const util::Json* tenant_field = report.find("tenant");
+    TenantTotals& t = totals_for(
+        tenant_field != nullptr && !tenant_field->as_string().empty()
+            ? tenant_field->as_string()
+            : std::string("-"));
+    ++t.jobs;
+    for (const auto& phase : report.at("phases").items()) {
+      t.wall_s += phase.at("wall_s").as_double();
+      t.cpu_s += phase.at("cpu_s").as_double();
+    }
+    for (const auto& stage : report.at("comm").items()) {
+      const double skew = stage.at("skew_ratio").as_double();
+      t.max_skew = skew > t.max_skew ? skew : t.max_skew;
+      for (const auto& rank : stage.at("ranks").items()) {
+        for (const auto& member : rank.at("ops").members()) {
+          t.comm_bytes_sent += member.second.at("bytes_sent").as_int();
+          t.comm_bytes_received += member.second.at("bytes_received").as_int();
+        }
+      }
+    }
+    t.stage_retries += report.at("stage_retries").as_int();
+    if (const util::Json* io_retries = report.find("io_retries")) {
+      t.io_retries += io_retries->as_int();
+    }
+    if (const util::Json* preemptions = report.find("preemptions")) {
+      t.preemptions += preemptions->as_int();
+    }
+  }
+
+  util::Json out = util::Json::object();
+  out.set("reports", static_cast<std::int64_t>(reports.size()));
+  util::Json rows = util::Json::array();
+  for (const auto& [name, t] : tenants) {
+    util::Json row = util::Json::object();
+    row.set("tenant", name);
+    row.set("jobs", t.jobs);
+    row.set("wall_s", t.wall_s);
+    row.set("cpu_s", t.cpu_s);
+    row.set("comm_bytes_sent", t.comm_bytes_sent);
+    row.set("comm_bytes_received", t.comm_bytes_received);
+    row.set("stage_retries", t.stage_retries);
+    row.set("io_retries", t.io_retries);
+    row.set("preemptions", t.preemptions);
+    row.set("max_skew", t.max_skew);
+    rows.push_back(std::move(row));
+  }
+  out.set("tenants", std::move(rows));
+  return out;
+}
+
+void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
+  out << "aggregated " << aggregate.at("reports").as_int() << " run report(s)\n\n";
+  const auto& tenants = aggregate.at("tenants").items();
+  if (tenants.empty()) {
+    out << "no reports found\n";
+    return;
+  }
+  out << std::left << std::setw(16) << "tenant" << std::right << std::setw(6) << "jobs"
+      << std::setw(11) << "wall(s)" << std::setw(11) << "cpu(s)" << std::setw(14)
+      << "sent(B)" << std::setw(14) << "recv(B)" << std::setw(9) << "retries"
+      << std::setw(9) << "io-rtr" << std::setw(9) << "preempt" << std::setw(9)
+      << "skew" << '\n';
+  for (const auto& row : tenants) {
+    out << std::left << std::setw(16) << row.at("tenant").as_string() << std::right
+        << std::setw(6) << row.at("jobs").as_int() << std::fixed << std::setprecision(3)
+        << std::setw(11) << row.at("wall_s").as_double() << std::setw(11)
+        << row.at("cpu_s").as_double() << std::setw(14)
+        << row.at("comm_bytes_sent").as_int() << std::setw(14)
+        << row.at("comm_bytes_received").as_int() << std::setw(9)
+        << row.at("stage_retries").as_int() << std::setw(9)
+        << row.at("io_retries").as_int() << std::setw(9)
+        << row.at("preemptions").as_int() << std::setprecision(2) << std::setw(9)
+        << row.at("max_skew").as_double() << '\n';
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "pipeline/trinity_pipeline.hpp"
 #include "util/json.hpp"
@@ -26,8 +27,10 @@ namespace trinity::pipeline {
 /// Version of the run-report schema this library writes. Must match the
 /// "Schema version" stated in docs/OBSERVABILITY.md (enforced by
 /// scripts/check.sh) and the "schema_version" field of every emitted
-/// report (enforced by run_report_test).
-inline constexpr int kReportSchemaVersion = 2;
+/// report (enforced by run_report_test). v3 adds the optional job
+/// attribution fields `job_id` / `tenant` / `preemptions` (present only
+/// for trinity_serve job runs); v1/v2 reports keep loading unchanged.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Builds the report document from a finished run. Pure: no I/O.
 [[nodiscard]] util::Json build_run_report(const PipelineOptions& options,
@@ -45,5 +48,21 @@ void write_run_report(const std::string& path, const util::Json& report);
 /// rank virtual time, skew ratio, bytes sent/received, wait time) plus the
 /// Chrysalis pooling volumes. This is what `trinity_report` prints.
 void summarize_report(const util::Json& report, std::ostream& out);
+
+/// Rolls many run reports up into one per-tenant accounting document —
+/// the `trinity_report --aggregate` view over a trinity_serve root dir.
+/// Reports without v3 job attribution land under the tenant "-". Pure:
+/// callers load the reports (load_run_report) and pass the parsed trees.
+/// The result is a JSON object:
+///   {"reports": N, "tenants": [{"tenant", "jobs", "wall_s", "cpu_s",
+///    "comm_bytes_sent", "comm_bytes_received", "stage_retries",
+///    "io_retries", "preemptions", "max_skew"}, ...]}
+/// where wall_s sums the reports' phase walls, comm bytes sum every
+/// comm[].ranks[].ops row, and max_skew is the worst comm[] skew_ratio
+/// seen across the tenant's reports (1.0 when no hybrid stage ran).
+[[nodiscard]] util::Json aggregate_run_reports(const std::vector<util::Json>& reports);
+
+/// Prints the aggregate as a per-tenant table.
+void summarize_aggregate(const util::Json& aggregate, std::ostream& out);
 
 }  // namespace trinity::pipeline

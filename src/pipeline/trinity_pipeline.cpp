@@ -162,6 +162,13 @@ class StageDriver {
   void stage(const std::string& name, const std::vector<std::string>& inputs,
              const std::vector<std::string>& outputs,
              const std::function<void()>& compute, const std::function<void()>& load) {
+    // Cancellation point: every completed stage has already committed its
+    // checkpoint, so stopping here loses no work — a resume run continues
+    // from this exact boundary.
+    if (options_.preempt && options_.preempt->load(std::memory_order_acquire)) {
+      trace::instant("stage.preempt", trace::kCatPipeline, name);
+      throw PreemptedError(name);
+    }
     if (can_resume(name)) {
       trace_.phase(name + ".resumed", load);
       result_.stages_resumed.push_back(name);

@@ -22,7 +22,10 @@
 // (simpi::AbortedError / RankFaultError); `fault` + `fault_stage` inject
 // such failures for testing.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,25 @@
 #include "util/resource_trace.hpp"
 
 namespace trinity::pipeline {
+
+/// Thrown out of run_pipeline when the run's preempt token (see
+/// PipelineOptions::preempt) was set: the pipeline stopped at the next
+/// stage boundary, after every completed stage was checkpointed. A
+/// re-launch with `resume = true` continues from exactly that boundary —
+/// the mechanism trinity_serve uses for priority preemption
+/// (checkpoint -> requeue -> resume).
+class PreemptedError : public std::runtime_error {
+ public:
+  explicit PreemptedError(std::string stage)
+      : std::runtime_error("pipeline preempted before stage '" + stage + "'"),
+        stage_(std::move(stage)) {}
+
+  /// The stage the pipeline was about to run when it stopped.
+  [[nodiscard]] const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+};
 
 /// Whole-pipeline configuration.
 struct PipelineOptions {
@@ -110,6 +132,18 @@ struct PipelineOptions {
   /// leaving the checkpoints for a `resume = true` re-launch.
   io::IoFaultPlan io_fault;
 
+  // --- preemption (job-server cancellation points) ----------------------------
+
+  /// Cooperative cancellation token. When non-null and set to true, the
+  /// run stops at the next stage boundary by throwing PreemptedError —
+  /// after every completed stage committed its checkpoint, so a
+  /// `resume = true` re-launch continues from that exact boundary. Stage
+  /// boundaries are the only cancellation points: a stage that already
+  /// started runs to completion (its simpi world is never torn down
+  /// mid-collective). Null (the default) disables preemption entirely.
+  /// Scheduling-only: excluded from the options fingerprint.
+  std::shared_ptr<std::atomic<bool>> preempt;
+
   // --- input robustness -------------------------------------------------------
 
   /// How FASTA/FASTQ readers treat malformed records (seq/fasta.hpp):
@@ -126,6 +160,18 @@ struct PipelineOptions {
   bool emit_report = true;
   /// Report destination; empty means `<work_dir>/run_report.json`.
   std::string report_path;
+  /// Job attribution (run-report schema v3, docs/OBSERVABILITY.md and
+  /// docs/SERVING.md): when a run belongs to a trinity_serve job, the
+  /// server stamps the job id, the owning tenant, and how many times the
+  /// job was preempted before this dispatch. Purely observational — the
+  /// fields flow into run_report.json (and from there into the per-tenant
+  /// accounting roll-up) and never affect results or the options
+  /// fingerprint. Empty/zero (the default) for standalone runs, and the
+  /// report fields are omitted then.
+  std::string job_id;
+  std::string tenant;
+  int preemptions = 0;
+
   /// Distributed span tracing (docs/OBSERVABILITY.md "Distributed trace"):
   /// empty (the default) disables tracing entirely — instrumented code
   /// collapses to one atomic load per hook. Non-empty installs a

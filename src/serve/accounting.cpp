@@ -1,0 +1,59 @@
+#include "serve/accounting.hpp"
+
+#include <iomanip>
+
+namespace trinity::serve {
+
+TenantAccount& Accounting::account(const std::string& tenant) {
+  for (auto& a : accounts_) {
+    if (a.tenant == tenant) return a;
+  }
+  accounts_.emplace_back();
+  accounts_.back().tenant = tenant;
+  return accounts_.back();
+}
+
+util::Json Accounting::to_json() const {
+  util::Json rows = util::Json::array();
+  for (const auto& a : accounts_) {
+    util::Json row = util::Json::object();
+    row.set("tenant", a.tenant);
+    row.set("jobs_submitted", a.jobs_submitted);
+    row.set("jobs_completed", a.jobs_completed);
+    row.set("jobs_failed", a.jobs_failed);
+    row.set("jobs_rejected", a.jobs_rejected);
+    row.set("preemptions", a.preemptions);
+    row.set("stage_retries", a.stage_retries);
+    row.set("io_retries", a.io_retries);
+    row.set("rank_seconds", a.rank_seconds);
+    row.set("queue_wait_seconds", a.queue_wait_seconds);
+    row.set("run_seconds", a.run_seconds);
+    row.set("comm_bytes_sent", a.comm_bytes_sent);
+    row.set("comm_bytes_received", a.comm_bytes_received);
+    row.set("output_bytes", a.output_bytes);
+    rows.push_back(std::move(row));
+  }
+  util::Json out = util::Json::object();
+  out.set("tenants", std::move(rows));
+  return out;
+}
+
+void Accounting::summarize(std::ostream& out) const {
+  out << std::left << std::setw(14) << "tenant" << std::right << std::setw(5) << "sub"
+      << std::setw(5) << "done" << std::setw(5) << "fail" << std::setw(5) << "rej"
+      << std::setw(6) << "preem" << std::setw(6) << "retry" << std::setw(11)
+      << "rank-s" << std::setw(10) << "wait-s" << std::setw(13) << "comm(B)"
+      << std::setw(11) << "out(B)" << '\n';
+  for (const auto& a : accounts_) {
+    out << std::left << std::setw(14) << a.tenant << std::right << std::setw(5)
+        << a.jobs_submitted << std::setw(5) << a.jobs_completed << std::setw(5)
+        << a.jobs_failed << std::setw(5) << a.jobs_rejected << std::setw(6)
+        << a.preemptions << std::setw(6) << a.stage_retries << std::fixed
+        << std::setprecision(2) << std::setw(11) << a.rank_seconds << std::setw(10)
+        << a.queue_wait_seconds << std::setw(13)
+        << a.comm_bytes_sent + a.comm_bytes_received << std::setw(11)
+        << a.output_bytes << '\n';
+  }
+}
+
+}  // namespace trinity::serve

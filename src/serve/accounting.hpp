@@ -1,0 +1,65 @@
+#pragma once
+// Per-tenant usage accounting for the serve layer.
+//
+// Multi-tenancy without metering is a free-for-all: the ledger records,
+// per tenant, how many jobs it submitted and how they ended, how much of
+// the shared machine it actually held (rank-seconds = ranks x wall time
+// leased, summed over dispatches), how many bytes its jobs moved through
+// the simulated interconnect, what it wrote, and how often the fault
+// machinery worked on its behalf (stage/io retries, preemptions). The
+// numbers come from each job's PipelineResult at completion — the same
+// source its run_report.json is built from — so `trinity_report
+// --aggregate` over the server root reproduces this view from artifacts
+// alone.
+//
+// Not thread-safe; JobServer mutates it under its mutex and hands out
+// snapshot copies.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace trinity::serve {
+
+/// One tenant's ledger row. All counters are cumulative over the server's
+/// lifetime; a preempted dispatch accrues rank-seconds and run-seconds
+/// for the time it actually held ranks.
+struct TenantAccount {
+  std::string tenant;
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_failed = 0;
+  std::int64_t jobs_rejected = 0;   ///< typed admission rejects
+  std::int64_t preemptions = 0;     ///< checkpoint -> requeue cycles
+  std::int64_t stage_retries = 0;   ///< in-process stage re-launches
+  std::int64_t io_retries = 0;      ///< subset caused by transient io faults
+  double rank_seconds = 0.0;        ///< ranks held x wall seconds, all dispatches
+  double queue_wait_seconds = 0.0;  ///< time spent waiting for dispatch
+  double run_seconds = 0.0;         ///< wall time dispatched
+  std::int64_t comm_bytes_sent = 0;      ///< simulated interconnect, all ops
+  std::int64_t comm_bytes_received = 0;
+  std::int64_t output_bytes = 0;    ///< final transcript FASTA bytes
+};
+
+/// The server-wide ledger: one row per tenant, insertion order.
+class Accounting {
+ public:
+  /// The row for `tenant`, created on first touch.
+  TenantAccount& account(const std::string& tenant);
+
+  [[nodiscard]] const std::vector<TenantAccount>& accounts() const { return accounts_; }
+
+  /// {"tenants": [row, ...]} with every TenantAccount field.
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Fixed-width per-tenant table (the trinity_serve exit summary).
+  void summarize(std::ostream& out) const;
+
+ private:
+  std::vector<TenantAccount> accounts_;
+};
+
+}  // namespace trinity::serve

@@ -1,0 +1,114 @@
+#include "serve/admission.hpp"
+
+namespace trinity::serve {
+
+const char* to_string(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kAccepted: return "accepted";
+    case AdmitCode::kQueueFull: return "queue_full";
+    case AdmitCode::kTenantQueueFull: return "tenant_queue_full";
+    case AdmitCode::kTenantRankQuota: return "tenant_rank_quota";
+    case AdmitCode::kTenantRssBudget: return "tenant_rss_budget";
+    case AdmitCode::kPoolTooSmall: return "pool_too_small";
+    case AdmitCode::kInvalidSpec: return "invalid_spec";
+    case AdmitCode::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(int total_ranks, int max_queue_depth,
+                                         TenantQuota default_quota,
+                                         std::map<std::string, TenantQuota> tenant_quotas)
+    : total_ranks_(total_ranks),
+      max_queue_depth_(max_queue_depth),
+      default_quota_(default_quota),
+      tenant_quotas_(std::move(tenant_quotas)) {}
+
+const TenantQuota& AdmissionController::quota_for(const std::string& tenant) const {
+  const auto it = tenant_quotas_.find(tenant);
+  return it != tenant_quotas_.end() ? it->second : default_quota_;
+}
+
+AdmissionController::Usage AdmissionController::usage_of(const std::string& tenant) const {
+  const auto it = usage_.find(tenant);
+  return it != usage_.end() ? it->second : Usage{};
+}
+
+AdmitResult AdmissionController::admit(const JobSpec& spec) const {
+  const TenantQuota& quota = quota_for(spec.tenant);
+  const int need = spec.options.nranks;
+
+  // Permanent rejects first: these could never run, no matter how long
+  // the job waited, so parking them in the queue would wedge it.
+  if (need > total_ranks_) {
+    return {AdmitCode::kPoolTooSmall,
+            "job needs " + std::to_string(need) + " rank(s) but the server pool has " +
+                std::to_string(total_ranks_)};
+  }
+  if (need > quota.max_concurrent_ranks) {
+    return {AdmitCode::kTenantRankQuota,
+            "job needs " + std::to_string(need) + " rank(s) but tenant '" + spec.tenant +
+                "' may hold at most " + std::to_string(quota.max_concurrent_ranks)};
+  }
+  if (quota.rss_budget_bytes != 0 && spec.rss_estimate_bytes > quota.rss_budget_bytes) {
+    return {AdmitCode::kTenantRssBudget,
+            "job declares " + std::to_string(spec.rss_estimate_bytes) +
+                " B RSS but tenant '" + spec.tenant + "' is budgeted " +
+                std::to_string(quota.rss_budget_bytes) + " B"};
+  }
+
+  // Transient rejects: backpressure, retry later.
+  if (queue_depth_ >= max_queue_depth_) {
+    return {AdmitCode::kQueueFull,
+            "server queue is at its bound of " + std::to_string(max_queue_depth_)};
+  }
+  const Usage u = usage_of(spec.tenant);
+  if (u.queued >= quota.max_queued_jobs) {
+    return {AdmitCode::kTenantQueueFull,
+            "tenant '" + spec.tenant + "' already has " + std::to_string(u.queued) +
+                " queued job(s) (quota " + std::to_string(quota.max_queued_jobs) + ")"};
+  }
+  return {};
+}
+
+bool AdmissionController::has_running_headroom(const JobSpec& spec) const {
+  const TenantQuota& quota = quota_for(spec.tenant);
+  const Usage u = usage_of(spec.tenant);
+  if (u.running_ranks + spec.options.nranks > quota.max_concurrent_ranks) return false;
+  if (quota.rss_budget_bytes != 0 &&
+      u.running_rss + spec.rss_estimate_bytes > quota.rss_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::note_queued(const JobSpec& spec) {
+  ++usage(spec.tenant).queued;
+  ++queue_depth_;
+}
+
+void AdmissionController::note_started(const JobSpec& spec) {
+  Usage& u = usage(spec.tenant);
+  --u.queued;
+  --queue_depth_;
+  u.running_ranks += spec.options.nranks;
+  u.running_rss += spec.rss_estimate_bytes;
+}
+
+void AdmissionController::note_requeued(const JobSpec& spec) {
+  note_finished(spec);
+  note_queued(spec);
+}
+
+void AdmissionController::note_finished(const JobSpec& spec) {
+  Usage& u = usage(spec.tenant);
+  u.running_ranks -= spec.options.nranks;
+  u.running_rss -= spec.rss_estimate_bytes;
+}
+
+void AdmissionController::note_dropped(const JobSpec& spec) {
+  --usage(spec.tenant).queued;
+  --queue_depth_;
+}
+
+}  // namespace trinity::serve

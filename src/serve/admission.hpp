@@ -1,0 +1,102 @@
+#pragma once
+// Admission control: typed accept/reject decisions against per-tenant
+// quotas and the server's bounded queue.
+//
+// The serving literature's first rule is that overload must surface as a
+// fast typed rejection, not as an unbounded queue or a blocked client —
+// so admit() never blocks and every reject carries an AdmitCode plus a
+// human-readable detail naming the exhausted limit. Two classes of
+// reject are distinguished on purpose: *transient* ones (queue full,
+// tenant queue full) where retrying later can succeed, and *permanent*
+// ones (a job asking for more ranks or RSS than its tenant's quota, or
+// more ranks than the whole pool) that could never be scheduled and must
+// be rejected immediately rather than parked forever at the queue head.
+//
+// The controller also owns the per-tenant usage counters (queued jobs,
+// running ranks, running RSS) that both admission and the scheduler's
+// dispatch headroom checks read. It is NOT thread-safe: JobServer calls
+// it only under its own mutex, which is the single writer of all serve
+// state.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/job.hpp"
+
+namespace trinity::serve {
+
+/// Per-tenant resource limits. The zero-RSS default means "no RSS cap".
+struct TenantQuota {
+  int max_queued_jobs = 8;        ///< jobs waiting in the queue at once
+  int max_concurrent_ranks = 8;   ///< ranks its running jobs may hold at once
+  std::uint64_t rss_budget_bytes = 0;  ///< sum of running rss estimates; 0 = unlimited
+};
+
+/// Why a submission was accepted or turned away.
+enum class AdmitCode : int {
+  kAccepted = 0,
+  kQueueFull,        ///< server-wide bounded queue is at max depth (transient)
+  kTenantQueueFull,  ///< tenant's queued-job quota exhausted (transient)
+  kTenantRankQuota,  ///< job wants more ranks than the tenant may ever hold
+  kTenantRssBudget,  ///< job's RSS estimate exceeds the tenant's whole budget
+  kPoolTooSmall,     ///< job wants more ranks than the server pool has
+  kInvalidSpec,      ///< malformed spec (duplicate job id, parse failure)
+  kShutdown,         ///< server no longer accepting submissions
+};
+
+[[nodiscard]] const char* to_string(AdmitCode code);
+
+/// The admission decision handed back to the submitter.
+struct AdmitResult {
+  AdmitCode code = AdmitCode::kAccepted;
+  std::string detail;  ///< names the exhausted limit; empty on accept
+
+  [[nodiscard]] bool accepted() const { return code == AdmitCode::kAccepted; }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(int total_ranks, int max_queue_depth, TenantQuota default_quota,
+                      std::map<std::string, TenantQuota> tenant_quotas);
+
+  /// The quota governing `tenant` (its override, or the default).
+  [[nodiscard]] const TenantQuota& quota_for(const std::string& tenant) const;
+
+  /// Decides whether `spec` may join the queue right now. Pure check: the
+  /// caller records the accept with note_queued().
+  [[nodiscard]] AdmitResult admit(const JobSpec& spec) const;
+
+  /// True when the tenant has rank and RSS headroom to *dispatch* `spec`
+  /// on top of its currently running jobs — the scheduler's per-pass
+  /// quota gate (distinct from admit(), which gates queue entry).
+  [[nodiscard]] bool has_running_headroom(const JobSpec& spec) const;
+
+  // Usage bookkeeping, called by JobServer under its mutex.
+  void note_queued(const JobSpec& spec);    ///< admitted into the queue
+  void note_started(const JobSpec& spec);   ///< dispatched (queued -> running)
+  void note_requeued(const JobSpec& spec);  ///< preempted (running -> queued)
+  void note_finished(const JobSpec& spec);  ///< completed or failed (running ->)
+  void note_dropped(const JobSpec& spec);   ///< left the queue without running
+
+  [[nodiscard]] int queue_depth() const { return queue_depth_; }
+
+ private:
+  struct Usage {
+    int queued = 0;
+    int running_ranks = 0;
+    std::uint64_t running_rss = 0;
+  };
+
+  Usage& usage(const std::string& tenant) { return usage_[tenant]; }
+  [[nodiscard]] Usage usage_of(const std::string& tenant) const;
+
+  int total_ranks_;
+  int max_queue_depth_;
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> tenant_quotas_;
+  std::map<std::string, Usage> usage_;
+  int queue_depth_ = 0;
+};
+
+}  // namespace trinity::serve

@@ -1,0 +1,61 @@
+#include "serve/job.hpp"
+
+#include <stdexcept>
+
+#include "io/fault_plan.hpp"
+
+namespace trinity::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPreempting: return "preempting";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+JobSpec parse_job_spec_text(std::string_view text, const std::string& origin,
+                            const pipeline::PipelineOptions& defaults) {
+  // The serve-only keys ride on the full pipeline flag set; Config's
+  // strict unknown-key handling then covers the whole document.
+  Config cfg("trinity_serve", "job spec");
+  cfg.with_pipeline(defaults)
+      .flag_string("tenant", "", "owning tenant (required)")
+      .flag_string("job-id", "", "job id, unique per server (assigned when empty)")
+      .flag_int("priority", 0, "scheduling priority; higher preempts lower")
+      .flag_string("reads", "", "input reads FASTA/FASTQ path (required)")
+      .flag_int("rss-estimate-mb", 64, "declared peak RSS in MiB, for admission")
+      .flag_string("io-fault", "",
+                   "injected storage fault, OP:GLOB:N:KIND[:FIRES] (testing)");
+  cfg.parse_json_text(text, origin);
+
+  JobSpec spec;
+  spec.tenant = cfg.get_string("tenant");
+  if (spec.tenant.empty()) throw ConfigError("tenant", "required for job submission");
+  spec.job_id = cfg.get_string("job-id");
+  spec.priority = static_cast<int>(cfg.get_int("priority"));
+  spec.reads_path = cfg.get_string("reads");
+  if (spec.reads_path.empty()) throw ConfigError("reads", "required for job submission");
+  const std::int64_t rss_mb = cfg.get_int("rss-estimate-mb");
+  if (rss_mb < 0) {
+    throw ConfigError("rss-estimate-mb",
+                      "must be >= 0 (got " + std::to_string(rss_mb) + ")");
+  }
+  spec.rss_estimate_bytes = static_cast<std::uint64_t>(rss_mb) * 1024 * 1024;
+
+  spec.options = cfg.pipeline_options();
+  const std::string io_fault = cfg.get_string("io-fault");
+  if (!io_fault.empty()) {
+    try {
+      spec.options.io_fault = io::IoFaultPlan::parse(io_fault);
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError("io-fault", e.what());
+    }
+  }
+  return spec;
+}
+
+}  // namespace trinity::serve

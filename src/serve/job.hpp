@@ -1,0 +1,58 @@
+#pragma once
+// Job specs and job lifecycle states for the trinity_serve layer.
+//
+// A job is one complete assembly run owned by a tenant. Its submission
+// format is deliberately NOT a new schema: a spec is a trinity::Config
+// JSON object (docs/CONFIG.md) — the same document every pipeline binary
+// accepts via `--config` — extended with the serve-only keys declared in
+// parse_job_spec_text (tenant, job-id, priority, reads, rss-estimate-mb,
+// io-fault). Validation is therefore the PR 5 path end to end: unknown
+// keys, mistyped values and out-of-range options all raise the same typed
+// ConfigError a CLI user would see, naming the offending field.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pipeline/config.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+
+namespace trinity::serve {
+
+/// Lifecycle of a submitted job. Preemption cycles a job back from
+/// kPreempting to kQueued (checkpoint -> requeue -> resume); kCompleted
+/// and kFailed are terminal.
+enum class JobState : int {
+  kQueued = 0,   ///< admitted, waiting for ranks
+  kRunning,      ///< dispatched on a rank-pool lease
+  kPreempting,   ///< preempt token set; stops at the next stage boundary
+  kCompleted,    ///< pipeline finished; transcripts on disk
+  kFailed,       ///< pipeline raised a non-preemption error (recorded)
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+
+/// A validated submission: who owns it, what it needs, and the full
+/// pipeline configuration it runs with. The server overrides
+/// `options.work_dir` (every job gets an isolated directory) and the
+/// checkpoint/resume/preempt scheduling fields; everything else in
+/// `options` is honored as submitted.
+struct JobSpec {
+  std::string job_id;   ///< unique per server; assigned "job-N" when empty
+  std::string tenant;   ///< owning tenant (required, non-empty)
+  int priority = 0;     ///< higher preempts lower (see docs/SERVING.md)
+  std::string reads_path;              ///< input FASTA/FASTQ (required)
+  std::uint64_t rss_estimate_bytes = 0;  ///< declared peak RSS, for admission
+  pipeline::PipelineOptions options;   ///< validated pipeline configuration
+};
+
+/// Parses and validates one job-spec JSON document. `origin` labels
+/// errors (a path, or e.g. "jobs.jsonl:3"). `defaults` seeds the pipeline
+/// flag set the same way a binary's with_pipeline(defaults) call would —
+/// the server passes its serving defaults (small trace interval, etc.).
+/// Throws trinity::ConfigError on unknown keys, malformed values,
+/// out-of-range pipeline options, a missing tenant, or missing reads.
+[[nodiscard]] JobSpec parse_job_spec_text(std::string_view text, const std::string& origin,
+                                          const pipeline::PipelineOptions& defaults = {});
+
+}  // namespace trinity::serve

@@ -1,0 +1,299 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "pipeline/run_report.hpp"
+#include "trace/span_recorder.hpp"
+
+namespace trinity::serve {
+
+namespace {
+
+/// Bytes of the final transcript FASTA, 0 when absent (failed job).
+std::int64_t output_file_bytes(const std::string& work_dir) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(work_dir + "/Trinity.fa", ec);
+  return ec ? 0 : static_cast<std::int64_t>(size);
+}
+
+}  // namespace
+
+JobServer::JobServer(ServerOptions options)
+    : options_(std::move(options)),
+      root_dir_(options_.root_dir.empty()
+                    ? (std::filesystem::temp_directory_path() / "trinity_serve").string()
+                    : options_.root_dir),
+      pool_(options_.total_ranks),
+      admission_(options_.total_ranks, options_.max_queue_depth, options_.default_quota,
+                 options_.tenant_quotas) {
+  std::filesystem::create_directories(root_dir_);
+  scheduler_ = std::thread(&JobServer::scheduler_loop, this);
+}
+
+JobServer::~JobServer() { shutdown(); }
+
+AdmitResult JobServer::submit(JobSpec spec) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!accepting_) {
+    return {AdmitCode::kShutdown, "server is shutting down"};
+  }
+  TenantAccount& acct = accounting_.account(spec.tenant);
+  ++acct.jobs_submitted;
+
+  if (spec.job_id.empty()) spec.job_id = "job-" + std::to_string(next_seq_);
+  for (const auto& existing : registry_) {
+    if (existing->spec.job_id == spec.job_id) {
+      ++acct.jobs_rejected;
+      return {AdmitCode::kInvalidSpec, "duplicate job id '" + spec.job_id + "'"};
+    }
+  }
+
+  AdmitResult result = admission_.admit(spec);
+  if (!result.accepted()) {
+    ++acct.jobs_rejected;
+    return result;
+  }
+
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  job->seq = next_seq_++;
+  job->work_dir = root_dir_ + "/" + job->spec.tenant + "/" + job->spec.job_id;
+  job->enqueued_at = clock_.seconds();
+  admission_.note_queued(job->spec);
+  queue_.push_back(job.get());
+  registry_.push_back(std::move(job));
+  dirty_ = true;
+  lock.unlock();
+  scheduler_cv_.notify_all();
+  return result;
+}
+
+AdmitResult JobServer::submit_text(std::string_view text, const std::string& origin) {
+  JobSpec spec;
+  try {
+    spec = parse_job_spec_text(text, origin, options_.job_defaults);
+  } catch (const ConfigError& e) {
+    return {AdmitCode::kInvalidSpec, e.what()};
+  }
+  return submit(std::move(spec));
+}
+
+void JobServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void JobServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    dirty_ = true;
+  }
+  scheduler_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+JobStatus JobServer::status_of_locked(const Job& job) const {
+  JobStatus s;
+  s.job_id = job.spec.job_id;
+  s.tenant = job.spec.tenant;
+  s.priority = job.spec.priority;
+  s.state = job.state;
+  s.preemptions = job.preemptions;
+  s.dispatches = job.dispatches;
+  s.error = job.error;
+  s.queue_wait_seconds = job.queue_wait;
+  s.run_seconds = job.run_time;
+  s.work_dir = job.work_dir;
+  return s;
+}
+
+std::vector<JobStatus> JobServer::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(registry_.size());
+  for (const auto& job : registry_) out.push_back(status_of_locked(*job));
+  return out;
+}
+
+Accounting JobServer::accounting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accounting_;
+}
+
+void JobServer::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    scheduler_cv_.wait(lock, [&] { return stop_ || dirty_; });
+    if (stop_) return;
+    dirty_ = false;
+    schedule_locked();
+  }
+}
+
+void JobServer::schedule_locked() {
+  // (priority desc, submission seq asc) over the current queue.
+  std::vector<Job*> order = queue_;
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    if (a->spec.priority != b->spec.priority) return a->spec.priority > b->spec.priority;
+    return a->seq < b->seq;
+  });
+  for (Job* job : order) {
+    const int need = job->spec.options.nranks;
+    // Blocked only by the tenant's own running quota: other tenants'
+    // jobs behind it may still dispatch this pass.
+    if (!admission_.has_running_headroom(job->spec)) continue;
+    simpi::RankLease lease = pool_.try_lease(need);
+    if (lease.owns()) {
+      dispatch_locked(job, std::move(lease));
+      continue;
+    }
+    // Head-of-line blocking on pool capacity: stop the pass (no backfill,
+    // so a wide job cannot be starved by a stream of narrow ones), after
+    // possibly asking lower-priority running jobs to yield.
+    if (options_.preemption) maybe_preempt_locked(*job, need);
+    break;
+  }
+}
+
+void JobServer::maybe_preempt_locked(const Job& job, int need) {
+  // Ranks already on their way back: free now, plus jobs mid-preemption.
+  int reclaimable = pool_.available();
+  for (const auto& candidate : registry_) {
+    if (candidate->state == JobState::kPreempting) reclaimable += candidate->spec.options.nranks;
+  }
+  if (reclaimable >= need) return;  // enough already in flight; just wait
+
+  // Victims: strictly lower priority, cheapest disruption first — lowest
+  // priority, then the most recently submitted (least sunk work).
+  std::vector<Job*> victims;
+  for (const auto& candidate : registry_) {
+    if (candidate->state == JobState::kRunning &&
+        candidate->spec.priority < job.spec.priority) {
+      victims.push_back(candidate.get());
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [](const Job* a, const Job* b) {
+    if (a->spec.priority != b->spec.priority) return a->spec.priority < b->spec.priority;
+    return a->seq > b->seq;
+  });
+  std::vector<Job*> marked;
+  for (Job* victim : victims) {
+    if (reclaimable >= need) break;
+    reclaimable += victim->spec.options.nranks;
+    marked.push_back(victim);
+  }
+  if (reclaimable < need) return;  // preempting everything still wouldn't fit
+  for (Job* victim : marked) {
+    victim->state = JobState::kPreempting;
+    victim->preempt->store(true, std::memory_order_release);
+    trace::instant("serve.preempt", trace::kCatPipeline,
+                   victim->spec.job_id + " yields to " + job.spec.job_id);
+  }
+}
+
+void JobServer::dispatch_locked(Job* job, simpi::RankLease lease) {
+  queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+  const double now = clock_.seconds();
+  job->queue_wait += now - job->enqueued_at;
+  job->state = JobState::kRunning;
+  ++job->dispatches;
+  job->preempt = std::make_shared<std::atomic<bool>>(false);
+  admission_.note_started(job->spec);
+  ++running_;
+  workers_.emplace_back([this, job, lease = std::move(lease)]() mutable {
+    run_job(job, std::move(lease));
+  });
+}
+
+void JobServer::run_job(Job* job, simpi::RankLease lease) {
+  // Per-dispatch copy: the server owns placement and the scheduling-only
+  // fields; the submitted options own everything else.
+  pipeline::PipelineOptions options = job->spec.options;
+  options.work_dir = job->work_dir;
+  options.checkpoint = true;  // stage files double as preemption checkpoints
+  options.resume = true;      // first dispatch resumes nothing; later ones skip
+  options.preempt = job->preempt;
+  options.job_id = job->spec.job_id;
+  options.tenant = job->spec.tenant;
+  options.preemptions = job->preemptions;
+
+  const int nranks = options.nranks;
+  util::Timer dispatch_timer;
+  enum class Outcome { kCompleted, kPreempted, kFailed } outcome;
+  std::string error;
+  pipeline::PipelineResult result;
+  try {
+    result = pipeline::run_pipeline_from_file(job->spec.reads_path, options);
+    outcome = Outcome::kCompleted;
+  } catch (const pipeline::PreemptedError&) {
+    outcome = Outcome::kPreempted;
+  } catch (const std::exception& e) {
+    outcome = Outcome::kFailed;
+    error = e.what();
+  }
+  const double elapsed = dispatch_timer.seconds();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantAccount& acct = accounting_.account(job->spec.tenant);
+    job->run_time += elapsed;
+    acct.run_seconds += elapsed;
+    acct.rank_seconds += static_cast<double>(nranks) * elapsed;
+    switch (outcome) {
+      case Outcome::kCompleted:
+        job->state = JobState::kCompleted;
+        admission_.note_finished(job->spec);
+        ++acct.jobs_completed;
+        acct.stage_retries += result.stage_retries;
+        acct.io_retries += result.io_retries;
+        for (const auto& stage : result.stage_comm) {
+          for (const auto& rank : stage.ranks) {
+            acct.comm_bytes_sent += static_cast<std::int64_t>(rank.comm.total_bytes_sent());
+            acct.comm_bytes_received +=
+                static_cast<std::int64_t>(rank.comm.total_bytes_received());
+          }
+        }
+        acct.output_bytes += output_file_bytes(job->work_dir);
+        acct.queue_wait_seconds += job->queue_wait;
+        break;
+      case Outcome::kPreempted:
+        job->state = JobState::kQueued;
+        ++job->preemptions;
+        ++acct.preemptions;
+        job->enqueued_at = clock_.seconds();
+        admission_.note_requeued(job->spec);
+        queue_.push_back(job);
+        break;
+      case Outcome::kFailed:
+        job->state = JobState::kFailed;
+        job->error = error;
+        admission_.note_finished(job->spec);
+        ++acct.jobs_failed;
+        acct.queue_wait_seconds += job->queue_wait;
+        break;
+    }
+    --running_;
+    dirty_ = true;
+  }
+  lease.release();  // before waking the scheduler, so available() sees it
+  scheduler_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+}  // namespace trinity::serve

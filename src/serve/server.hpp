@@ -1,0 +1,168 @@
+#pragma once
+// JobServer: the long-lived multi-tenant assembly service.
+//
+// The paper's pipeline is one batch run on a dedicated allocation; the
+// ROADMAP north star is the opposite regime — many concurrent assemblies
+// multiplexed over one shared machine. JobServer is that regime built
+// from the parts the previous PRs left behind:
+//
+//  * submissions are trinity::Config JSON (serve/job.hpp) — PR 5's schema
+//    is the wire format, and its typed ConfigError is the reject path;
+//  * admission is quota-gated and the queue is bounded (serve/admission.hpp)
+//    — overload produces a typed AdmitResult, never a blocked caller;
+//  * the machine is a simpi::RankPool; a job leases its ranks for each
+//    dispatch and a scheduler thread multiplexes queued jobs over the
+//    pool by (priority desc, submission order asc);
+//  * preemption is checkpoint -> requeue -> resume: a higher-priority
+//    arrival sets lower-priority jobs' preempt tokens, each victim stops
+//    at its next stage boundary (PipelineOptions::preempt, throwing
+//    PreemptedError after the completed stages committed their manifest
+//    records), returns its ranks, and re-enters the queue; its next
+//    dispatch runs with resume=true and PR 1's manifest validation skips
+//    the finished stages — transcripts are byte-identical to an
+//    uninterrupted run (serve_test asserts this);
+//  * every job runs in an isolated work dir <root>/<tenant>/<job_id> and
+//    emits its own run_report.json stamped with job/tenant attribution
+//    (schema v3), so one tenant's injected rank crash or ENOSPC is
+//    retried/failed inside its own directory with no cross-tenant blast
+//    radius (serve_fault_test), and `trinity_report --aggregate <root>`
+//    rebuilds the accounting from artifacts alone.
+//
+// Scheduling policy, deliberately simple and starvation-free: queued jobs
+// are scanned in (priority desc, seq asc) order; a job blocked only by
+// its tenant's running quota is skipped (other tenants proceed); the
+// first job blocked by pool capacity ends the pass — no backfill past it,
+// so a big job cannot be starved by a stream of small ones — after
+// optionally marking the cheapest set of strictly-lower-priority victims
+// for preemption.
+//
+// Caveat (io fault injection): io::ScopedFaultInjection is process-global,
+// so at most one *io-faulted* job should be in flight at a time and its
+// path glob must be confined to that job's own work dir. simpi fault
+// plans are per-world and need no such care. See docs/SERVING.md.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/accounting.hpp"
+#include "serve/admission.hpp"
+#include "serve/job.hpp"
+#include "simpi/rank_pool.hpp"
+#include "util/timer.hpp"
+
+namespace trinity::serve {
+
+struct ServerOptions {
+  int total_ranks = 8;       ///< size of the shared rank pool
+  int max_queue_depth = 64;  ///< server-wide bounded queue
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;  ///< per-tenant overrides
+  std::string root_dir;  ///< job work dirs live at <root>/<tenant>/<job_id>;
+                         ///< empty = <tmp>/trinity_serve
+  bool preemption = true;  ///< priority preemption (off = strict FIFO by priority)
+  /// Defaults seeded into submit_text's job-spec parse, exactly like a
+  /// binary's with_pipeline(defaults).
+  pipeline::PipelineOptions job_defaults;
+};
+
+/// Point-in-time snapshot of one job, for status displays and tests.
+struct JobStatus {
+  std::string job_id;
+  std::string tenant;
+  int priority = 0;
+  JobState state = JobState::kQueued;
+  int preemptions = 0;  ///< completed checkpoint->requeue cycles
+  int dispatches = 0;   ///< times the job held a rank lease
+  std::string error;    ///< failure message when state == kFailed
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  std::string work_dir;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerOptions options);
+  ~JobServer();  ///< shutdown()
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Admission-checks `spec` and, on accept, enqueues it. Never blocks on
+  /// a full queue: overload returns a typed reject immediately. An empty
+  /// spec.job_id is assigned "job-<seq>"; a duplicate id is kInvalidSpec.
+  AdmitResult submit(JobSpec spec);
+
+  /// Parses one job-spec JSON document (serve/job.hpp, seeded with
+  /// ServerOptions::job_defaults) and submits it. A ConfigError becomes a
+  /// kInvalidSpec reject carrying the error text — submitters get typed
+  /// validation, not an exception.
+  AdmitResult submit_text(std::string_view text, const std::string& origin);
+
+  /// Blocks until the queue is empty and no job is running.
+  void drain();
+
+  /// Stops accepting, drains, and joins every thread. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::vector<JobStatus> jobs() const;
+  /// Ledger snapshot (copy; safe to read after the server is gone).
+  [[nodiscard]] Accounting accounting() const;
+  [[nodiscard]] int total_ranks() const { return pool_.total(); }
+  [[nodiscard]] const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  struct Job {
+    JobSpec spec;
+    std::uint64_t seq = 0;  ///< submission order (tie-break, FIFO)
+    JobState state = JobState::kQueued;
+    int preemptions = 0;
+    int dispatches = 0;
+    std::string error;
+    std::string work_dir;
+    double enqueued_at = 0.0;  ///< server-clock time of last queue entry
+    double queue_wait = 0.0;
+    double run_time = 0.0;
+    /// Fresh token per dispatch so a stale preempt request cannot cancel
+    /// a later dispatch of the same job.
+    std::shared_ptr<std::atomic<bool>> preempt;
+  };
+
+  void scheduler_loop();
+  /// One scheduling pass over the queue; see the policy note above.
+  void schedule_locked();
+  void dispatch_locked(Job* job, simpi::RankLease lease);
+  /// Marks the cheapest set of strictly-lower-priority running jobs for
+  /// preemption if that would free enough ranks for `job`.
+  void maybe_preempt_locked(const Job& job, int need);
+  void run_job(Job* job, simpi::RankLease lease);
+  [[nodiscard]] JobStatus status_of_locked(const Job& job) const;
+
+  ServerOptions options_;
+  std::string root_dir_;
+  simpi::RankPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable scheduler_cv_;
+  std::condition_variable drain_cv_;
+  AdmissionController admission_;
+  Accounting accounting_;
+  std::vector<std::unique_ptr<Job>> registry_;  ///< every job ever submitted
+  std::vector<Job*> queue_;                     ///< queued jobs, FIFO order
+  int running_ = 0;
+  std::uint64_t next_seq_ = 1;
+  bool accepting_ = true;
+  bool stop_ = false;
+  bool dirty_ = false;  ///< schedule state changed since the last pass
+  util::Timer clock_;
+
+  std::vector<std::thread> workers_;  ///< one per dispatch, joined at shutdown
+  std::thread scheduler_;
+};
+
+}  // namespace trinity::serve

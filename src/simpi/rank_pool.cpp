@@ -1,0 +1,67 @@
+#include "simpi/rank_pool.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace trinity::simpi {
+
+RankLease& RankLease::operator=(RankLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    count_ = other.count_;
+    other.pool_ = nullptr;
+    other.count_ = 0;
+  }
+  return *this;
+}
+
+void RankLease::release() {
+  if (pool_ != nullptr && count_ > 0) pool_->release(count_);
+  pool_ = nullptr;
+  count_ = 0;
+}
+
+RankPool::RankPool(int total) : total_(total) {
+  if (total < 1) {
+    throw std::invalid_argument("RankPool: total must be >= 1, got " + std::to_string(total));
+  }
+}
+
+int RankPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - leased_;
+}
+
+void RankPool::check_request(int count) const {
+  if (count < 1 || count > total_) {
+    throw std::invalid_argument("RankPool: lease of " + std::to_string(count) +
+                                " rank(s) from a pool of " + std::to_string(total_));
+  }
+}
+
+RankLease RankPool::try_lease(int count) {
+  check_request(count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ - leased_ < count) return {};
+  leased_ += count;
+  return {this, count};
+}
+
+RankLease RankPool::lease(int count) {
+  check_request(count);
+  std::unique_lock<std::mutex> lock(mutex_);
+  freed_.wait(lock, [&] { return total_ - leased_ >= count; });
+  leased_ += count;
+  return {this, count};
+}
+
+void RankPool::release(int count) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leased_ -= count;
+  }
+  freed_.notify_all();
+}
+
+}  // namespace trinity::simpi

@@ -1,0 +1,85 @@
+#pragma once
+// A counting pool of simulated ranks shared between concurrent pipelines.
+//
+// The paper gets one cluster and runs one assembly on it; the serving layer
+// (src/serve) multiplexes many assemblies over the same simulated machine.
+// Each simpi world is a burst of `nranks` threads, so the resource being
+// rationed is simply "how many ranks may be live at once". RankPool is the
+// monitor that enforces that: a job leases its rank count before calling
+// simpi::run and releases it when the world finishes, and the serve
+// scheduler keys its dispatch decisions off `available()`.
+//
+// The pool deliberately knows nothing about jobs, tenants, or priorities —
+// those live in serve::JobServer. It is a plain counting semaphore with a
+// non-blocking probe (the scheduler never blocks inside the pool; it
+// re-plans when capacity frees up) plus a blocking lease for simple
+// clients, and an RAII lease so worker threads cannot leak ranks on an
+// exception path.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace trinity::simpi {
+
+class RankPool;
+
+/// RAII ownership of `count()` leased ranks. Movable, not copyable;
+/// releases on destruction. A default-constructed (or moved-from) lease
+/// owns nothing.
+class RankLease {
+ public:
+  RankLease() = default;
+  RankLease(RankPool* pool, int count) : pool_(pool), count_(count) {}
+  ~RankLease() { release(); }
+  RankLease(const RankLease&) = delete;
+  RankLease& operator=(const RankLease&) = delete;
+  RankLease(RankLease&& other) noexcept : pool_(other.pool_), count_(other.count_) {
+    other.pool_ = nullptr;
+    other.count_ = 0;
+  }
+  RankLease& operator=(RankLease&& other) noexcept;
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] bool owns() const { return pool_ != nullptr && count_ > 0; }
+
+  /// Returns the ranks to the pool early. Idempotent.
+  void release();
+
+ private:
+  RankPool* pool_ = nullptr;
+  int count_ = 0;
+};
+
+/// Thread-safe counting pool of `total` ranks.
+class RankPool {
+ public:
+  /// `total` must be >= 1; throws std::invalid_argument otherwise.
+  explicit RankPool(int total);
+
+  [[nodiscard]] int total() const { return total_; }
+  /// Ranks not currently leased. Advisory under concurrency: another
+  /// thread may lease between the read and a subsequent try_lease.
+  [[nodiscard]] int available() const;
+
+  /// Non-blocking: leases `count` ranks if they are free right now.
+  /// Returns an empty lease when they are not. Requests larger than the
+  /// pool can never succeed; throws std::invalid_argument so the caller's
+  /// admission layer rejects them instead of spinning forever.
+  [[nodiscard]] RankLease try_lease(int count);
+
+  /// Blocks until `count` ranks are free, then leases them.
+  /// Same validation as try_lease.
+  [[nodiscard]] RankLease lease(int count);
+
+ private:
+  friend class RankLease;
+  void check_request(int count) const;
+  void release(int count);
+
+  const int total_;
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;
+  int leased_ = 0;  // guarded by mutex_
+};
+
+}  // namespace trinity::simpi

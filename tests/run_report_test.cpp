@@ -250,5 +250,132 @@ TEST(RunReportStandalone, BuildIsPureAndWriteRoundTrips) {
   EXPECT_EQ(loaded.dump(2), report.dump(2));
 }
 
+TEST_F(RunReportTest, OmitsJobAttributionForDirectRuns) {
+  // Schema v3 job attribution is for served jobs only; a direct pipeline
+  // invocation must not carry the fields at all (older readers keep working).
+  EXPECT_EQ(report_->find("job_id"), nullptr);
+  EXPECT_EQ(report_->find("tenant"), nullptr);
+  EXPECT_EQ(report_->find("preemptions"), nullptr);
+}
+
+TEST(RunReportStandalone, BuildEmitsJobAttributionWhenSet) {
+  PipelineOptions options;
+  options.nranks = 2;
+  PipelineResult result;
+
+  options.job_id = "job-7";
+  options.tenant = "alice";
+  options.preemptions = 2;
+  const util::Json report = build_run_report(options, result);
+  EXPECT_EQ(report.at("job_id").as_string(), "job-7");
+  EXPECT_EQ(report.at("tenant").as_string(), "alice");
+  EXPECT_EQ(report.at("preemptions").as_int(), 2);
+
+  // Either identity field alone is enough to opt in.
+  options.tenant.clear();
+  const util::Json id_only = build_run_report(options, result);
+  EXPECT_EQ(id_only.at("job_id").as_string(), "job-7");
+  EXPECT_EQ(id_only.at("tenant").as_string(), "");
+}
+
+TEST(RunReportStandalone, LoaderAcceptsEveryOlderSchemaVersion) {
+  const TempDir dir("run_report_compat");
+  for (int version = 1; version <= kReportSchemaVersion; ++version) {
+    const std::string path = dir.file("v" + std::to_string(version) + ".json");
+    {
+      std::ofstream out(path);
+      out << "{\"schema_version\": " << version
+          << ", \"generator\": \"trinity_pipeline\", \"nranks\": 2}\n";
+    }
+    const util::Json loaded = load_run_report(path);
+    EXPECT_EQ(loaded.at("schema_version").as_int(), version) << path;
+  }
+}
+
+/// A minimal synthetic report: one phase, one comm stage with a single
+/// rank whose allgatherv row carries the given byte counts.
+util::Json synthetic_report(const std::string& tenant, double wall_s,
+                            std::int64_t bytes, double skew,
+                            std::int64_t preemptions) {
+  util::Json report = util::Json::object();
+  report.set("schema_version", kReportSchemaVersion);
+  if (!tenant.empty()) {
+    report.set("job_id", tenant + "-job");
+    report.set("tenant", tenant);
+    report.set("preemptions", preemptions);
+  }
+  util::Json phase = util::Json::object();
+  phase.set("phase", "total");
+  phase.set("wall_s", wall_s);
+  phase.set("cpu_s", wall_s * 2.0);
+  util::Json phases = util::Json::array();
+  phases.push_back(std::move(phase));
+  report.set("phases", std::move(phases));
+
+  util::Json op = util::Json::object();
+  op.set("calls", 1);
+  op.set("bytes_sent", bytes);
+  op.set("bytes_received", bytes * 3);
+  util::Json ops = util::Json::object();
+  ops.set("allgatherv", std::move(op));
+  util::Json rank = util::Json::object();
+  rank.set("rank", 0);
+  rank.set("ops", std::move(ops));
+  util::Json ranks = util::Json::array();
+  ranks.push_back(std::move(rank));
+  util::Json stage = util::Json::object();
+  stage.set("stage", "demo");
+  stage.set("skew_ratio", skew);
+  stage.set("ranks", std::move(ranks));
+  util::Json comm = util::Json::array();
+  comm.push_back(std::move(stage));
+  report.set("comm", std::move(comm));
+
+  report.set("stage_retries", 1);
+  return report;
+}
+
+TEST(RunReportStandalone, AggregateGroupsReportsByTenant) {
+  std::vector<util::Json> reports;
+  reports.push_back(synthetic_report("alice", 1.0, 100, 1.5, 1));
+  reports.push_back(synthetic_report("alice", 2.0, 50, 1.2, 0));
+  reports.push_back(synthetic_report("bob", 4.0, 10, 2.5, 0));
+  reports.push_back(synthetic_report("", 8.0, 1, 1.0, 0));  // direct run
+
+  const util::Json aggregate = aggregate_run_reports(reports);
+  EXPECT_EQ(aggregate.at("reports").as_int(), 4);
+  const auto& tenants = aggregate.at("tenants").items();
+  ASSERT_EQ(tenants.size(), 3u);
+
+  const util::Json& alice = tenants.at(0);
+  EXPECT_EQ(alice.at("tenant").as_string(), "alice");
+  EXPECT_EQ(alice.at("jobs").as_int(), 2);
+  EXPECT_DOUBLE_EQ(alice.at("wall_s").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(alice.at("cpu_s").as_double(), 6.0);
+  EXPECT_EQ(alice.at("comm_bytes_sent").as_int(), 150);
+  EXPECT_EQ(alice.at("comm_bytes_received").as_int(), 450);
+  EXPECT_EQ(alice.at("stage_retries").as_int(), 2);
+  EXPECT_EQ(alice.at("preemptions").as_int(), 1);
+  EXPECT_DOUBLE_EQ(alice.at("max_skew").as_double(), 1.5);
+
+  EXPECT_EQ(tenants.at(1).at("tenant").as_string(), "bob");
+  EXPECT_DOUBLE_EQ(tenants.at(1).at("max_skew").as_double(), 2.5);
+
+  // Reports without a tenant land in the "-" bucket.
+  EXPECT_EQ(tenants.at(2).at("tenant").as_string(), "-");
+  EXPECT_EQ(tenants.at(2).at("jobs").as_int(), 1);
+
+  std::ostringstream table;
+  summarize_aggregate(aggregate, table);
+  EXPECT_NE(table.str().find("alice"), std::string::npos);
+  EXPECT_NE(table.str().find("bob"), std::string::npos);
+}
+
+TEST(RunReportStandalone, AggregateOfNothingIsEmpty) {
+  const util::Json aggregate = aggregate_run_reports({});
+  EXPECT_EQ(aggregate.at("reports").as_int(), 0);
+  EXPECT_TRUE(aggregate.at("tenants").items().empty());
+}
+
 }  // namespace
 }  // namespace trinity::pipeline

@@ -1,0 +1,159 @@
+// Cross-tenant fault isolation for the serve layer: one tenant's injected
+// rank crash is retried inside its own job, one tenant's permanent ENOSPC
+// fails only its own job, and in both cases the other tenant's outputs
+// are byte-identical to a fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/error.hpp"
+#include "seq/fasta.hpp"
+#include "serve/server.hpp"
+#include "sim/transcriptome.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::serve {
+namespace {
+
+using trinity::testing::TempDir;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const std::string& shared_reads_path() {
+  static const std::string path = [] {
+    auto p = sim::preset("tiny");
+    p.reads.coverage = 25.0;
+    p.reads.expression_sigma = 0.7;
+    const auto data = sim::simulate_dataset(p);
+    static TempDir dir("serve_fault_reads");
+    const std::string reads = dir.file("reads.fa");
+    seq::write_fasta(reads, data.reads.reads);
+    return reads;
+  }();
+  return path;
+}
+
+JobSpec make_spec(const std::string& tenant, const std::string& job_id) {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.job_id = job_id;
+  spec.reads_path = shared_reads_path();
+  spec.options.k = 15;
+  spec.options.nranks = 2;
+  spec.options.omp_threads = 1;
+  spec.options.model_threads_per_rank = 4;
+  spec.options.trace_sample_interval_ms = 0;
+  return spec;
+}
+
+JobStatus status_of(const JobServer& server, const std::string& job_id) {
+  for (const auto& job : server.jobs()) {
+    if (job.job_id == job_id) return job;
+  }
+  ADD_FAILURE() << "no job " << job_id;
+  return {};
+}
+
+/// Kills `rank` at its first simpi call of the targeted stage.
+simpi::FaultPlan kill_rank(int rank) {
+  simpi::FaultPlan plan;
+  plan.rank = rank;
+  plan.after_virtual_seconds = 0.0;
+  return plan;
+}
+
+/// Tenant B's transcripts from a fault-free control server.
+std::string fault_free_baseline() {
+  static const std::string baseline = [] {
+    static TempDir root("serve_ctl");
+    ServerOptions options;
+    options.total_ranks = 4;
+    options.root_dir = root.str();
+    JobServer server(options);
+    EXPECT_TRUE(server.submit(make_spec("tenant-b", "clean")).accepted());
+    server.drain();
+    return slurp(root.str() + "/tenant-b/clean/Trinity.fa");
+  }();
+  return baseline;
+}
+
+TEST(ServeFault, RankCrashIsRetriedInIsolation) {
+  const std::string baseline = fault_free_baseline();
+  ASSERT_FALSE(baseline.empty());
+
+  const TempDir root("serve_simpi_fault");
+  ServerOptions options;
+  options.total_ranks = 4;  // both jobs run concurrently
+  options.root_dir = root.str();
+  JobServer server(options);
+
+  JobSpec faulty = make_spec("tenant-a", "crashy");
+  faulty.options.fault = kill_rank(1);
+  faulty.options.fault_stage = "chrysalis.graph_from_fasta";
+  faulty.options.retry.max_attempts = 3;
+  ASSERT_TRUE(server.submit(std::move(faulty)).accepted());
+  ASSERT_TRUE(server.submit(make_spec("tenant-b", "clean")).accepted());
+  server.drain();
+
+  // The crash was retried inside tenant A's job; both jobs completed.
+  EXPECT_EQ(status_of(server, "crashy").state, JobState::kCompleted);
+  EXPECT_EQ(status_of(server, "clean").state, JobState::kCompleted);
+
+  // Tenant B's transcripts are byte-identical to the fault-free control.
+  EXPECT_EQ(slurp(root.str() + "/tenant-b/clean/Trinity.fa"), baseline);
+
+  // The recovery is attributed to tenant A alone.
+  Accounting accounting = server.accounting();
+  EXPECT_GE(accounting.account("tenant-a").stage_retries, 1);
+  EXPECT_EQ(accounting.account("tenant-b").stage_retries, 0);
+}
+
+TEST(ServeFault, PermanentEnospcFailsOnlyItsTenant) {
+  const std::string baseline = fault_free_baseline();
+  ASSERT_FALSE(baseline.empty());
+
+  const TempDir root("serve_io_fault");
+  ServerOptions options;
+  options.total_ranks = 4;
+  options.root_dir = root.str();
+  JobServer server(options);
+
+  // The glob is confined to tenant A's own work dir; ENOSPC is permanent,
+  // so the job fails typed instead of being retried. At most one io-faulted
+  // job may be in flight (io::ScopedFaultInjection is process-global —
+  // see docs/SERVING.md), which this scenario respects.
+  JobSpec faulty = make_spec("tenant-a", "diskfull");
+  faulty.options.io_fault =
+      io::IoFaultPlan::parse("write:*/tenant-a/diskfull/kmers.bin:1:enospc");
+  ASSERT_TRUE(server.submit(std::move(faulty)).accepted());
+  ASSERT_TRUE(server.submit(make_spec("tenant-b", "clean")).accepted());
+  server.drain();
+
+  const JobStatus failed = status_of(server, "diskfull");
+  EXPECT_EQ(failed.state, JobState::kFailed);
+  // The typed io error surfaces verbatim: operation, path, permanence.
+  EXPECT_NE(failed.error.find("injected fault"), std::string::npos) << failed.error;
+  EXPECT_NE(failed.error.find("permanent"), std::string::npos) << failed.error;
+  EXPECT_NE(failed.error.find("tenant-a/diskfull"), std::string::npos) << failed.error;
+
+  EXPECT_EQ(status_of(server, "clean").state, JobState::kCompleted);
+  EXPECT_EQ(slurp(root.str() + "/tenant-b/clean/Trinity.fa"), baseline);
+
+  // The failure lands on tenant A's ledger row; tenant B's is clean.
+  Accounting accounting = server.accounting();
+  EXPECT_EQ(accounting.account("tenant-a").jobs_failed, 1);
+  EXPECT_EQ(accounting.account("tenant-b").jobs_failed, 0);
+  EXPECT_EQ(accounting.account("tenant-b").jobs_completed, 1);
+}
+
+}  // namespace
+}  // namespace trinity::serve
