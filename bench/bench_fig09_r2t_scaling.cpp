@@ -9,11 +9,14 @@
 // (< 15 s in the paper); load imbalance (max vs min rank) is much lower
 // than GraphFromFasta's.
 //
-// Each rank count is measured twice — overlap_io off (synchronous chunk
-// parsing) and on (double-buffered prefetch hiding the redundant-streaming
-// I/O behind classification) — and the two runs must produce byte-identical
+// Each rank count is measured three times — vote mode with overlap_io off
+// (synchronous chunk parsing), vote mode with overlap on (double-buffered
+// prefetch hiding the redundant-streaming I/O behind classification), and
+// the quasi-mapping index engine (--r2t-mode index; the first index run
+// cold-builds and persists the TranscriptIndex, later rank counts warm
+// mmap-load it — docs/INDEXING.md). All three must produce byte-identical
 // read assignments (asserted; exit 1 on mismatch). The JSON series carries
-// both modes plus the prefetch counters.
+// the mode, the prefetch counters, and the index build/load split.
 
 #include <cstring>
 #include <vector>
@@ -64,17 +67,28 @@ int main(int argc, char** argv) {
   options.model_threads_per_rank = 1;
 
   bench::CsvSink csv(cfg,
-                     "nodes,overlap,loop_max,loop_min,setup,concat,total,speedup,"
+                     "nodes,mode,overlap,loop_max,loop_min,setup,concat,total,speedup,"
                      "comm_bytes,skew");
   bench::JsonSink json(cfg, "fig09_r2t_scaling");
-  std::printf("%6s %3s | %10s %10s | %9s %9s | %9s | %8s | %10s %6s\n", "nodes", "ovl",
-              "loop_max", "loop_min", "setup(s)", "concat(s)", "total(s)", "speedup",
-              "comm(B)", "skew");
+  std::printf("%6s %5s %3s | %10s %10s | %9s %9s | %9s | %8s | %10s %6s\n", "nodes",
+              "mode", "ovl", "loop_max", "loop_min", "setup(s)", "concat(s)", "total(s)",
+              "speedup", "comm(B)", "skew");
   const int trials = static_cast<int>(cfg.get_int("trials"));
   double base_total = 0.0;
+  struct Sweep {
+    chrysalis::R2TMode mode;
+    bool overlap;
+  };
+  const Sweep sweeps[] = {{chrysalis::R2TMode::kVote, false},
+                          {chrysalis::R2TMode::kVote, true},
+                          {chrysalis::R2TMode::kIndex, true}};
   for (const int nranks : {1, 2, 4, 8, 16}) {
-    std::vector<chrysalis::ReadAssignment> reference;  // from the overlap-off run
-    for (const bool overlap : {false, true}) {
+    std::vector<chrysalis::ReadAssignment> reference;  // from the vote/overlap-off run
+    for (const Sweep& sweep : sweeps) {
+      const bool overlap = sweep.overlap;
+      const bool indexed = sweep.mode == chrysalis::R2TMode::kIndex;
+      options.mode = sweep.mode;
+      options.index_path = indexed ? w.work_dir + "/fig09_index.bin" : "";
       options.overlap_io = overlap;
       // Best of N trials; see bench_fig07 for the rationale.
       chrysalis::R2TTiming timing;
@@ -97,27 +111,31 @@ int main(int argc, char** argv) {
         }
         assignments = std::move(a);
       }
-      // The prefetch must not change what any read maps to: both modes are
-      // asserted byte-identical over the packed assignment array.
-      if (!overlap) {
+      // Neither the prefetch nor the index engine may change what any read
+      // maps to: every configuration is asserted byte-identical against the
+      // vote/overlap-off run over the packed assignment array.
+      if (!overlap && !indexed) {
         reference = std::move(assignments);
       } else if (!same_assignments(assignments, reference)) {
         std::fprintf(stderr,
-                     "bench_fig09: overlap_io changed the assignments at %d ranks\n",
-                     nranks);
+                     "bench_fig09: %s changed the assignments at %d ranks\n",
+                     indexed ? "index mode" : "overlap_io", nranks);
         return 1;
       }
-      if (nranks == 1 && !overlap) base_total = timing.total_seconds();
-      std::printf("%6d %3s | %10.3f %10.3f | %9.3f %9.3f | %9.3f | %7.2fx | %10llu %6.2f\n",
-                  nranks, overlap ? "on" : "off", timing.main_loop.max(),
-                  timing.main_loop.min(), timing.setup_seconds, timing.concat_seconds,
-                  timing.total_seconds(), base_total / timing.total_seconds(),
+      if (nranks == 1 && !overlap && !indexed) base_total = timing.total_seconds();
+      std::printf("%6d %5s %3s | %10.3f %10.3f | %9.3f %9.3f | %9.3f | %7.2fx | %10llu %6.2f\n",
+                  nranks, indexed ? "index" : "vote", overlap ? "on" : "off",
+                  timing.main_loop.max(), timing.main_loop.min(), timing.setup_seconds,
+                  timing.concat_seconds, timing.total_seconds(),
+                  base_total / timing.total_seconds(),
                   static_cast<unsigned long long>(comm.bytes_received), comm.skew);
-      csv.row(nranks, overlap ? 1 : 0, timing.main_loop.max(), timing.main_loop.min(),
-              timing.setup_seconds, timing.concat_seconds, timing.total_seconds(),
-              base_total / timing.total_seconds(), comm.bytes_received, comm.skew);
+      csv.row(nranks, indexed ? "index" : "vote", overlap ? 1 : 0, timing.main_loop.max(),
+              timing.main_loop.min(), timing.setup_seconds, timing.concat_seconds,
+              timing.total_seconds(), base_total / timing.total_seconds(),
+              comm.bytes_received, comm.skew);
       json.begin_entry();
       json.field("nodes", static_cast<std::int64_t>(nranks));
+      json.field("mode", std::string(indexed ? "index" : "vote"));
       json.field("overlap", overlap);
       json.field("loop_max", timing.main_loop.max());
       json.field("loop_min", timing.main_loop.min());
@@ -130,6 +148,9 @@ int main(int argc, char** argv) {
       json.field("comm_wait_s", comm.wait_seconds);
       json.field("prefetch_hidden_s", timing.prefetch_hidden_seconds);
       json.field("prefetch_wait_s", timing.prefetch_wait_seconds);
+      json.field("index_build_s", timing.index_build_seconds);
+      json.field("index_load_s", timing.index_load_seconds);
+      json.field("index_source", timing.index_source);
       json.field("skew_ratio", comm.skew);
       json.field("assignment_bytes_pooled",
                  static_cast<std::int64_t>(timing.assignment_bytes_pooled));
@@ -139,6 +160,8 @@ int main(int argc, char** argv) {
               "19.75x at 32 nodes vs 1 node; the serial setup (k-mer -> bundle assignment)\n"
               "dominates the high-node end; concatenation constant and negligible;\n"
               "max/min rank imbalance much lower than in GraphFromFasta. overlap=on\n"
-              "double-buffers chunk parsing against classification (identical output).\n");
+              "double-buffers chunk parsing against classification (identical output).\n"
+              "mode=index replaces the per-run voting-map setup with the persistent\n"
+              "quasi-mapping TranscriptIndex (first run builds it, later ones mmap it).\n");
   return 0;
 }

@@ -31,11 +31,19 @@
 #      transcripts must be byte-identical to a fault-free control run, and
 #      the post-hoc aggregate must rebuild the per-tenant ledger from the
 #      run-report artifacts.
-#   8. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#   8. Transcript-index gate (docs/INDEXING.md): the on-disk format version
+#      stated in the docs must match kTranscriptIndexFormatVersion in
+#      src/chrysalis/transcript_index.hpp, INDEXING.md must be linked from
+#      README.md and docs/SERVING.md, and bench_r2t_index must show the
+#      warm mmap load no slower than the per-run voting-map setup
+#      (--min-speedup 1.0, assignment parity enforced by the bench itself),
+#      recording the run in BENCH_r2t_index.json.
+#   9. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
 #      simpi, trace, config, flat-index and serve test binaries — the
 #      subsystems that throw across thread and collective boundaries (and,
 #      for the trace recorder, publish buffers across threads; for the flat
-#      index, raw-storage placement news; for the serve layer, preempt
+#      index, raw-storage placement news; for the transcript index, mmap'd
+#      read-only images shared across jobs; for the serve layer, preempt
 #      tokens and rank leases across scheduler/worker threads), where
 #      sanitizers earn their keep.
 #
@@ -76,8 +84,26 @@ elif [ "$header_version" != "$docs_version" ]; then
          "docs/OBSERVABILITY.md says $docs_version" >&2
     docs_failed=1
 fi
+index_header_version=$(sed -n 's/.*kTranscriptIndexFormatVersion = \([0-9][0-9]*\);.*/\1/p' \
+    src/chrysalis/transcript_index.hpp)
+index_docs_version=$(sed -n 's/^Format version: \([0-9][0-9]*\)$/\1/p' docs/INDEXING.md)
+if [ -z "$index_header_version" ] || [ -z "$index_docs_version" ]; then
+    echo "could not extract index format version (header: '$index_header_version'," \
+         "docs: '$index_docs_version')" >&2
+    docs_failed=1
+elif [ "$index_header_version" != "$index_docs_version" ]; then
+    echo "index format version mismatch: transcript_index.hpp says" \
+         "$index_header_version, docs/INDEXING.md says $index_docs_version" >&2
+    docs_failed=1
+fi
+for doc in README.md docs/SERVING.md; do
+    if ! grep -q 'INDEXING.md' "$doc"; then
+        echo "$doc does not link docs/INDEXING.md" >&2
+        docs_failed=1
+    fi
+done
 [ "$docs_failed" -eq 0 ] || exit 1
-echo "docs ok (schema version $header_version)"
+echo "docs ok (schema version $header_version, index format version $index_header_version)"
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -155,20 +181,24 @@ cmp "$serve_dir/control/tenant-b/clean/Trinity.fa" \
 ./build/examples/trinity_report --aggregate "$serve_dir/faulted" | grep -q 'tenant-a'
 echo "serve ok"
 
+echo "== transcript index: warm mmap load vs voting-map setup (BENCH_r2t_index.json) =="
+./build/bench/bench_r2t_index --genes 200 --repeats 3 --min-speedup 1.0 \
+    --json "$repo_root/BENCH_r2t_index.json"
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + flat-index + serve tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + index + serve tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
     pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-    config_test flat_index_test serve_test serve_fault_test
+    config_test flat_index_test transcript_index_test serve_test serve_fault_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
          pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-         config_test flat_index_test serve_test serve_fault_test; do
+         config_test flat_index_test transcript_index_test serve_test serve_fault_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

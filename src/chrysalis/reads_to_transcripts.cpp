@@ -1,14 +1,17 @@
 #include "chrysalis/reads_to_transcripts.hpp"
 
 #include <omp.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "chrysalis/parallel_loop.hpp"
+#include "io/io_file.hpp"
 #include "seq/fasta.hpp"
 #include "seq/kmer.hpp"
 #include "simpi/file_io.hpp"
@@ -86,6 +89,62 @@ ReadAssignment assign_read(const seq::Sequence& read, std::int64_t read_index,
   return out;
 }
 
+ReadAssignment assign_read_indexed(const seq::Sequence& read, std::int64_t read_index,
+                                   const TranscriptIndex& index, int k,
+                                   std::vector<std::int32_t>* labels_out) {
+  ReadAssignment out;
+  out.read_index = read_index;
+  if (labels_out != nullptr) labels_out->clear();
+
+  const seq::KmerCodec codec(k);
+  const auto occurrences = codec.extract_canonical(read.bases);
+  if (occurrences.empty()) return out;
+
+  // Interval-intersection consensus: each hit interval carries its
+  // component, so the tally loop is byte-for-byte the voting one with the
+  // map probe swapped for the index probe — which is what makes the two
+  // modes bit-identical.
+  struct Tally {
+    std::int32_t component;
+    std::uint32_t count;
+    std::size_t first;
+    std::size_t last;  // last k-mer start position
+  };
+  std::vector<Tally> tallies;
+  for (const auto& occ : occurrences) {
+    const PathInterval* hit = index.lookup(occ.code);
+    if (hit == nullptr) continue;
+    bool found = false;
+    for (auto& t : tallies) {
+      if (t.component == hit->component) {
+        ++t.count;
+        t.last = occ.position;
+        found = true;
+        break;
+      }
+    }
+    if (!found) tallies.push_back({hit->component, 1, occ.position, occ.position});
+  }
+  if (tallies.empty()) return out;
+
+  if (labels_out != nullptr) {
+    labels_out->reserve(tallies.size());
+    for (const auto& t : tallies) labels_out->push_back(t.component);
+    std::sort(labels_out->begin(), labels_out->end());
+  }
+
+  const auto best = std::min_element(
+      tallies.begin(), tallies.end(), [](const Tally& a, const Tally& b) {
+        if (a.count != b.count) return a.count > b.count;  // most shared k-mers
+        return a.component < b.component;                  // deterministic tie
+      });
+  out.component = best->component;
+  out.shared_kmers = best->count;
+  out.region_begin = static_cast<std::uint32_t>(best->first);
+  out.region_end = static_cast<std::uint32_t>(best->last + static_cast<std::size_t>(k));
+  return out;
+}
+
 void write_assignments(const std::string& path,
                        const std::vector<ReadAssignment>& assignments) {
   std::ofstream out(path);
@@ -101,29 +160,98 @@ void write_assignments(const std::string& path,
 
 namespace {
 
+/// The assignment engine a run classifies with: exactly one of the two
+/// pointers is set (R2TMode::kVote -> vote, kIndex -> index).
+struct Assigner {
+  const kmer::FlatKmerIndex<std::int32_t>* vote = nullptr;
+  const TranscriptIndex* index = nullptr;
+};
+
+/// Whether an existing index file should be mmapped instead of building.
+bool index_file_present(const ReadsToTranscriptsOptions& options) {
+  return !options.index_path.empty() &&
+         options.index_lifecycle != IndexLifecycle::kBuild &&
+         ::access(options.index_path.c_str(), F_OK) == 0;
+}
+
+/// Resolves the index for an R2TMode::kIndex run: the serve layer's shared
+/// copy, an mmap of the persisted file, or a fresh build (persisted when
+/// `persist` — in hybrid runs only rank 0 saves, so concurrent ranks never
+/// race on the atomic-write tmp file). Fills the timing fields the run
+/// report surfaces. `load_existing` is the (collectively agreed, for
+/// hybrid) result of index_file_present().
+std::shared_ptr<const TranscriptIndex> acquire_index(
+    const std::vector<seq::Sequence>& contigs, const ComponentSet& components,
+    const ReadsToTranscriptsOptions& options, bool load_existing, bool persist,
+    R2TTiming& timing) {
+  if (options.shared_index != nullptr && options.shared_index->k() == options.k) {
+    timing.index_source = "shared-cache";
+    return options.shared_index;
+  }
+  if (options.index_lifecycle == IndexLifecycle::kLoad && options.index_path.empty()) {
+    throw std::runtime_error(
+        "ReadsToTranscripts: index lifecycle 'load' requires an index path");
+  }
+  if (options.index_lifecycle == IndexLifecycle::kLoad || load_existing) {
+    util::Timer wall;
+    auto loaded =
+        std::make_shared<TranscriptIndex>(TranscriptIndex::load(options.index_path));
+    timing.index_load_seconds = wall.seconds();
+    if (loaded->k() == options.k) {
+      timing.index_source = "mmap";
+      return loaded;
+    }
+    if (options.index_lifecycle == IndexLifecycle::kLoad) {
+      throw std::runtime_error("ReadsToTranscripts: index '" + options.index_path +
+                               "' was built with k=" + std::to_string(loaded->k()) +
+                               ", this run requires k=" + std::to_string(options.k) +
+                               " (rebuild with --r2t-index build)");
+    }
+    timing.index_load_seconds = 0.0;  // kAuto: stale k, fall through and rebuild
+  }
+  util::Timer wall;
+  auto built = std::make_shared<TranscriptIndex>(
+      TranscriptIndex::build(contigs, components, options.k));
+  timing.index_build_seconds = wall.seconds();
+  timing.index_source = "built";
+  if (persist && !options.index_path.empty()) built->save(options.index_path);
+  return built;
+}
+
 /// Processes one in-memory chunk with an OpenMP team; returns the modeled
-/// loop seconds and appends to `assignments`.
+/// loop seconds and appends to `assignments`. In index mode `chunk_labels`
+/// (when non-null) receives each read's equivalence-class label set.
 double process_chunk(const std::vector<seq::Sequence>& chunk, std::int64_t base_index,
-                     const kmer::FlatKmerIndex<std::int32_t>& bundle_of,
-                     const ReadsToTranscriptsOptions& options, int real_threads,
-                     std::vector<ReadAssignment>& assignments) {
+                     const Assigner& assigner, const ReadsToTranscriptsOptions& options,
+                     int real_threads, std::vector<ReadAssignment>& assignments,
+                     std::vector<std::vector<std::int32_t>>* chunk_labels = nullptr) {
   const std::size_t offset = assignments.size();
   assignments.resize(offset + chunk.size());
+  if (chunk_labels != nullptr) chunk_labels->assign(chunk.size(), {});
   const std::vector<IndexRange> all{IndexRange{0, chunk.size()}};
-  return timed_parallel_loop(all, real_threads, options.model_threads_per_rank,
-                             [&](std::size_t i) {
-                               // kernel_repeats: see the options doc; extra
-                               // iterations are discarded.
-                               for (int rep = 1; rep < options.kernel_repeats; ++rep) {
-                                 (void)detail::assign_read(
-                                     chunk[i], base_index + static_cast<std::int64_t>(i),
-                                     bundle_of, options.k);
-                               }
-                               assignments[offset + i] = detail::assign_read(
-                                   chunk[i], base_index + static_cast<std::int64_t>(i),
-                                   bundle_of, options.k);
-                             },
-                             "r2t.chunk");
+  return timed_parallel_loop(
+      all, real_threads, options.model_threads_per_rank,
+      [&](std::size_t i) {
+        const std::int64_t read_index = base_index + static_cast<std::int64_t>(i);
+        // kernel_repeats: see the options doc; extra iterations are discarded.
+        for (int rep = 1; rep < options.kernel_repeats; ++rep) {
+          if (assigner.index != nullptr) {
+            (void)detail::assign_read_indexed(chunk[i], read_index, *assigner.index,
+                                              options.k);
+          } else {
+            (void)detail::assign_read(chunk[i], read_index, *assigner.vote, options.k);
+          }
+        }
+        if (assigner.index != nullptr) {
+          assignments[offset + i] = detail::assign_read_indexed(
+              chunk[i], read_index, *assigner.index, options.k,
+              chunk_labels != nullptr ? &(*chunk_labels)[i] : nullptr);
+        } else {
+          assignments[offset + i] =
+              detail::assign_read(chunk[i], read_index, *assigner.vote, options.k);
+        }
+      },
+      "r2t.chunk");
 }
 
 /// Double-buffered chunk source (options.overlap_io): a helper thread
@@ -206,9 +334,33 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
   const int threads = resolve_omp_threads(options.omp_threads, /*hybrid=*/false);
   R2TResult result;
 
-  util::ThreadCpuTimer setup_cpu;
-  const auto bundle_of = build_bundle_kmer_map(contigs, components, options.k);
-  result.timing.setup_seconds = setup_cpu.seconds();
+  kmer::FlatKmerIndex<std::int32_t> bundle_of;
+  Assigner assigner;
+  if (options.mode == R2TMode::kIndex) {
+    result.index = acquire_index(contigs, components, options, index_file_present(options),
+                                 /*persist=*/true, result.timing);
+    assigner.index = result.index.get();
+    result.timing.setup_seconds =
+        result.timing.index_build_seconds + result.timing.index_load_seconds;
+  } else {
+    util::ThreadCpuTimer setup_cpu;
+    bundle_of = build_bundle_kmer_map(contigs, components, options.k);
+    result.timing.setup_seconds = setup_cpu.seconds();
+    assigner.vote = &bundle_of;
+  }
+
+  EquivalenceClassCounter eq_counter;
+  std::vector<std::vector<std::int32_t>> chunk_labels;
+  auto* labels = assigner.index != nullptr ? &chunk_labels : nullptr;
+  const auto run_chunk = [&](const std::vector<seq::Sequence>& chunk,
+                             std::int64_t base_index) {
+    const double seconds = process_chunk(chunk, base_index, assigner, options, threads,
+                                         result.assignments, labels);
+    if (labels != nullptr) {
+      for (const auto& set : chunk_labels) eq_counter.add(set);
+    }
+    return seconds;
+  };
 
   double loop_seconds = 0.0;
   std::uint64_t chunks = 0;
@@ -224,8 +376,7 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
       loop_seconds += blocked;
       result.timing.prefetch_wait_seconds += blocked;
       if (chunk.empty()) break;
-      loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
-                                    result.assignments);
+      loop_seconds += run_chunk(chunk, base_index);
       base_index += static_cast<std::int64_t>(chunk.size());
       ++chunks;
     }
@@ -236,8 +387,7 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
       const auto chunk = reader.read_chunk(options.max_mem_reads);
       loop_seconds += read_cpu.seconds();
       if (chunk.empty()) break;
-      loop_seconds += process_chunk(chunk, base_index, bundle_of, options, threads,
-                                    result.assignments);
+      loop_seconds += run_chunk(chunk, base_index);
       base_index += static_cast<std::int64_t>(chunk.size());
       ++chunks;
     }
@@ -246,10 +396,14 @@ R2TResult run_shared(const std::vector<seq::Sequence>& contigs, const ComponentS
   result.timing.main_loop.seconds = {loop_seconds};
   result.timing.rank_chunks = {chunks};
   result.timing.rank_reads = {result.assignments.size()};
+  if (assigner.index != nullptr) result.eq_classes = eq_counter.classes();
 
   if (!output_dir.empty()) {
     result.merged_output_path = output_dir + "/readsToComponents.out.tsv";
     detail::write_assignments(result.merged_output_path, result.assignments);
+    if (assigner.index != nullptr) {
+      io::write_file(output_dir + "/eq_classes.tsv", eq_counter.serialize());
+    }
   }
   return result;
 }
@@ -263,11 +417,42 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
 
   // Setup stays OpenMP-only and runs redundantly per rank ("we have not
   // converted this to a hybrid implementation yet" — paper, Section V.B).
-  util::ThreadCpuTimer setup_cpu;
-  const auto bundle_of = build_bundle_kmer_map(contigs, components, options.k);
-  const double my_setup = setup_cpu.seconds();
+  // Index mode breaks the redundancy on the warm path: every rank mmaps
+  // the same file, and cold builds persist from rank 0 only.
+  kmer::FlatKmerIndex<std::int32_t> bundle_of;
+  Assigner assigner;
+  double my_setup = 0.0;
+  if (options.mode == R2TMode::kIndex) {
+    // Load-vs-build is decided once at rank 0 and broadcast: a per-rank
+    // existence check could race with rank 0's save under kAuto, leaving
+    // ranks disagreeing on index_source.
+    std::vector<std::uint8_t> flag{
+        static_cast<std::uint8_t>(ctx.rank() == 0 && index_file_present(options) ? 1 : 0)};
+    ctx.bcast(flag, 0);
+    result.index = acquire_index(contigs, components, options, flag[0] != 0,
+                                 /*persist=*/ctx.rank() == 0, result.timing);
+    assigner.index = result.index.get();
+    my_setup = result.timing.index_build_seconds + result.timing.index_load_seconds;
+  } else {
+    util::ThreadCpuTimer setup_cpu;
+    bundle_of = build_bundle_kmer_map(contigs, components, options.k);
+    my_setup = setup_cpu.seconds();
+    assigner.vote = &bundle_of;
+  }
 
   std::vector<ReadAssignment> my_assignments;
+  EquivalenceClassCounter my_eq;
+  std::vector<std::vector<std::int32_t>> chunk_labels;
+  auto* labels = assigner.index != nullptr ? &chunk_labels : nullptr;
+  const auto run_chunk = [&](const std::vector<seq::Sequence>& chunk,
+                             std::int64_t base_index) {
+    const double seconds = process_chunk(chunk, base_index, assigner, options, threads,
+                                         my_assignments, labels);
+    if (labels != nullptr) {
+      for (const auto& set : chunk_labels) my_eq.add(set);
+    }
+    return seconds;
+  };
   double my_loop = 0.0;
   std::uint64_t my_chunks = 0;
   constexpr int kChunkTag = 7;
@@ -293,8 +478,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         my_prefetch_wait += blocked;
         if (chunk.empty()) break;
         if (chunk_index % ctx.size() == ctx.rank()) {
-          my_loop +=
-              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          my_loop += run_chunk(chunk, base_index);
           ++my_chunks;
         }
         base_index += static_cast<std::int64_t>(chunk.size());
@@ -308,8 +492,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         my_loop += read_cpu.seconds();
         if (chunk.empty()) break;
         if (chunk_index % ctx.size() == ctx.rank()) {
-          my_loop +=
-              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          my_loop += run_chunk(chunk, base_index);
           ++my_chunks;
         }
         base_index += static_cast<std::int64_t>(chunk.size());
@@ -331,8 +514,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         if (chunk.empty()) break;
         const int dest = static_cast<int>(chunk_index % ctx.size());
         if (dest == 0) {
-          my_loop +=
-              process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+          my_loop += run_chunk(chunk, base_index);
           ++my_chunks;
         } else {
           std::vector<std::string> wire;
@@ -356,8 +538,7 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
         const std::int64_t base_index = std::stoll(wire.front());
         std::vector<seq::Sequence> chunk(wire.size() - 1);
         for (std::size_t i = 1; i < wire.size(); ++i) chunk[i - 1].bases = wire[i];
-        my_loop +=
-            process_chunk(chunk, base_index, bundle_of, options, threads, my_assignments);
+        my_loop += run_chunk(chunk, base_index);
         ++my_chunks;
       }
     }
@@ -405,7 +586,30 @@ R2TResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
   result.assignments = ctx.allgatherv(my_assignments);
   sort_by_read_index(result.assignments);
 
+  // Pool equivalence-class counters the same way (variable-length TSV wire
+  // over an Allgatherv, split by the per-rank counts): every rank ends up
+  // with the identical global class table.
+  if (assigner.index != nullptr) {
+    const std::string wire = my_eq.serialize();
+    const std::vector<char> wire_bytes(wire.begin(), wire.end());
+    std::vector<std::size_t> counts;
+    const auto pooled = ctx.allgatherv(wire_bytes, &counts);
+    EquivalenceClassCounter global;
+    std::size_t offset = 0;
+    for (const auto count : counts) {
+      global.merge(
+          EquivalenceClassCounter::deserialize(std::string(pooled.data() + offset, count)));
+      offset += count;
+    }
+    result.eq_classes = global.classes();
+    if (!output_dir.empty() && ctx.rank() == 0) {
+      io::write_file(output_dir + "/eq_classes.tsv", global.serialize());
+    }
+  }
+
   result.timing.setup_seconds = ctx.allreduce_max(my_setup);
+  result.timing.index_build_seconds = ctx.allreduce_max(result.timing.index_build_seconds);
+  result.timing.index_load_seconds = ctx.allreduce_max(result.timing.index_load_seconds);
   result.timing.main_loop.seconds = ctx.allgatherv(std::vector<double>{my_loop});
   result.timing.rank_chunks = ctx.allgatherv(std::vector<std::uint64_t>{my_chunks});
   result.timing.rank_reads =

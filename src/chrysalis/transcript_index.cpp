@@ -1,0 +1,372 @@
+#include "chrysalis/transcript_index.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "io/error.hpp"
+#include "io/io_file.hpp"
+#include "kmer/flat_index.hpp"
+#include "util/hash.hpp"
+
+namespace trinity::chrysalis {
+
+namespace {
+
+/// The 64-byte on-disk header (docs/INDEXING.md). Fixed-width fields, no
+/// implicit padding; written and read in host byte order (little-endian on
+/// every platform this repo targets — load() rejects a byte-swapped magic
+/// rather than translating).
+struct FileHeader {
+  std::uint64_t magic = kTranscriptIndexMagic;
+  std::uint32_t version = kTranscriptIndexFormatVersion;
+  std::uint32_t k = 0;
+  std::uint64_t slot_count = 0;
+  std::uint64_t entry_count = 0;
+  std::uint64_t interval_count = 0;
+  std::uint64_t component_count = 0;
+  std::uint64_t payload_checksum = 0;  ///< FNV-1a over everything after the header
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == 64 && std::is_trivially_copyable_v<FileHeader>);
+
+/// Slot count for `entries` distinct keys: the next power of two keeping
+/// the load factor under FlatKmerIndex's 0.7 ceiling (same probe-chain
+/// behaviour as the voting map it replaces), never below 16.
+std::uint64_t slot_count_for(std::uint64_t entries) {
+  std::uint64_t want = 16;
+  while (static_cast<double>(entries) >= 0.7 * static_cast<double>(want)) want *= 2;
+  return want;
+}
+
+std::size_t image_bytes_for(std::uint64_t slots, std::uint64_t intervals) {
+  return sizeof(FileHeader) + slots * (sizeof(std::uint64_t) + sizeof(std::uint32_t)) +
+         intervals * sizeof(PathInterval);
+}
+
+}  // namespace
+
+// --- EquivalenceClassCounter -------------------------------------------------
+
+void EquivalenceClassCounter::add(const std::vector<std::int32_t>& labels) {
+  if (labels.empty()) return;
+  ++counts_[labels];
+}
+
+void EquivalenceClassCounter::merge(const EquivalenceClassCounter& other) {
+  for (const auto& [labels, count] : other.counts_) counts_[labels] += count;
+}
+
+std::vector<EquivalenceClass> EquivalenceClassCounter::classes() const {
+  std::vector<EquivalenceClass> out;
+  out.reserve(counts_.size());
+  for (const auto& [labels, count] : counts_) out.push_back({labels, count});
+  return out;
+}
+
+std::uint64_t EquivalenceClassCounter::total_reads() const {
+  std::uint64_t total = 0;
+  for (const auto& [labels, count] : counts_) total += count;
+  return total;
+}
+
+std::string EquivalenceClassCounter::serialize() const {
+  std::ostringstream out;
+  for (const auto& [labels, count] : counts_) {
+    out << count << '\t';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out << ',';
+      out << labels[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+EquivalenceClassCounter EquivalenceClassCounter::deserialize(const std::string& text) {
+  EquivalenceClassCounter out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw std::runtime_error("EquivalenceClassCounter: malformed line '" + line + "'");
+    }
+    const std::uint64_t count = std::stoull(line.substr(0, tab));
+    std::vector<std::int32_t> labels;
+    std::size_t start = tab + 1;
+    while (start <= line.size()) {
+      const auto comma = line.find(',', start);
+      const auto end = comma == std::string::npos ? line.size() : comma;
+      labels.push_back(static_cast<std::int32_t>(std::stol(line.substr(start, end - start))));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    out.counts_[labels] += count;
+  }
+  return out;
+}
+
+// --- TranscriptIndex ---------------------------------------------------------
+
+TranscriptIndex::TranscriptIndex(TranscriptIndex&& other) noexcept {
+  *this = std::move(other);
+}
+
+TranscriptIndex& TranscriptIndex::operator=(TranscriptIndex&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+  k_ = other.k_;
+  slot_count_ = other.slot_count_;
+  entry_count_ = other.entry_count_;
+  interval_count_ = other.interval_count_;
+  component_count_ = other.component_count_;
+  owned_ = std::move(other.owned_);
+  map_base_ = std::exchange(other.map_base_, nullptr);
+  map_length_ = std::exchange(other.map_length_, 0);
+  image_size_ = std::exchange(other.image_size_, 0);
+  attach_sections();
+  other.keys_ = nullptr;
+  other.slots_ = nullptr;
+  other.intervals_ = nullptr;
+  other.slot_count_ = other.entry_count_ = other.interval_count_ = 0;
+  return *this;
+}
+
+TranscriptIndex::~TranscriptIndex() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+}
+
+const char* TranscriptIndex::image_data() const {
+  if (map_base_ != nullptr) return static_cast<const char*>(map_base_);
+  return reinterpret_cast<const char*>(owned_.data());
+}
+
+void TranscriptIndex::attach_sections() {
+  if (image_size_ == 0) {
+    keys_ = nullptr;
+    slots_ = nullptr;
+    intervals_ = nullptr;
+    return;
+  }
+  const char* base = image_data() + sizeof(FileHeader);
+  keys_ = reinterpret_cast<const std::uint64_t*>(base);
+  slots_ = reinterpret_cast<const std::uint32_t*>(base + slot_count_ * sizeof(std::uint64_t));
+  intervals_ = reinterpret_cast<const PathInterval*>(
+      base + slot_count_ * (sizeof(std::uint64_t) + sizeof(std::uint32_t)));
+}
+
+const PathInterval* TranscriptIndex::lookup(seq::KmerCode code) const {
+  if (slot_count_ == 0) return nullptr;
+  const std::uint64_t mask = slot_count_ - 1;
+  std::uint64_t slot = kmer::mix_kmer_code(code) & mask;
+  // Linear probe, same scheme as the voting map's FlatKmerIndex; slot
+  // value 0 marks a free slot (interval ids are stored off by one).
+  while (slots_[slot] != 0) {
+    if (keys_[slot] == code) return &intervals_[slots_[slot] - 1];
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
+}
+
+TranscriptIndex TranscriptIndex::build(const std::vector<seq::Sequence>& contigs,
+                                       const ComponentSet& components, int k) {
+  // Resolve every k-mer's component with the exact voting-map semantics
+  // (smallest component id on cross-component collisions) — the source of
+  // the bit-identical-assignments guarantee.
+  const auto bundle_of = build_bundle_kmer_map(contigs, components, k);
+
+  TranscriptIndex index;
+  index.k_ = static_cast<std::uint32_t>(k);
+  index.slot_count_ = slot_count_for(bundle_of.size());
+  index.component_count_ = components.num_components();
+
+  // The final slot arrays double as the build-time dedupe structure, so
+  // the layout is a pure function of the walk below (deterministic, and
+  // what save() serializes verbatim).
+  std::vector<std::uint64_t> keys(index.slot_count_, 0);
+  std::vector<std::uint32_t> slots(index.slot_count_, 0);
+  std::vector<PathInterval> intervals;
+  const std::uint64_t mask = index.slot_count_ - 1;
+
+  const auto locate = [&](seq::KmerCode code) {
+    std::uint64_t slot = kmer::mix_kmer_code(code) & mask;
+    while (slots[slot] != 0 && keys[slot] != code) slot = (slot + 1) & mask;
+    return slot;
+  };
+
+  const seq::KmerCodec codec(k);
+  for (const auto& comp : components.components) {
+    for (const auto contig_id : comp.contig_ids) {
+      const auto& contig = contigs.at(static_cast<std::size_t>(contig_id));
+      // Chain consecutive new k-mer starts that resolve to one component
+      // into a unique-path interval; a repeated k-mer, a component switch
+      // or a position gap (non-ACGT window) breaks the chain.
+      bool open = false;
+      std::size_t prev_position = 0;
+      for (const auto& occ : codec.extract_canonical(contig.bases)) {
+        const std::uint64_t slot = locate(occ.code);
+        if (slots[slot] != 0) {  // seen in an earlier contig or earlier here
+          open = false;
+          continue;
+        }
+        const std::int32_t component = *bundle_of.lookup(occ.code);
+        if (!open || intervals.back().component != component ||
+            occ.position != prev_position + 1) {
+          intervals.push_back({component, contig_id,
+                               static_cast<std::uint32_t>(occ.position), 0});
+          open = true;
+        }
+        ++intervals.back().length;
+        keys[slot] = occ.code;
+        slots[slot] = static_cast<std::uint32_t>(intervals.size());  // id + 1
+        ++index.entry_count_;
+        prev_position = occ.position;
+      }
+    }
+  }
+  index.interval_count_ = intervals.size();
+
+  // Assemble the serialized image: header + keys + slots + intervals. The
+  // buffer is u64-backed so every section meets its alignment.
+  index.image_size_ = image_bytes_for(index.slot_count_, index.interval_count_);
+  index.owned_.assign((index.image_size_ + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t),
+                      0);
+  char* base = reinterpret_cast<char*>(index.owned_.data());
+  char* cursor = base + sizeof(FileHeader);
+  std::memcpy(cursor, keys.data(), keys.size() * sizeof(std::uint64_t));
+  cursor += keys.size() * sizeof(std::uint64_t);
+  std::memcpy(cursor, slots.data(), slots.size() * sizeof(std::uint32_t));
+  cursor += slots.size() * sizeof(std::uint32_t);
+  if (!intervals.empty()) {
+    std::memcpy(cursor, intervals.data(), intervals.size() * sizeof(PathInterval));
+  }
+
+  FileHeader header;
+  header.k = index.k_;
+  header.slot_count = index.slot_count_;
+  header.entry_count = index.entry_count_;
+  header.interval_count = index.interval_count_;
+  header.component_count = index.component_count_;
+  header.payload_checksum =
+      util::fnv1a(base + sizeof(FileHeader), index.image_size_ - sizeof(FileHeader));
+  std::memcpy(base, &header, sizeof(FileHeader));
+
+  index.attach_sections();
+  return index;
+}
+
+void TranscriptIndex::save(const std::string& path) const {
+  if (image_size_ == 0) {
+    throw std::logic_error("TranscriptIndex::save: index was never built or loaded");
+  }
+  io::write_file_atomic(path, std::string_view(image_data(), image_size_));
+}
+
+TranscriptIndex TranscriptIndex::load(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw io::IoError(io::classify_errno(errno), "open", path, errno,
+                      "cannot open transcript index");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw io::IoError(io::classify_errno(err), "fstat", path, err,
+                      "cannot stat transcript index");
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    throw io::ParseError(io::ParseCategory::kMissingHeader, path, 1, 0,
+                         "file is " + std::to_string(size) +
+                             " bytes, smaller than the " +
+                             std::to_string(sizeof(FileHeader)) +
+                             "-byte index header");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int mmap_errno = errno;
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    throw io::IoError(io::classify_errno(mmap_errno), "mmap", path, mmap_errno,
+                      "cannot map transcript index");
+  }
+
+  TranscriptIndex index;
+  index.map_base_ = base;
+  index.map_length_ = size;
+
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(FileHeader));
+  if (header.magic != kTranscriptIndexMagic) {
+    throw io::ParseError(io::ParseCategory::kMissingHeader, path, 1, 0,
+                         "bad magic: not a transcript index file");
+  }
+  if (header.version != kTranscriptIndexFormatVersion) {
+    throw io::ParseError(
+        io::ParseCategory::kMissingHeader, path, 1, 0,
+        "format version " + std::to_string(header.version) + ", this build reads version " +
+            std::to_string(kTranscriptIndexFormatVersion) +
+            "; rebuild the index (--r2t-index build)");
+  }
+  if (header.k < 1 || header.k > 32 || header.slot_count < 16 ||
+      (header.slot_count & (header.slot_count - 1)) != 0 ||
+      header.entry_count > header.slot_count) {
+    throw io::ParseError(io::ParseCategory::kMissingHeader, path, 1, 0,
+                         "header invariants violated (k=" + std::to_string(header.k) +
+                             ", slots=" + std::to_string(header.slot_count) + ")");
+  }
+  const std::uint64_t expected = image_bytes_for(header.slot_count, header.interval_count);
+  if (size != expected) {
+    throw io::ParseError(io::ParseCategory::kTruncatedRecord, path, 1, expected,
+                         "file is " + std::to_string(size) + " bytes, header implies " +
+                             std::to_string(expected));
+  }
+  const std::uint64_t checksum = util::fnv1a(static_cast<const char*>(base) + sizeof(FileHeader),
+                                             size - sizeof(FileHeader));
+  if (checksum != header.payload_checksum) {
+    throw io::ParseError(io::ParseCategory::kInvalidCharacter, path, 1, sizeof(FileHeader),
+                         "payload checksum mismatch: index file is corrupt");
+  }
+
+  index.k_ = header.k;
+  index.slot_count_ = header.slot_count;
+  index.entry_count_ = header.entry_count;
+  index.interval_count_ = header.interval_count;
+  index.component_count_ = header.component_count;
+  index.image_size_ = size;
+  index.attach_sections();
+  return index;
+}
+
+// --- TranscriptIndexCache ----------------------------------------------------
+
+std::shared_ptr<const TranscriptIndex> TranscriptIndexCache::find(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const TranscriptIndex> TranscriptIndexCache::put(
+    std::uint64_t key, std::shared_ptr<const TranscriptIndex> index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(index));
+  return it->second;
+}
+
+std::size_t TranscriptIndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace trinity::chrysalis

@@ -156,6 +156,14 @@ Config& Config::with_pipeline(const pipeline::PipelineOptions& defaults) {
               defaults.r2t_output_mode == chrysalis::R2TOutputMode::kCollective ? "collective"
                                                                                 : "concat",
               "hybrid ReadsToTranscripts output merge (concat, collective)");
+  flag_string("r2t-mode",
+              defaults.r2t_mode == chrysalis::R2TMode::kIndex ? "index" : "vote",
+              "ReadsToTranscripts engine (vote, index); assignments are identical");
+  flag_string("r2t-index",
+              defaults.r2t_index == chrysalis::IndexLifecycle::kBuild  ? "build"
+              : defaults.r2t_index == chrysalis::IndexLifecycle::kLoad ? "load"
+                                                                       : "auto",
+              "transcript-index lifecycle under --r2t-mode index (build, load, auto)");
   flag_string("bowtie-split",
               defaults.bowtie_split == align::BowtieSplit::kReads ? "reads" : "targets",
               "distributed Bowtie work split (targets, reads)");
@@ -524,6 +532,25 @@ pipeline::PipelineOptions Config::pipeline_options() const {
   } else {
     throw ConfigError("r2t-output",
                       "must be one of concat, collective (got '" + output + "')");
+  }
+  const std::string mode = get_string("r2t-mode");
+  if (mode == "vote") {
+    options.r2t_mode = chrysalis::R2TMode::kVote;
+  } else if (mode == "index") {
+    options.r2t_mode = chrysalis::R2TMode::kIndex;
+  } else {
+    throw ConfigError("r2t-mode", "must be one of vote, index (got '" + mode + "')");
+  }
+  const std::string lifecycle = get_string("r2t-index");
+  if (lifecycle == "build") {
+    options.r2t_index = chrysalis::IndexLifecycle::kBuild;
+  } else if (lifecycle == "load") {
+    options.r2t_index = chrysalis::IndexLifecycle::kLoad;
+  } else if (lifecycle == "auto") {
+    options.r2t_index = chrysalis::IndexLifecycle::kAuto;
+  } else {
+    throw ConfigError("r2t-index",
+                      "must be one of build, load, auto (got '" + lifecycle + "')");
   }
   const std::string split = get_string("bowtie-split");
   if (split == "targets") {

@@ -130,7 +130,7 @@ util::Json parse_json(seq::ParsePolicy policy, const io::ParseDiagnostics& d) {
   return out;
 }
 
-util::Json r2t_json(const chrysalis::R2TTiming& t) {
+util::Json r2t_json(const PipelineOptions& options, const chrysalis::R2TTiming& t) {
   util::Json out = util::Json::object();
   out.set("main_loop_s", double_array(t.main_loop.seconds));
   out.set("setup_s", t.setup_seconds);
@@ -142,6 +142,18 @@ util::Json r2t_json(const chrysalis::R2TTiming& t) {
   out.set("assignment_bytes_pooled", static_cast<std::int64_t>(t.assignment_bytes_pooled));
   out.set("prefetch_hidden_s", t.prefetch_hidden_seconds);
   out.set("prefetch_wait_s", t.prefetch_wait_seconds);
+  // Additive fields (schema stays 3, readers ignore unknown keys):
+  // r2t_mode always; index accounting only in index mode, so vote-mode
+  // documents are unchanged. index_source distinguishes cold builds
+  // ("built") from warm loads ("mmap") and serve cache hits
+  // ("shared-cache") in the --aggregate roll-up.
+  out.set("r2t_mode",
+          options.r2t_mode == chrysalis::R2TMode::kIndex ? "index" : "vote");
+  if (options.r2t_mode == chrysalis::R2TMode::kIndex) {
+    out.set("index_build_s", t.index_build_seconds);
+    out.set("index_load_s", t.index_load_seconds);
+    out.set("index_source", t.index_source);
+  }
   return out;
 }
 
@@ -185,7 +197,7 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
 
   util::Json chrysalis = util::Json::object();
   chrysalis.set("graph_from_fasta", gff_json(result.gff_timing));
-  chrysalis.set("reads_to_transcripts", r2t_json(result.r2t_timing));
+  chrysalis.set("reads_to_transcripts", r2t_json(options, result.r2t_timing));
   report.set("chrysalis", std::move(chrysalis));
   return report;
 }
@@ -309,6 +321,17 @@ void summarize_report(const util::Json& report, std::ostream& out) {
     for (const auto& v : r2t.at("rank_chunks").items()) out << ' ' << v.as_int();
     out << '\n';
   }
+  // Additive r2t_mode/index fields; reports from before the quasi-mapping
+  // index simply lack them.
+  if (const util::Json* mode = r2t.find("r2t_mode")) {
+    out << "  reads_to_transcripts mode: " << mode->as_string();
+    if (const util::Json* source = r2t.find("index_source")) {
+      out << " (index " << source->as_string() << ", build "
+          << r2t.at("index_build_s").as_double() << " s, load "
+          << r2t.at("index_load_s").as_double() << " s)";
+    }
+    out << '\n';
+  }
 }
 
 util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
@@ -322,6 +345,10 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     std::int64_t io_retries = 0;
     std::int64_t preemptions = 0;
     double max_skew = 1.0;
+    // Index-mode job split: cold builds vs. warm loads (mmap or the serve
+    // layer's shared cache). Both stay 0 for vote-mode jobs.
+    std::int64_t index_cold_builds = 0;
+    std::int64_t index_warm_loads = 0;
   };
   // Insertion order preserved so the table is deterministic for a given
   // report order (the aggregate caller sorts its directory scan).
@@ -362,6 +389,14 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     if (const util::Json* preemptions = report.find("preemptions")) {
       t.preemptions += preemptions->as_int();
     }
+    if (const util::Json* chrysalis = report.find("chrysalis")) {
+      if (const util::Json* r2t = chrysalis->find("reads_to_transcripts")) {
+        if (const util::Json* source = r2t->find("index_source")) {
+          if (source->as_string() == "built") ++t.index_cold_builds;
+          else ++t.index_warm_loads;
+        }
+      }
+    }
   }
 
   util::Json out = util::Json::object();
@@ -379,6 +414,8 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     row.set("io_retries", t.io_retries);
     row.set("preemptions", t.preemptions);
     row.set("max_skew", t.max_skew);
+    row.set("index_cold_builds", t.index_cold_builds);
+    row.set("index_warm_loads", t.index_warm_loads);
     rows.push_back(std::move(row));
   }
   out.set("tenants", std::move(rows));
@@ -396,7 +433,7 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
       << std::setw(11) << "wall(s)" << std::setw(11) << "cpu(s)" << std::setw(14)
       << "sent(B)" << std::setw(14) << "recv(B)" << std::setw(9) << "retries"
       << std::setw(9) << "io-rtr" << std::setw(9) << "preempt" << std::setw(9)
-      << "skew" << '\n';
+      << "skew" << std::setw(9) << "ix-cold" << std::setw(9) << "ix-warm" << '\n';
   for (const auto& row : tenants) {
     out << std::left << std::setw(16) << row.at("tenant").as_string() << std::right
         << std::setw(6) << row.at("jobs").as_int() << std::fixed << std::setprecision(3)
@@ -407,7 +444,9 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
         << row.at("stage_retries").as_int() << std::setw(9)
         << row.at("io_retries").as_int() << std::setw(9)
         << row.at("preemptions").as_int() << std::setprecision(2) << std::setw(9)
-        << row.at("max_skew").as_double() << '\n';
+        << row.at("max_skew").as_double() << std::setw(9)
+        << row.at("index_cold_builds").as_int() << std::setw(9)
+        << row.at("index_warm_loads").as_int() << '\n';
   }
 }
 

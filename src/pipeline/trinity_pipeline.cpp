@@ -92,6 +92,10 @@ constexpr const char* kContigsFile = "inchworm.fa";
 constexpr const char* kSamFile = "bowtie.sam";
 constexpr const char* kComponentsFile = "components.txt";
 constexpr const char* kAssignmentsFile = "readsToComponents.out.tsv";
+// Cache artifacts of the index-mode ReadsToTranscripts (docs/INDEXING.md).
+// Deliberately not stage outputs: a vote-mode resume over the same work
+// dir must not invalidate on their absence.
+constexpr const char* kIndexFile = "transcript_index.bin";
 constexpr const char* kTranscriptsFile = "Trinity.fa";
 
 /// Records a hybrid stage's per-rank results (replacing any earlier
@@ -554,6 +558,17 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
   r2t.output_mode = options.r2t_output_mode;
   r2t.parse_policy = options.parse_policy;
   r2t.overlap_io = options.overlap;
+  r2t.mode = options.r2t_mode;
+  r2t.index_lifecycle = options.r2t_index;
+  if (options.r2t_mode == chrysalis::R2TMode::kIndex) {
+    r2t.index_path = work_dir + "/" + kIndexFile;
+    // The fingerprint covers the reads and every output-affecting option,
+    // so equal fingerprints imply equal components — exactly the safety
+    // condition for reusing a cached index across serve jobs.
+    if (options.index_cache != nullptr) {
+      r2t.shared_index = options.index_cache->find(result.options_fingerprint);
+    }
+  }
 
   // Assigned (not merged) in the stage body: idempotent across retries.
   io::ParseDiagnostics r2t_parse;
@@ -567,6 +582,9 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
           result.assignments = std::move(r.assignments);
           result.r2t_timing = r.timing;
           r2t_parse = r.parse;
+          if (options.index_cache != nullptr && r.index != nullptr) {
+            options.index_cache->put(result.options_fingerprint, r.index);
+          }
         } else {
           auto rank_results = simpi::run(
               options.nranks,
@@ -577,6 +595,9 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
                   result.assignments = std::move(r.assignments);
                   result.r2t_timing = r.timing;
                   r2t_parse = r.parse;
+                  if (options.index_cache != nullptr && r.index != nullptr) {
+                    options.index_cache->put(result.options_fingerprint, r.index);
+                  }
                 }
               },
               options.comm, driver.fault_for("chrysalis.reads_to_transcripts"));

@@ -26,6 +26,9 @@ JobServer::JobServer(ServerOptions options)
                     ? (std::filesystem::temp_directory_path() / "trinity_serve").string()
                     : options_.root_dir),
       pool_(options_.total_ranks),
+      index_cache_(options_.share_index_cache
+                       ? std::make_shared<chrysalis::TranscriptIndexCache>()
+                       : nullptr),
       admission_(options_.total_ranks, options_.max_queue_depth, options_.default_quota,
                  options_.tenant_quotas) {
   std::filesystem::create_directories(root_dir_);
@@ -232,6 +235,10 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
   options.job_id = job->spec.job_id;
   options.tenant = job->spec.tenant;
   options.preemptions = job->preemptions;
+  // Shared read-only index cache: index-mode jobs over identical inputs
+  // map against one loaded TranscriptIndex instead of each building or
+  // mmapping their own (keyed by the run's options fingerprint).
+  options.index_cache = index_cache_;
 
   const int nranks = options.nranks;
   util::Timer dispatch_timer;

@@ -51,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "chrysalis/transcript_index.hpp"
 #include "serve/accounting.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
@@ -67,6 +68,12 @@ struct ServerOptions {
   std::string root_dir;  ///< job work dirs live at <root>/<tenant>/<job_id>;
                          ///< empty = <tmp>/trinity_serve
   bool preemption = true;  ///< priority preemption (off = strict FIFO by priority)
+  /// Share one read-only TranscriptIndex across jobs whose runs have the
+  /// same options fingerprint (same reads + output-affecting options):
+  /// the first index-mode job builds or mmaps it, later ones map against
+  /// the cached copy (run reports show index_source "shared-cache"). See
+  /// docs/INDEXING.md. Only affects jobs running --r2t-mode index.
+  bool share_index_cache = true;
   /// Defaults seeded into submit_text's job-spec parse, exactly like a
   /// binary's with_pipeline(defaults).
   pipeline::PipelineOptions job_defaults;
@@ -146,6 +153,10 @@ class JobServer {
   ServerOptions options_;
   std::string root_dir_;
   simpi::RankPool pool_;
+  /// Process-wide read-only index cache handed to every dispatch (null
+  /// when share_index_cache is off). Entries are immutable shared_ptrs,
+  /// so concurrent jobs map against one loaded copy safely.
+  std::shared_ptr<chrysalis::TranscriptIndexCache> index_cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable scheduler_cv_;

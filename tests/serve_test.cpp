@@ -373,6 +373,39 @@ TEST(JobServer, ReportCarriesJobAttribution) {
   EXPECT_EQ(report.at("preemptions").as_int(), 0);
 }
 
+TEST(JobServer, SharedIndexCacheServesWarmJobs) {
+  // Two identical index-mode jobs, each needing the whole pool so they run
+  // one after the other. The first builds the TranscriptIndex and publishes
+  // it to the server's shared cache; the second maps against the cached
+  // copy instead of building its own (its work dir has no index file).
+  const TempDir root("serve_index_cache");
+  ServerOptions options;
+  options.total_ranks = 2;
+  options.root_dir = root.str();
+  JobServer server(options);
+  JobSpec first = make_spec("alice", "cold");
+  first.options.r2t_mode = chrysalis::R2TMode::kIndex;
+  JobSpec second = make_spec("alice", "warm");
+  second.options.r2t_mode = chrysalis::R2TMode::kIndex;
+  ASSERT_TRUE(server.submit(std::move(first)).accepted());
+  ASSERT_TRUE(server.submit(std::move(second)).accepted());
+  server.drain();
+  EXPECT_EQ(status_of(server, "cold").state, JobState::kCompleted);
+  EXPECT_EQ(status_of(server, "warm").state, JobState::kCompleted);
+
+  const auto index_source = [&](const std::string& job) {
+    const util::Json report =
+        pipeline::load_run_report(root.str() + "/alice/" + job + "/run_report.json");
+    return report.at("chrysalis").at("reads_to_transcripts").at("index_source").as_string();
+  };
+  EXPECT_EQ(index_source("cold"), "built");
+  EXPECT_EQ(index_source("warm"), "shared-cache");
+
+  // Identical transcripts either way — the index is read-only shared state.
+  EXPECT_EQ(slurp(root.str() + "/alice/cold/Trinity.fa"),
+            slurp(root.str() + "/alice/warm/Trinity.fa"));
+}
+
 // --- preemption -------------------------------------------------------------------
 
 TEST(JobServer, PreemptedJobResumesToByteIdenticalTranscripts) {

@@ -1,0 +1,399 @@
+// Tests for the quasi-mapping TranscriptIndex: vote-parity of index-mode
+// assignments, serialize -> mmap-load round-trips (byte-identical files
+// and assignments), typed rejection of truncated/corrupted/mismatched
+// index files, the build/load/auto lifecycle, fragment equivalence
+// classes, and the serve-layer shared cache.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chrysalis/components.hpp"
+#include "chrysalis/reads_to_transcripts.hpp"
+#include "chrysalis/transcript_index.hpp"
+#include "io/error.hpp"
+#include "seq/fasta.hpp"
+#include "simpi/context.hpp"
+#include "test_helpers.hpp"
+
+namespace trinity::chrysalis {
+namespace {
+
+using trinity::testing::TempDir;
+using trinity::testing::random_dna;
+
+constexpr int kTestK = 15;
+
+struct Fixture {
+  std::vector<seq::Sequence> contigs;
+  ComponentSet components;
+  std::vector<seq::Sequence> reads;
+};
+
+Fixture build_fixture(std::size_t n_components, std::size_t reads_per_component,
+                      std::uint64_t seed) {
+  Fixture f;
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < n_components; ++c) {
+    f.contigs.push_back({"contig" + std::to_string(c), random_dna(400, rng())});
+  }
+  f.components = cluster_contigs(f.contigs.size(), {});
+  for (std::size_t c = 0; c < n_components; ++c) {
+    for (std::size_t r = 0; r < reads_per_component; ++r) {
+      const auto pos = rng.uniform_below(400 - 60);
+      f.reads.push_back({"r_c" + std::to_string(c) + "_" + std::to_string(r),
+                         f.contigs[c].bases.substr(pos, 60)});
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    f.reads.push_back({"noise" + std::to_string(i), random_dna(60, 90000 + i)});
+  }
+  return f;
+}
+
+ReadsToTranscriptsOptions test_options(R2TMode mode = R2TMode::kVote) {
+  ReadsToTranscriptsOptions o;
+  o.k = kTestK;
+  o.max_mem_reads = 7;
+  o.model_threads_per_rank = 4;
+  o.mode = mode;
+  return o;
+}
+
+bool same_assignments(const std::vector<ReadAssignment>& a,
+                      const std::vector<ReadAssignment>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(ReadAssignment)) == 0);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void patch_file(const std::string& path, std::streamoff offset, const void* bytes,
+                std::size_t len) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(offset);
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(len));
+}
+
+TEST(TranscriptIndex, LookupMatchesVotingMap) {
+  Fixture f = build_fixture(4, 0, 5);
+  const auto map = build_bundle_kmer_map(f.contigs, f.components, kTestK);
+  const auto index = TranscriptIndex::build(f.contigs, f.components, kTestK);
+  EXPECT_EQ(index.num_kmers(), map.size());
+  EXPECT_EQ(index.k(), kTestK);
+  EXPECT_GT(index.num_intervals(), 0u);
+  const seq::KmerCodec codec(kTestK);
+  for (const auto& contig : f.contigs) {
+    for (const auto& occ : codec.extract_canonical(contig.bases)) {
+      const auto it = map.find(occ.code);
+      ASSERT_NE(it, map.end());
+      EXPECT_EQ(index.component_of(occ.code), it->second);
+    }
+  }
+}
+
+TEST(TranscriptIndex, IndexModeAssignmentsIdenticalToVote) {
+  const TempDir dir("tix_parity");
+  Fixture f = build_fixture(4, 10, 13);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+
+  const auto vote =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options());
+  auto options = test_options(R2TMode::kIndex);
+  options.index_path = dir.file("transcript_index.bin");
+  const auto indexed =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options, dir.str());
+  EXPECT_TRUE(same_assignments(vote.assignments, indexed.assignments));
+  EXPECT_EQ(indexed.timing.index_source, "built");
+  EXPECT_GT(indexed.timing.index_build_seconds, 0.0);
+  EXPECT_EQ(indexed.timing.index_load_seconds, 0.0);
+  ASSERT_NE(indexed.index, nullptr);
+  // Vote mode reports no index accounting and no classes.
+  EXPECT_EQ(vote.timing.index_source, "");
+  EXPECT_TRUE(vote.eq_classes.empty());
+}
+
+TEST(TranscriptIndex, SaveLoadRoundTripIsByteIdentical) {
+  const TempDir dir("tix_roundtrip");
+  Fixture f = build_fixture(3, 0, 7);
+  const auto built = TranscriptIndex::build(f.contigs, f.components, kTestK);
+  built.save(dir.file("a.bin"));
+
+  const auto loaded = TranscriptIndex::load(dir.file("a.bin"));
+  EXPECT_TRUE(loaded.mmap_backed());
+  EXPECT_FALSE(built.mmap_backed());
+  EXPECT_EQ(loaded.k(), built.k());
+  EXPECT_EQ(loaded.num_kmers(), built.num_kmers());
+  EXPECT_EQ(loaded.num_intervals(), built.num_intervals());
+  EXPECT_EQ(loaded.image_bytes(), built.image_bytes());
+
+  // save(load(p)) writes a byte-identical file.
+  loaded.save(dir.file("b.bin"));
+  EXPECT_EQ(read_file(dir.file("a.bin")), read_file(dir.file("b.bin")));
+
+  // Identical lookups over every contig k-mer.
+  const seq::KmerCodec codec(kTestK);
+  for (const auto& contig : f.contigs) {
+    for (const auto& occ : codec.extract_canonical(contig.bases)) {
+      EXPECT_EQ(loaded.component_of(occ.code), built.component_of(occ.code));
+    }
+  }
+}
+
+TEST(TranscriptIndex, WarmAutoRunLoadsViaMmapAndSkipsBuild) {
+  const TempDir dir("tix_warm");
+  Fixture f = build_fixture(3, 8, 17);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  auto options = test_options(R2TMode::kIndex);
+  options.index_path = dir.file("transcript_index.bin");
+
+  const auto cold =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  EXPECT_EQ(cold.timing.index_source, "built");
+
+  const auto warm =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  EXPECT_EQ(warm.timing.index_source, "mmap");
+  EXPECT_EQ(warm.timing.index_build_seconds, 0.0);
+  EXPECT_GT(warm.timing.index_load_seconds, 0.0);
+  EXPECT_TRUE(same_assignments(cold.assignments, warm.assignments));
+
+  // Lifecycle kBuild ignores the existing file and rebuilds.
+  options.index_lifecycle = IndexLifecycle::kBuild;
+  const auto rebuilt =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  EXPECT_EQ(rebuilt.timing.index_source, "built");
+}
+
+TEST(TranscriptIndex, HybridIndexModeMatchesVote) {
+  const TempDir dir("tix_hybrid");
+  Fixture f = build_fixture(4, 12, 19);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  const auto vote =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), test_options());
+
+  auto options = test_options(R2TMode::kIndex);
+  options.index_path = dir.file("transcript_index.bin");
+  simpi::run(3, [&](simpi::Context& ctx) {
+    const auto result =
+        run_hybrid(ctx, f.contigs, f.components, dir.file("reads.fa"), options, dir.str());
+    EXPECT_TRUE(same_assignments(vote.assignments, result.assignments));
+    EXPECT_EQ(result.timing.index_source, "built");
+    // Equivalence classes pooled over ranks: class counts sum to the
+    // number of reads with at least one hit, on every rank.
+    std::uint64_t classified = 0;
+    for (const auto& eq : result.eq_classes) classified += eq.count;
+    std::uint64_t assigned = 0;
+    for (const auto& a : result.assignments) assigned += a.component >= 0 ? 1 : 0;
+    EXPECT_EQ(classified, assigned);
+  });
+
+  // Second hybrid run over the same work dir warm-loads on every rank.
+  simpi::run(3, [&](simpi::Context& ctx) {
+    const auto result =
+        run_hybrid(ctx, f.contigs, f.components, dir.file("reads.fa"), options, dir.str());
+    EXPECT_TRUE(same_assignments(vote.assignments, result.assignments));
+    EXPECT_EQ(result.timing.index_source, "mmap");
+    EXPECT_EQ(result.timing.index_build_seconds, 0.0);
+  });
+}
+
+TEST(TranscriptIndex, EquivalenceClassesCountClassifiedReads) {
+  const TempDir dir("tix_eq");
+  Fixture f = build_fixture(3, 10, 23);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  auto options = test_options(R2TMode::kIndex);
+  const auto result =
+      run_shared(f.contigs, f.components, dir.file("reads.fa"), options, dir.str());
+  ASSERT_FALSE(result.eq_classes.empty());
+  std::uint64_t classified = 0;
+  for (const auto& eq : result.eq_classes) {
+    EXPECT_FALSE(eq.components.empty());
+    EXPECT_GT(eq.count, 0u);
+    classified += eq.count;
+  }
+  std::uint64_t assigned = 0;
+  for (const auto& a : result.assignments) assigned += a.component >= 0 ? 1 : 0;
+  EXPECT_EQ(classified, assigned);
+  // The TSV artifact exists and round-trips through the counter.
+  const std::string tsv = read_file(dir.str() + "/eq_classes.tsv");
+  const auto counter = EquivalenceClassCounter::deserialize(tsv);
+  EXPECT_EQ(counter.total_reads(), classified);
+  EXPECT_EQ(counter.serialize(), tsv);
+}
+
+TEST(EquivalenceClassCounter, MergeAndSerializeRoundTrip) {
+  EquivalenceClassCounter a;
+  a.add({0});
+  a.add({0, 2});
+  a.add({0});
+  EquivalenceClassCounter b;
+  b.add({0, 2});
+  b.add({1});
+  a.merge(b);
+  EXPECT_EQ(a.total_reads(), 5u);
+  const auto classes = a.classes();
+  ASSERT_EQ(classes.size(), 3u);  // {0}, {0,2}, {1} in label-set order
+  EXPECT_EQ(classes[0].components, (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(classes[0].count, 2u);
+  EXPECT_EQ(classes[1].components, (std::vector<std::int32_t>{0, 2}));
+  EXPECT_EQ(classes[1].count, 2u);
+  const auto round = EquivalenceClassCounter::deserialize(a.serialize());
+  EXPECT_EQ(round.serialize(), a.serialize());
+  a.add({});  // no-hit reads are not counted
+  EXPECT_EQ(a.total_reads(), 5u);
+}
+
+TEST(TranscriptIndexErrors, TruncatedFileIsTypedParseError) {
+  const TempDir dir("tix_trunc");
+  Fixture f = build_fixture(2, 0, 29);
+  TranscriptIndex::build(f.contigs, f.components, kTestK).save(dir.file("ix.bin"));
+  const std::string full = read_file(dir.file("ix.bin"));
+  std::ofstream(dir.file("ix.bin"), std::ios::binary)
+      .write(full.data(), static_cast<std::streamsize>(full.size() - 128));
+  try {
+    TranscriptIndex::load(dir.file("ix.bin"));
+    FAIL() << "truncated index loaded";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.category(), io::ParseCategory::kTruncatedRecord);
+    EXPECT_EQ(e.byte_offset(), full.size());  // expected size
+  }
+}
+
+TEST(TranscriptIndexErrors, FileSmallerThanHeaderIsMissingHeader) {
+  const TempDir dir("tix_small");
+  std::ofstream(dir.file("ix.bin"), std::ios::binary).write("short", 5);
+  try {
+    TranscriptIndex::load(dir.file("ix.bin"));
+    FAIL() << "tiny file loaded";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.category(), io::ParseCategory::kMissingHeader);
+  }
+}
+
+TEST(TranscriptIndexErrors, BadMagicIsMissingHeader) {
+  const TempDir dir("tix_magic");
+  Fixture f = build_fixture(2, 0, 31);
+  TranscriptIndex::build(f.contigs, f.components, kTestK).save(dir.file("ix.bin"));
+  const char garbage[8] = {'N', 'O', 'T', 'A', 'N', 'I', 'D', 'X'};
+  patch_file(dir.file("ix.bin"), 0, garbage, sizeof(garbage));
+  try {
+    TranscriptIndex::load(dir.file("ix.bin"));
+    FAIL() << "bad-magic file loaded";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.category(), io::ParseCategory::kMissingHeader);
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(TranscriptIndexErrors, VersionMismatchNamesBothVersions) {
+  const TempDir dir("tix_version");
+  Fixture f = build_fixture(2, 0, 37);
+  TranscriptIndex::build(f.contigs, f.components, kTestK).save(dir.file("ix.bin"));
+  const std::uint32_t future = kTranscriptIndexFormatVersion + 1;
+  patch_file(dir.file("ix.bin"), 8, &future, sizeof(future));  // version field
+  try {
+    TranscriptIndex::load(dir.file("ix.bin"));
+    FAIL() << "version-mismatched file loaded";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.category(), io::ParseCategory::kMissingHeader);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("format version " + std::to_string(future)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(kTranscriptIndexFormatVersion)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(TranscriptIndexErrors, CorruptedPayloadFailsChecksum) {
+  const TempDir dir("tix_corrupt");
+  Fixture f = build_fixture(2, 0, 41);
+  TranscriptIndex::build(f.contigs, f.components, kTestK).save(dir.file("ix.bin"));
+  const std::string full = read_file(dir.file("ix.bin"));
+  char flipped = static_cast<char>(full[full.size() / 2] ^ 0x5a);
+  patch_file(dir.file("ix.bin"), static_cast<std::streamoff>(full.size() / 2), &flipped, 1);
+  try {
+    TranscriptIndex::load(dir.file("ix.bin"));
+    FAIL() << "corrupted index loaded";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.category(), io::ParseCategory::kInvalidCharacter);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(TranscriptIndexErrors, MissingFileIsTypedIoError) {
+  EXPECT_THROW(TranscriptIndex::load("/no/such/transcript_index.bin"), io::IoError);
+  // Lifecycle kLoad surfaces the same typed error through the run.
+  const TempDir dir("tix_load_missing");
+  Fixture f = build_fixture(2, 2, 43);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  auto options = test_options(R2TMode::kIndex);
+  options.index_lifecycle = IndexLifecycle::kLoad;
+  options.index_path = dir.file("absent.bin");
+  EXPECT_THROW(run_shared(f.contigs, f.components, dir.file("reads.fa"), options),
+               io::IoError);
+}
+
+TEST(TranscriptIndexErrors, StaleKRebuildsUnderAutoAndRefusesUnderLoad) {
+  const TempDir dir("tix_stale_k");
+  Fixture f = build_fixture(2, 4, 47);
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  TranscriptIndex::build(f.contigs, f.components, kTestK + 2).save(dir.file("ix.bin"));
+
+  auto options = test_options(R2TMode::kIndex);
+  options.index_path = dir.file("ix.bin");
+  // kAuto: the k-mismatched index is ignored and rebuilt (then persisted).
+  const auto rebuilt = run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  EXPECT_EQ(rebuilt.timing.index_source, "built");
+  EXPECT_EQ(TranscriptIndex::load(dir.file("ix.bin")).k(), kTestK);
+
+  // kLoad: a k mismatch is a hard error naming both k values.
+  TranscriptIndex::build(f.contigs, f.components, kTestK + 2).save(dir.file("ix.bin"));
+  options.index_lifecycle = IndexLifecycle::kLoad;
+  try {
+    run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+    FAIL() << "k-mismatched index accepted under kLoad";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("k=" + std::to_string(kTestK + 2)), std::string::npos) << what;
+    EXPECT_NE(what.find("k=" + std::to_string(kTestK)), std::string::npos) << what;
+  }
+}
+
+TEST(TranscriptIndexCacheTest, FirstWriterWinsAndSharedCopyIsUsed) {
+  Fixture f = build_fixture(2, 4, 53);
+  auto first = std::make_shared<const TranscriptIndex>(
+      TranscriptIndex::build(f.contigs, f.components, kTestK));
+  auto second = std::make_shared<const TranscriptIndex>(
+      TranscriptIndex::build(f.contigs, f.components, kTestK));
+
+  TranscriptIndexCache cache;
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.put(1, first), first);
+  EXPECT_EQ(cache.put(1, second), first);  // first writer wins
+  EXPECT_EQ(cache.find(1), first);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A run handed the shared copy maps against it without building.
+  const TempDir dir("tix_cache");
+  seq::write_fasta(dir.file("reads.fa"), f.reads);
+  auto options = test_options(R2TMode::kIndex);
+  options.shared_index = first;
+  const auto result = run_shared(f.contigs, f.components, dir.file("reads.fa"), options);
+  EXPECT_EQ(result.timing.index_source, "shared-cache");
+  EXPECT_EQ(result.timing.index_build_seconds, 0.0);
+  EXPECT_EQ(result.index, first);
+}
+
+}  // namespace
+}  // namespace trinity::chrysalis
