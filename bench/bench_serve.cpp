@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
       .flag_int("genes", 8, "genes in the shared simulated dataset")
       .flag_int("seed", 1, "arrival-process RNG seed")
       .flag_bool("fault", false, "inject a rank kill into one mid-workload job")
+      .flag_bool("journal", true,
+                 "durable job journal (--no-journal isolates its overhead)")
       .flag_string("csv", "", "also write per-job rows as CSV to this path")
       .flag_string("json", "BENCH_serve.json", "summary JSON destination");
   int exit_code = 0;
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
   server_options.default_quota.max_queued_jobs = jobs;
   server_options.default_quota.max_concurrent_ranks = total_ranks;
   server_options.root_dir = workload.work_dir + "/serve_root";
+  server_options.journal = cfg.get_bool("journal");
   serve::JobServer server(server_options);
 
   // The job template: the shared tiny reads file, byte-reproducible
@@ -162,6 +165,7 @@ int main(int argc, char** argv) {
   json.field("ranks_per_job", static_cast<std::int64_t>(ranks_per_job));
   json.field("arrival_rate_per_s", arrival_rate);
   json.field("fault", cfg.get_bool("fault"));
+  json.field("journal", cfg.get_bool("journal"));
   json.field("completed", static_cast<std::int64_t>(completed));
   json.field("failed", static_cast<std::int64_t>(failed));
   json.field("preemptions", static_cast<std::int64_t>(preemptions));

@@ -44,6 +44,14 @@ int main(int argc, char** argv) {
       .flag_string("root", "", "server root; jobs run in <root>/<tenant>/<job-id>")
       .flag_bool("preemption", true,
                  "priority preemption (--no-preemption = run-to-completion)")
+      .flag_bool("journal", true,
+                 "durable job journal + crash recovery (--no-journal disables)")
+      .flag_double("hang-timeout-s", 0.0,
+                   "watchdog: cancel a job making no checkpoint progress for "
+                   "this long (0 = off)")
+      .flag_int("job-attempts", 3,
+                "default job-level attempt budget before quarantine "
+                "(per-job \"job-attempts\" overrides)")
       .flag_string("accounting", "", "also write the accounting ledger JSON here");
   try {
     cfg.parse_cli(argc, argv);
@@ -76,6 +84,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cfg.get_int("rss-budget-mb")) * 1024 * 1024;
   options.root_dir = cfg.get_string("root");
   options.preemption = cfg.get_bool("preemption");
+  options.journal = cfg.get_bool("journal");
+  options.hang_timeout_s = cfg.get_double("hang-timeout-s");
+  options.job_retry.max_attempts = static_cast<int>(cfg.get_int("job-attempts"));
   options.job_defaults.trace_sample_interval_ms = 0;  // many small jobs; no RSS sampler
 
   serve::JobServer server(options);
@@ -105,14 +116,19 @@ int main(int argc, char** argv) {
 
   std::cout << "\njobs:\n";
   int completed = 0, failed = 0, preemptions = 0;
+  int quarantined = 0, killed = 0, recovered = 0;
   for (const auto& job : server.jobs()) {
-    std::printf("%-12s %-10s prio %3d  %-9s  %d dispatch(es), %d preemption(s)  wait %.2fs run %.2fs\n",
+    std::printf("%-12s %-10s prio %3d  %-11s  %d dispatch(es), %d attempt(s), %d preemption(s)%s  wait %.2fs run %.2fs\n",
                 job.job_id.c_str(), job.tenant.c_str(), job.priority,
-                serve::to_string(job.state), job.dispatches, job.preemptions,
+                serve::to_string(job.state), job.dispatches, job.attempts,
+                job.preemptions, job.recovered ? " [recovered]" : "",
                 job.queue_wait_seconds, job.run_seconds);
     if (!job.error.empty()) std::cout << "    error: " << job.error << '\n';
     if (job.state == serve::JobState::kCompleted) ++completed;
     if (job.state == serve::JobState::kFailed) ++failed;
+    if (job.state == serve::JobState::kQuarantined) ++quarantined;
+    if (job.state == serve::JobState::kKilled) ++killed;
+    if (job.recovered) ++recovered;
     preemptions += job.preemptions;
   }
 
@@ -127,6 +143,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\ndrain complete: " << completed << " completed, " << failed
-            << " failed, " << preemptions << " preemption(s)\n";
+            << " failed, " << preemptions << " preemption(s), " << quarantined
+            << " quarantined, " << killed << " killed, " << recovered
+            << " recovered\n";
   return 0;
 }

@@ -31,21 +31,28 @@
 #      transcripts must be byte-identical to a fault-free control run, and
 #      the post-hoc aggregate must rebuild the per-tenant ledger from the
 #      run-report artifacts.
-#   8. Transcript-index gate (docs/INDEXING.md): the on-disk format version
+#   8. Serve-recovery gate (docs/SERVING.md "Reliability"): a served job is
+#      SIGKILLed mid-run, the server is restarted over the same root with
+#      the same jobs file — the duplicate submission must be rejected, the
+#      journaled job must be recovered and complete with transcripts
+#      byte-identical to the control run, and the journal must hold exactly
+#      one terminal record for it.
+#   9. Transcript-index gate (docs/INDEXING.md): the on-disk format version
 #      stated in the docs must match kTranscriptIndexFormatVersion in
 #      src/chrysalis/transcript_index.hpp, INDEXING.md must be linked from
 #      README.md and docs/SERVING.md, and bench_r2t_index must show the
 #      warm mmap load no slower than the per-run voting-map setup
 #      (--min-speedup 1.0, assignment parity enforced by the bench itself),
 #      recording the run in BENCH_r2t_index.json.
-#   9. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#  10. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
 #      simpi, trace, config, flat-index and serve test binaries — the
 #      subsystems that throw across thread and collective boundaries (and,
 #      for the trace recorder, publish buffers across threads; for the flat
 #      index, raw-storage placement news; for the transcript index, mmap'd
 #      read-only images shared across jobs; for the serve layer, preempt
-#      tokens and rank leases across scheduler/worker threads), where
-#      sanitizers earn their keep.
+#      and deadline tokens, the journal, and rank leases across
+#      scheduler/watchdog/worker threads), where sanitizers earn their
+#      keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -eu
@@ -181,6 +188,34 @@ cmp "$serve_dir/control/tenant-b/clean/Trinity.fa" \
 ./build/examples/trinity_report --aggregate "$serve_dir/faulted" | grep -q 'tenant-a'
 echo "serve ok"
 
+echo "== serve recovery: SIGKILL mid-job, restart, byte-identical resume =="
+rec_root=$serve_dir/recovery
+# The same clean job, wedged for 3 s inside inchworm so the kill reliably
+# lands mid-run with committed checkpoints behind it (hang injection is
+# scheduling-only: it does not change the outputs or the fingerprint).
+printf '{"tenant": "tenant-b", "job-id": "clean", "reads": "%s", "ranks": 2, "k": 15, "omp-threads": 1, "hang-stage": "inchworm", "hang-seconds": 3}\n' \
+    "$reads" > "$serve_dir/recovery.jsonl"
+./build/examples/trinity_serve --jobs "$serve_dir/recovery.jsonl" \
+    --root "$rec_root" --total-ranks 4 > "$serve_dir/recovery_first.log" 2>&1 &
+serve_pid=$!
+sleep 1  # mid-hang: the journal holds submit+dispatch, the manifest the early stages
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+# Restart over the same root with the same jobs file: the duplicate
+# submission must be rejected, the journaled job recovered and finished.
+./build/examples/trinity_serve --jobs "$serve_dir/recovery.jsonl" \
+    --root "$rec_root" --total-ranks 4 > "$serve_dir/recovery_second.log"
+grep -q 'reject \[invalid_spec\].*duplicate job id' "$serve_dir/recovery_second.log"
+grep -q 'drain complete: 1 completed, 0 failed' "$serve_dir/recovery_second.log"
+grep -q '1 recovered' "$serve_dir/recovery_second.log"
+# Byte-identical to the never-killed control run.
+cmp "$serve_dir/control/tenant-b/clean/Trinity.fa" \
+    "$rec_root/tenant-b/clean/Trinity.fa"
+# Exactly one terminal journal record: recovery re-dispatched the job, it
+# did not double-complete it.
+[ "$(grep -c '"complete"' "$rec_root/journal.jsonl")" -eq 1 ]
+echo "serve recovery ok"
+
 echo "== transcript index: warm mmap load vs voting-map setup (BENCH_r2t_index.json) =="
 ./build/bench/bench_r2t_index --genes 200 --repeats 3 --min-speedup 1.0 \
     --json "$repo_root/BENCH_r2t_index.json"
@@ -195,10 +230,12 @@ cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
     pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-    config_test flat_index_test transcript_index_test serve_test serve_fault_test
+    config_test flat_index_test transcript_index_test serve_test serve_fault_test \
+    serve_recovery_test serve_watchdog_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
          pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
-         config_test flat_index_test transcript_index_test serve_test serve_fault_test; do
+         config_test flat_index_test transcript_index_test serve_test serve_fault_test \
+         serve_recovery_test serve_watchdog_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

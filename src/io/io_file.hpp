@@ -69,6 +69,10 @@ class IoFile {
   /// O_WRONLY on an existing file (used for offset writes into a
   /// pre-sized shared file).
   [[nodiscard]] static IoFile open_write(const std::string& path);
+  /// O_CREAT|O_WRONLY|O_APPEND with mode 0644: the journal-writer shape.
+  /// Every write_all lands at end-of-file in one syscall, so concurrent
+  /// appenders interleave at record granularity, never mid-record.
+  [[nodiscard]] static IoFile open_append(const std::string& path);
 
   IoFile(IoFile&& other) noexcept;
   IoFile& operator=(IoFile&& other) noexcept;

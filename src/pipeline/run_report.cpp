@@ -173,6 +173,14 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
     report.set("job_id", options.job_id);
     report.set("tenant", options.tenant);
     report.set("preemptions", options.preemptions);
+    // Schema v4: dispatch count, terminal outcome, and whether this run
+    // was re-admitted from a crashed server's journal. A report written
+    // here always describes a run that finished — non-completed outcomes
+    // (quarantined, deadline_exceeded, hung, failed) are stamped by the
+    // job server's minimal terminal reports instead.
+    report.set("attempts", options.attempts);
+    report.set("outcome", "completed");
+    report.set("recovered", options.recovered);
   }
   report.set("stages_executed", string_array(result.stages_executed));
   report.set("stages_resumed", string_array(result.stages_resumed));
@@ -241,6 +249,12 @@ void summarize_report(const util::Json& report, std::ostream& out) {
     out << "job:             " << job_id->as_string() << " (tenant "
         << report.at("tenant").as_string() << ", " << report.at("preemptions").as_int()
         << " preemption(s))\n";
+    // Schema v4 dispatch history; absent in v3 reports.
+    if (const util::Json* outcome = report.find("outcome")) {
+      out << "outcome:         " << outcome->as_string() << " after "
+          << report.at("attempts").as_int() << " attempt(s)"
+          << (report.at("recovered").as_bool() ? ", recovered from journal" : "") << '\n';
+    }
   }
   out << "stages executed: " << join(report.at("stages_executed")) << '\n';
   out << "stages resumed:  " << join(report.at("stages_resumed")) << '\n';
@@ -302,13 +316,16 @@ void summarize_report(const util::Json& report, std::ostream& out) {
   }
 
   // Chrysalis pooling volumes (the paper's Section III.B/III.C traffic).
+  // Absent from the server's minimal v4 terminal reports (no run happened).
+  const util::Json* chrysalis_section = report.find("chrysalis");
+  if (chrysalis_section == nullptr) return;
   const auto sum_ints = [](const util::Json& arr) {
     std::int64_t total = 0;
     for (const auto& v : arr.items()) total += v.as_int();
     return total;
   };
-  const auto& gff = report.at("chrysalis").at("graph_from_fasta");
-  const auto& r2t = report.at("chrysalis").at("reads_to_transcripts");
+  const auto& gff = chrysalis_section->at("graph_from_fasta");
+  const auto& r2t = chrysalis_section->at("reads_to_transcripts");
   out << "\nchrysalis pooling:\n"
       << "  graph_from_fasta welds:   " << sum_ints(gff.at("weld_bytes_contributed"))
       << " B contributed -> " << gff.at("weld_bytes_pooled").as_int() << " B pooled\n"
@@ -349,6 +366,16 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     // layer's shared cache). Both stay 0 for vote-mode jobs.
     std::int64_t index_cold_builds = 0;
     std::int64_t index_warm_loads = 0;
+    // Schema v4 reliability rollup: total dispatches, job-level retries
+    // (dispatches beyond each job's first), and terminal kill reasons.
+    // A tenant with outsized attempts/quarantines relative to its job
+    // count is the poison-tenant signature operators scan for.
+    std::int64_t attempts = 0;
+    std::int64_t job_retries = 0;
+    std::int64_t quarantined = 0;
+    std::int64_t deadline_kills = 0;
+    std::int64_t hung_kills = 0;
+    std::int64_t recovered = 0;
   };
   // Insertion order preserved so the table is deterministic for a given
   // report order (the aggregate caller sorts its directory scan).
@@ -389,6 +416,19 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     if (const util::Json* preemptions = report.find("preemptions")) {
       t.preemptions += preemptions->as_int();
     }
+    if (const util::Json* attempts = report.find("attempts")) {
+      t.attempts += attempts->as_int();
+      t.job_retries += attempts->as_int() > 1 ? attempts->as_int() - 1 : 0;
+    }
+    if (const util::Json* outcome = report.find("outcome")) {
+      const std::string& o = outcome->as_string();
+      if (o == "quarantined") ++t.quarantined;
+      else if (o == "deadline_exceeded") ++t.deadline_kills;
+      else if (o == "hung") ++t.hung_kills;
+    }
+    if (const util::Json* recovered = report.find("recovered")) {
+      if (recovered->as_bool()) ++t.recovered;
+    }
     if (const util::Json* chrysalis = report.find("chrysalis")) {
       if (const util::Json* r2t = chrysalis->find("reads_to_transcripts")) {
         if (const util::Json* source = r2t->find("index_source")) {
@@ -416,6 +456,12 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     row.set("max_skew", t.max_skew);
     row.set("index_cold_builds", t.index_cold_builds);
     row.set("index_warm_loads", t.index_warm_loads);
+    row.set("attempts", t.attempts);
+    row.set("job_retries", t.job_retries);
+    row.set("quarantined", t.quarantined);
+    row.set("deadline_kills", t.deadline_kills);
+    row.set("hung_kills", t.hung_kills);
+    row.set("recovered", t.recovered);
     rows.push_back(std::move(row));
   }
   out.set("tenants", std::move(rows));
@@ -433,7 +479,10 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
       << std::setw(11) << "wall(s)" << std::setw(11) << "cpu(s)" << std::setw(14)
       << "sent(B)" << std::setw(14) << "recv(B)" << std::setw(9) << "retries"
       << std::setw(9) << "io-rtr" << std::setw(9) << "preempt" << std::setw(9)
-      << "skew" << std::setw(9) << "ix-cold" << std::setw(9) << "ix-warm" << '\n';
+      << "skew" << std::setw(9) << "ix-cold" << std::setw(9) << "ix-warm"
+      << std::setw(9) << "att" << std::setw(9) << "job-rtr" << std::setw(9) << "quar"
+      << std::setw(9) << "ddl" << std::setw(9) << "hung" << std::setw(9) << "recov"
+      << '\n';
   for (const auto& row : tenants) {
     out << std::left << std::setw(16) << row.at("tenant").as_string() << std::right
         << std::setw(6) << row.at("jobs").as_int() << std::fixed << std::setprecision(3)
@@ -446,7 +495,13 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
         << row.at("preemptions").as_int() << std::setprecision(2) << std::setw(9)
         << row.at("max_skew").as_double() << std::setw(9)
         << row.at("index_cold_builds").as_int() << std::setw(9)
-        << row.at("index_warm_loads").as_int() << '\n';
+        << row.at("index_warm_loads").as_int() << std::setw(9)
+        << row.at("attempts").as_int() << std::setw(9)
+        << row.at("job_retries").as_int() << std::setw(9)
+        << row.at("quarantined").as_int() << std::setw(9)
+        << row.at("deadline_kills").as_int() << std::setw(9)
+        << row.at("hung_kills").as_int() << std::setw(9)
+        << row.at("recovered").as_int() << '\n';
   }
 }
 

@@ -29,8 +29,13 @@ namespace trinity::pipeline {
 /// scripts/check.sh) and the "schema_version" field of every emitted
 /// report (enforced by run_report_test). v3 adds the optional job
 /// attribution fields `job_id` / `tenant` / `preemptions` (present only
-/// for trinity_serve job runs); v1/v2 reports keep loading unchanged.
-inline constexpr int kReportSchemaVersion = 3;
+/// for trinity_serve job runs); v4 extends that job block with
+/// `attempts` / `outcome` / `recovered`, and lets the job server write a
+/// minimal report (empty phases/comm) for jobs that ended without a
+/// pipeline run — quarantined, deadline-killed, hung, or permanently
+/// failed — so the ledger is reconstructible for every terminal job.
+/// v1-v3 reports keep loading unchanged.
+inline constexpr int kReportSchemaVersion = 4;
 
 /// Builds the report document from a finished run. Pure: no I/O.
 [[nodiscard]] util::Json build_run_report(const PipelineOptions& options,

@@ -169,6 +169,10 @@ class StageDriver {
     // Cancellation point: every completed stage has already committed its
     // checkpoint, so stopping here loses no work — a resume run continues
     // from this exact boundary.
+    if (options_.deadline && options_.deadline->load(std::memory_order_acquire)) {
+      trace::instant("stage.deadline", trace::kCatPipeline, name);
+      throw DeadlineExceededError(name);
+    }
     if (options_.preempt && options_.preempt->load(std::memory_order_acquire)) {
       trace::instant("stage.preempt", trace::kCatPipeline, name);
       throw PreemptedError(name);
@@ -180,6 +184,7 @@ class StageDriver {
       return;
     }
     chain_valid_ = false;  // everything downstream recomputes too
+    if (name == options_.hang_stage && options_.hang_seconds > 0.0) hang_in_stage(name);
     const Execution exec = execute_with_retry(name, compute);
     result_.stages_executed.push_back(name);
     if (options_.checkpoint) record(name, inputs, outputs, exec);
@@ -237,6 +242,26 @@ class StageDriver {
   }
 
  private:
+  /// The injected wedge: sleep inside the stage (no manifest progress)
+  /// while polling both cancellation tokens, so the watchdog's cancel is
+  /// observed within one poll interval rather than at stage end.
+  void hang_in_stage(const std::string& name) {
+    trace::instant("stage.hang", trace::kCatPipeline,
+                   name + ": injected hang " + std::to_string(options_.hang_seconds) + "s");
+    util::Timer wall;
+    while (wall.seconds() < options_.hang_seconds) {
+      if (options_.deadline && options_.deadline->load(std::memory_order_acquire)) {
+        trace::instant("stage.deadline", trace::kCatPipeline, name);
+        throw DeadlineExceededError(name);
+      }
+      if (options_.preempt && options_.preempt->load(std::memory_order_acquire)) {
+        trace::instant("stage.preempt", trace::kCatPipeline, name);
+        throw PreemptedError(name);
+      }
+      checkpoint::sleep_seconds(0.01);
+    }
+  }
+
   bool can_resume(const std::string& name) {
     if (!options_.resume || !chain_valid_) return false;
     const checkpoint::StageRecord* record = manifest_.find(name);

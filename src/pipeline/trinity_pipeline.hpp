@@ -63,6 +63,25 @@ class PreemptedError : public std::runtime_error {
   std::string stage_;
 };
 
+/// Thrown out of run_pipeline when the run's deadline token (see
+/// PipelineOptions::deadline) was set: the serve watchdog decided the job
+/// ran past its deadline or stopped making progress. Like preemption, the
+/// pipeline stops at the next cancellation point with every completed
+/// stage checkpointed — but the server treats this as a terminal kill
+/// (DeadlineExceeded/Hung outcome), not a requeue.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(std::string stage)
+      : std::runtime_error("pipeline deadline exceeded before stage '" + stage + "'"),
+        stage_(std::move(stage)) {}
+
+  /// The stage the pipeline was about to run when it was cancelled.
+  [[nodiscard]] const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+};
+
 /// Whole-pipeline configuration.
 struct PipelineOptions {
   int k = 25;                      ///< k-mer size used by every stage
@@ -158,6 +177,23 @@ struct PipelineOptions {
   /// Scheduling-only: excluded from the options fingerprint.
   std::shared_ptr<std::atomic<bool>> preempt;
 
+  /// Deadline/watchdog cancellation token, same cooperative contract as
+  /// `preempt` but a different verdict: when set, the run throws
+  /// DeadlineExceededError at the next cancellation point (stage
+  /// boundaries, and the injected-hang poll loop below). The serve
+  /// watchdog sets it for jobs past their `deadline-s` or hung past
+  /// `hang-timeout-s`. Scheduling-only: excluded from the fingerprint.
+  std::shared_ptr<std::atomic<bool>> deadline;
+
+  /// Injected wedge (testing the watchdog): when `hang_stage` names a
+  /// stage, the run sleeps `hang_seconds` inside that stage — after its
+  /// boundary checks, before its compute, with no manifest progress — in
+  /// small increments that poll both cancellation tokens. Models a stage
+  /// stuck on a dead mount or a livelocked collective while staying
+  /// cancellable. Scheduling-only; disabled by default.
+  std::string hang_stage;
+  double hang_seconds = 0.0;
+
   // --- input robustness -------------------------------------------------------
 
   /// How FASTA/FASTQ readers treat malformed records (seq/fasta.hpp):
@@ -185,6 +221,14 @@ struct PipelineOptions {
   std::string job_id;
   std::string tenant;
   int preemptions = 0;
+  /// Which dispatch of the job this run is, 1-based (run-report schema v4):
+  /// incremented by the serve retry loop each time a transient job failure
+  /// requeues the job. 1 for standalone runs and first dispatches.
+  int attempts = 1;
+  /// True when this dispatch resumed work journaled by a previous server
+  /// process (run-report schema v4): the job was re-admitted from the
+  /// on-disk journal after a crash/restart, not submitted to this process.
+  bool recovered = false;
 
   /// Distributed span tracing (docs/OBSERVABILITY.md "Distributed trace"):
   /// empty (the default) disables tracing entirely — instrumented code

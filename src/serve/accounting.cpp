@@ -22,6 +22,11 @@ util::Json Accounting::to_json() const {
     row.set("jobs_completed", a.jobs_completed);
     row.set("jobs_failed", a.jobs_failed);
     row.set("jobs_rejected", a.jobs_rejected);
+    row.set("jobs_quarantined", a.jobs_quarantined);
+    row.set("jobs_recovered", a.jobs_recovered);
+    row.set("deadline_kills", a.deadline_kills);
+    row.set("hung_kills", a.hung_kills);
+    row.set("job_retries", a.job_retries);
     row.set("preemptions", a.preemptions);
     row.set("stage_retries", a.stage_retries);
     row.set("io_retries", a.io_retries);
@@ -31,6 +36,8 @@ util::Json Accounting::to_json() const {
     row.set("comm_bytes_sent", a.comm_bytes_sent);
     row.set("comm_bytes_received", a.comm_bytes_received);
     row.set("output_bytes", a.output_bytes);
+    row.set("rss_declared_bytes_peak", static_cast<std::int64_t>(a.rss_declared_bytes_peak));
+    row.set("rss_measured_bytes_peak", static_cast<std::int64_t>(a.rss_measured_bytes_peak));
     rows.push_back(std::move(row));
   }
   util::Json out = util::Json::object();
@@ -41,16 +48,19 @@ util::Json Accounting::to_json() const {
 void Accounting::summarize(std::ostream& out) const {
   out << std::left << std::setw(14) << "tenant" << std::right << std::setw(5) << "sub"
       << std::setw(5) << "done" << std::setw(5) << "fail" << std::setw(5) << "rej"
-      << std::setw(6) << "preem" << std::setw(6) << "retry" << std::setw(11)
-      << "rank-s" << std::setw(10) << "wait-s" << std::setw(13) << "comm(B)"
-      << std::setw(11) << "out(B)" << '\n';
+      << std::setw(5) << "quar" << std::setw(6) << "recov" << std::setw(5) << "ddl"
+      << std::setw(5) << "hung" << std::setw(6) << "j-rtr" << std::setw(6) << "preem"
+      << std::setw(6) << "retry" << std::setw(11) << "rank-s" << std::setw(10)
+      << "wait-s" << std::setw(13) << "comm(B)" << std::setw(11) << "out(B)" << '\n';
   for (const auto& a : accounts_) {
     out << std::left << std::setw(14) << a.tenant << std::right << std::setw(5)
         << a.jobs_submitted << std::setw(5) << a.jobs_completed << std::setw(5)
-        << a.jobs_failed << std::setw(5) << a.jobs_rejected << std::setw(6)
-        << a.preemptions << std::setw(6) << a.stage_retries << std::fixed
-        << std::setprecision(2) << std::setw(11) << a.rank_seconds << std::setw(10)
-        << a.queue_wait_seconds << std::setw(13)
+        << a.jobs_failed << std::setw(5) << a.jobs_rejected << std::setw(5)
+        << a.jobs_quarantined << std::setw(6) << a.jobs_recovered << std::setw(5)
+        << a.deadline_kills << std::setw(5) << a.hung_kills << std::setw(6)
+        << a.job_retries << std::setw(6) << a.preemptions << std::setw(6)
+        << a.stage_retries << std::fixed << std::setprecision(2) << std::setw(11)
+        << a.rank_seconds << std::setw(10) << a.queue_wait_seconds << std::setw(13)
         << a.comm_bytes_sent + a.comm_bytes_received << std::setw(11)
         << a.output_bytes << '\n';
   }

@@ -33,6 +33,11 @@ struct TenantAccount {
   std::int64_t jobs_completed = 0;
   std::int64_t jobs_failed = 0;
   std::int64_t jobs_rejected = 0;   ///< typed admission rejects
+  std::int64_t jobs_quarantined = 0;  ///< poison jobs: attempt budget exhausted
+  std::int64_t jobs_recovered = 0;  ///< re-admitted from the journal on restart
+  std::int64_t deadline_kills = 0;  ///< watchdog cancellations: past deadline-s
+  std::int64_t hung_kills = 0;      ///< watchdog cancellations: no progress
+  std::int64_t job_retries = 0;     ///< transient-failure requeues (backoff)
   std::int64_t preemptions = 0;     ///< checkpoint -> requeue cycles
   std::int64_t stage_retries = 0;   ///< in-process stage re-launches
   std::int64_t io_retries = 0;      ///< subset caused by transient io faults
@@ -42,6 +47,11 @@ struct TenantAccount {
   std::int64_t comm_bytes_sent = 0;      ///< simulated interconnect, all ops
   std::int64_t comm_bytes_received = 0;
   std::int64_t output_bytes = 0;    ///< final transcript FASTA bytes
+  /// Peak declared and peak measured RSS over this tenant's dispatches —
+  /// the admission-feedback pair (declared is what jobs promised,
+  /// measured is what ResourceTrace actually sampled).
+  std::uint64_t rss_declared_bytes_peak = 0;
+  std::uint64_t rss_measured_bytes_peak = 0;
 };
 
 /// The server-wide ledger: one row per tenant, insertion order.

@@ -18,11 +18,13 @@ const char* to_string(AdmitCode code) {
 
 AdmissionController::AdmissionController(int total_ranks, int max_queue_depth,
                                          TenantQuota default_quota,
-                                         std::map<std::string, TenantQuota> tenant_quotas)
+                                         std::map<std::string, TenantQuota> tenant_quotas,
+                                         double min_plausible_runtime_s)
     : total_ranks_(total_ranks),
       max_queue_depth_(max_queue_depth),
       default_quota_(default_quota),
-      tenant_quotas_(std::move(tenant_quotas)) {}
+      tenant_quotas_(std::move(tenant_quotas)),
+      min_plausible_runtime_s_(min_plausible_runtime_s) {}
 
 const TenantQuota& AdmissionController::quota_for(const std::string& tenant) const {
   const auto it = tenant_quotas_.find(tenant);
@@ -56,6 +58,19 @@ AdmitResult AdmissionController::admit(const JobSpec& spec) const {
                 " B RSS but tenant '" + spec.tenant + "' is budgeted " +
                 std::to_string(quota.rss_budget_bytes) + " B"};
   }
+  // Unsatisfiable deadlines are permanent too: admitting a job that must
+  // be killed the moment it dispatches only wastes a lease. deadline_s is
+  // relative to admission, so a negative value is already in the past.
+  if (spec.deadline_s < 0.0) {
+    return {AdmitCode::kInvalidSpec,
+            "deadline-s " + std::to_string(spec.deadline_s) + " is in the past"};
+  }
+  if (spec.deadline_s > 0.0 && spec.deadline_s < min_plausible_runtime_s_) {
+    return {AdmitCode::kInvalidSpec,
+            "deadline-s " + std::to_string(spec.deadline_s) +
+                " is below the server's minimum plausible runtime of " +
+                std::to_string(min_plausible_runtime_s_) + " s"};
+  }
 
   // Transient rejects: backpressure, retry later.
   if (queue_depth_ >= max_queue_depth_) {
@@ -76,10 +91,40 @@ bool AdmissionController::has_running_headroom(const JobSpec& spec) const {
   const Usage u = usage_of(spec.tenant);
   if (u.running_ranks + spec.options.nranks > quota.max_concurrent_ranks) return false;
   if (quota.rss_budget_bytes != 0 &&
-      u.running_rss + spec.rss_estimate_bytes > quota.rss_budget_bytes) {
+      u.running_rss + effective_rss(spec) > quota.rss_budget_bytes) {
     return false;
   }
   return true;
+}
+
+std::uint64_t AdmissionController::effective_rss(const JobSpec& spec) const {
+  const Usage u = usage_of(spec.tenant);
+  const auto ewma = static_cast<std::uint64_t>(u.measured_rss_ewma);
+  std::uint64_t effective = ewma > spec.rss_estimate_bytes ? ewma : spec.rss_estimate_bytes;
+  // Never charge above the tenant's whole budget: a history of oversized
+  // runs should serialize the tenant's dispatches (one at a time against a
+  // full budget), not starve it out of the scheduler entirely.
+  const TenantQuota& quota = quota_for(spec.tenant);
+  if (quota.rss_budget_bytes != 0 && effective > quota.rss_budget_bytes) {
+    effective = quota.rss_budget_bytes;
+  }
+  return effective;
+}
+
+void AdmissionController::note_measured(const std::string& tenant,
+                                        std::uint64_t measured_rss_bytes) {
+  if (measured_rss_bytes == 0) return;  // no sampler data; nothing learned
+  Usage& u = usage(tenant);
+  constexpr double kAlpha = 0.3;  // a few jobs of history dominate
+  u.measured_rss_ewma =
+      u.measured_rss_ewma == 0.0
+          ? static_cast<double>(measured_rss_bytes)
+          : kAlpha * static_cast<double>(measured_rss_bytes) +
+                (1.0 - kAlpha) * u.measured_rss_ewma;
+}
+
+std::uint64_t AdmissionController::measured_rss_ewma(const std::string& tenant) const {
+  return static_cast<std::uint64_t>(usage_of(tenant).measured_rss_ewma);
 }
 
 void AdmissionController::note_queued(const JobSpec& spec) {
@@ -88,22 +133,34 @@ void AdmissionController::note_queued(const JobSpec& spec) {
 }
 
 void AdmissionController::note_started(const JobSpec& spec) {
+  note_started(spec, spec.rss_estimate_bytes);
+}
+
+void AdmissionController::note_started(const JobSpec& spec, std::uint64_t rss_charge) {
   Usage& u = usage(spec.tenant);
   --u.queued;
   --queue_depth_;
   u.running_ranks += spec.options.nranks;
-  u.running_rss += spec.rss_estimate_bytes;
+  u.running_rss += rss_charge;
 }
 
 void AdmissionController::note_requeued(const JobSpec& spec) {
-  note_finished(spec);
+  note_requeued(spec, spec.rss_estimate_bytes);
+}
+
+void AdmissionController::note_requeued(const JobSpec& spec, std::uint64_t rss_charge) {
+  note_finished(spec, rss_charge);
   note_queued(spec);
 }
 
 void AdmissionController::note_finished(const JobSpec& spec) {
+  note_finished(spec, spec.rss_estimate_bytes);
+}
+
+void AdmissionController::note_finished(const JobSpec& spec, std::uint64_t rss_charge) {
   Usage& u = usage(spec.tenant);
   u.running_ranks -= spec.options.nranks;
-  u.running_rss -= spec.rss_estimate_bytes;
+  u.running_rss -= rss_charge;
 }
 
 void AdmissionController::note_dropped(const JobSpec& spec) {

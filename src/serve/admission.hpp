@@ -57,8 +57,13 @@ struct AdmitResult {
 
 class AdmissionController {
  public:
+  /// `min_plausible_runtime_s` is the floor for deadline sanity checks: a
+  /// job whose deadline-s is negative (already in the past) or below this
+  /// floor could never finish in time, so admit() rejects it outright with
+  /// a permanent kInvalidSpec instead of admitting and immediately killing.
   AdmissionController(int total_ranks, int max_queue_depth, TenantQuota default_quota,
-                      std::map<std::string, TenantQuota> tenant_quotas);
+                      std::map<std::string, TenantQuota> tenant_quotas,
+                      double min_plausible_runtime_s = 0.0);
 
   /// The quota governing `tenant` (its override, or the default).
   [[nodiscard]] const TenantQuota& quota_for(const std::string& tenant) const;
@@ -72,11 +77,31 @@ class AdmissionController {
   /// quota gate (distinct from admit(), which gates queue entry).
   [[nodiscard]] bool has_running_headroom(const JobSpec& spec) const;
 
-  // Usage bookkeeping, called by JobServer under its mutex.
+  /// The RSS a dispatch of `spec` should be charged against its tenant's
+  /// running budget: the declared estimate, sanity-checked against the
+  /// tenant's EWMA of *measured* peaks (note_measured) — a tenant that
+  /// habitually under-declares is charged what it historically uses, not
+  /// what it promises (ROADMAP's "measured not declared" quota gap).
+  [[nodiscard]] std::uint64_t effective_rss(const JobSpec& spec) const;
+
+  /// Records the measured ResourceTrace rss_peak of a finished run,
+  /// folding it into the tenant's EWMA.
+  void note_measured(const std::string& tenant, std::uint64_t measured_rss_bytes);
+
+  /// The tenant's current EWMA of measured peaks (0 before any sample).
+  [[nodiscard]] std::uint64_t measured_rss_ewma(const std::string& tenant) const;
+
+  // Usage bookkeeping, called by JobServer under its mutex. The *_charged
+  // overloads account an explicit RSS charge (the effective_rss value the
+  // dispatch was admitted with) so start/finish stay symmetric even as the
+  // EWMA moves between them; the plain forms charge the declared estimate.
   void note_queued(const JobSpec& spec);    ///< admitted into the queue
   void note_started(const JobSpec& spec);   ///< dispatched (queued -> running)
+  void note_started(const JobSpec& spec, std::uint64_t rss_charge);
   void note_requeued(const JobSpec& spec);  ///< preempted (running -> queued)
+  void note_requeued(const JobSpec& spec, std::uint64_t rss_charge);
   void note_finished(const JobSpec& spec);  ///< completed or failed (running ->)
+  void note_finished(const JobSpec& spec, std::uint64_t rss_charge);
   void note_dropped(const JobSpec& spec);   ///< left the queue without running
 
   [[nodiscard]] int queue_depth() const { return queue_depth_; }
@@ -86,6 +111,8 @@ class AdmissionController {
     int queued = 0;
     int running_ranks = 0;
     std::uint64_t running_rss = 0;
+    /// EWMA of measured rss_peak over finished runs; 0 = no sample yet.
+    double measured_rss_ewma = 0.0;
   };
 
   Usage& usage(const std::string& tenant) { return usage_[tenant]; }
@@ -95,6 +122,7 @@ class AdmissionController {
   int max_queue_depth_;
   TenantQuota default_quota_;
   std::map<std::string, TenantQuota> tenant_quotas_;
+  double min_plausible_runtime_s_;
   std::map<std::string, Usage> usage_;
   int queue_depth_ = 0;
 };

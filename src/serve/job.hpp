@@ -16,21 +16,39 @@
 
 #include "pipeline/config.hpp"
 #include "pipeline/trinity_pipeline.hpp"
+#include "util/json.hpp"
 
 namespace trinity::serve {
 
 /// Lifecycle of a submitted job. Preemption cycles a job back from
-/// kPreempting to kQueued (checkpoint -> requeue -> resume); kCompleted
-/// and kFailed are terminal.
+/// kPreempting to kQueued (checkpoint -> requeue -> resume), and a
+/// transient failure cycles it back with a backoff; kCompleted, kFailed,
+/// kQuarantined and kKilled are terminal.
 enum class JobState : int {
   kQueued = 0,   ///< admitted, waiting for ranks
   kRunning,      ///< dispatched on a rank-pool lease
   kPreempting,   ///< preempt token set; stops at the next stage boundary
   kCompleted,    ///< pipeline finished; transcripts on disk
-  kFailed,       ///< pipeline raised a non-preemption error (recorded)
+  kFailed,       ///< pipeline raised a permanent error (recorded)
+  kQuarantined,  ///< poison job: transient failures exhausted its attempt
+                 ///< budget; work dir preserved for diagnosis
+  kKilled,       ///< cancelled by the watchdog (deadline exceeded or hung)
 };
 
 [[nodiscard]] const char* to_string(JobState state);
+
+/// Why a job reached a terminal state — the run_report v4 `outcome` field
+/// and the journal's terminal-event taxonomy.
+enum class JobOutcome : int {
+  kNone = 0,           ///< not terminal yet
+  kCompleted,
+  kFailed,             ///< permanent error (ENOSPC, parse error, bad input)
+  kQuarantined,        ///< transient failures exceeded the attempt budget
+  kDeadlineExceeded,   ///< watchdog: ran past its deadline-s
+  kHung,               ///< watchdog: no checkpoint progress for hang-timeout-s
+};
+
+[[nodiscard]] const char* to_string(JobOutcome outcome);
 
 /// A validated submission: who owns it, what it needs, and the full
 /// pipeline configuration it runs with. The server overrides
@@ -43,6 +61,14 @@ struct JobSpec {
   int priority = 0;     ///< higher preempts lower (see docs/SERVING.md)
   std::string reads_path;              ///< input FASTA/FASTQ (required)
   std::uint64_t rss_estimate_bytes = 0;  ///< declared peak RSS, for admission
+  /// Wall-clock budget in seconds, measured from (re-)admission; 0 = none.
+  /// The watchdog cancels the job when it is exceeded, and admission
+  /// rejects deadlines that are negative or below the server's plausible
+  /// minimum runtime outright (typed invalid_spec).
+  double deadline_s = 0.0;
+  /// Job-level attempt budget before quarantine ("job-attempts" key);
+  /// 0 = use the server's ServerOptions::job_retry.max_attempts default.
+  int max_attempts = 0;
   pipeline::PipelineOptions options;   ///< validated pipeline configuration
 };
 
@@ -54,5 +80,14 @@ struct JobSpec {
 /// out-of-range pipeline options, a missing tenant, or missing reads.
 [[nodiscard]] JobSpec parse_job_spec_text(std::string_view text, const std::string& origin,
                                           const pipeline::PipelineOptions& defaults = {});
+
+/// Serializes a validated spec back into the Config JSON document
+/// parse_job_spec_text accepts — the journal's submit-event payload, so a
+/// restarted server re-admits jobs from the journal alone. Round-trips
+/// every output-affecting option (the fingerprint survives, so recovered
+/// jobs resume their checkpoints byte-identically) plus the serve keys and
+/// fault-injection state; `fault.max_fires`/virtual-second triggers have
+/// no Config spelling and reset to their flag defaults on replay.
+[[nodiscard]] util::Json job_spec_to_json(const JobSpec& spec);
 
 }  // namespace trinity::serve

@@ -1,0 +1,93 @@
+#include "serve/journal.hpp"
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace trinity::serve {
+
+std::string JournalEvent::to_line() const {
+  util::Json doc = util::Json::object();
+  doc.set("event", event);
+  doc.set("job_id", job_id);
+  doc.set("tenant", tenant);
+  doc.set("seq", seq);
+  doc.set("attempts", attempts);
+  doc.set("preemptions", preemptions);
+  if (!detail.empty()) doc.set("detail", detail);
+  if (!spec.is_null()) doc.set("spec", spec);
+  return doc.dump();
+}
+
+JournalEvent JournalEvent::from_line(std::string_view line) {
+  const util::Json doc = util::Json::parse(line);
+  JournalEvent ev;
+  ev.event = doc.at("event").as_string();
+  if (ev.event.empty()) throw std::runtime_error("journal: empty event type");
+  ev.job_id = doc.at("job_id").as_string();
+  ev.tenant = doc.at("tenant").as_string();
+  ev.seq = doc.at("seq").as_int();
+  ev.attempts = static_cast<int>(doc.at("attempts").as_int());
+  ev.preemptions = static_cast<int>(doc.at("preemptions").as_int());
+  if (const util::Json* detail = doc.find("detail")) ev.detail = detail->as_string();
+  if (const util::Json* spec = doc.find("spec")) ev.spec = *spec;
+  return ev;
+}
+
+void JobJournal::append(const JournalEvent& ev) {
+  if (!file_ || !file_->is_open()) file_ = io::IoFile::open_append(path_);
+  // write_all + fsync through the fault-injected layer: an injected short
+  // write lands a torn half-line and throws transient, which the next
+  // append then extends into one unparseable record — replay()'s
+  // drop-and-count path, not a crash.
+  file_->write_all(ev.to_line() + "\n");
+  file_->fsync();
+}
+
+JournalReplay JobJournal::replay(const std::string& path) {
+  JournalReplay out;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return out;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    const int err = errno != 0 ? errno : EIO;
+    throw io::IoError(io::classify_errno(err), "open", path, err,
+                      "cannot open journal for replay");
+  }
+
+  std::string line;
+  std::uint64_t offset = 0;
+  while (std::getline(in, line)) {
+    const bool complete = !in.eof();  // getline hit '\n', not end-of-file
+    const std::uint64_t end = offset + line.size() + (complete ? 1 : 0);
+    if (!complete) {
+      // Trailing bytes with no newline: a torn append. Never trust them.
+      ++out.dropped_lines;
+      break;
+    }
+    try {
+      out.events.push_back(JournalEvent::from_line(line));
+      out.valid_bytes = end;
+    } catch (const std::exception&) {
+      ++out.dropped_lines;
+    }
+    offset = end;
+  }
+  return out;
+}
+
+void JobJournal::truncate_to(const std::string& path, std::uint64_t valid_bytes) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == valid_bytes) return;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    throw io::IoError(io::classify_errno(ec.value()), "truncate", path, ec.value(),
+                      "cannot drop torn journal tail");
+  }
+}
+
+}  // namespace trinity::serve

@@ -1,0 +1,96 @@
+#pragma once
+// JobJournal: the serve layer's durable write-ahead log.
+//
+// Every job state transition the server must not forget — submit (with
+// the full spec payload), dispatch, requeue, complete, fail, quarantine,
+// kill, recover — is appended as one JSON object per line to
+// `<serve root>/journal.jsonl` *before* the in-memory transition is
+// acted on. The append goes through io::IoFile (O_APPEND + fsync), so it
+// is both durable and subject to the same injected-fault machinery as
+// every other writer in the tree: an ENOSPC, EIO or short write during an
+// append surfaces as a typed io::IoError the server can degrade on, and
+// the torn half-line a short write leaves behind is exactly what
+// replay()'s corrupt-line tolerance absorbs.
+//
+// Replay is the recovery half: a restarted server scans the journal,
+// drops unparseable lines (torn tails from a crash mid-append) while
+// recording how many bytes of prefix are clean, and hands back the event
+// sequence from which JobServer rebuilds its registry — terminal jobs
+// re-registered for duplicate-id rejection, queued and in-flight jobs
+// re-admitted so their checkpoint manifests resume byte-identically.
+//
+// The class is NOT thread-safe; JobServer appends only under its mutex.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/io_file.hpp"
+#include "util/json.hpp"
+
+namespace trinity::serve {
+
+/// One journal line. `spec` carries the job_spec_to_json payload on
+/// "submit" events only (null otherwise); `detail` is the human-readable
+/// reason on requeue/fail/quarantine/kill/reject events.
+struct JournalEvent {
+  std::string event;    ///< submit|reject|dispatch|requeue|complete|fail|
+                        ///< quarantine|kill|recover
+  std::string job_id;
+  std::string tenant;
+  std::int64_t seq = 0;    ///< server-assigned scheduling sequence number
+  int attempts = 0;        ///< attempt budget consumed as of this event
+  int preemptions = 0;     ///< preemption count as of this event
+  std::string detail;      ///< reason text; empty when not applicable
+  util::Json spec;         ///< submit events: full re-admittable spec doc
+
+  /// The single-line JSON form append() writes.
+  [[nodiscard]] std::string to_line() const;
+
+  /// Parses one journal line; throws std::runtime_error on malformed
+  /// JSON or a missing/mistyped required field.
+  [[nodiscard]] static JournalEvent from_line(std::string_view line);
+};
+
+/// What replay() recovered from a journal file.
+struct JournalReplay {
+  std::vector<JournalEvent> events;
+  /// Bytes of prefix ending at the last line that parsed cleanly; a
+  /// caller that wants a self-healing journal truncates to this before
+  /// appending (JobJournal::truncate_to).
+  std::uint64_t valid_bytes = 0;
+  /// Lines dropped as unparseable (torn appends, garbage); replay never
+  /// throws on them.
+  int dropped_lines = 0;
+};
+
+class JobJournal {
+ public:
+  explicit JobJournal(std::string path) : path_(std::move(path)) {}
+
+  /// Appends one event line and fsyncs. The descriptor is opened lazily
+  /// on first append and kept across calls (O_APPEND, so each write
+  /// lands at end-of-file). Throws io::IoError on open/write/fsync
+  /// failure; after a failed partial write the next append continues on
+  /// the same torn line, which replay() then drops as one bad record.
+  void append(const JournalEvent& ev);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Scans `path` and parses every complete line. A missing file yields
+  /// an empty replay; unparseable lines and a trailing partial line
+  /// (no '\n') are counted in dropped_lines, never thrown. Read failures
+  /// other than ENOENT throw io::IoError.
+  [[nodiscard]] static JournalReplay replay(const std::string& path);
+
+  /// Truncates the journal to `valid_bytes`, discarding a torn tail
+  /// found by replay(). No-op when the file is already that size.
+  static void truncate_to(const std::string& path, std::uint64_t valid_bytes);
+
+ private:
+  std::string path_;
+  std::optional<io::IoFile> file_;  ///< lazily opened appender
+};
+
+}  // namespace trinity::serve

@@ -36,6 +36,27 @@
 // optionally marking the cheapest set of strictly-lower-priority victims
 // for preemption.
 //
+// PR 8 makes the server crash-safe and hang-safe:
+//
+//  * every job state transition is appended to a durable JSONL journal
+//    (<root>/journal.jsonl, serve/journal.hpp) *before* it takes effect;
+//    a restarted server replays the journal, re-registers terminal jobs
+//    (duplicate-id rejection survives restarts) and re-admits queued and
+//    in-flight jobs, whose next dispatch resumes from the per-job
+//    checkpoint manifest — kill -9 mid-run, restart, byte-identical
+//    transcripts with zero duplicated stage work;
+//  * a watchdog thread cancels jobs past their per-job deadline-s, and —
+//    when hang_timeout_s is set — jobs whose checkpoint manifest stops
+//    making progress, via the cooperative deadline token
+//    (PipelineOptions::deadline -> DeadlineExceededError), recording
+//    typed DeadlineExceeded/Hung outcomes;
+//  * a transient job failure (io::IoError transient, simpi aborts) that
+//    escapes the in-run retry driver requeues the job with jittered
+//    exponential backoff until its attempt budget ("job-attempts", or the
+//    server's job_retry default) is exhausted — then the job is
+//    quarantined: journaled, terminal-reported, work dir preserved, and
+//    its id permanently rejected on resubmission.
+//
 // Caveat (io fault injection): io::ScopedFaultInjection is process-global,
 // so at most one *io-faulted* job should be in flight at a time and its
 // path glob must be confined to that job's own work dir. simpi fault
@@ -46,15 +67,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "checkpoint/retry.hpp"
 #include "chrysalis/transcript_index.hpp"
 #include "serve/accounting.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "simpi/rank_pool.hpp"
 #include "util/timer.hpp"
 
@@ -77,6 +101,25 @@ struct ServerOptions {
   /// Defaults seeded into submit_text's job-spec parse, exactly like a
   /// binary's with_pipeline(defaults).
   pipeline::PipelineOptions job_defaults;
+  /// Durable job journal at <root>/journal.jsonl: every state transition
+  /// is appended (and fsynced) before it takes effect, and the constructor
+  /// replays an existing journal to recover jobs across a crash/restart.
+  /// Off = PR 7 behavior (no durability, no recovery).
+  bool journal = true;
+  /// Watchdog hang detection: a running job whose checkpoint manifest
+  /// makes no progress for this long is cancelled with outcome "hung".
+  /// 0 (default) disables hang detection; per-job deadlines always apply.
+  double hang_timeout_s = 0.0;
+  /// Watchdog poll period.
+  double watchdog_poll_s = 0.05;
+  /// Job-level retry budget and backoff for transient failures that escape
+  /// the in-run stage retry driver: max_attempts dispatches total, with
+  /// jittered exponential backoff between them; past the budget the job is
+  /// quarantined. A job's "job-attempts" key overrides max_attempts.
+  checkpoint::RetryPolicy job_retry{3, 0.25, 2.0, 10.0, 0.2};
+  /// Floor for deadline sanity at admission: a deadline-s below this (or
+  /// negative) is rejected as a permanent invalid_spec.
+  double min_plausible_runtime_s = 0.01;
 };
 
 /// Point-in-time snapshot of one job, for status displays and tests.
@@ -87,7 +130,10 @@ struct JobStatus {
   JobState state = JobState::kQueued;
   int preemptions = 0;  ///< completed checkpoint->requeue cycles
   int dispatches = 0;   ///< times the job held a rank lease
-  std::string error;    ///< failure message when state == kFailed
+  int attempts = 0;     ///< retry-budget attempts consumed (v4 semantics)
+  JobOutcome outcome = JobOutcome::kNone;  ///< why the job is terminal
+  bool recovered = false;  ///< re-admitted from the journal on restart
+  std::string error;    ///< failure message for failed/quarantined/killed
   double queue_wait_seconds = 0.0;
   double run_seconds = 0.0;
   std::string work_dir;
@@ -130,17 +176,38 @@ class JobServer {
     JobState state = JobState::kQueued;
     int preemptions = 0;
     int dispatches = 0;
+    /// Retry-budget attempts consumed. A dispatch tentatively consumes
+    /// one; a preemption hands it back (preemption is scheduling, not
+    /// failure), every other outcome keeps it.
+    int attempts = 0;
+    bool recovered = false;  ///< re-admitted from the journal on restart
+    JobOutcome outcome = JobOutcome::kNone;  ///< set when terminal
+    /// Watchdog verdict for the in-flight dispatch (kNone = not killed);
+    /// read by run_job when DeadlineExceededError surfaces.
+    JobOutcome kill_reason = JobOutcome::kNone;
     std::string error;
     std::string work_dir;
+    double submitted_at = 0.0;  ///< (re-)admission time: the deadline epoch
     double enqueued_at = 0.0;  ///< server-clock time of last queue entry
+    double not_before = 0.0;   ///< backoff: earliest next dispatch time
     double queue_wait = 0.0;
     double run_time = 0.0;
-    /// Fresh token per dispatch so a stale preempt request cannot cancel
-    /// a later dispatch of the same job.
+    /// RSS this dispatch was charged against its tenant's running budget
+    /// (admission_.effective_rss at dispatch), kept so start/finish stay
+    /// symmetric while the measured EWMA moves.
+    std::uint64_t charged_rss = 0;
+    /// Hang detection: manifest size+mtime signature and when it last
+    /// changed.
+    std::uint64_t progress_signature = 0;
+    double last_progress_at = 0.0;
+    /// Fresh tokens per dispatch so a stale preempt/kill request cannot
+    /// cancel a later dispatch of the same job.
     std::shared_ptr<std::atomic<bool>> preempt;
+    std::shared_ptr<std::atomic<bool>> deadline;
   };
 
   void scheduler_loop();
+  void watchdog_loop();
   /// One scheduling pass over the queue; see the policy note above.
   void schedule_locked();
   void dispatch_locked(Job* job, simpi::RankLease lease);
@@ -149,6 +216,22 @@ class JobServer {
   void maybe_preempt_locked(const Job& job, int need);
   void run_job(Job* job, simpi::RankLease lease);
   [[nodiscard]] JobStatus status_of_locked(const Job& job) const;
+
+  /// Best-effort durable append: a transient journal IoError is logged and
+  /// skipped, a permanent one degrades the server to journal-less serving
+  /// (it keeps scheduling; durability is lost, not availability).
+  void journal_locked(const JournalEvent& ev);
+  [[nodiscard]] JournalEvent event_locked(const Job& job, std::string type,
+                                          std::string detail = {}) const;
+  /// Replays <root>/journal.jsonl into the registry/queue; constructor
+  /// only, before any thread starts.
+  void recover_from_journal();
+  /// The job's effective attempt budget ("job-attempts", or the server
+  /// job_retry default), never below 1.
+  [[nodiscard]] int attempt_budget(const JobSpec& spec) const;
+  /// Writes the minimal schema-v4 run_report.json for a job that reached a
+  /// terminal state without a completed pipeline run.
+  void write_terminal_report_locked(const Job& job) const;
 
   ServerOptions options_;
   std::string root_dir_;
@@ -163,6 +246,8 @@ class JobServer {
   std::condition_variable drain_cv_;
   AdmissionController admission_;
   Accounting accounting_;
+  std::optional<JobJournal> journal_;  ///< absent when options_.journal off
+  bool journal_failed_ = false;  ///< permanent journal IoError: degraded
   std::vector<std::unique_ptr<Job>> registry_;  ///< every job ever submitted
   std::vector<Job*> queue_;                     ///< queued jobs, FIFO order
   int running_ = 0;
@@ -174,6 +259,7 @@ class JobServer {
 
   std::vector<std::thread> workers_;  ///< one per dispatch, joined at shutdown
   std::thread scheduler_;
+  std::thread watchdog_;
 };
 
 }  // namespace trinity::serve

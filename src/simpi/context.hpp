@@ -93,7 +93,9 @@ class Context {
       throw std::runtime_error("simpi: typed recv size mismatch");
     }
     std::vector<T> out(msg.payload.size() / sizeof(T));
-    std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    if (!msg.payload.empty()) {
+      std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    }
     return out;
   }
 
@@ -346,7 +348,9 @@ void Context::bcast(std::vector<T>& data, int root) {
   } else {
     const Message msg = waited_recv(root, detail::kTagBcast, CommOp::kBcast);
     data.resize(msg.payload.size() / sizeof(T));
-    std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+    if (!msg.payload.empty()) {
+      std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+    }
   }
   comm_seconds_ += cost_model().collective_cost(size(), data.size() * sizeof(T));
 }
@@ -371,7 +375,9 @@ std::vector<std::vector<T>> Context::gatherv(const std::vector<T>& local, int ro
       const Message msg = waited_recv(r, detail::kTagGather, CommOp::kGatherv);
       auto& slot = out[static_cast<std::size_t>(r)];
       slot.resize(msg.payload.size() / sizeof(T));
-      std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
+      if (!msg.payload.empty()) {
+        std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
+      }
       total_bytes += msg.payload.size();
     }
   } else {

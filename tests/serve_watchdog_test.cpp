@@ -1,0 +1,401 @@
+// Deadlines, the watchdog, and job-level retry/quarantine: unsatisfiable
+// deadlines are rejected at submission with a typed reason, running jobs
+// past their deadline (or making no checkpoint progress) are cancelled
+// with typed outcomes, transient failures that escape the in-run retry
+// driver requeue with backoff, and a poison job is quarantined after
+// exactly its attempt budget — all of it visible in the journal, the
+// terminal run reports, the accounting ledger and the aggregate view.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/fault_plan.hpp"
+#include "pipeline/run_report.hpp"
+#include "pipeline/trinity_pipeline.hpp"
+#include "seq/fasta.hpp"
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
+#include "sim/transcriptome.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+
+namespace trinity::serve {
+namespace {
+
+using trinity::testing::TempDir;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const std::string& shared_reads_path() {
+  static const std::string path = [] {
+    auto p = sim::preset("tiny");
+    p.reads.coverage = 25.0;
+    p.reads.expression_sigma = 0.7;
+    const auto data = sim::simulate_dataset(p);
+    static TempDir dir("serve_wd_reads");
+    const std::string reads = dir.file("reads.fa");
+    seq::write_fasta(reads, data.reads.reads);
+    return reads;
+  }();
+  return path;
+}
+
+JobSpec make_spec(const std::string& tenant, const std::string& job_id) {
+  JobSpec spec;
+  spec.tenant = tenant;
+  spec.job_id = job_id;
+  spec.reads_path = shared_reads_path();
+  spec.options.k = 15;
+  spec.options.nranks = 2;
+  spec.options.omp_threads = 1;
+  spec.options.model_threads_per_rank = 4;
+  spec.options.trace_sample_interval_ms = 0;
+  return spec;
+}
+
+JobStatus status_of(const JobServer& server, const std::string& job_id) {
+  for (const auto& job : server.jobs()) {
+    if (job.job_id == job_id) return job;
+  }
+  ADD_FAILURE() << "no job " << job_id;
+  return {};
+}
+
+int count_events(const std::string& journal_path, const std::string& type,
+                 const std::string& job_id) {
+  int n = 0;
+  for (const JournalEvent& ev : JobJournal::replay(journal_path).events) {
+    if (ev.event == type && ev.job_id == job_id) ++n;
+  }
+  return n;
+}
+
+/// Server options with a fast watchdog and near-zero retry backoff, so the
+/// tests measure behavior rather than sleeps.
+ServerOptions fast_server(const std::string& root) {
+  ServerOptions options;
+  options.total_ranks = 4;
+  options.root_dir = root;
+  options.watchdog_poll_s = 0.02;
+  options.job_retry = checkpoint::RetryPolicy{3, 0.01, 2.0, 0.05, 0.2};
+  return options;
+}
+
+// --- deadline admission -----------------------------------------------------------
+
+TEST(Deadline, NegativeDeadlineIsPermanentReject) {
+  const TempDir root("serve_wd_neg");
+  JobServer server(fast_server(root.str()));
+  JobSpec spec = make_spec("t", "past-due");
+  spec.deadline_s = -1.0;
+  const AdmitResult result = server.submit(std::move(spec));
+  EXPECT_EQ(result.code, AdmitCode::kInvalidSpec);
+  EXPECT_NE(result.detail.find("deadline-s"), std::string::npos);
+  EXPECT_NE(result.detail.find("past"), std::string::npos);
+}
+
+TEST(Deadline, BelowPlausibleMinimumIsPermanentReject) {
+  const TempDir root("serve_wd_implausible");
+  ServerOptions options = fast_server(root.str());
+  options.min_plausible_runtime_s = 0.05;
+  JobServer server(options);
+  JobSpec spec = make_spec("t", "blink");
+  spec.deadline_s = 0.001;  // no assembly finishes in a millisecond
+  const AdmitResult result = server.submit(std::move(spec));
+  EXPECT_EQ(result.code, AdmitCode::kInvalidSpec);
+  EXPECT_NE(result.detail.find("minimum plausible runtime"), std::string::npos);
+
+  // A plausible deadline with the same spec is admitted and completes.
+  JobSpec ok = make_spec("t", "plausible");
+  ok.deadline_s = 120.0;
+  ASSERT_TRUE(server.submit(std::move(ok)).accepted());
+  server.drain();
+  EXPECT_EQ(status_of(server, "plausible").state, JobState::kCompleted);
+}
+
+// --- watchdog kills ---------------------------------------------------------------
+
+TEST(Watchdog, DeadlineExceededKillsRunningJob) {
+  const TempDir root("serve_wd_deadline");
+  JobServer server(fast_server(root.str()));
+
+  JobSpec spec = make_spec("t", "overdue");
+  spec.deadline_s = 0.3;
+  spec.options.hang_stage = "inchworm";  // wedge well past the deadline
+  spec.options.hang_seconds = 60.0;
+  ASSERT_TRUE(server.submit(std::move(spec)).accepted());
+  server.drain();
+
+  const JobStatus status = status_of(server, "overdue");
+  EXPECT_EQ(status.state, JobState::kKilled);
+  EXPECT_EQ(status.outcome, JobOutcome::kDeadlineExceeded);
+  EXPECT_EQ(status.attempts, 1);
+  // Cancelled via the deadline token, not by waiting out the 60 s wedge.
+  EXPECT_LT(status.run_seconds, 10.0);
+  EXPECT_EQ(server.accounting().account("t").deadline_kills, 1);
+  EXPECT_EQ(count_events(root.str() + "/journal.jsonl", "kill", "overdue"), 1);
+
+  // The terminal report makes the kill visible to trinity_report.
+  const util::Json report = util::Json::parse(
+      slurp(status.work_dir + "/" + pipeline::kReportFileName));
+  EXPECT_EQ(report.at("outcome").as_string(), "deadline_exceeded");
+}
+
+TEST(Watchdog, QueuedJobPastDeadlineDiesInQueue) {
+  const TempDir root("serve_wd_queued");
+  ServerOptions options = fast_server(root.str());
+  options.total_ranks = 2;  // hog + waiter cannot run together
+  JobServer server(options);
+
+  JobSpec hog = make_spec("t-hog", "hog");
+  hog.options.hang_stage = "inchworm";
+  hog.options.hang_seconds = 1.2;  // holds the whole pool past the deadline
+  ASSERT_TRUE(server.submit(std::move(hog)).accepted());
+
+  JobSpec waiter = make_spec("t-wait", "waiter");
+  waiter.deadline_s = 0.15;
+  ASSERT_TRUE(server.submit(std::move(waiter)).accepted());
+  server.drain();
+
+  EXPECT_EQ(status_of(server, "hog").state, JobState::kCompleted);
+  const JobStatus status = status_of(server, "waiter");
+  EXPECT_EQ(status.state, JobState::kKilled);
+  EXPECT_EQ(status.outcome, JobOutcome::kDeadlineExceeded);
+  EXPECT_EQ(status.dispatches, 0);  // never wasted a lease
+  EXPECT_NE(status.error.find("queued"), std::string::npos);
+  EXPECT_EQ(server.accounting().account("t-wait").deadline_kills, 1);
+}
+
+TEST(Watchdog, HungJobIsCancelledWithinTimeoutBudget) {
+  const TempDir root("serve_wd_hang");
+  ServerOptions options = fast_server(root.str());
+  options.hang_timeout_s = 0.4;
+  JobServer server(options);
+
+  JobSpec spec = make_spec("t", "wedged");
+  spec.options.hang_stage = "inchworm";  // manifest stops advancing here
+  spec.options.hang_seconds = 60.0;
+  ASSERT_TRUE(server.submit(std::move(spec)).accepted());
+  server.drain();
+
+  const JobStatus status = status_of(server, "wedged");
+  EXPECT_EQ(status.state, JobState::kKilled);
+  EXPECT_EQ(status.outcome, JobOutcome::kHung);
+  // Killed within ~2x hang_timeout_s (plus the pre-hang stages), not
+  // after the 60 s wedge.
+  EXPECT_LT(status.run_seconds, 10.0);
+  EXPECT_EQ(server.accounting().account("t").hung_kills, 1);
+  EXPECT_EQ(count_events(root.str() + "/journal.jsonl", "kill", "wedged"), 1);
+  const util::Json report = util::Json::parse(
+      slurp(status.work_dir + "/" + pipeline::kReportFileName));
+  EXPECT_EQ(report.at("outcome").as_string(), "hung");
+}
+
+TEST(Watchdog, HealthyJobOutlivesHangDetection) {
+  // A normal run commits stages faster than the timeout: no false kills.
+  const TempDir root("serve_wd_healthy");
+  ServerOptions options = fast_server(root.str());
+  options.hang_timeout_s = 30.0;
+  JobServer server(options);
+  ASSERT_TRUE(server.submit(make_spec("t", "fine")).accepted());
+  server.drain();
+  EXPECT_EQ(status_of(server, "fine").state, JobState::kCompleted);
+  EXPECT_EQ(server.accounting().account("t").hung_kills, 0);
+}
+
+// --- job-level retry and quarantine -----------------------------------------------
+
+/// Transcript baseline from a fault-free server over the same spec.
+const std::string& baseline_transcripts() {
+  static const std::string baseline = [] {
+    static TempDir root("serve_wd_ctl");
+    ServerOptions options;
+    options.total_ranks = 4;
+    options.root_dir = root.str();
+    JobServer server(options);
+    EXPECT_TRUE(server.submit(make_spec("t", "ctl")).accepted());
+    server.drain();
+    return slurp(root.str() + "/t/ctl/Trinity.fa");
+  }();
+  return baseline;
+}
+
+TEST(JobRetry, TransientFailureRequeuesThenCompletes) {
+  const std::string baseline = baseline_transcripts();
+  ASSERT_FALSE(baseline.empty());
+
+  const TempDir root("serve_wd_flaky");
+  JobServer server(fast_server(root.str()));
+
+  JobSpec spec = make_spec("t", "flaky");
+  // One EIO on the job's own k-mer dump. Pre-arming shares the fire budget
+  // across dispatches: the fault fires exactly once in the job's lifetime,
+  // so the first dispatch fails and the second runs clean.
+  spec.options.io_fault = io::IoFaultPlan::parse("write:*/t/flaky/kmers.bin:1:eio");
+  spec.options.io_fault.arm();
+  spec.options.retry.max_attempts = 1;  // the fault escapes the in-run driver
+  ASSERT_TRUE(server.submit(std::move(spec)).accepted());
+  server.drain();
+
+  const JobStatus status = status_of(server, "flaky");
+  EXPECT_EQ(status.state, JobState::kCompleted);
+  EXPECT_EQ(status.attempts, 2);
+  EXPECT_EQ(status.dispatches, 2);
+  EXPECT_EQ(server.accounting().account("t").job_retries, 1);
+  EXPECT_EQ(count_events(root.str() + "/journal.jsonl", "requeue", "flaky"), 1);
+  EXPECT_EQ(count_events(root.str() + "/journal.jsonl", "complete", "flaky"), 1);
+
+  // The retried job's transcripts are byte-identical to a fault-free run.
+  EXPECT_EQ(slurp(root.str() + "/t/flaky/Trinity.fa"), baseline);
+  const util::Json report = util::Json::parse(
+      slurp(root.str() + "/t/flaky/" + pipeline::kReportFileName));
+  EXPECT_EQ(report.at("attempts").as_int(), 2);
+  EXPECT_EQ(report.at("outcome").as_string(), "completed");
+}
+
+TEST(JobRetry, PoisonJobQuarantinedAfterExactBudget) {
+  const TempDir root("serve_wd_poison");
+  JobServer server(fast_server(root.str()));
+
+  JobSpec spec = make_spec("t", "poison");
+  // Left unarmed, the plan re-arms fresh on every dispatch: the EIO fires
+  // on each attempt — a genuinely poisonous job, not a flaky one.
+  spec.options.io_fault = io::IoFaultPlan::parse("write:*/t/poison/kmers.bin:1:eio");
+  spec.options.retry.max_attempts = 1;
+  spec.max_attempts = 3;  // the "job-attempts" budget
+  ASSERT_TRUE(server.submit(std::move(spec)).accepted());
+  server.drain();
+
+  const JobStatus status = status_of(server, "poison");
+  EXPECT_EQ(status.state, JobState::kQuarantined);
+  EXPECT_EQ(status.outcome, JobOutcome::kQuarantined);
+  EXPECT_EQ(status.attempts, 3);    // exactly the budget, no more
+  EXPECT_EQ(status.dispatches, 3);
+  EXPECT_NE(status.error.find("kmers.bin"), std::string::npos);
+
+  Accounting accounting = server.accounting();
+  EXPECT_EQ(accounting.account("t").jobs_quarantined, 1);
+  EXPECT_EQ(accounting.account("t").job_retries, 2);
+  const std::string journal = root.str() + "/journal.jsonl";
+  EXPECT_EQ(count_events(journal, "dispatch", "poison"), 3);
+  EXPECT_EQ(count_events(journal, "requeue", "poison"), 2);
+  EXPECT_EQ(count_events(journal, "quarantine", "poison"), 1);
+
+  // Work dir preserved for diagnosis, terminal report written, and the id
+  // permanently rejected on resubmission.
+  EXPECT_TRUE(std::filesystem::exists(status.work_dir));
+  const util::Json report = util::Json::parse(
+      slurp(status.work_dir + "/" + pipeline::kReportFileName));
+  EXPECT_EQ(report.at("outcome").as_string(), "quarantined");
+  EXPECT_EQ(report.at("attempts").as_int(), 3);
+  const AdmitResult again = server.submit(make_spec("t", "poison"));
+  EXPECT_EQ(again.code, AdmitCode::kInvalidSpec);
+  EXPECT_NE(again.detail.find("quarantined"), std::string::npos);
+}
+
+// --- admission feedback from measured RSS -----------------------------------------
+
+TEST(AdmissionFeedback, MeasuredPeakReplacesDeclaredEstimate) {
+  AdmissionController admission(8, 16, TenantQuota{}, {}, 0.0);
+  JobSpec spec = make_spec("t", "j1");
+  spec.rss_estimate_bytes = 1 << 20;  // declares 1 MiB
+
+  // No history: the declared estimate is the charge.
+  EXPECT_EQ(admission.effective_rss(spec), std::uint64_t{1} << 20);
+
+  // The tenant's runs actually peak at 64 MiB: the EWMA takes over.
+  admission.note_measured("t", std::uint64_t{64} << 20);
+  EXPECT_EQ(admission.measured_rss_ewma("t"), std::uint64_t{64} << 20);
+  EXPECT_GT(admission.effective_rss(spec), std::uint64_t{32} << 20);
+
+  // New samples move the average smoothly, not in jumps.
+  admission.note_measured("t", std::uint64_t{16} << 20);
+  const std::uint64_t ewma = admission.measured_rss_ewma("t");
+  EXPECT_LT(ewma, std::uint64_t{64} << 20);
+  EXPECT_GT(ewma, std::uint64_t{16} << 20);
+
+  // Zero samples (sampler off) teach nothing.
+  admission.note_measured("t", 0);
+  EXPECT_EQ(admission.measured_rss_ewma("t"), ewma);
+}
+
+TEST(AdmissionFeedback, EwmaIsClampedToTenantBudget) {
+  // A history of oversized runs serializes the tenant (full-budget charge)
+  // instead of starving it with an uncharitable > budget charge.
+  TenantQuota quota;
+  quota.rss_budget_bytes = std::uint64_t{32} << 20;
+  AdmissionController admission(8, 16, quota, {}, 0.0);
+  admission.note_measured("t", std::uint64_t{256} << 20);
+  JobSpec spec = make_spec("t", "j1");
+  spec.rss_estimate_bytes = 1 << 20;
+  EXPECT_EQ(admission.effective_rss(spec), quota.rss_budget_bytes);
+  EXPECT_TRUE(admission.has_running_headroom(spec));  // idle tenant still runs
+}
+
+// --- aggregate view ---------------------------------------------------------------
+
+TEST(Aggregate, SurfacesRetriesQuarantinesAndKills) {
+  // Minimal terminal reports shaped like write_terminal_report_locked's
+  // output: the aggregate view must count attempts, retries, quarantines
+  // and kills per tenant from artifacts alone.
+  auto terminal = [](const std::string& tenant, const std::string& outcome,
+                     int attempts, bool recovered) {
+    util::Json report = util::Json::object();
+    report.set("schema_version", pipeline::kReportSchemaVersion);
+    report.set("generator", "trinity_serve");
+    report.set("nranks", 2);
+    report.set("model_threads_per_rank", 4);
+    report.set("job_id", "j-" + outcome);
+    report.set("tenant", tenant);
+    report.set("preemptions", 0);
+    report.set("attempts", attempts);
+    report.set("outcome", outcome);
+    report.set("recovered", recovered);
+    report.set("stages_executed", util::Json::array());
+    report.set("stages_resumed", util::Json::array());
+    report.set("stage_retries", 0);
+    report.set("io_retries", 0);
+    report.set("phases", util::Json::array());
+    report.set("comm", util::Json::array());
+    return report;
+  };
+  const std::vector<util::Json> reports = {
+      terminal("alice", "quarantined", 3, false),
+      terminal("alice", "deadline_exceeded", 1, false),
+      terminal("bob", "hung", 1, true),
+  };
+  const util::Json aggregate = pipeline::aggregate_run_reports(reports);
+  ASSERT_EQ(aggregate.at("reports").as_int(), 3);
+  for (const util::Json& row : aggregate.at("tenants").items()) {
+    if (row.at("tenant").as_string() == "alice") {
+      EXPECT_EQ(row.at("attempts").as_int(), 4);
+      EXPECT_EQ(row.at("job_retries").as_int(), 2);
+      EXPECT_EQ(row.at("quarantined").as_int(), 1);
+      EXPECT_EQ(row.at("deadline_kills").as_int(), 1);
+      EXPECT_EQ(row.at("hung_kills").as_int(), 0);
+    } else {
+      EXPECT_EQ(row.at("tenant").as_string(), "bob");
+      EXPECT_EQ(row.at("hung_kills").as_int(), 1);
+      EXPECT_EQ(row.at("recovered").as_int(), 1);
+    }
+  }
+
+  // The table renderer shows the new columns without throwing.
+  std::ostringstream table;
+  pipeline::summarize_aggregate(aggregate, table);
+  EXPECT_NE(table.str().find("quar"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trinity::serve
