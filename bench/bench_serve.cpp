@@ -21,12 +21,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -57,6 +59,9 @@ int main(int argc, char** argv) {
       .flag_bool("fault", false, "inject a rank kill into one mid-workload job")
       .flag_bool("journal", true,
                  "durable job journal (--no-journal isolates its overhead)")
+      .flag_bool("metrics", true,
+                 "live metrics registry + exporter (--no-metrics isolates "
+                 "the telemetry overhead)")
       .flag_string("csv", "", "also write per-job rows as CSV to this path")
       .flag_string("json", "BENCH_serve.json", "summary JSON destination");
   int exit_code = 0;
@@ -78,7 +83,11 @@ int main(int argc, char** argv) {
   server_options.default_quota.max_queued_jobs = jobs;
   server_options.default_quota.max_concurrent_ranks = total_ranks;
   server_options.root_dir = workload.work_dir + "/serve_root";
+  // A serve root left by a previous invocation would replay its journal and
+  // reject every job in this run as a duplicate submission.
+  std::filesystem::remove_all(server_options.root_dir);
   server_options.journal = cfg.get_bool("journal");
+  server_options.metrics = cfg.get_bool("metrics");
   serve::JobServer server(server_options);
 
   // The job template: the shared tiny reads file, byte-reproducible
@@ -157,6 +166,31 @@ int main(int argc, char** argv) {
               static_cast<long long>(stage_retries));
   accounting.summarize(std::cout);
 
+  // Final registry snapshot: lifetime totals the per-job table cannot see
+  // (typed reject counts, the queue-depth high-water mark, journal fsync
+  // tail). Zeroes under --no-metrics.
+  double metrics_rejected = 0.0, metrics_queue_peak = 0.0, fsync_p99 = 0.0;
+  std::uint64_t fsync_appends = 0;
+  if (cfg.get_bool("metrics")) {
+    const obs::MetricsSnapshot snap = server.metrics_snapshot();
+    metrics_queue_peak = snap.value_or("trinity_serve_queue_depth_peak", {});
+    if (const obs::FamilySnapshot* f =
+            snap.find_family("trinity_serve_jobs_rejected_total")) {
+      for (const auto& s : f->series) metrics_rejected += s.value;
+    }
+    if (const obs::FamilySnapshot* f =
+            snap.find_family("trinity_serve_journal_append_seconds")) {
+      for (const auto& s : f->series) {
+        fsync_p99 = s.hist.quantile(0.99);
+        fsync_appends = s.hist.count();
+      }
+    }
+    std::printf("\nmetrics: queue peak %.0f, %.0f rejected, journal fsync p99 "
+                "%.2f ms over %llu append(s)\n",
+                metrics_queue_peak, metrics_rejected, fsync_p99 * 1e3,
+                static_cast<unsigned long long>(fsync_appends));
+  }
+
   bench::JsonSink json(cfg, "serve");
   json.begin_entry();
   json.field("jobs", static_cast<std::int64_t>(jobs));
@@ -175,5 +209,9 @@ int main(int argc, char** argv) {
   json.field("latency_p50_s", p50);
   json.field("latency_p95_s", p95);
   json.field("latency_p99_s", p99);
+  json.field("metrics", cfg.get_bool("metrics"));
+  json.field("metrics_rejected_total", metrics_rejected);
+  json.field("metrics_queue_depth_peak", metrics_queue_peak);
+  json.field("metrics_journal_fsync_p99_s", fsync_p99);
   return failed == 0 ? 0 : 1;
 }

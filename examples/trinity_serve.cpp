@@ -52,7 +52,13 @@ int main(int argc, char** argv) {
       .flag_int("job-attempts", 3,
                 "default job-level attempt budget before quarantine "
                 "(per-job \"job-attempts\" overrides)")
-      .flag_string("accounting", "", "also write the accounting ledger JSON here");
+      .flag_string("accounting", "", "also write the accounting ledger JSON here")
+      .flag_bool("metrics", true,
+                 "live metrics registry + instrumentation (--no-metrics "
+                 "removes every hook)")
+      .flag_double("metrics-period-s", 1.0,
+                   "exporter cadence for <root>/metrics.prom and "
+                   "<root>/metrics.json (0 = no exporter thread)");
   try {
     cfg.parse_cli(argc, argv);
   } catch (const ConfigError& e) {
@@ -87,11 +93,18 @@ int main(int argc, char** argv) {
   options.journal = cfg.get_bool("journal");
   options.hang_timeout_s = cfg.get_double("hang-timeout-s");
   options.job_retry.max_attempts = static_cast<int>(cfg.get_int("job-attempts"));
+  options.metrics = cfg.get_bool("metrics");
+  options.metrics_export_period_s = cfg.get_double("metrics-period-s");
   options.job_defaults.trace_sample_interval_ms = 0;  // many small jobs; no RSS sampler
 
   serve::JobServer server(options);
   std::cout << "serving over " << server.total_ranks() << " rank(s), root "
             << server.root_dir() << '\n';
+  if (server.exporter() != nullptr) {
+    std::cout << "metrics: " << server.exporter()->prom_path() << " and "
+              << server.exporter()->json_path() << " every "
+              << options.metrics_export_period_s << "s (watch with trinity_top)\n";
+  }
 
   int submitted = 0, rejected = 0, line_no = 0;
   std::string line;

@@ -6,7 +6,8 @@
 #      and the "Schema version" stated in docs/OBSERVABILITY.md must match
 #      kReportSchemaVersion in src/pipeline/run_report.hpp (the emitted
 #      report's version is asserted against the same constant by
-#      run_report_test in step 2).
+#      run_report_test in step 2); likewise "Metrics schema version" must
+#      match kMetricsSchemaVersion in src/obs/exposition.hpp.
 #   2. Tier-1 verify (ROADMAP.md): full build + complete ctest suite.
 #   3. Fault-matrix gate (docs/ROBUSTNESS.md): the injected-storage-failure
 #      matrix — ENOSPC and a torn rename at the manifest commit recovering
@@ -30,7 +31,11 @@
 #      admission + scheduling with a clean drain, the clean tenant's
 #      transcripts must be byte-identical to a fault-free control run, and
 #      the post-hoc aggregate must rebuild the per-tenant ledger from the
-#      run-report artifacts.
+#      run-report artifacts. The run exports live metrics: the final
+#      metrics.prom must pass the strict Prometheus parser (trinity_top
+#      --check-prom) and the metrics.json dashboard must agree on the
+#      outcome totals; bench_obs_overhead then gates the metrics-on cost
+#      of the serve batch workload under 2%.
 #   8. Serve-recovery gate (docs/SERVING.md "Reliability"): a served job is
 #      SIGKILLed mid-run, the server is restarted over the same root with
 #      the same jobs file — the duplicate submission must be rejected, the
@@ -51,8 +56,9 @@
 #      index, raw-storage placement news; for the transcript index, mmap'd
 #      read-only images shared across jobs; for the serve layer, preempt
 #      and deadline tokens, the journal, and rank leases across
-#      scheduler/watchdog/worker threads), where sanitizers earn their
-#      keep.
+#      scheduler/watchdog/worker threads; for the metrics layer, relaxed-
+#      atomic instruments hammered by every serve thread while the
+#      exporter thread snapshots them), where sanitizers earn their keep.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -eu
@@ -91,6 +97,19 @@ elif [ "$header_version" != "$docs_version" ]; then
          "docs/OBSERVABILITY.md says $docs_version" >&2
     docs_failed=1
 fi
+metrics_header_version=$(sed -n 's/.*kMetricsSchemaVersion = \([0-9][0-9]*\);.*/\1/p' \
+    src/obs/exposition.hpp)
+metrics_docs_version=$(sed -n 's/^Metrics schema version: \([0-9][0-9]*\)$/\1/p' \
+    docs/OBSERVABILITY.md)
+if [ -z "$metrics_header_version" ] || [ -z "$metrics_docs_version" ]; then
+    echo "could not extract metrics schema version (header: '$metrics_header_version'," \
+         "docs: '$metrics_docs_version')" >&2
+    docs_failed=1
+elif [ "$metrics_header_version" != "$metrics_docs_version" ]; then
+    echo "metrics schema version mismatch: exposition.hpp says $metrics_header_version," \
+         "docs/OBSERVABILITY.md says $metrics_docs_version" >&2
+    docs_failed=1
+fi
 index_header_version=$(sed -n 's/.*kTranscriptIndexFormatVersion = \([0-9][0-9]*\);.*/\1/p' \
     src/chrysalis/transcript_index.hpp)
 index_docs_version=$(sed -n 's/^Format version: \([0-9][0-9]*\)$/\1/p' docs/INDEXING.md)
@@ -110,7 +129,8 @@ for doc in README.md docs/SERVING.md; do
     fi
 done
 [ "$docs_failed" -eq 0 ] || exit 1
-echo "docs ok (schema version $header_version, index format version $index_header_version)"
+echo "docs ok (schema version $header_version, metrics schema $metrics_header_version," \
+     "index format version $index_header_version)"
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -179,14 +199,25 @@ printf '{"tenant": "tenant-b", "job-id": "clean", "reads": "%s", "ranks": 2, "k"
     printf '{"tenant": "tenant-b", "job-id": "clean", "reads": "%s", "ranks": 2, "k": 15, "omp-threads": 1}\n' "$reads"
 } > "$serve_dir/jobs.jsonl"
 ./build/examples/trinity_serve --jobs "$serve_dir/jobs.jsonl" \
-    --root "$serve_dir/faulted" --total-ranks 4 \
+    --root "$serve_dir/faulted" --total-ranks 4 --metrics-period-s 0.25 \
     | grep -q 'drain complete: 2 completed, 0 failed'
 # Isolation: tenant B's transcripts are byte-identical to the control run.
 cmp "$serve_dir/control/tenant-b/clean/Trinity.fa" \
     "$serve_dir/faulted/tenant-b/clean/Trinity.fa"
 # The ledger is reconstructible from the run-report artifacts alone.
 ./build/examples/trinity_report --aggregate "$serve_dir/faulted" | grep -q 'tenant-a'
+# Live telemetry: the exporter's final flush left well-formed exposition
+# files — the .prom must pass the strict Prometheus parser and the JSON
+# dashboard must show both jobs completed.
+./build/examples/trinity_top --check-prom "$serve_dir/faulted/metrics.prom" \
+    | grep -q 'valid Prometheus exposition'
+./build/examples/trinity_top --root "$serve_dir/faulted" --iterations 1 --no-clear \
+    | grep -q 'outcomes: 2 ok'
 echo "serve ok"
+
+echo "== metrics overhead: serve A/B with exporter on (budget 2%) =="
+./build/bench/bench_obs_overhead --jobs 8 --repeats 2 --genes 8 \
+    --iters 5000000 --budget 0.02
 
 echo "== serve recovery: SIGKILL mid-job, restart, byte-identical resume =="
 rec_root=$serve_dir/recovery
@@ -225,17 +256,17 @@ if [ "${1:-}" = "--skip-sanitize" ]; then
     exit 0
 fi
 
-echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + index + serve tests =="
+echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + index + serve + obs tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
     checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
     pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
     config_test flat_index_test transcript_index_test serve_test serve_fault_test \
-    serve_recovery_test serve_watchdog_test
+    serve_recovery_test serve_watchdog_test obs_test serve_metrics_test
 for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
          pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
          config_test flat_index_test transcript_index_test serve_test serve_fault_test \
-         serve_recovery_test serve_watchdog_test; do
+         serve_recovery_test serve_watchdog_test obs_test serve_metrics_test; do
     echo "-- $t (ASan+UBSan)"
     ./build-asan/tests/"$t"
 done

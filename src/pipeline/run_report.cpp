@@ -1,5 +1,6 @@
 #include "pipeline/run_report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 
 #include "io/io_file.hpp"
+#include "util/stats.hpp"
 
 namespace trinity::pipeline {
 
@@ -376,6 +378,10 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
     std::int64_t deadline_kills = 0;
     std::int64_t hung_kills = 0;
     std::int64_t recovered = 0;
+    // Per-job wall seconds (sum of the job's phases), for the latency
+    // quantile columns. Jobs with no phases (e.g. killed before any stage
+    // finished) contribute nothing rather than a misleading 0s sample.
+    std::vector<double> job_walls;
   };
   // Insertion order preserved so the table is deterministic for a given
   // report order (the aggregate caller sorts its directory scan).
@@ -395,10 +401,14 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
             ? tenant_field->as_string()
             : std::string("-"));
     ++t.jobs;
-    for (const auto& phase : report.at("phases").items()) {
-      t.wall_s += phase.at("wall_s").as_double();
+    double job_wall = 0.0;
+    const auto& phases = report.at("phases").items();
+    for (const auto& phase : phases) {
+      job_wall += phase.at("wall_s").as_double();
       t.cpu_s += phase.at("cpu_s").as_double();
     }
+    t.wall_s += job_wall;
+    if (!phases.empty()) t.job_walls.push_back(job_wall);
     for (const auto& stage : report.at("comm").items()) {
       const double skew = stage.at("skew_ratio").as_double();
       t.max_skew = skew > t.max_skew ? skew : t.max_skew;
@@ -442,12 +452,16 @@ util::Json aggregate_run_reports(const std::vector<util::Json>& reports) {
   util::Json out = util::Json::object();
   out.set("reports", static_cast<std::int64_t>(reports.size()));
   util::Json rows = util::Json::array();
-  for (const auto& [name, t] : tenants) {
+  for (auto& [name, t] : tenants) {
     util::Json row = util::Json::object();
     row.set("tenant", name);
     row.set("jobs", t.jobs);
     row.set("wall_s", t.wall_s);
     row.set("cpu_s", t.cpu_s);
+    std::sort(t.job_walls.begin(), t.job_walls.end());
+    row.set("wall_p50_s", util::percentile(t.job_walls, 0.50));
+    row.set("wall_p95_s", util::percentile(t.job_walls, 0.95));
+    row.set("wall_p99_s", util::percentile(t.job_walls, 0.99));
     row.set("comm_bytes_sent", t.comm_bytes_sent);
     row.set("comm_bytes_received", t.comm_bytes_received);
     row.set("stage_retries", t.stage_retries);
@@ -476,7 +490,9 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
     return;
   }
   out << std::left << std::setw(16) << "tenant" << std::right << std::setw(6) << "jobs"
-      << std::setw(11) << "wall(s)" << std::setw(11) << "cpu(s)" << std::setw(14)
+      << std::setw(11) << "wall(s)" << std::setw(11) << "cpu(s)" << std::setw(9)
+      << "p50(s)" << std::setw(9) << "p95(s)" << std::setw(9) << "p99(s)"
+      << std::setw(14)
       << "sent(B)" << std::setw(14) << "recv(B)" << std::setw(9) << "retries"
       << std::setw(9) << "io-rtr" << std::setw(9) << "preempt" << std::setw(9)
       << "skew" << std::setw(9) << "ix-cold" << std::setw(9) << "ix-warm"
@@ -487,7 +503,10 @@ void summarize_aggregate(const util::Json& aggregate, std::ostream& out) {
     out << std::left << std::setw(16) << row.at("tenant").as_string() << std::right
         << std::setw(6) << row.at("jobs").as_int() << std::fixed << std::setprecision(3)
         << std::setw(11) << row.at("wall_s").as_double() << std::setw(11)
-        << row.at("cpu_s").as_double() << std::setw(14)
+        << row.at("cpu_s").as_double() << std::setw(9)
+        << row.at("wall_p50_s").as_double() << std::setw(9)
+        << row.at("wall_p95_s").as_double() << std::setw(9)
+        << row.at("wall_p99_s").as_double() << std::setw(14)
         << row.at("comm_bytes_sent").as_int() << std::setw(14)
         << row.at("comm_bytes_received").as_int() << std::setw(9)
         << row.at("stage_retries").as_int() << std::setw(9)

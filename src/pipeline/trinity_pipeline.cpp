@@ -11,6 +11,7 @@
 #include "align/sam_io.hpp"
 #include "checkpoint/fingerprint.hpp"
 #include "io/io_file.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/run_report.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/span_recorder.hpp"
@@ -102,8 +103,9 @@ constexpr const char* kTranscriptsFile = "Trinity.fa";
 /// attempt's entry, so a retried stage reports its final attempt) and
 /// annotates the open trace phase with the headline counters
 /// docs/OBSERVABILITY.md defines.
-void record_stage_comm(PipelineResult& result, util::ResourceTrace& trace,
-                       const std::string& stage, std::vector<simpi::RankResult> ranks) {
+void record_stage_comm(const PipelineOptions& options, PipelineResult& result,
+                       util::ResourceTrace& trace, const std::string& stage,
+                       std::vector<simpi::RankResult> ranks) {
   StageCommMetrics metrics{stage, std::move(ranks)};
   std::uint64_t sent = 0, received = 0;
   double wait = 0.0;
@@ -111,6 +113,30 @@ void record_stage_comm(PipelineResult& result, util::ResourceTrace& trace,
     sent += r.comm.total_bytes_sent();
     received += r.comm.total_bytes_received();
     wait += r.comm.total_wait_seconds();
+  }
+  // CommStats bridge (docs/OBSERVABILITY.md "Live metrics"): per-rank
+  // bytes/wait become live counters at the hybrid stage's end, so an
+  // external scraper sees rank-level communication skew while the job's
+  // later stages are still running.
+  if (options.metrics != nullptr) {
+    for (const auto& r : metrics.ranks) {
+      const std::string rank = std::to_string(r.rank);
+      options.metrics
+          ->counter("trinity_comm_stage_bytes_total",
+                    "Bytes moved by a hybrid stage, per rank and direction",
+                    {{"stage", stage}, {"rank", rank}, {"direction", "sent"}})
+          .inc(static_cast<double>(r.comm.total_bytes_sent()));
+      options.metrics
+          ->counter("trinity_comm_stage_bytes_total",
+                    "Bytes moved by a hybrid stage, per rank and direction",
+                    {{"stage", stage}, {"rank", rank}, {"direction", "received"}})
+          .inc(static_cast<double>(r.comm.total_bytes_received()));
+      options.metrics
+          ->counter("trinity_comm_stage_wait_seconds_total",
+                    "Wall seconds a rank spent blocked in communication",
+                    {{"stage", stage}, {"rank", rank}})
+          .inc(r.comm.total_wait_seconds());
+    }
   }
   trace.counter("skew_ratio", metrics.skew_ratio());
   trace.counter("comm_bytes_sent", static_cast<double>(sent));
@@ -177,6 +203,7 @@ class StageDriver {
       trace::instant("stage.preempt", trace::kCatPipeline, name);
       throw PreemptedError(name);
     }
+    publish_heartbeat(name);
     if (can_resume(name)) {
       trace_.phase(name + ".resumed", load);
       result_.stages_resumed.push_back(name);
@@ -187,8 +214,32 @@ class StageDriver {
     if (name == options_.hang_stage && options_.hang_seconds > 0.0) hang_in_stage(name);
     const Execution exec = execute_with_retry(name, compute);
     result_.stages_executed.push_back(name);
+    if (options_.metrics != nullptr) {
+      options_.metrics
+          ->histogram("trinity_stage_duration_seconds",
+                      "Wall seconds per executed pipeline stage",
+                      obs::latency_buckets_s(), {{"stage", name}})
+          .observe(exec.wall_seconds);
+    }
     if (options_.checkpoint) record(name, inputs, outputs, exec);
     sync_trace();
+  }
+
+  /// Live stage-progress heartbeat (docs/OBSERVABILITY.md "Live metrics"):
+  /// on entering each stage boundary the job publishes the registry's
+  /// uptime clock under {tenant, job, stage}. A reader (trinity_top)
+  /// derives the job's current stage as its most recent heartbeat and the
+  /// heartbeat's age from the snapshot's own uptime — no wall-clock
+  /// agreement needed.
+  void publish_heartbeat(const std::string& name) {
+    if (options_.metrics == nullptr || options_.job_id.empty()) return;
+    options_.metrics
+        ->gauge("trinity_job_stage_heartbeat",
+                "Registry-uptime seconds at the job's last entry into a stage",
+                {{"tenant", options_.tenant},
+                 {"job", options_.job_id},
+                 {"stage", name}})
+        .set(options_.metrics->uptime_s());
   }
 
   /// Stage-end trace maintenance: synthesizes one pipeline-category span
@@ -506,7 +557,7 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.bowtie"));
-          record_stage_comm(result, trace, "chrysalis.bowtie", std::move(rank_results));
+          record_stage_comm(options, result, trace, "chrysalis.bowtie", std::move(rank_results));
         }
       },
       [&] {
@@ -564,7 +615,7 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.graph_from_fasta"));
-          record_stage_comm(result, trace, "chrysalis.graph_from_fasta",
+          record_stage_comm(options, result, trace, "chrysalis.graph_from_fasta",
                             std::move(rank_results));
         }
         chrysalis::write_components(work_dir + "/" + kComponentsFile, result.components);
@@ -626,7 +677,7 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
                 }
               },
               options.comm, driver.fault_for("chrysalis.reads_to_transcripts"));
-          record_stage_comm(result, trace, "chrysalis.reads_to_transcripts",
+          record_stage_comm(options, result, trace, "chrysalis.reads_to_transcripts",
                             std::move(rank_results));
         }
         trace.counter("parse_quarantined", static_cast<double>(r2t_parse.records_quarantined()));

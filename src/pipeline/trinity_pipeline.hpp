@@ -42,6 +42,10 @@
 #include "simpi/fault.hpp"
 #include "util/resource_trace.hpp"
 
+namespace trinity::obs {
+class MetricsRegistry;
+}  // namespace trinity::obs
+
 namespace trinity::pipeline {
 
 /// Thrown out of run_pipeline when the run's preempt token (see
@@ -229,6 +233,15 @@ struct PipelineOptions {
   /// process (run-report schema v4): the job was re-admitted from the
   /// on-disk journal after a crash/restart, not submitted to this process.
   bool recovered = false;
+
+  /// Live metrics registry (docs/OBSERVABILITY.md "Live metrics"). When
+  /// set, StageDriver publishes a per-job stage-progress heartbeat gauge
+  /// and a per-stage duration histogram at stage boundaries, and the
+  /// hybrid stages bridge their per-rank CommStats into counters. The
+  /// serve layer points this at the server's registry; null (the default)
+  /// removes every hook. The registry must outlive the run.
+  /// Scheduling-only: excluded from the options fingerprint.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Distributed span tracing (docs/OBSERVABILITY.md "Distributed trace"):
   /// empty (the default) disables tracing entirely — instrumented code

@@ -106,7 +106,6 @@ class AdmissionController {
 
   [[nodiscard]] int queue_depth() const { return queue_depth_; }
 
- private:
   struct Usage {
     int queued = 0;
     int running_ranks = 0;
@@ -115,8 +114,12 @@ class AdmissionController {
     double measured_rss_ewma = 0.0;
   };
 
-  Usage& usage(const std::string& tenant) { return usage_[tenant]; }
+  /// Point-in-time usage counters for one tenant (zeroes when unknown) —
+  /// what the live per-tenant gauges publish.
   [[nodiscard]] Usage usage_of(const std::string& tenant) const;
+
+ private:
+  Usage& usage(const std::string& tenant) { return usage_[tenant]; }
 
   int total_ranks_;
   int max_queue_depth_;

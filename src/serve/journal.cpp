@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/timer.hpp"
+
 namespace trinity::serve {
 
 std::string JournalEvent::to_line() const {
@@ -35,14 +37,32 @@ JournalEvent JournalEvent::from_line(std::string_view line) {
   return ev;
 }
 
+void JobJournal::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    append_latency_ = nullptr;
+    append_events_ = nullptr;
+    return;
+  }
+  append_latency_ = &metrics->histogram(
+      "trinity_serve_journal_append_seconds",
+      "Durable journal append latency (write + fsync)", obs::fsync_buckets_s());
+  append_events_ = &metrics->counter("trinity_serve_journal_events_total",
+                                     "Journal events appended durably");
+}
+
 void JobJournal::append(const JournalEvent& ev) {
   if (!file_ || !file_->is_open()) file_ = io::IoFile::open_append(path_);
+  util::Timer timer;
   // write_all + fsync through the fault-injected layer: an injected short
   // write lands a torn half-line and throws transient, which the next
   // append then extends into one unparseable record — replay()'s
   // drop-and-count path, not a crash.
   file_->write_all(ev.to_line() + "\n");
   file_->fsync();
+  if (append_latency_ != nullptr) {
+    append_latency_->observe(timer.seconds());
+    append_events_->inc();
+  }
 }
 
 JournalReplay JobJournal::replay(const std::string& path) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "io/io_file.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace trinity::serve {
@@ -69,6 +70,13 @@ class JobJournal {
  public:
   explicit JobJournal(std::string path) : path_(std::move(path)) {}
 
+  /// Wires the journal into a live-metrics registry: every append()
+  /// observes its write+fsync latency in the
+  /// `trinity_serve_journal_append_seconds` histogram and bumps
+  /// `trinity_serve_journal_events_total`. Null detaches. The registry
+  /// must outlive the journal.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Appends one event line and fsyncs. The descriptor is opened lazily
   /// on first append and kept across calls (O_APPEND, so each write
   /// lands at end-of-file). Throws io::IoError on open/write/fsync
@@ -91,6 +99,8 @@ class JobJournal {
  private:
   std::string path_;
   std::optional<io::IoFile> file_;  ///< lazily opened appender
+  obs::Histogram* append_latency_ = nullptr;  ///< null when metrics are off
+  obs::Counter* append_events_ = nullptr;
 };
 
 }  // namespace trinity::serve

@@ -49,11 +49,30 @@ std::uint64_t measured_rss_peak(const pipeline::PipelineResult& result) {
 
 }  // namespace
 
+JobServer::LiveMetrics::LiveMetrics()
+    : queue_depth(registry.gauge("trinity_serve_queue_depth",
+                                 "Jobs waiting in the admission queue")),
+      queue_depth_peak(registry.gauge("trinity_serve_queue_depth_peak",
+                                      "High-water mark of the admission queue")),
+      oldest_queued_age(registry.gauge("trinity_serve_oldest_queued_age_seconds",
+                                       "Age of the oldest queued job")),
+      inflight(registry.gauge("trinity_serve_jobs_inflight",
+                              "Jobs currently holding a rank lease")),
+      ranks_total(registry.gauge("trinity_serve_ranks_total",
+                                 "Size of the shared rank pool")),
+      ranks_available(registry.gauge("trinity_serve_ranks_available",
+                                     "Unleased ranks in the shared pool")),
+      queue_wait(registry.histogram(
+          "trinity_serve_queue_wait_seconds",
+          "Queue wait per dispatch (enqueue or requeue to rank lease)",
+          obs::latency_buckets_s())) {}
+
 JobServer::JobServer(ServerOptions options)
     : options_(std::move(options)),
       root_dir_(options_.root_dir.empty()
                     ? (std::filesystem::temp_directory_path() / "trinity_serve").string()
                     : options_.root_dir),
+      metrics_(options_.metrics ? std::make_unique<LiveMetrics>() : nullptr),
       pool_(options_.total_ranks),
       index_cache_(options_.share_index_cache
                        ? std::make_shared<chrysalis::TranscriptIndexCache>()
@@ -61,9 +80,21 @@ JobServer::JobServer(ServerOptions options)
       admission_(options_.total_ranks, options_.max_queue_depth, options_.default_quota,
                  options_.tenant_quotas, options_.min_plausible_runtime_s) {
   std::filesystem::create_directories(root_dir_);
+  if (metrics_) {
+    metrics_->ranks_total.set(options_.total_ranks);
+    metrics_->ranks_available.set(options_.total_ranks);
+  }
   if (options_.journal) {
     journal_.emplace(root_dir_ + "/journal.jsonl");
+    if (metrics_) journal_->set_metrics(&metrics_->registry);
     recover_from_journal();  // before any thread exists; no locking needed
+  }
+  if (metrics_ && options_.metrics_export_period_s > 0.0) {
+    obs::ExporterOptions exporter_options;
+    exporter_options.dir = root_dir_;
+    exporter_options.period_s = options_.metrics_export_period_s;
+    exporter_ = std::make_unique<obs::MetricsExporter>(&metrics_->registry,
+                                                       std::move(exporter_options));
   }
   scheduler_ = std::thread(&JobServer::scheduler_loop, this);
   watchdog_ = std::thread(&JobServer::watchdog_loop, this);
@@ -196,6 +227,7 @@ void JobServer::recover_from_journal() {
       job->error = "attempt budget exhausted across restarts";
       journal_locked(event_locked(*job, "quarantine", job->error));
       write_terminal_report_locked(*job);
+      metric_terminal_locked(*job);
       registry_.push_back(std::move(job));
       continue;
     }
@@ -208,10 +240,19 @@ void JobServer::recover_from_journal() {
     ++acct.jobs_recovered;
     admission_.note_queued(job->spec);
     journal_locked(event_locked(*job, "recover"));
+    if (metrics_) {
+      metrics_->registry
+          .counter("trinity_serve_recovered_jobs_total",
+                   "Jobs re-admitted from the journal after a restart",
+                   {{"tenant", job->spec.tenant}})
+          .inc();
+    }
+    metric_tenant_gauges_locked(job->spec.tenant);
     queue_.push_back(job.get());
     registry_.push_back(std::move(job));
     dirty_ = true;
   }
+  metric_queue_gauges_locked();
 }
 
 JournalEvent JobServer::event_locked(const Job& job, std::string type,
@@ -249,6 +290,7 @@ int JobServer::attempt_budget(const JobSpec& spec) const {
 AdmitResult JobServer::submit(JobSpec spec) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (!accepting_) {
+    metric_admission_locked(AdmitCode::kShutdown);
     return {AdmitCode::kShutdown, "server is shutting down"};
   }
   TenantAccount& acct = accounting_.account(spec.tenant);
@@ -270,6 +312,8 @@ AdmitResult JobServer::submit(JobSpec spec) {
       ev.tenant = spec.tenant;
       ev.detail = result.detail;
       journal_locked(ev);
+      metric_admission_locked(AdmitCode::kInvalidSpec);
+      metric_rejected_locked(spec.tenant);
       return result;
     }
   }
@@ -283,6 +327,8 @@ AdmitResult JobServer::submit(JobSpec spec) {
     ev.tenant = spec.tenant;
     ev.detail = std::string(to_string(result.code)) + ": " + result.detail;
     journal_locked(ev);
+    metric_admission_locked(result.code);
+    metric_rejected_locked(spec.tenant);
     return result;
   }
 
@@ -298,8 +344,11 @@ AdmitResult JobServer::submit(JobSpec spec) {
   ev.spec = job_spec_to_json(job->spec);
   journal_locked(ev);
   admission_.note_queued(job->spec);
+  metric_admission_locked(AdmitCode::kAccepted);
+  metric_tenant_gauges_locked(job->spec.tenant);
   queue_.push_back(job.get());
   registry_.push_back(std::move(job));
+  metric_queue_gauges_locked();
   dirty_ = true;
   lock.unlock();
   scheduler_cv_.notify_all();
@@ -311,6 +360,8 @@ AdmitResult JobServer::submit_text(std::string_view text, const std::string& ori
   try {
     spec = parse_job_spec_text(text, origin, options_.job_defaults);
   } catch (const ConfigError& e) {
+    // The registry is internally synchronized; no server lock needed here.
+    metric_admission_locked(AdmitCode::kInvalidSpec);
     return {AdmitCode::kInvalidSpec, e.what()};
   }
   return submit(std::move(spec));
@@ -343,6 +394,84 @@ void JobServer::shutdown() {
   for (auto& w : workers) {
     if (w.joinable()) w.join();
   }
+  // Final export after every worker settled, so the on-disk snapshot holds
+  // the terminal totals (what serve_metrics_test reconciles against the
+  // run reports).
+  if (exporter_) exporter_->stop();
+}
+
+obs::MetricsRegistry* JobServer::metrics() const {
+  return metrics_ ? &metrics_->registry : nullptr;
+}
+
+obs::MetricsSnapshot JobServer::metrics_snapshot() const {
+  return metrics_ ? metrics_->registry.snapshot() : obs::MetricsSnapshot{};
+}
+
+void JobServer::metric_admission_locked(AdmitCode code) {
+  if (!metrics_) return;
+  metrics_->registry
+      .counter("trinity_serve_admission_total",
+               "Admission verdicts by typed outcome",
+               {{"outcome", to_string(code)}})
+      .inc();
+}
+
+void JobServer::metric_rejected_locked(const std::string& tenant) {
+  if (!metrics_) return;
+  metrics_->registry
+      .counter("trinity_serve_jobs_rejected_total",
+               "Rejected submissions per tenant (mirrors the ledger)",
+               {{"tenant", tenant}})
+      .inc();
+}
+
+void JobServer::metric_terminal_locked(const Job& job) {
+  if (!metrics_) return;
+  metrics_->registry
+      .counter("trinity_serve_jobs_total", "Terminal job outcomes per tenant",
+               {{"tenant", job.spec.tenant}, {"outcome", to_string(job.outcome)}})
+      .inc();
+  metric_job_active_locked(job, false);
+}
+
+void JobServer::metric_queue_gauges_locked() {
+  if (!metrics_) return;
+  metrics_->queue_depth.set(static_cast<double>(queue_.size()));
+  metrics_->queue_depth_peak.set_max(static_cast<double>(queue_.size()));
+  const double now = clock_.seconds();
+  double oldest = 0.0;
+  for (const Job* job : queue_) oldest = std::max(oldest, now - job->enqueued_at);
+  metrics_->oldest_queued_age.set(oldest);
+  metrics_->inflight.set(running_);
+  metrics_->ranks_available.set(pool_.available());
+}
+
+void JobServer::metric_tenant_gauges_locked(const std::string& tenant) {
+  if (!metrics_) return;
+  const AdmissionController::Usage usage = admission_.usage_of(tenant);
+  auto& registry = metrics_->registry;
+  const obs::Labels labels{{"tenant", tenant}};
+  registry.gauge("trinity_serve_tenant_queued_jobs",
+                 "Queued jobs per tenant", labels)
+      .set(usage.queued);
+  registry.gauge("trinity_serve_tenant_running_ranks",
+                 "Ranks leased by a tenant's running jobs", labels)
+      .set(usage.running_ranks);
+  registry.gauge("trinity_serve_tenant_running_rss_bytes",
+                 "RSS charged against the tenant's running budget", labels)
+      .set(static_cast<double>(usage.running_rss));
+  registry.gauge("trinity_serve_tenant_rss_ewma_bytes",
+                 "EWMA of measured RSS peaks feeding admission", labels)
+      .set(usage.measured_rss_ewma);
+}
+
+void JobServer::metric_job_active_locked(const Job& job, bool active) {
+  if (!metrics_) return;
+  metrics_->registry
+      .gauge("trinity_job_active", "1 while the job holds a rank lease",
+             {{"tenant", job.spec.tenant}, {"job", job.spec.job_id}})
+      .set(active ? 1.0 : 0.0);
 }
 
 JobStatus JobServer::status_of_locked(const Job& job) const {
@@ -429,6 +558,8 @@ void JobServer::watchdog_loop() {
         acct.queue_wait_seconds += job->queue_wait;
         journal_locked(event_locked(*job, "kill", to_string(job->outcome)));
         write_terminal_report_locked(*job);
+        metric_terminal_locked(*job);
+        metric_tenant_gauges_locked(job->spec.tenant);
         trace::instant("serve.watchdog", trace::kCatPipeline,
                        job->spec.job_id + " deadline_exceeded (queued)");
         state_changed = true;
@@ -463,6 +594,9 @@ void JobServer::watchdog_loop() {
       }
     }
 
+    // Every poll refreshes the age/depth gauges, so a stalled queue is
+    // visible even with no job transitions.
+    metric_queue_gauges_locked();
     if (state_changed) {
       dirty_ = true;
       drain_cv_.notify_all();
@@ -539,6 +673,7 @@ void JobServer::maybe_preempt_locked(const Job& job, int need) {
 void JobServer::dispatch_locked(Job* job, simpi::RankLease lease) {
   queue_.erase(std::find(queue_.begin(), queue_.end(), job));
   const double now = clock_.seconds();
+  if (metrics_) metrics_->queue_wait.observe(now - job->enqueued_at);
   job->queue_wait += now - job->enqueued_at;
   job->state = JobState::kRunning;
   ++job->dispatches;
@@ -560,6 +695,9 @@ void JobServer::dispatch_locked(Job* job, simpi::RankLease lease) {
   ev.attempts = job->attempts + 1;  // tentative: this dispatch consumes one
   journal_locked(ev);
   ++running_;
+  metric_job_active_locked(*job, true);
+  metric_tenant_gauges_locked(job->spec.tenant);
+  metric_queue_gauges_locked();
   workers_.emplace_back([this, job, lease = std::move(lease)]() mutable {
     run_job(job, std::move(lease));
   });
@@ -616,6 +754,9 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
   // map against one loaded TranscriptIndex instead of each building or
   // mmapping their own (keyed by the run's options fingerprint).
   options.index_cache = index_cache_;
+  // Live metrics: the run publishes stage heartbeats, stage durations and
+  // per-rank comm counters into the server's registry.
+  options.metrics = metrics_ ? &metrics_->registry : nullptr;
 
   const int nranks = options.nranks;
   util::Timer dispatch_timer;
@@ -680,6 +821,15 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
         admission_.note_measured(job->spec.tenant, measured);
         acct.rss_measured_bytes_peak = std::max(acct.rss_measured_bytes_peak, measured);
         journal_locked(event_locked(*job, "complete"));
+        metric_terminal_locked(*job);
+        if (metrics_) {
+          metrics_->registry
+              .histogram("trinity_serve_job_latency_seconds",
+                         "Submission-to-completion latency (queue wait + run "
+                         "time) of completed jobs",
+                         obs::latency_buckets_s(), {{"tenant", job->spec.tenant}})
+              .observe(job->queue_wait + job->run_time);
+        }
         break;
       }
       case Outcome::kPreempted:
@@ -692,6 +842,14 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
         admission_.note_requeued(job->spec, job->charged_rss);
         queue_.push_back(job);
         journal_locked(event_locked(*job, "requeue", "preempted"));
+        if (metrics_) {
+          metrics_->registry
+              .counter("trinity_serve_preemptions_total",
+                       "Checkpoint->requeue preemption cycles per tenant",
+                       {{"tenant", job->spec.tenant}})
+              .inc();
+        }
+        metric_job_active_locked(*job, false);
         break;
       case Outcome::kKilled:
         job->attempts = tentative;
@@ -709,6 +867,7 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
         acct.queue_wait_seconds += job->queue_wait;
         journal_locked(event_locked(*job, "kill", to_string(job->outcome)));
         write_terminal_report_locked(*job);
+        metric_terminal_locked(*job);
         break;
       case Outcome::kTransient:
         job->attempts = tentative;
@@ -724,6 +883,7 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
           acct.queue_wait_seconds += job->queue_wait;
           journal_locked(event_locked(*job, "quarantine", error));
           write_terminal_report_locked(*job);
+          metric_terminal_locked(*job);
         } else {
           job->state = JobState::kQueued;
           ++acct.job_retries;
@@ -736,6 +896,14 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
           admission_.note_requeued(job->spec, job->charged_rss);
           queue_.push_back(job);
           journal_locked(event_locked(*job, "requeue", "transient: " + error));
+          if (metrics_) {
+            metrics_->registry
+                .counter("trinity_serve_job_retries_total",
+                         "Transient-failure requeues per tenant",
+                         {{"tenant", job->spec.tenant}})
+                .inc();
+          }
+          metric_job_active_locked(*job, false);
         }
         break;
       case Outcome::kPermanent:
@@ -748,12 +916,16 @@ void JobServer::run_job(Job* job, simpi::RankLease lease) {
         acct.queue_wait_seconds += job->queue_wait;
         journal_locked(event_locked(*job, "fail", error));
         write_terminal_report_locked(*job);
+        metric_terminal_locked(*job);
         break;
     }
     --running_;
+    metric_tenant_gauges_locked(job->spec.tenant);
+    metric_queue_gauges_locked();
     dirty_ = true;
   }
   lease.release();  // before waking the scheduler, so available() sees it
+  if (metrics_) metrics_->ranks_available.set(pool_.available());
   scheduler_cv_.notify_all();
   drain_cv_.notify_all();
 }

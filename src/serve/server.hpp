@@ -75,6 +75,8 @@
 
 #include "checkpoint/retry.hpp"
 #include "chrysalis/transcript_index.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
 #include "serve/accounting.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
@@ -120,6 +122,19 @@ struct ServerOptions {
   /// Floor for deadline sanity at admission: a deadline-s below this (or
   /// negative) is rejected as a permanent invalid_spec.
   double min_plausible_runtime_s = 0.01;
+  /// Live metrics (docs/OBSERVABILITY.md "Live metrics"): an in-process
+  /// obs::MetricsRegistry instrumenting admission, the queue, dispatches,
+  /// watchdog kills, retries/quarantines, the journal and — through
+  /// PipelineOptions::metrics — per-job stage heartbeats and per-rank
+  /// comm counters. Off removes every hook (a pipeline hook then costs
+  /// one pointer test); on, each update is a few relaxed atomics.
+  bool metrics = true;
+  /// Exporter cadence: every period the registry snapshot is published
+  /// atomically as <root>/metrics.prom (Prometheus text) and
+  /// <root>/metrics.json (versioned schema, tailed by trinity_top), with
+  /// one final export at shutdown. 0 disables the exporter thread;
+  /// metrics_snapshot() stays available either way.
+  double metrics_export_period_s = 1.0;
 };
 
 /// Point-in-time snapshot of one job, for status displays and tests.
@@ -168,6 +183,14 @@ class JobServer {
   [[nodiscard]] Accounting accounting() const;
   [[nodiscard]] int total_ranks() const { return pool_.total(); }
   [[nodiscard]] const std::string& root_dir() const { return root_dir_; }
+
+  /// The live registry; nullptr when ServerOptions::metrics is off.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const;
+  /// Point-in-time snapshot of every live metric (empty when metrics are
+  /// off). Safe from any thread.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  /// The exporter; nullptr when metrics are off or the period is 0.
+  [[nodiscard]] obs::MetricsExporter* exporter() const { return exporter_.get(); }
 
  private:
   struct Job {
@@ -233,8 +256,39 @@ class JobServer {
   /// terminal state without a completed pipeline run.
   void write_terminal_report_locked(const Job& job) const;
 
+  // --- live metrics (no-ops when options_.metrics is off) --------------------
+  /// Counts one admission verdict under its typed outcome label.
+  void metric_admission_locked(AdmitCode code);
+  /// Counts one tenant-attributed reject (mirrors acct.jobs_rejected).
+  void metric_rejected_locked(const std::string& tenant);
+  /// Counts one terminal outcome under {tenant, outcome} and clears the
+  /// job's active flag (mirrors the v4 report/ledger totals exactly).
+  void metric_terminal_locked(const Job& job);
+  /// Refreshes queue depth/peak/age, in-flight and rank gauges.
+  void metric_queue_gauges_locked();
+  /// Refreshes one tenant's queued/running-ranks/RSS/EWMA gauges.
+  void metric_tenant_gauges_locked(const std::string& tenant);
+  /// Sets the job's in-flight marker gauge (1 running, 0 otherwise).
+  void metric_job_active_locked(const Job& job, bool active);
+
   ServerOptions options_;
   std::string root_dir_;
+  /// Pre-registered hot-path handles over the owned registry, so the
+  /// per-event cost is relaxed atomics (per-tenant/per-outcome series are
+  /// looked up at event time — job transitions, a cold path).
+  struct LiveMetrics {
+    obs::MetricsRegistry registry;
+    obs::Gauge& queue_depth;
+    obs::Gauge& queue_depth_peak;
+    obs::Gauge& oldest_queued_age;
+    obs::Gauge& inflight;
+    obs::Gauge& ranks_total;
+    obs::Gauge& ranks_available;
+    obs::Histogram& queue_wait;
+    LiveMetrics();
+  };
+  std::unique_ptr<LiveMetrics> metrics_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
   simpi::RankPool pool_;
   /// Process-wide read-only index cache handed to every dispatch (null
   /// when share_index_cache is off). Entries are immutable shared_ptrs,
