@@ -10,12 +10,13 @@
 // imbalance at high rank counts; total time speeds up less than the loops
 // because the non-parallel regions grow in share (Figure 8).
 //
-// Each rank count is measured twice — overlap_pooling off (blocking weld
-// Allgatherv) and on (nonblocking, loop-2 extraction hidden behind it) —
-// and the two runs must produce identical components (asserted; exit 1 on
-// mismatch). The JSON series carries both modes, with the Allgatherv wait
-// and the overlap counters, so the overlap's wait reduction is directly
-// diffable.
+// Each rank count is measured once per ShardingStrategy — pooled (blocking
+// weld Allgatherv), overlap (nonblocking, loop-2 extraction hidden behind
+// it), and owner (alltoallv weld routing + distributed union-find) — and
+// all modes must produce identical components (asserted; exit 1 on
+// mismatch). The JSON series carries every mode with the Allgatherv and
+// Alltoallv waits and the overlap counters, so both the overlap's wait
+// reduction and the owner mode's traffic reduction are directly diffable.
 
 #include <cstdint>
 #include <vector>
@@ -26,12 +27,11 @@
 
 namespace {
 
-/// Sum of the per-rank wall time blocked in the weld/match Allgathervs —
-/// the "<op>.wait" quantity the overlap is meant to shrink.
-double allgatherv_wait(const std::vector<trinity::simpi::RankResult>& ranks) {
+/// Sum of the per-rank wall time blocked in a collective's waits.
+double op_wait(const std::vector<trinity::simpi::RankResult>& ranks,
+               trinity::simpi::CommOp op) {
   double total = 0.0;
-  for (const auto& r : ranks)
-    total += r.comm.of(trinity::simpi::CommOp::kAllgatherv).wait_seconds;
+  for (const auto& r : ranks) total += r.comm.of(op).wait_seconds;
   return total;
 }
 
@@ -62,24 +62,28 @@ int main(int argc, char** argv) {
 
   bench::CsvSink csv(
       cfg,
-      "nodes,overlap,loop1_max,loop1_min,loop2_max,loop2_min,total,speedup,"
-      "comm_bytes,allgatherv_wait,skew");
+      "nodes,sharding,loop1_max,loop1_min,loop2_max,loop2_min,total,speedup,"
+      "comm_bytes,allgatherv_wait,alltoallv_wait,skew");
   bench::JsonSink json(cfg, "fig07_gff_scaling");
-  std::printf("%6s %3s | %11s %11s | %11s %11s | %11s | %8s | %10s %9s %6s\n", "nodes", "ovl",
-              "loop1_max", "loop1_min", "loop2_max", "loop2_min", "total(s)", "speedup",
-              "comm(B)", "ag_wait", "skew");
+  std::printf("%6s %8s | %11s %11s | %11s %11s | %11s | %8s | %10s %9s %6s\n", "nodes",
+              "sharding", "loop1_max", "loop1_min", "loop2_max", "loop2_min", "total(s)",
+              "speedup", "comm(B)", "ag_wait", "skew");
   const int trials = static_cast<int>(cfg.get_int("trials"));
   double base_total = 0.0;
   for (const int nranks : {1, 2, 4, 8, 16, 24}) {
-    std::vector<std::int32_t> reference_components;  // from the overlap-off run
-    for (const bool overlap : {false, true}) {
-      options.overlap_pooling = overlap;
+    std::vector<std::int32_t> reference_components;  // from the pooled run
+    for (const auto sharding :
+         {chrysalis::ShardingStrategy::kPooled, chrysalis::ShardingStrategy::kPooledOverlap,
+          chrysalis::ShardingStrategy::kOwner}) {
+      options.sharding = sharding;
+      const char* mode = chrysalis::to_string(sharding);
       // Best of N trials: rank threads oversubscribe the 2-core host, and a
       // descheduled thread's CPU clock picks up scheduler noise; the minimum
       // is the least-contaminated measurement.
       chrysalis::GffTiming timing;
       bench::CommSummary comm;
       double ag_wait = 0.0;
+      double a2a_wait = 0.0;
       std::vector<std::int32_t> components;
       for (int trial = 0; trial < trials; ++trial) {
         chrysalis::GffTiming t;
@@ -94,33 +98,37 @@ int main(int argc, char** argv) {
         if (trial == 0 || t.total_seconds() < timing.total_seconds()) {
           timing = t;
           comm = bench::summarize_comm(ranks);
-          ag_wait = allgatherv_wait(ranks);
+          ag_wait = op_wait(ranks, simpi::CommOp::kAllgatherv);
+          a2a_wait = op_wait(ranks, simpi::CommOp::kAlltoallv);
         }
         components = std::move(c);
       }
-      // Overlapping the weld pooling must not change the clustering: both
-      // modes are asserted bit-identical on the contig -> component table.
-      if (!overlap) {
+      // Neither overlapping the weld pooling nor owner-sharding it may
+      // change the clustering: every mode is asserted bit-identical on the
+      // contig -> component table.
+      if (sharding == chrysalis::ShardingStrategy::kPooled) {
         reference_components = components;
       } else if (components != reference_components) {
         std::fprintf(stderr,
-                     "bench_fig07: overlap_pooling changed the components at %d ranks\n",
-                     nranks);
+                     "bench_fig07: sharding=%s changed the components at %d ranks\n",
+                     mode, nranks);
         return 1;
       }
-      if (nranks == 1 && !overlap) base_total = timing.total_seconds();
+      if (nranks == 1 && sharding == chrysalis::ShardingStrategy::kPooled) {
+        base_total = timing.total_seconds();
+      }
       std::printf(
-          "%6d %3s | %11.3f %11.3f | %11.3f %11.3f | %11.3f | %7.2fx | %10llu %9.3f %6.2f\n",
-          nranks, overlap ? "on" : "off", timing.loop1.max(), timing.loop1.min(),
-          timing.loop2.max(), timing.loop2.min(), timing.total_seconds(),
-          base_total / timing.total_seconds(),
+          "%6d %8s | %11.3f %11.3f | %11.3f %11.3f | %11.3f | %7.2fx | %10llu %9.3f %6.2f\n",
+          nranks, mode, timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
+          timing.loop2.min(), timing.total_seconds(), base_total / timing.total_seconds(),
           static_cast<unsigned long long>(comm.bytes_received), ag_wait, comm.skew);
-      csv.row(nranks, overlap ? 1 : 0, timing.loop1.max(), timing.loop1.min(),
-              timing.loop2.max(), timing.loop2.min(), timing.total_seconds(),
-              base_total / timing.total_seconds(), comm.bytes_received, ag_wait, comm.skew);
+      csv.row(nranks, mode, timing.loop1.max(), timing.loop1.min(), timing.loop2.max(),
+              timing.loop2.min(), timing.total_seconds(),
+              base_total / timing.total_seconds(), comm.bytes_received, ag_wait, a2a_wait,
+              comm.skew);
       json.begin_entry();
       json.field("nodes", static_cast<std::int64_t>(nranks));
-      json.field("overlap", overlap);
+      json.field("sharding", std::string(mode));
       json.field("loop1_max", timing.loop1.max());
       json.field("loop1_min", timing.loop1.min());
       json.field("loop2_max", timing.loop2.max());
@@ -131,16 +139,19 @@ int main(int argc, char** argv) {
       json.field("comm_bytes_received", static_cast<std::int64_t>(comm.bytes_received));
       json.field("comm_wait_s", comm.wait_seconds);
       json.field("allgatherv_wait_s", ag_wait);
+      json.field("alltoallv_wait_s", a2a_wait);
       json.field("overlap_compute_s", timing.overlap_compute_seconds);
       json.field("pool_wait_s", timing.pool_wait_seconds);
       json.field("skew_ratio", comm.skew);
       json.field("weld_bytes_pooled", static_cast<std::int64_t>(timing.weld_bytes_pooled));
+      json.field("weld_bytes_routed", static_cast<std::int64_t>(timing.weld_bytes_routed));
       json.field("match_bytes_pooled", static_cast<std::int64_t>(timing.match_bytes_pooled));
     }
   }
   std::printf("\npaper: loops speed up ~8-12x over the node range; total GraphFromFasta\n"
               "4.5x@16 -> 20.7x@192 nodes vs the 1-node OpenMP baseline; load imbalance\n"
-              "(max vs min rank) grows with node count, worst in loop 2. overlap=on\n"
-              "hides loop-2 extraction behind the weld Allgatherv (identical output).\n");
+              "(max vs min rank) grows with node count, worst in loop 2. sharding=overlap\n"
+              "hides loop-2 extraction behind the weld Allgatherv; sharding=owner routes\n"
+              "welds point-to-point instead of pooling (identical output either way).\n");
   return 0;
 }

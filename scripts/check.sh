@@ -49,7 +49,12 @@
 #      warm mmap load no slower than the per-run voting-map setup
 #      (--min-speedup 1.0, assignment parity enforced by the bench itself),
 #      recording the run in BENCH_r2t_index.json.
-#  10. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
+#  10. GFF sharding gate (docs/CONFIG.md --gff-sharding): bench_gff_shard
+#      must show owner-computes producing byte-identical components to the
+#      pooled path at 1/2/4/8 ranks while cutting total communication
+#      payload by at least --min-bytes-reduction at >= 4 ranks, recording
+#      the run in BENCH_gff_shard.json.
+#  11. ASan+UBSan build (-DTRINITY_SANITIZE=ON) running the checkpoint, io,
 #      simpi, trace, config, flat-index and serve test binaries — the
 #      subsystems that throw across thread and collective boundaries (and,
 #      for the trace recorder, publish buffers across threads; for the flat
@@ -251,6 +256,10 @@ echo "== transcript index: warm mmap load vs voting-map setup (BENCH_r2t_index.j
 ./build/bench/bench_r2t_index --genes 200 --repeats 3 --min-speedup 1.0 \
     --json "$repo_root/BENCH_r2t_index.json"
 
+echo "== gff sharding: owner-computes vs pooled (BENCH_gff_shard.json) =="
+./build/bench/bench_gff_shard --genes 120 --kernel-repeats 10 --trials 1 \
+    --min-bytes-reduction 1.5 --json "$repo_root/BENCH_gff_shard.json"
+
 if [ "${1:-}" = "--skip-sanitize" ]; then
     echo "== sanitizer pass skipped =="
     exit 0
@@ -259,11 +268,11 @@ fi
 echo "== ASan+UBSan: checkpoint + io + simpi + trace + config + index + serve + obs tests =="
 cmake -B build-asan -S . -DTRINITY_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "$jobs" --target \
-    checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
+    checkpoint_test simpi_fault_test simpi_test simpi_extensions_test dsu_test \
     pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
     config_test flat_index_test transcript_index_test serve_test serve_fault_test \
     serve_recovery_test serve_watchdog_test obs_test serve_metrics_test
-for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test \
+for t in checkpoint_test simpi_fault_test simpi_test simpi_extensions_test dsu_test \
          pipeline_checkpoint_test io_fault_test seq_parse_policy_test trace_test \
          config_test flat_index_test transcript_index_test serve_test serve_fault_test \
          serve_recovery_test serve_watchdog_test obs_test serve_metrics_test; do

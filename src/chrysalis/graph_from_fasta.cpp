@@ -3,9 +3,11 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "chrysalis/dsu.hpp"
 #include "chrysalis/parallel_loop.hpp"
 #include "seq/dna.hpp"
 #include "simpi/nonblocking.hpp"
@@ -27,6 +29,29 @@ double PerRankTimes::min() const {
   double best = seconds.front();
   for (const double s : seconds) best = std::min(best, s);
   return best;
+}
+
+const char* to_string(ShardingStrategy strategy) {
+  switch (strategy) {
+    case ShardingStrategy::kPooled: return "pooled";
+    case ShardingStrategy::kPooledOverlap: return "overlap";
+    case ShardingStrategy::kOwner: return "owner";
+  }
+  return "pooled";
+}
+
+bool sharding_from_string(const std::string& text, ShardingStrategy* out) {
+  if (text == "pooled" || text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = ShardingStrategy::kPooled;
+  } else if (text == "overlap" || text == "true" || text == "1" || text == "yes" ||
+             text == "on") {
+    *out = ShardingStrategy::kPooledOverlap;
+  } else if (text == "owner") {
+    *out = ShardingStrategy::kOwner;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 double GffTiming::nonparallel_fraction() const {
@@ -175,6 +200,31 @@ void find_weld_matches(const std::vector<seq::KmerCode>& contig_codes, std::int3
   }
 }
 
+std::vector<std::string> dedup_welds(std::vector<std::string> welds) {
+  std::sort(welds.begin(), welds.end());
+  welds.erase(std::unique(welds.begin(), welds.end()), welds.end());
+  return welds;
+}
+
+int weld_owner(const std::string& weld, int k, int nranks) {
+  // Smallest canonical (k-1)-mer code — a strand-symmetric property of the
+  // weld *sequence*, so every copy of a weld hashes to the same owner.
+  // Welds always pass the read-support check, which requires every window
+  // to be valid, so the extraction below cannot come up empty; the 0
+  // fallback is pure defence.
+  const seq::KmerCodec codec(k - 1);
+  bool found = false;
+  seq::KmerCode min_code = 0;
+  for (const auto& occ : codec.extract_canonical(weld)) {
+    if (!found || occ.code < min_code) {
+      min_code = occ.code;
+      found = true;
+    }
+  }
+  if (!found) return 0;
+  return static_cast<int>(kmer::mix_kmer_code(min_code) % static_cast<std::uint64_t>(nranks));
+}
+
 std::vector<ContigPair> pairs_from_matches(
     std::size_t num_welds, std::vector<std::pair<std::int32_t, std::int32_t>> matches) {
   // Anchor each weld's contigs at the smallest contig id carrying it; the
@@ -269,10 +319,76 @@ void run_calibrated(int repeats, Sink& sink, Kernel&& kernel) {
   kernel(sink);
 }
 
-std::vector<std::string> dedup_welds(std::vector<std::string> welds) {
-  std::sort(welds.begin(), welds.end());
-  welds.erase(std::unique(welds.begin(), welds.end()), welds.end());
-  return welds;
+/// What one exchange() moved and what it cost this rank.
+template <typename T>
+struct ExchangeResult {
+  std::vector<T> data;  ///< payload this rank now holds, in source-rank order
+  std::vector<std::uint64_t> bytes_contributed;  ///< per-rank bytes entered
+  double overlap_compute = 0.0;  ///< modeled compute hidden behind the transfer
+  double wait = 0.0;             ///< wall blocked waiting for the transfer
+};
+
+/// The one data-movement step of the hybrid drivers, dispatched over the
+/// ShardingStrategy (both pooling call sites used to spell this idiom out
+/// by hand). `parts[d]` is the payload destined for rank d under kOwner;
+/// the pooled strategies replicate, so there `parts` is just an arbitrary
+/// partition of this rank's payload (flattened before pooling, every rank
+/// receives everything). `overlap_fn`, when given, is compute that is legal
+/// to run while the transfer is in flight; it returns its modeled seconds,
+/// which are credited against the modeled collective cost. kPooled ignores
+/// it by contract (the blocking paper path) — callers run that work inside
+/// the consuming loop instead. Channels `channel` and `channel + 1` are
+/// used by the nonblocking variants.
+template <typename T>
+ExchangeResult<T> exchange(simpi::Context& ctx, ShardingStrategy strategy,
+                           std::vector<std::vector<T>> parts, int channel,
+                           const std::function<double()>& overlap_fn = {}) {
+  ExchangeResult<T> out;
+  if (strategy == ShardingStrategy::kOwner) {
+    if (parts.size() != static_cast<std::size_t>(ctx.size())) {
+      throw std::invalid_argument("gff exchange: owner routing needs one part per rank");
+    }
+    std::uint64_t sent = 0;
+    for (const auto& part : parts) sent += part.size() * sizeof(T);
+    simpi::IAlltoallv<T> route(ctx, std::move(parts), channel);
+    if (overlap_fn) out.overlap_compute = overlap_fn();
+    util::Timer wait_wall;
+    auto received = route.wait(out.overlap_compute);
+    out.wait = wait_wall.seconds();
+    for (auto& part : received) {
+      out.data.insert(out.data.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+    }
+    out.bytes_contributed = ctx.allgatherv(std::vector<std::uint64_t>{sent});
+    return out;
+  }
+
+  std::vector<T> mine;
+  for (auto& part : parts) {
+    mine.insert(mine.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  if (strategy == ShardingStrategy::kPooledOverlap) {
+    simpi::IAllgatherv<T> pool(ctx, mine, channel);
+    simpi::IAllgatherv<std::uint64_t> sizes(ctx, {mine.size() * sizeof(T)}, channel + 1);
+    if (overlap_fn) out.overlap_compute = overlap_fn();
+    util::Timer wait_wall;
+    out.data = pool.wait(out.overlap_compute);
+    out.bytes_contributed = sizes.wait();
+    out.wait = wait_wall.seconds();
+  } else {
+    // Blocking path: record the same wall-blocked quantity the overlap path
+    // reports, so pool_wait compares the modes directly (the CommStats
+    // allgatherv row grows by exactly this delta).
+    const double wait_before =
+        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds;
+    out.data = ctx.allgatherv(mine);
+    out.bytes_contributed =
+        ctx.allgatherv(std::vector<std::uint64_t>{mine.size() * sizeof(T)});
+    out.wait =
+        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds - wait_before;
+  }
+  return out;
 }
 
 GffResult finalize(const std::vector<seq::Sequence>& contigs, std::vector<std::string> welds,
@@ -325,7 +441,7 @@ GffResult run_shared(const std::vector<seq::Sequence>& contigs,
     welds.insert(welds.end(), std::make_move_iterator(part.begin()),
                  std::make_move_iterator(part.end()));
   }
-  welds = dedup_welds(std::move(welds));
+  welds = detail::dedup_welds(std::move(welds));
   const auto weld_cores = detail::index_weld_cores(welds, options.k);
   timing.finalize_seconds += mid_cpu.seconds();
 
@@ -389,74 +505,100 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
           : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
                                 loop1_body, "gff.loop1");
 
-  // Pool welds on every rank: pack the strings into one sequence, then
-  // Allgatherv the packed bytes (paper, Section III.B). With
-  // overlap_pooling the collective is started nonblocking and, while it is
-  // in flight, the rank pre-extracts its own contigs' canonical (k-1)-mer
-  // codes — the pooled-weld-independent prefix of loop 2 — so that compute
-  // hides the transfer. Dynamic distribution is excluded: a rank does not
-  // know its loop-2 items before the shared counter hands them out.
+  // Effective strategy. Overlapped pooling needs each rank to know its
+  // loop-2 items before the collective starts (to pre-extract their codes),
+  // so Distribution::kDynamic degrades it to the blocking pool; so does a
+  // single-rank world, which has no transfer to hide compute behind. Owner
+  // mode has neither constraint — its loop 2 scans every contig.
+  ShardingStrategy sharding = options.sharding;
+  if (sharding == ShardingStrategy::kPooledOverlap &&
+      (options.distribution == Distribution::kDynamic || ctx.size() <= 1)) {
+    sharding = ShardingStrategy::kPooled;
+  }
+
   std::vector<std::string> my_welds;
   for (auto& part : weld_parts) {
     my_welds.insert(my_welds.end(), std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
   }
-  const auto packed = simpi::pack_strings(my_welds);
-  const bool overlap = options.overlap_pooling &&
-                       options.distribution != Distribution::kDynamic && ctx.size() > 1;
-  std::vector<std::byte> pooled_bytes;
+
+  // The compute that may legally run while the weld exchange is in flight:
+  // extracting contigs' canonical (k-1)-mer codes, the part of loop 2's
+  // scan that reads only the contigs. Pooled-overlap covers this rank's own
+  // loop-2 items; owner mode covers every contig, because the owner scan
+  // visits them all. Returns modeled seconds for the overlap credit.
   std::vector<std::vector<seq::KmerCode>> contig_codes;
-  double my_overlap = 0.0;
-  double my_pool_wait = 0.0;
-  if (overlap) {
-    simpi::IAllgatherv<std::byte> pool(ctx, packed, 0);
-    simpi::IAllgatherv<std::uint64_t> sizes(ctx, {packed.size()}, 1);
-    {
-      trace::SpanScope span("gff.overlap_extract", trace::kCatLoop);
-      util::ThreadCpuTimer cpu;
-      const seq::KmerCodec codec(options.k - 1);
-      contig_codes.resize(contigs.size());
-      for (const auto& range : my_ranges) {
-        for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto occurrences = codec.extract_canonical(contigs[i].bases);
-          auto& codes = contig_codes[i];
-          codes.reserve(occurrences.size());
-          for (const auto& occ : occurrences) codes.push_back(occ.code);
-        }
+  const std::vector<IndexRange> all_ranges{IndexRange{0, contigs.size()}};
+  const auto extract_codes = [&](const std::vector<IndexRange>& ranges) {
+    trace::SpanScope span("gff.overlap_extract", trace::kCatLoop);
+    util::ThreadCpuTimer cpu;
+    const seq::KmerCodec codec(options.k - 1);
+    contig_codes.resize(contigs.size());
+    for (const auto& range : ranges) {
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        const auto occurrences = codec.extract_canonical(contigs[i].bases);
+        auto& codes = contig_codes[i];
+        codes.reserve(occurrences.size());
+        for (const auto& occ : occurrences) codes.push_back(occ.code);
       }
-      my_overlap = cpu.seconds() / static_cast<double>(
-                                       std::max(options.model_threads_per_rank, 1));
     }
-    util::Timer wait_wall;
-    pooled_bytes = pool.wait(my_overlap);
-    timing.weld_bytes_contributed = sizes.wait();
-    my_pool_wait = wait_wall.seconds();
+    return cpu.seconds() /
+           static_cast<double>(std::max(options.model_threads_per_rank, 1));
+  };
+
+  // Weld exchange (paper Section III.B pools with Allgatherv; owner mode
+  // hash-routes each weld to the owner of its smallest core k-mer). The
+  // packed-strings wire format survives concatenation, so owner receipts —
+  // one packed buffer per source rank — unpack with the same pool reader.
+  std::vector<std::vector<std::byte>> dest_parts;
+  if (sharding == ShardingStrategy::kOwner) {
+    std::vector<std::vector<std::string>> by_owner(static_cast<std::size_t>(ctx.size()));
+    for (auto& weld : my_welds) {
+      const int owner = detail::weld_owner(weld, options.k, ctx.size());
+      by_owner[static_cast<std::size_t>(owner)].push_back(std::move(weld));
+    }
+    dest_parts.reserve(by_owner.size());
+    for (const auto& group : by_owner) dest_parts.push_back(simpi::pack_strings(group));
   } else {
-    // Blocking path: record the same wall-blocked quantity the overlap path
-    // reports, so pool_wait_seconds compares the two modes directly (the
-    // CommStats allgatherv row grows by exactly this delta).
-    const double wait_before =
-        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds;
-    pooled_bytes = ctx.allgatherv(packed);
-    timing.weld_bytes_contributed =
-        ctx.allgatherv(std::vector<std::uint64_t>{packed.size()});
-    my_pool_wait =
-        ctx.comm_stats().of(simpi::CommOp::kAllgatherv).wait_seconds - wait_before;
+    dest_parts.push_back(simpi::pack_strings(my_welds));
   }
-  timing.weld_bytes_pooled = pooled_bytes.size();
-  auto welds = dedup_welds(simpi::unpack_string_pool(pooled_bytes));
+  std::function<double()> overlap_fn;
+  if (sharding == ShardingStrategy::kPooledOverlap) {
+    overlap_fn = [&] { return extract_codes(my_ranges); };
+  } else if (sharding == ShardingStrategy::kOwner) {
+    overlap_fn = [&] { return extract_codes(all_ranges); };
+  }
+  auto weld_moved = exchange(ctx, sharding, std::move(dest_parts), 0, overlap_fn);
+  const double my_overlap = weld_moved.overlap_compute;
+  const double my_pool_wait = weld_moved.wait;
+  timing.weld_bytes_contributed = std::move(weld_moved.bytes_contributed);
+  if (sharding == ShardingStrategy::kOwner) {
+    for (const std::uint64_t b : timing.weld_bytes_contributed) {
+      timing.weld_bytes_routed += b;
+    }
+  } else {
+    timing.weld_bytes_pooled = weld_moved.data.size();
+  }
+
+  // Pooled modes: `welds` is the global deduplicated pool, identical on
+  // every rank. Owner mode: only this rank's owned shard — the dedup is
+  // still global, because identical welds always land on the same owner.
+  auto welds = detail::dedup_welds(simpi::unpack_string_pool(weld_moved.data));
   const auto weld_cores = detail::index_weld_cores(welds, options.k);
 
-  // Loop 2 over the same chunk ownership; on the overlap path the
-  // extraction already happened behind the collective, so the kernel runs
-  // over the cached codes.
+  // Loop 2. Pooled strategies scan this rank's chunks against the full
+  // pool; owner mode scans EVERY contig against only the owned welds (the
+  // partition is by weld, not by contig — per-rank work is the owned share
+  // of the match volume). The cached-codes kernel runs wherever the
+  // extraction already happened behind the exchange.
+  const bool cached = sharding != ShardingStrategy::kPooled;
   std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> match_parts(
       static_cast<std::size_t>(std::max(threads, 1)));
   auto loop2_body = [&](std::size_t i) {
     auto& sink = match_parts[static_cast<std::size_t>(omp_get_thread_num())];
     run_calibrated(options.kernel_repeats, sink,
                    [&](std::vector<std::pair<std::int32_t, std::int32_t>>& out) {
-                     if (overlap) {
+                     if (cached) {
                        detail::find_weld_matches(contig_codes[i],
                                                  static_cast<std::int32_t>(i), weld_cores,
                                                  out);
@@ -466,26 +608,74 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
                      }
                    });
   };
-  const double my_loop2 =
-      options.distribution == Distribution::kDynamic
-          ? timed_dynamic_loop(ctx, kDynamicCounterLoop2, options, contigs.size(), loop2_body,
-                               "gff.loop2")
-          : timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
-                                loop2_body, "gff.loop2");
+  double my_loop2 = 0.0;
+  if (sharding == ShardingStrategy::kOwner) {
+    my_loop2 = timed_parallel_loop(all_ranges, threads, options.model_threads_per_rank,
+                                   loop2_body, "gff.loop2");
+  } else if (options.distribution == Distribution::kDynamic) {
+    my_loop2 = timed_dynamic_loop(ctx, kDynamicCounterLoop2, options, contigs.size(),
+                                  loop2_body, "gff.loop2");
+  } else {
+    my_loop2 = timed_parallel_loop(my_ranges, threads, options.model_threads_per_rank,
+                                   loop2_body, "gff.loop2");
+  }
+
+  std::vector<std::pair<std::int32_t, std::int32_t>> my_matches;
+  for (auto& part : match_parts) {
+    my_matches.insert(my_matches.end(), part.begin(), part.end());
+  }
+
+  // Per-rank loop times for the Figure 7 min/max curves, plus the shared
+  // scalar reductions; runs after the strategy-specific tail has finished
+  // communicating so comm_seconds captures everything.
+  const auto reduce_timing = [&] {
+    timing.loop1.seconds = ctx.allgatherv(std::vector<double>{my_loop1});
+    timing.loop2.seconds = ctx.allgatherv(std::vector<double>{my_loop2});
+    timing.setup_seconds = ctx.allreduce_max(my_setup);
+    timing.overlap_compute_seconds = ctx.allreduce_max(my_overlap);
+    timing.pool_wait_seconds = ctx.allreduce_max(my_pool_wait);
+    timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
+  };
+
+  if (sharding == ShardingStrategy::kOwner) {
+    // Matches are complete per owned weld (every contig was scanned here),
+    // so pair derivation is purely local, and the pairs never leave their
+    // owner: components are agreed through the distributed union-find.
+    // Scaffold pairs enter the edge set once, on rank 0 — the DSU takes
+    // the union of all ranks' edges.
+    GffResult result;
+    util::ThreadCpuTimer fin_cpu;
+    std::vector<ContigPair> local_pairs =
+        detail::pairs_from_matches(welds.size(), std::move(my_matches));
+    if (ctx.rank() == 0) {
+      local_pairs.insert(local_pairs.end(), extra_pairs.begin(), extra_pairs.end());
+    }
+    DsuStats dsu;
+    result.components = distributed_components(ctx, contigs.size(), local_pairs, &dsu);
+    const double my_finalize = fin_cpu.seconds();
+    timing.dsu_rounds = ctx.allreduce_max(dsu.rounds);
+    timing.dsu_edge_bytes_routed = ctx.allreduce_sum(dsu.edge_bytes_routed);
+    timing.finalize_seconds = ctx.allreduce_max(my_finalize);
+    reduce_timing();
+    result.timing = std::move(timing);
+    return result;
+  }
 
   // Pool the pairing indices as a flat integer array (substantially less
-  // data than loop 1's strings, as the paper notes).
+  // data than loop 1's strings, as the paper notes). Always the blocking
+  // pool: finalize has no overlappable prefix.
   std::vector<std::int32_t> my_match_ints;
-  for (const auto& part : match_parts) {
-    for (const auto& [weld, contig] : part) {
-      my_match_ints.push_back(weld);
-      my_match_ints.push_back(contig);
-    }
+  my_match_ints.reserve(my_matches.size() * 2);
+  for (const auto& [weld, contig] : my_matches) {
+    my_match_ints.push_back(weld);
+    my_match_ints.push_back(contig);
   }
-  const auto pooled_ints = ctx.allgatherv(my_match_ints);
-  timing.match_bytes_contributed = ctx.allgatherv(
-      std::vector<std::uint64_t>{my_match_ints.size() * sizeof(std::int32_t)});
-  timing.match_bytes_pooled = pooled_ints.size() * sizeof(std::int32_t);
+  std::vector<std::vector<std::int32_t>> match_part;
+  match_part.push_back(std::move(my_match_ints));
+  auto match_moved = exchange(ctx, ShardingStrategy::kPooled, std::move(match_part), 0);
+  timing.match_bytes_contributed = std::move(match_moved.bytes_contributed);
+  timing.match_bytes_pooled = match_moved.data.size() * sizeof(std::int32_t);
+  const auto& pooled_ints = match_moved.data;
   if (pooled_ints.size() % 2 != 0) {
     throw std::logic_error("GraphFromFasta: malformed pooled match array");
   }
@@ -495,14 +685,7 @@ GffResult run_hybrid(simpi::Context& ctx, const std::vector<seq::Sequence>& cont
     matches.emplace_back(pooled_ints[i], pooled_ints[i + 1]);
   }
 
-  // Per-rank loop times for the Figure 7 min/max curves.
-  timing.loop1.seconds = ctx.allgatherv(std::vector<double>{my_loop1});
-  timing.loop2.seconds = ctx.allgatherv(std::vector<double>{my_loop2});
-  timing.setup_seconds = ctx.allreduce_max(my_setup);
-  timing.overlap_compute_seconds = ctx.allreduce_max(my_overlap);
-  timing.pool_wait_seconds = ctx.allreduce_max(my_pool_wait);
-  timing.comm_seconds = ctx.allreduce_max(ctx.comm_seconds() - comm_before);
-
+  reduce_timing();
   return finalize(contigs, std::move(welds), std::move(matches), extra_pairs,
                   std::move(timing));
 }

@@ -11,9 +11,12 @@
 // Two drivers share the per-contig kernels:
 //  * run_shared  — the original OpenMP-only code path (dynamic schedule);
 //  * run_hybrid  — the paper's hybrid: chunked round-robin over simpi
-//    ranks, OpenMP within a rank, weld strings pooled with Allgatherv after
-//    loop 1 (packed into a single byte sequence) and pair indices pooled as
-//    a packed integer array after loop 2.
+//    ranks, OpenMP within a rank. How weld data then moves between ranks
+//    is the ShardingStrategy: the paper pools weld strings with Allgatherv
+//    after loop 1 (packed into a single byte sequence) and pair indices as
+//    a packed integer array after loop 2; the owner-computes strategy
+//    instead routes each weld to a hash-owner with alltoallv and merges
+//    components through the distributed union-find (dsu.hpp).
 //
 // Virtual-time accounting: each loop measures the CPU work its OpenMP team
 // actually performed (per-thread CPU clocks summed), then divides by
@@ -51,6 +54,36 @@ enum class Distribution {
   kDynamic,
 };
 
+/// How the hybrid driver moves weld data between ranks after loop 1.
+///
+/// The pooled strategies are the paper's scheme: every rank's welds are
+/// replicated onto every rank with Allgatherv (O(total welds) received per
+/// rank), and loop 2's (weld, contig) matches are pooled the same way.
+/// kOwner is the owner-computes redesign: welds are hash-partitioned by
+/// their smallest canonical (k-1)-mer code (splitmix64(code) % nranks) and
+/// routed point-to-point to their owner with Context::alltoallv
+/// (O(total/nranks) per rank); each owner dedups its shard, matches ALL
+/// contigs against only its own welds, derives contig pairs locally, and
+/// the component labels are agreed through the distributed union-find in
+/// dsu.hpp — no pooled collective carries weld or match payloads.
+/// All three produce byte-identical components.
+enum class ShardingStrategy {
+  kPooled,         ///< blocking Allgatherv replication (paper, Section III.B)
+  kPooledOverlap,  ///< same pool, nonblocking + loop-2 prefix overlapped.
+                   ///< Requires each rank to know its loop-2 items up front,
+                   ///< so Distribution::kDynamic degrades it to kPooled.
+  kOwner,          ///< owner-computes: alltoallv routing + distributed DSU
+};
+
+/// "pooled", "overlap" or "owner" — the --gff-sharding spellings.
+[[nodiscard]] const char* to_string(ShardingStrategy strategy);
+
+/// Parses a --gff-sharding spelling into *out. Accepts the canonical
+/// "pooled"/"overlap"/"owner" plus the boolean spellings the deprecated
+/// --overlap-pooling alias used (true/1/yes/on -> overlap,
+/// false/0/no/off -> pooled). Returns false on any other text.
+[[nodiscard]] bool sharding_from_string(const std::string& text, ShardingStrategy* out);
+
 /// GraphFromFasta parameters.
 struct GraphFromFastaOptions {
   int k = 25;                        ///< k-mer size; weld length is 2k
@@ -72,15 +105,9 @@ struct GraphFromFastaOptions {
   /// the CPU clock's tick without changing outputs or the *relative* load
   /// imbalance across ranks. Leave at 1 for normal use.
   int kernel_repeats = 1;
-  /// Overlap the loop-1 weld pooling with compute (hybrid runs only): the
-  /// weld Allgatherv is started nonblocking and, while it is in flight,
-  /// each rank pre-extracts the canonical (k-1)-mer codes of its own
-  /// contigs — the part of loop 2's scan that does not depend on the pooled
-  /// welds. The hidden compute is credited against the modeled collective
-  /// cost and the output is bit-identical to the blocking path. Ignored
-  /// (forced off) under Distribution::kDynamic, where a rank does not know
-  /// its loop-2 items before the shared counter hands them out.
-  bool overlap_pooling = true;
+  /// How loop-1 welds and loop-2 pairs move between ranks (hybrid runs
+  /// only; run_shared ignores it). See ShardingStrategy.
+  ShardingStrategy sharding = ShardingStrategy::kPooledOverlap;
 };
 
 /// Per-rank loop times (virtual seconds). Size 1 for shared-memory runs.
@@ -101,17 +128,27 @@ struct GffTiming {
   // Communication volume of the two pooling Allgathervs (hybrid runs only;
   // zero / empty for shared-memory runs). "Contributed" is what each rank
   // put in; "pooled" is the flat payload every rank received back — the
-  // quantity docs/OBSERVABILITY.md calls pooled bytes.
+  // quantity docs/OBSERVABILITY.md calls pooled bytes. Under
+  // ShardingStrategy::kOwner nothing is pooled: weld_bytes_contributed
+  // holds each rank's owner-routed bytes instead, and the pooled totals and
+  // match counters stay zero (matches never leave their owner).
   std::vector<std::uint64_t> weld_bytes_contributed;   ///< per rank, loop 1
   std::uint64_t weld_bytes_pooled = 0;                 ///< packed weld pool size
   std::vector<std::uint64_t> match_bytes_contributed;  ///< per rank, loop 2
   std::uint64_t match_bytes_pooled = 0;                ///< pooled match-int array size
 
-  // Overlapped-pooling accounting (overlap_compute is zero when
-  // overlap_pooling is off; pool_wait is recorded for BOTH hybrid modes so
-  // overlap on/off runs compare the weld-pool blocked wall directly; both
-  // zero for shared-memory runs). docs/OBSERVABILITY.md "overlap counters"
-  // documents both.
+  // Owner-computes accounting (ShardingStrategy::kOwner only; zero for the
+  // pooled strategies and shared-memory runs). docs/OBSERVABILITY.md
+  // "sharding counters" documents all three.
+  std::uint64_t weld_bytes_routed = 0;     ///< total alltoallv-routed weld bytes
+  int dsu_rounds = 0;                      ///< max boundary-exchange rounds over ranks
+  std::uint64_t dsu_edge_bytes_routed = 0; ///< total DSU boundary-edge bytes
+
+  // Overlapped-exchange accounting (overlap_compute is zero under
+  // ShardingStrategy::kPooled; pool_wait is recorded for EVERY hybrid
+  // strategy so sharding modes compare the weld-exchange blocked wall
+  // directly; both zero for shared-memory runs). docs/OBSERVABILITY.md
+  // "overlap counters" documents both.
   double overlap_compute_seconds = 0.0;  ///< max modeled compute hidden behind the weld pool
   double pool_wait_seconds = 0.0;        ///< max wall time blocked in the weld-pool wait
   /// Total modeled time: serial parts + slowest rank per loop + comm.
@@ -123,6 +160,11 @@ struct GffTiming {
 };
 
 /// Output of GraphFromFasta.
+///
+/// Under ShardingStrategy::kOwner, `welds` and `pairs` are empty: the weld
+/// shards and their pairs live only on their owner ranks by design, and
+/// the pipeline consumes only `components` and `timing`. The pooled
+/// strategies (and run_shared) fill both.
 struct GffResult {
   ComponentSet components;
   std::vector<std::string> welds;   ///< pooled, deduplicated weld sequences
@@ -199,6 +241,16 @@ kmer::FlatKmerIndex<std::uint32_t> hybrid_contig_kmer_multiplicity(
 /// Canonical form of a weld: lexicographic min of the sequence and its
 /// reverse complement, so both strands hash identically.
 std::string canonical_weld(const std::string& weld);
+
+/// Sorted, deduplicated copy of `welds`. Exposed so tests can assert the
+/// pooled weld set is independent of the order ranks' parts arrived in.
+std::vector<std::string> dedup_welds(std::vector<std::string> welds);
+
+/// Owner rank of a canonical weld among nranks: the splitmix64 mix of its
+/// smallest canonical (k-1)-mer code, mod nranks. Identical welds share
+/// their smallest core, so duplicates from different ranks always meet at
+/// one owner — which is what makes the owner-side dedup global.
+[[nodiscard]] int weld_owner(const std::string& weld, int k, int nranks);
 
 /// Deduplicates welds preserving first-seen order, then derives contig
 /// pairs from (weld, contig) matches: contigs sharing a weld are paired

@@ -110,7 +110,7 @@ Config& Config::with_fault_flags() {
   flag_int("fault-rank", -1, "rank to kill mid-stage (-1 disables fault injection)");
   flag_string("fault-op", "",
               "operation whose Nth entry fires the fault (barrier, bcast, gatherv, "
-              "allgatherv, reduce, send, recv); empty = first communication");
+              "allgatherv, alltoallv, reduce, send, recv); empty = first communication");
   flag_int("fault-at", 1, "1-based entry of --fault-op that fires the fault");
   flag_int("max-attempts", 3, "stage re-launches before giving up on a rank fault");
   return *this;
@@ -146,6 +146,12 @@ Config& Config::with_pipeline(const pipeline::PipelineOptions& defaults) {
               : defaults.gff_distribution == chrysalis::Distribution::kDynamic ? "dynamic"
                                                                                : "crr",
               "GraphFromFasta contig distribution (crr, block, dynamic)");
+  flag_string("gff-sharding", chrysalis::to_string(defaults.gff_sharding),
+              "GraphFromFasta weld movement (pooled, overlap, owner); components "
+              "are identical across all three");
+  // The pre-ShardingStrategy boolean spelling; its true/false values map to
+  // overlap/pooled in pipeline_options().
+  alias("overlap-pooling", "gff-sharding");
   flag_bool("gff-hybrid-setup", defaults.gff_hybrid_setup,
             "cooperative GraphFromFasta setup (the paper's future work)");
   flag_string("r2t-strategy",
@@ -466,8 +472,8 @@ simpi::FaultPlan Config::fault_plan() const {
       fault.op = simpi::fault_op_from_string(op);
     } catch (const std::exception&) {
       throw ConfigError("fault-op",
-                        "must be one of barrier, bcast, gatherv, allgatherv, reduce, "
-                        "send, recv (got '" + op + "')");
+                        "must be one of barrier, bcast, gatherv, allgatherv, alltoallv, "
+                        "reduce, send, recv (got '" + op + "')");
     }
     const std::int64_t at = get_int("fault-at");
     if (at < 1) throw ConfigError("fault-at", "must be >= 1");
@@ -520,6 +526,14 @@ pipeline::PipelineOptions Config::pipeline_options() const {
                       "must be one of crr, block, dynamic (got '" + dist + "')");
   }
   options.gff_hybrid_setup = get_bool("gff-hybrid-setup");
+
+  // Boolean spellings are accepted for the deprecated --overlap-pooling
+  // alias: its old true/false values mean overlap/pooled.
+  const std::string sharding = get_string("gff-sharding");
+  if (!chrysalis::sharding_from_string(sharding, &options.gff_sharding)) {
+    throw ConfigError("gff-sharding",
+                      "must be one of pooled, overlap, owner (got '" + sharding + "')");
+  }
 
   const std::string strategy = get_string("r2t-strategy");
   if (strategy == "redundant") {

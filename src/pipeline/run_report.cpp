@@ -96,7 +96,7 @@ util::Json comm_json(const StageCommMetrics& m) {
   return out;
 }
 
-util::Json gff_json(const chrysalis::GffTiming& t) {
+util::Json gff_json(const PipelineOptions& options, const chrysalis::GffTiming& t) {
   util::Json out = util::Json::object();
   out.set("loop1_s", double_array(t.loop1.seconds));
   out.set("loop2_s", double_array(t.loop2.seconds));
@@ -109,6 +109,15 @@ util::Json gff_json(const chrysalis::GffTiming& t) {
   out.set("match_bytes_pooled", static_cast<std::int64_t>(t.match_bytes_pooled));
   out.set("overlap_compute_s", t.overlap_compute_seconds);
   out.set("pool_wait_s", t.pool_wait_seconds);
+  // Additive fields (schema stays 4, readers ignore unknown keys):
+  // gff_sharding always; owner-routing counters only under the owner
+  // strategy, so pooled-mode documents are unchanged.
+  out.set("gff_sharding", to_string(options.gff_sharding));
+  if (options.gff_sharding == chrysalis::ShardingStrategy::kOwner) {
+    out.set("weld_bytes_routed", static_cast<std::int64_t>(t.weld_bytes_routed));
+    out.set("dsu_rounds", t.dsu_rounds);
+    out.set("dsu_edge_bytes_routed", static_cast<std::int64_t>(t.dsu_edge_bytes_routed));
+  }
   return out;
 }
 
@@ -206,7 +215,7 @@ util::Json build_run_report(const PipelineOptions& options, const PipelineResult
   report.set("comm", std::move(comm));
 
   util::Json chrysalis = util::Json::object();
-  chrysalis.set("graph_from_fasta", gff_json(result.gff_timing));
+  chrysalis.set("graph_from_fasta", gff_json(options, result.gff_timing));
   chrysalis.set("reads_to_transcripts", r2t_json(options, result.r2t_timing));
   report.set("chrysalis", std::move(chrysalis));
   return report;
@@ -335,6 +344,17 @@ void summarize_report(const util::Json& report, std::ostream& out) {
       << " B contributed -> " << gff.at("match_bytes_pooled").as_int() << " B pooled\n"
       << "  reads_to_transcripts:     " << sum_ints(r2t.at("assignment_bytes_contributed"))
       << " B contributed -> " << r2t.at("assignment_bytes_pooled").as_int() << " B pooled\n";
+  // Additive gff_sharding/owner-routing fields; reports from before the
+  // owner-computes strategy simply lack them.
+  if (const util::Json* sharding = gff.find("gff_sharding")) {
+    out << "  graph_from_fasta sharding: " << sharding->as_string();
+    if (const util::Json* routed = gff.find("weld_bytes_routed")) {
+      out << " (" << routed->as_int() << " B welds routed, "
+          << gff.at("dsu_edge_bytes_routed").as_int() << " B dsu edges, "
+          << gff.at("dsu_rounds").as_int() << " dsu round(s))";
+    }
+    out << '\n';
+  }
   if (!r2t.at("rank_chunks").items().empty()) {
     out << "  reads_to_transcripts chunks per rank:";
     for (const auto& v : r2t.at("rank_chunks").items()) out << ' ' << v.as_int();

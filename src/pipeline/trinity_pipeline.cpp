@@ -145,6 +145,9 @@ void record_stage_comm(const PipelineOptions& options, PipelineResult& result,
   trace.counter(
       "allgatherv_bytes_received",
       static_cast<double>(metrics.total_bytes_received(simpi::CommOp::kAllgatherv)));
+  trace.counter(
+      "alltoallv_bytes_received",
+      static_cast<double>(metrics.total_bytes_received(simpi::CommOp::kAlltoallv)));
   for (auto& m : result.stage_comm) {
     if (m.stage == stage) {
       m = std::move(metrics);
@@ -595,7 +598,14 @@ PipelineResult run_pipeline_impl(const std::vector<seq::Sequence>& reads,
   gff.kernel_repeats = options.gff_kernel_repeats;
   gff.distribution = options.gff_distribution;
   gff.hybrid_setup = options.gff_hybrid_setup;
-  gff.overlap_pooling = options.overlap;
+  gff.sharding = options.gff_sharding;
+  // Legacy knob: --no-overlap blocks the Chrysalis overlap paths, which for
+  // GFF means degrading the default overlapped pool to the blocking one.
+  // Explicit pooled/owner selections are already non-overlapped or manage
+  // their own overlap, so they pass through.
+  if (gff.sharding == chrysalis::ShardingStrategy::kPooledOverlap && !options.overlap) {
+    gff.sharding = chrysalis::ShardingStrategy::kPooled;
+  }
 
   driver.stage(
       "chrysalis.graph_from_fasta", {kContigsFile, kKmersFile, kSamFile}, {kComponentsFile},

@@ -107,6 +107,13 @@ struct PipelineOptions {
   // alternatives are its discarded attempts and future-work directions,
   // all implemented — see DESIGN.md).
   chrysalis::Distribution gff_distribution = chrysalis::Distribution::kChunkedRoundRobin;
+  /// How GraphFromFasta moves weld data between ranks (--gff-sharding).
+  /// Scheduling-only — all strategies produce byte-identical components
+  /// (the pipeline tests and bench_gff_shard assert it), so it is excluded
+  /// from the options fingerprint like the other strategy selections.
+  /// `overlap = false` degrades kPooledOverlap to kPooled (the legacy
+  /// --no-overlap behavior) but leaves kOwner and explicit kPooled alone.
+  chrysalis::ShardingStrategy gff_sharding = chrysalis::ShardingStrategy::kPooledOverlap;
   bool gff_hybrid_setup = false;  ///< cooperative setup (future work)
   chrysalis::R2TStrategy r2t_strategy = chrysalis::R2TStrategy::kRedundantStreaming;
   chrysalis::R2TOutputMode r2t_output_mode = chrysalis::R2TOutputMode::kPerRankConcat;

@@ -10,6 +10,7 @@ const char* to_string(CommOp op) {
     case CommOp::kBcast: return "bcast";
     case CommOp::kGatherv: return "gatherv";
     case CommOp::kAllgatherv: return "allgatherv";
+    case CommOp::kAlltoallv: return "alltoallv";
     case CommOp::kReduce: return "reduce";
     case CommOp::kExtension: return "extension";
   }

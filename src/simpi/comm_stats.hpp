@@ -22,6 +22,10 @@
 //    as sent and the pooled concatenation as received. The transport bytes
 //    appear in the inner kGatherv/kBcast rows, because simpi layers
 //    allgatherv on gatherv + bcast — mirror of the FaultOp layering note.
+//  * kAlltoallv counts the full send matrix row as sent (every destination
+//    part, own slot included) and the full receive row as received; its
+//    transfers are direct point-to-point, so unlike allgatherv there are
+//    no inner transport rows — the row is both logical and transport.
 //  * kReduce (the allreduce family) likewise counts one element sent and
 //    nranks elements received, with transport in the inner ops.
 //  * kExtension covers the library-extension transfers (SubComm,
@@ -46,11 +50,12 @@ enum class CommOp : int {
   kBcast,       ///< Context::bcast
   kGatherv,     ///< Context::gatherv (also inner step of allgatherv)
   kAllgatherv,  ///< Context::allgatherv/allgather, logical payload bytes
+  kAlltoallv,   ///< Context::alltoallv, owner-addressed point-to-point routing
   kReduce,      ///< the allreduce family, logical payload bytes
   kExtension,   ///< internal_send/internal_recv (SubComm, nonblocking, I/O)
 };
 
-inline constexpr std::size_t kNumCommOps = 8;
+inline constexpr std::size_t kNumCommOps = 9;
 
 /// Lower-case op name ("send", "allgatherv", ...), as used in the JSON
 /// run report's per-op keys.

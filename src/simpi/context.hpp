@@ -141,6 +141,17 @@ class Context {
   template <typename T>
   std::vector<T> allgather(const T& v);
 
+  /// Alltoallv: `send_parts[r]` (one vector per destination rank, own slot
+  /// included) is delivered to rank r; returns the size()-long vector of
+  /// parts received, indexed by source rank. The owner-computes exchange
+  /// primitive: where allgatherv replicates every rank's contribution onto
+  /// every rank, alltoallv routes each candidate only to the rank that owns
+  /// its key, so the per-rank volume stays O(total/nranks). Counted on the
+  /// kAlltoallv row (see simpi/comm_stats.hpp); transfers are direct
+  /// point-to-point, so the row is both logical and transport.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_parts);
+
   /// Reduction over one value per rank; result valid on every rank.
   template <typename T>
   T allreduce_sum(T v);
@@ -326,6 +337,12 @@ namespace detail {
 inline constexpr int kTagBcast = -2;
 inline constexpr int kTagGather = -3;
 inline constexpr int kTagReduce = -4;
+/// -5/-6 belong to the scatterv/alltoallv extensions and -7-and-down to the
+/// IAllgatherv channels (simpi/nonblocking.hpp). The first-class alltoallv
+/// collective lives far below that range, with the nonblocking IAlltoallv
+/// channels extending downward from kTagIalltoallv.
+inline constexpr int kTagAlltoallv = -40;
+inline constexpr int kTagIalltoallv = -41;
 }  // namespace detail
 
 template <typename T>
@@ -427,6 +444,50 @@ template <typename T>
 std::vector<T> Context::allgather(const T& v) {
   std::vector<T> local{v};
   return allgatherv(local);
+}
+
+template <typename T>
+std::vector<std::vector<T>> Context::alltoallv(
+    const std::vector<std::vector<T>>& send_parts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (send_parts.size() != static_cast<std::size_t>(size())) {
+    throw std::invalid_argument("simpi: alltoallv needs one part per destination rank");
+  }
+  std::size_t sent_bytes = 0;
+  for (const auto& part : send_parts) sent_bytes += part.size() * sizeof(T);
+  trace::SpanScope span("alltoallv", trace::kCatSimpi);
+  if (span) span.arg("bytes", static_cast<double>(sent_bytes));
+  fault_point(FaultOp::kAlltoallv);
+  auto& row = stats_.of(CommOp::kAlltoallv);
+  ++row.calls;
+  row.bytes_sent += sent_bytes;
+  // Sends are buffered, so posting the whole row before receiving cannot
+  // deadlock; receives in rank order keep the matching deterministic.
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    const auto& part = send_parts[static_cast<std::size_t>(r)];
+    raw_send(r, detail::kTagAlltoallv, std::as_bytes(std::span<const T>(part)));
+  }
+  std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
+  received[static_cast<std::size_t>(rank_)] = send_parts[static_cast<std::size_t>(rank_)];
+  std::size_t recv_bytes =
+      received[static_cast<std::size_t>(rank_)].size() * sizeof(T);
+  row.bytes_received += recv_bytes;  // own part; waited_recv adds the remote ones
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    const Message msg = waited_recv(r, detail::kTagAlltoallv, CommOp::kAlltoallv);
+    if (msg.payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("simpi: alltoallv typed size mismatch");
+    }
+    auto& slot = received[static_cast<std::size_t>(r)];
+    slot.resize(msg.payload.size() / sizeof(T));
+    if (!msg.payload.empty()) {
+      std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
+    }
+    recv_bytes += msg.payload.size();
+  }
+  comm_seconds_ += cost_model().collective_cost(size(), sent_bytes + recv_bytes);
+  return received;
 }
 
 namespace detail {

@@ -9,6 +9,7 @@ const char* to_string(FaultOp op) {
     case FaultOp::kBcast: return "bcast";
     case FaultOp::kGatherv: return "gatherv";
     case FaultOp::kAllgatherv: return "allgatherv";
+    case FaultOp::kAlltoallv: return "alltoallv";
     case FaultOp::kReduce: return "reduce";
     case FaultOp::kSend: return "send";
     case FaultOp::kRecv: return "recv";
@@ -19,7 +20,7 @@ const char* to_string(FaultOp op) {
 FaultOp fault_op_from_string(std::string_view name) {
   for (const FaultOp op :
        {FaultOp::kBarrier, FaultOp::kBcast, FaultOp::kGatherv, FaultOp::kAllgatherv,
-        FaultOp::kReduce, FaultOp::kSend, FaultOp::kRecv}) {
+        FaultOp::kAlltoallv, FaultOp::kReduce, FaultOp::kSend, FaultOp::kRecv}) {
     if (name == to_string(op)) return op;
   }
   throw std::invalid_argument("unknown fault op: " + std::string(name));

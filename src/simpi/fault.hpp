@@ -34,18 +34,19 @@ enum class FaultOp : int {
   kBcast,
   kGatherv,
   kAllgatherv,
+  kAlltoallv,
   kReduce,  ///< the allreduce family
   kSend,
   kRecv,
 };
 
-inline constexpr std::size_t kNumFaultOps = 8;
+inline constexpr std::size_t kNumFaultOps = 9;
 
 [[nodiscard]] const char* to_string(FaultOp op);
 
 /// Parses a FaultOp name ("barrier", "bcast", "gatherv", "allgatherv",
-/// "reduce", "send", "recv"); throws std::invalid_argument on anything
-/// else. Used by the CLI flags of the examples and benches.
+/// "alltoallv", "reduce", "send", "recv"); throws std::invalid_argument on
+/// anything else. Used by the CLI flags of the examples and benches.
 [[nodiscard]] FaultOp fault_op_from_string(std::string_view name);
 
 /// Thrown by the victim rank when its fault fires. Deliberately NOT

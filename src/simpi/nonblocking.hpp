@@ -87,6 +87,38 @@ class IAllgatherv {
   bool done_ = false;
 };
 
+/// Nonblocking alltoallv, mirroring IAllgatherv: construction posts every
+/// destination part immediately (buffered sends, never blocks) and the
+/// caller computes while the owner-addressed parts are in flight; wait()
+/// assembles the received parts indexed by source rank, exactly
+/// Context::alltoallv's result. Accounting matches the blocking
+/// collective's kAlltoallv row (one call, the full send matrix row as
+/// sent, the receive row as received, residual blocked wall in
+/// wait_seconds with "alltoallv.wait" trace spans); the raw transfers
+/// count under kExtension like every nonblocking primitive. The modeled
+/// collective cost is charged at wait(), minus `overlapped_seconds`
+/// (clamped at zero). Collective: every rank must construct and wait in
+/// the same program order; concurrent in-flight requests need distinct
+/// channels.
+template <typename T>
+class IAlltoallv {
+ public:
+  IAlltoallv(Context& ctx, std::vector<std::vector<T>> send_parts, int channel = 0);
+  IAlltoallv(const IAlltoallv&) = delete;
+  IAlltoallv& operator=(const IAlltoallv&) = delete;
+
+  /// Blocks until every peer's part has arrived and returns the parts
+  /// indexed by source rank. May be called once.
+  std::vector<std::vector<T>> wait(double overlapped_seconds = 0.0);
+
+ private:
+  Context* ctx_;
+  std::vector<T> own_part_;
+  std::size_t sent_bytes_ = 0;
+  int tag_;
+  bool done_ = false;
+};
+
 /// Scatterv: the root sends parts[r] to each rank r and returns parts[root]
 /// locally; every other rank returns its received part. `parts` is ignored
 /// at non-roots.
@@ -94,7 +126,11 @@ template <typename T>
 std::vector<T> scatterv(Context& ctx, const std::vector<std::vector<T>>& parts, int root);
 
 /// Alltoallv: send_parts[r] goes to rank r; returns the size()-long vector
-/// of parts received, indexed by source rank.
+/// of parts received, indexed by source rank. This is the library-extension
+/// variant (counted under kExtension, no fault point or dedicated trace
+/// span); application code should prefer the first-class
+/// Context::alltoallv, which has its own CommStats row, wait attribution,
+/// and fault-injection hook.
 template <typename T>
 std::vector<std::vector<T>> alltoallv(Context& ctx,
                                       const std::vector<std::vector<T>>& send_parts);
@@ -157,6 +193,57 @@ std::vector<T> IAllgatherv<T>::wait(double overlapped_seconds,
   const double modeled = ctx.cost_model().collective_cost(ctx.size(), total * sizeof(T));
   ctx.charge(modeled > overlapped_seconds ? modeled - overlapped_seconds : 0.0);
   return flat;
+}
+
+template <typename T>
+IAlltoallv<T>::IAlltoallv(Context& ctx, std::vector<std::vector<T>> send_parts, int channel)
+    : ctx_(&ctx), tag_(detail::kTagIalltoallv - channel) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (channel < 0) throw std::invalid_argument("IAlltoallv: channel must be >= 0");
+  if (send_parts.size() != static_cast<std::size_t>(ctx.size())) {
+    throw std::invalid_argument("IAlltoallv: need one part per destination rank");
+  }
+  for (const auto& part : send_parts) sent_bytes_ += part.size() * sizeof(T);
+  auto& row = ctx.extension_op_stats(CommOp::kAlltoallv);
+  ++row.calls;
+  row.bytes_sent += sent_bytes_;
+  for (int r = 0; r < ctx.size(); ++r) {
+    const auto& part = send_parts[static_cast<std::size_t>(r)];
+    if (r == ctx.rank()) continue;
+    ctx.internal_send(r, tag_, std::as_bytes(std::span<const T>(part)));
+  }
+  own_part_ = std::move(send_parts[static_cast<std::size_t>(ctx.rank())]);
+}
+
+template <typename T>
+std::vector<std::vector<T>> IAlltoallv<T>::wait(double overlapped_seconds) {
+  if (done_) throw std::logic_error("IAlltoallv: wait() called twice");
+  done_ = true;
+  Context& ctx = *ctx_;
+  trace::SpanScope span("ialltoallv.wait", trace::kCatSimpi);
+  if (span) span.arg("overlapped_s", overlapped_seconds);
+  std::vector<std::vector<T>> received(static_cast<std::size_t>(ctx.size()));
+  received[static_cast<std::size_t>(ctx.rank())] = std::move(own_part_);
+  std::size_t recv_bytes =
+      received[static_cast<std::size_t>(ctx.rank())].size() * sizeof(T);
+  for (int r = 0; r < ctx.size(); ++r) {
+    if (r == ctx.rank()) continue;
+    const Message msg = ctx.internal_recv_as(CommOp::kAlltoallv, r, tag_);
+    auto& slot = received[static_cast<std::size_t>(r)];
+    slot.resize(msg.payload.size() / sizeof(T));
+    if (!msg.payload.empty()) {
+      std::memcpy(slot.data(), msg.payload.data(), msg.payload.size());
+    }
+    recv_bytes += msg.payload.size();
+  }
+  // Remote bytes were counted by internal_recv_as; add the own part so the
+  // logical row matches the blocking collective exactly.
+  ctx.extension_op_stats(CommOp::kAlltoallv).bytes_received +=
+      received[static_cast<std::size_t>(ctx.rank())].size() * sizeof(T);
+  const double modeled =
+      ctx.cost_model().collective_cost(ctx.size(), sent_bytes_ + recv_bytes);
+  ctx.charge(modeled > overlapped_seconds ? modeled - overlapped_seconds : 0.0);
+  return received;
 }
 
 template <typename T>

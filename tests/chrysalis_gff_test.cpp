@@ -229,7 +229,122 @@ TEST_P(GffHybrid, BlockDistributionGivesSameComponents) {
   });
 }
 
+TEST_P(GffHybrid, OwnerShardingMatchesSharedMemoryRun) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(3, 4, 43);
+  const auto counter = make_counter(s.reads);
+  auto options = test_options();
+  const auto expected = run_shared(s.contigs, counter, options);
+  options.sharding = ShardingStrategy::kOwner;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    // Owner-computes keeps welds/pairs distributed (the result leaves them
+    // empty) but the clustering must be byte-identical on every rank.
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+    ASSERT_EQ(result.components.num_components(), expected.components.num_components());
+    for (std::size_t c = 0; c < expected.components.components.size(); ++c) {
+      EXPECT_EQ(result.components.components[c].contig_ids,
+                expected.components.components[c].contig_ids);
+    }
+    EXPECT_TRUE(result.welds.empty());
+    EXPECT_TRUE(result.pairs.empty());
+    // Routed-traffic counters replace the pooled ones.
+    EXPECT_EQ(result.timing.weld_bytes_pooled, 0u);
+    EXPECT_EQ(result.timing.match_bytes_pooled, 0u);
+    if (nranks > 1) {
+      EXPECT_GT(result.timing.weld_bytes_routed, 0u);
+      EXPECT_GE(result.timing.dsu_rounds, 0);
+    }
+  });
+}
+
+TEST_P(GffHybrid, OwnerShardingWorksUnderDynamicDistribution) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(2, 2, 47);
+  const auto counter = make_counter(s.reads);
+  auto options = test_options();
+  const auto expected = run_shared(s.contigs, counter, options);
+  // The pooled-overlap strategy must degrade under dynamic scheduling;
+  // owner-computes has no such restriction.
+  options.distribution = Distribution::kDynamic;
+  options.sharding = ShardingStrategy::kOwner;
+  simpi::run(nranks, [&](simpi::Context& ctx) {
+    const auto result = run_hybrid(ctx, s.contigs, counter, options);
+    EXPECT_EQ(result.components.component_of, expected.components.component_of);
+  });
+}
+
+TEST_P(GffHybrid, AllThreeStrategiesAgreeWithScaffoldPairs) {
+  const int nranks = GetParam();
+  const auto s = build_scenario(2, 3, 53);
+  const auto counter = make_counter(s.reads);
+  // Join the last two loner contigs through an injected scaffold pair, as
+  // the pipeline's scaffold stage does.
+  const auto n = static_cast<std::int32_t>(s.contigs.size());
+  const std::vector<ContigPair> scaffold = {{n - 2, n - 1}};
+  const auto expected = run_shared(s.contigs, counter, test_options(), scaffold);
+  for (const auto sharding : {ShardingStrategy::kPooled, ShardingStrategy::kPooledOverlap,
+                              ShardingStrategy::kOwner}) {
+    auto options = test_options();
+    options.sharding = sharding;
+    simpi::run(nranks, [&](simpi::Context& ctx) {
+      const auto result = run_hybrid(ctx, s.contigs, counter, options, scaffold);
+      EXPECT_EQ(result.components.component_of, expected.components.component_of)
+          << "sharding=" << to_string(sharding);
+    });
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(WorldSizes, GffHybrid, ::testing::Values(1, 2, 3, 4, 6));
+
+// --- weld arrival-order independence ----------------------------------------------
+
+TEST(GffDedup, DedupWeldsIsOrderIndependent) {
+  // The pooled weld list arrives rank-concatenated, so its order depends on
+  // the rank count; dedup_welds must erase that history. Permute a weld
+  // multiset every which way and require the identical canonical list.
+  std::vector<std::string> welds = {"ACGT", "TTTT", "ACGT", "AAAA",
+                                    "CCGG", "TTTT", "ACGT"};
+  const std::vector<std::string> want = {"AAAA", "ACGT", "CCGG", "TTTT"};
+  std::sort(welds.begin(), welds.end());
+  do {
+    EXPECT_EQ(detail::dedup_welds(welds), want);
+  } while (std::next_permutation(welds.begin(), welds.end()));
+}
+
+TEST(GffDedup, PermutedPooledArrivalOrderYieldsIdenticalWeldsAndPairs) {
+  // End-to-end version of the same property: run the pooled hybrid at rank
+  // counts that pool the same welds in different arrival orders and require
+  // the exact weld list, pair list, and clustering of the 1-rank run.
+  const auto s = build_scenario(3, 2, 61);
+  const auto counter = make_counter(s.reads);
+  const auto options = test_options();
+  const auto expected = run_shared(s.contigs, counter, options);
+  for (const int nranks : {1, 2, 3, 5}) {
+    simpi::run(nranks, [&](simpi::Context& ctx) {
+      const auto result = run_hybrid(ctx, s.contigs, counter, options);
+      EXPECT_EQ(result.welds, expected.welds);
+      EXPECT_EQ(result.pairs, expected.pairs);
+      EXPECT_EQ(result.components.component_of, expected.components.component_of);
+    });
+  }
+}
+
+TEST(GffOwner, WeldOwnerIsDeterministicAndInRange) {
+  util::Rng rng(99);
+  for (const int nranks : {1, 2, 5, 8}) {
+    for (int i = 0; i < 64; ++i) {
+      const std::string weld = random_dna(40, rng());
+      const int owner = detail::weld_owner(weld, kTestK, nranks);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, nranks);
+      EXPECT_EQ(owner, detail::weld_owner(weld, kTestK, nranks));
+      // Strand symmetry: identical welds reach the same owner however the
+      // contributing contig was oriented.
+      EXPECT_EQ(owner, detail::weld_owner(seq::reverse_complement(weld), kTestK, nranks));
+    }
+  }
+}
 
 TEST(GffHybrid2, ExplicitChunkSizeRespected) {
   const auto s = build_scenario(2, 3, 53);

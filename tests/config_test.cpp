@@ -123,6 +123,56 @@ TEST(ConfigAliases, DeprecatedSpellingsStillParseAndAnnounce) {
   EXPECT_EQ(cfg.deprecation_notes()[0], "--nprocs is deprecated; use --ranks");
 }
 
+TEST(ConfigSharding, EverySpellingParsesToItsStrategy) {
+  using chrysalis::ShardingStrategy;
+  const std::vector<std::pair<std::string, ShardingStrategy>> cases = {
+      {"pooled", ShardingStrategy::kPooled},
+      {"false", ShardingStrategy::kPooled},
+      {"0", ShardingStrategy::kPooled},
+      {"no", ShardingStrategy::kPooled},
+      {"off", ShardingStrategy::kPooled},
+      {"overlap", ShardingStrategy::kPooledOverlap},
+      {"true", ShardingStrategy::kPooledOverlap},
+      {"1", ShardingStrategy::kPooledOverlap},
+      {"yes", ShardingStrategy::kPooledOverlap},
+      {"on", ShardingStrategy::kPooledOverlap},
+      {"owner", ShardingStrategy::kOwner},
+  };
+  for (const auto& [spelling, want] : cases) {
+    const auto options =
+        parse(pipeline_cfg(), {"--gff-sharding", spelling}).pipeline_options();
+    EXPECT_EQ(options.gff_sharding, want) << "--gff-sharding " << spelling;
+  }
+  // Default: the overlapped pooled path, as before the flag existed.
+  EXPECT_EQ(parse(pipeline_cfg(), {}).pipeline_options().gff_sharding,
+            ShardingStrategy::kPooledOverlap);
+}
+
+TEST(ConfigSharding, BadValueIsATypedError) {
+  EXPECT_CONFIG_ERROR(
+      parse(pipeline_cfg(), {"--gff-sharding", "banana"}).pipeline_options(),
+      "gff-sharding");
+}
+
+TEST(ConfigSharding, DeprecatedOverlapPoolingAliasParsesAndAnnounces) {
+  auto cfg = parse(pipeline_cfg(), {"--overlap-pooling", "false"});
+  EXPECT_EQ(cfg.get_string("gff-sharding"), "false");
+  EXPECT_EQ(cfg.pipeline_options().gff_sharding, chrysalis::ShardingStrategy::kPooled);
+  ASSERT_EQ(cfg.deprecation_notes().size(), 1u);
+  EXPECT_EQ(cfg.deprecation_notes()[0],
+            "--overlap-pooling is deprecated; use --gff-sharding");
+  EXPECT_NE(pipeline_cfg().help_text().find("--overlap-pooling -> use --gff-sharding"),
+            std::string::npos);
+}
+
+TEST(ConfigSharding, RoundTripsThroughToJson) {
+  auto cfg = parse(pipeline_cfg(), {"--gff-sharding", "owner"});
+  Config reloaded = pipeline_cfg();
+  reloaded.parse_json_text(cfg.to_json().dump(), "<round-trip>");
+  EXPECT_EQ(reloaded.pipeline_options().gff_sharding,
+            chrysalis::ShardingStrategy::kOwner);
+}
+
 TEST(ConfigJson, RoundTripsThroughToJson) {
   auto cfg = parse(pipeline_cfg(), {"--ranks", "5", "--k", "21", "--no-checkpoint",
                                     "--gff-distribution", "dynamic", "--trace"});

@@ -336,5 +336,111 @@ TEST(PipelineCheckpoint, KilledRunResumesAndMatchesUninterruptedRun) {
   EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
 }
 
+// --- GraphFromFasta sharding strategies ------------------------------------------
+
+TEST(PipelineSharding, EveryStrategyProducesIdenticalTranscripts) {
+  const auto& data = shared_dataset();
+  const TempDir pooled_dir("shard_pooled");
+  auto pooled_options = small_options(pooled_dir.str(), /*nranks=*/3);
+  pooled_options.gff_sharding = chrysalis::ShardingStrategy::kPooled;
+  run_pipeline(data.reads.reads, pooled_options);
+  const std::string want = slurp(pooled_dir.file("Trinity.fa"));
+
+  for (const auto sharding : {chrysalis::ShardingStrategy::kPooledOverlap,
+                              chrysalis::ShardingStrategy::kOwner}) {
+    const TempDir dir(std::string("shard_") + chrysalis::to_string(sharding));
+    auto options = small_options(dir.str(), /*nranks=*/3);
+    options.gff_sharding = sharding;
+    run_pipeline(data.reads.reads, options);
+    EXPECT_EQ(slurp(dir.file("Trinity.fa")), want)
+        << "sharding=" << chrysalis::to_string(sharding);
+  }
+}
+
+TEST(PipelineSharding, ShardingIsSchedulingOnlyForCheckpoints) {
+  // A run checkpointed under pooled sharding must resume cleanly under
+  // owner sharding: the strategy cannot touch the options fingerprint.
+  const TempDir dir("shard_resume");
+  const auto& data = shared_dataset();
+  auto options = small_options(dir.str());
+  options.gff_sharding = chrysalis::ShardingStrategy::kPooled;
+  run_pipeline(data.reads.reads, options);
+
+  options.resume = true;
+  options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  const auto result = run_pipeline(data.reads.reads, options);
+  EXPECT_EQ(result.stages_resumed, kAllStages);
+  EXPECT_TRUE(result.stages_executed.empty());
+}
+
+TEST(PipelineSharding, OwnerModeFaultIsRetriedToIdenticalTranscripts) {
+  const TempDir dir("shard_owner_retry");
+  const TempDir baseline_dir("shard_owner_retry_baseline");
+  const auto& data = shared_dataset();
+
+  auto baseline_options = small_options(baseline_dir.str(), /*nranks=*/3);
+  baseline_options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  run_pipeline(data.reads.reads, baseline_options);
+
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  options.fault = kill_rank(1);
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  const auto result = run_pipeline(data.reads.reads, options);
+
+  EXPECT_EQ(result.stage_retries, 1);
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
+}
+
+TEST(PipelineSharding, OwnerModeKilledRunResumesByteIdentical) {
+  // The acceptance scenario of the owner-computes path: a rank killed
+  // mid-GraphFromFasta with no in-process retry budget, relaunched with
+  // --resume, must finish byte-identical to an uninterrupted owner run.
+  const TempDir dir("shard_owner_relaunch");
+  const TempDir baseline_dir("shard_owner_relaunch_baseline");
+  const auto& data = shared_dataset();
+
+  auto baseline_options = small_options(baseline_dir.str(), /*nranks=*/3);
+  baseline_options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  run_pipeline(data.reads.reads, baseline_options);
+
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  options.fault = kill_rank(1);
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  options.retry.max_attempts = 1;
+  EXPECT_THROW(run_pipeline(data.reads.reads, options), simpi::RankFaultError);
+
+  auto relaunch = small_options(dir.str(), /*nranks=*/3);
+  relaunch.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  relaunch.resume = true;
+  const auto result = run_pipeline(data.reads.reads, relaunch);
+  EXPECT_EQ(result.stages_resumed, stages_until(kAllStages, 4));
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
+}
+
+TEST(PipelineSharding, FaultInsideAlltoallvIsRetried) {
+  // Target the owner path's own collective: the victim dies at its first
+  // alltoallv entry (the weld routing), and the retry driver recovers.
+  const TempDir dir("shard_a2a_fault");
+  const TempDir baseline_dir("shard_a2a_fault_baseline");
+  const auto& data = shared_dataset();
+
+  auto baseline_options = small_options(baseline_dir.str(), /*nranks=*/3);
+  baseline_options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  run_pipeline(data.reads.reads, baseline_options);
+
+  auto options = small_options(dir.str(), /*nranks=*/3);
+  options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  options.fault.rank = 1;
+  options.fault.op = simpi::FaultOp::kAlltoallv;
+  options.fault.at_entry = 1;
+  options.fault_stage = "chrysalis.graph_from_fasta";
+  const auto result = run_pipeline(data.reads.reads, options);
+
+  EXPECT_EQ(result.stage_retries, 1);
+  EXPECT_EQ(slurp(dir.file("Trinity.fa")), slurp(baseline_dir.file("Trinity.fa")));
+}
+
 }  // namespace
 }  // namespace trinity::pipeline

@@ -161,6 +161,48 @@ TEST_F(RunReportTest, AllgathervBytesMatchChrysalisPooling) {
   EXPECT_NEAR(metrics->skew_ratio(), gff_stage->at("skew_ratio").as_double(), 1e-9);
 }
 
+TEST_F(RunReportTest, GffShardingIsRecordedAdditively) {
+  // Default run: the overlap strategy, no owner-mode counters.
+  const auto& gff = report_->at("chrysalis").at("graph_from_fasta");
+  EXPECT_EQ(gff.at("gff_sharding").as_string(), "overlap");
+  EXPECT_EQ(gff.find("weld_bytes_routed"), nullptr);
+  EXPECT_EQ(gff.find("dsu_rounds"), nullptr);
+}
+
+TEST(RunReportStandalone2, OwnerShardingEmitsRoutedCountersAndAlltoallvRow) {
+  const TempDir dir("run_report_owner");
+  const auto data = tiny_dataset();
+  auto options = small_options(dir.str(), 3);
+  options.gff_sharding = chrysalis::ShardingStrategy::kOwner;
+  const auto result = run_pipeline(data.reads.reads, options);
+  const util::Json report = load_run_report(result.report_path);
+
+  const auto& gff = report.at("chrysalis").at("graph_from_fasta");
+  EXPECT_EQ(gff.at("gff_sharding").as_string(), "owner");
+  EXPECT_GT(gff.at("weld_bytes_routed").as_int(), 0);
+  EXPECT_GE(gff.at("dsu_rounds").as_int(), 0);
+  ASSERT_NE(gff.find("dsu_edge_bytes_routed"), nullptr);
+  // The pooled counters stay zero: nothing was replicated in loop 2.
+  EXPECT_EQ(gff.at("weld_bytes_pooled").as_int(), 0);
+  EXPECT_EQ(gff.at("match_bytes_pooled").as_int(), 0);
+
+  // The stage comm section carries the new alltoallv row with the routed
+  // traffic, and the allgatherv row shrinks to bookkeeping reductions.
+  const util::Json* gff_stage = nullptr;
+  for (const auto& stage : report.at("comm").items()) {
+    if (stage.at("stage").as_string() == "chrysalis.graph_from_fasta") gff_stage = &stage;
+  }
+  ASSERT_NE(gff_stage, nullptr);
+  std::int64_t a2a_received = 0;
+  for (const auto& rank : gff_stage->at("ranks").items()) {
+    const util::Json* a2a = rank.at("ops").find("alltoallv");
+    ASSERT_NE(a2a, nullptr);
+    EXPECT_GT(a2a->at("calls").as_int(), 0);
+    a2a_received += a2a->at("bytes_received").as_int();
+  }
+  EXPECT_GT(a2a_received, 0);
+}
+
 TEST_F(RunReportTest, ReadsToTranscriptsChunkAccounting) {
   const auto& r2t = report_->at("chrysalis").at("reads_to_transcripts");
   std::int64_t chunks = 0, reads = 0, contributed = 0;

@@ -85,6 +85,15 @@ TEST(SimpiFault, KillInsideAllgatherv) {
   });
 }
 
+TEST(SimpiFault, KillInsideAlltoallv) {
+  expect_world_dies(kill_at(FaultOp::kAlltoallv), [](Context& ctx) {
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(ctx.size()));
+    for (auto& p : parts) p.assign(3, ctx.rank());
+    (void)ctx.alltoallv(parts);
+    ctx.barrier();
+  });
+}
+
 TEST(SimpiFault, KillInsideReduce) {
   expect_world_dies(kill_at(FaultOp::kReduce), [](Context& ctx) {
     (void)ctx.allreduce_sum(ctx.rank());
@@ -199,8 +208,8 @@ TEST(SimpiFault, KillInsideSend) {
 
 TEST(SimpiFault, OpNamesRoundTrip) {
   for (const FaultOp op : {FaultOp::kBarrier, FaultOp::kBcast, FaultOp::kGatherv,
-                           FaultOp::kAllgatherv, FaultOp::kReduce, FaultOp::kSend,
-                           FaultOp::kRecv}) {
+                           FaultOp::kAllgatherv, FaultOp::kAlltoallv, FaultOp::kReduce,
+                           FaultOp::kSend, FaultOp::kRecv}) {
     EXPECT_EQ(fault_op_from_string(to_string(op)), op);
   }
   EXPECT_THROW((void)fault_op_from_string("warp-core-breach"), std::invalid_argument);
